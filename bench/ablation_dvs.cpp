@@ -1,0 +1,66 @@
+// DVS ablation: quantifies the design decisions of Section 4.2.
+//
+// For a subset of the suite, the proposed (probability-aware) synthesis
+// runs under four voltage-scaling policies:
+//   nominal      — no DVS at all (Table 1 configuration)
+//   sw-only      — DVS on software processors only (prior work [5,8,10])
+//   sw+hw        — plus the Fig. 5 transformation for hardware cores
+//   continuous   — sw+hw with an idealised continuous supply (upper bound
+//                  on what the discrete levels could achieve)
+// Expected shape: nominal > sw-only > sw+hw > continuous.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "common/stats.hpp"
+#include "tgff/suites.hpp"
+
+using namespace mmsyn;
+
+namespace {
+
+double run_config(const System& system, bool use_dvs, bool scale_hw,
+                  bool discrete, int repeats, const Flags& flags) {
+  SynthesisOptions options;
+  options.use_dvs = use_dvs;
+  options.dvs_in_loop.scale_hardware = scale_hw;
+  options.dvs_in_loop.discrete_voltages = discrete;
+  options.dvs_final.scale_hardware = scale_hw;
+  options.dvs_final.discrete_voltages = discrete;
+  bench::apply_standard_flags(flags, options);
+  RunningStats stats;
+  for (int r = 0; r < repeats; ++r) {
+    options.seed = static_cast<std::uint64_t>(flags.get_int("seed")) +
+                   static_cast<std::uint64_t>(r);
+    stats.add(synthesize(system, options).evaluation.avg_power_true * 1e3);
+  }
+  return stats.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = bench::make_standard_flags(/*default_repeats=*/3);
+  if (!flags.parse(argc, argv)) return 1;
+  const int repeats = static_cast<int>(flags.get_int("repeats"));
+
+  TextTable table;
+  table.set_header({"Example", "nominal", "sw-only DVS", "sw+hw DVS",
+                    "continuous", "(mW)"});
+  for (const int idx : {4, 6, 7, 9}) {
+    const System system = make_mul(idx);
+    const double nominal =
+        run_config(system, false, true, true, repeats, flags);
+    const double sw_only =
+        run_config(system, true, false, true, repeats, flags);
+    const double sw_hw = run_config(system, true, true, true, repeats, flags);
+    const double continuous =
+        run_config(system, true, true, false, repeats, flags);
+    table.add_row({system.name, TextTable::num(nominal),
+                   TextTable::num(sw_only), TextTable::num(sw_hw),
+                   TextTable::num(continuous), ""});
+    std::fprintf(stderr, "done %s\n", system.name.c_str());
+  }
+  table.print(std::cout, "DVS ablation (proposed synthesis, average power)");
+  return 0;
+}

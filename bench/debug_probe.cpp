@@ -1,0 +1,116 @@
+// Diagnostic probe (not part of the published tables): dissects one suite
+// instance — per-mode power breakdown, core allocations, cross-evaluation
+// of each approach's best mapping under both weightings.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cosynth.hpp"
+#include "tgff/suites.hpp"
+
+using namespace mmsyn;
+
+namespace {
+
+void dissect(const char* tag, const System& system,
+             const SynthesisResult& r) {
+  std::printf("---- %s: power(true)=%.3f mW fitness=%.5g gens=%d evals=%ld\n",
+              tag, r.evaluation.avg_power_true * 1e3, r.fitness,
+              r.generations, r.evaluations);
+  for (std::size_t m = 0; m < r.evaluation.modes.size(); ++m) {
+    const auto& me = r.evaluation.modes[m];
+    const Mode& mode = system.omsm.mode(ModeId{(int)m});
+    std::printf(
+        "  mode %zu Psi=%.2f period=%.4f dyn=%.3f mW stat=%.3f mW viol=%.2g "
+        "PEs:",
+        m, mode.probability, mode.period, me.dyn_power * 1e3,
+        me.static_power * 1e3, me.timing_violation);
+    for (std::size_t p = 0; p < me.pe_active.size(); ++p)
+      std::printf("%d", me.pe_active[p] ? 1 : 0);
+    std::printf("\n");
+  }
+  for (PeId p : system.arch.pe_ids()) {
+    if (!is_hardware(system.arch.pe(p).kind)) continue;
+    std::printf("  PE%d (%s cap=%.0f used=%.0f): ", p.value(),
+                to_string(system.arch.pe(p).kind),
+                system.arch.pe(p).area_capacity,
+                r.evaluation.pe_used_area[p.index()]);
+    for (std::size_t m = 0; m < r.evaluation.modes.size(); ++m) {
+      std::printf("[m%zu:", m);
+      for (const auto& [type, count] : r.cores.cores(ModeId{(int)m}, p).entries())
+        std::printf(" %s*%d", system.tech.type_name(type).c_str(), count);
+      std::printf("] ");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int idx = argc > 1 ? std::atoi(argv[1]) : 1;
+  const bool dvs = argc > 2 && std::atoi(argv[2]) != 0;
+  const System system = make_mul(idx);
+  std::printf("%s", describe(system).c_str());
+
+  {  // Compare the knapsack seeds of the two objectives.
+    EvaluationOptions u_opts;
+    u_opts.weight_override.assign(system.omsm.mode_count(), 1.0);
+    const Evaluator u_eval(system, u_opts);
+    const Evaluator t_eval(system, EvaluationOptions{});
+    MappingGa u_ga(system, u_eval, {}, {}, {}, 1);
+    MappingGa t_ga(system, t_eval, {}, {}, {}, 1);
+    const Genome u_seed = u_ga.knapsack_seed_genome();
+    const Genome t_seed = t_ga.knapsack_seed_genome();
+    std::size_t diff = 0;
+    for (std::size_t g = 0; g < u_seed.size(); ++g)
+      if (u_seed[g] != t_seed[g]) ++diff;
+    const auto u_map = u_ga.codec().decode(u_seed);
+    const auto t_map = t_ga.codec().decode(t_seed);
+    const auto u_cores = build_core_allocation(system, u_map, {});
+    const auto t_cores = build_core_allocation(system, t_map, {});
+    std::printf(
+        "seeds: differ at %zu/%zu genes; uniform-seed true-power=%.3f mW, "
+        "prob-seed true-power=%.3f mW\n",
+        diff, u_seed.size(),
+        t_eval.evaluate(u_map, u_cores).avg_power_true * 1e3,
+        t_eval.evaluate(t_map, t_cores).avg_power_true * 1e3);
+  }
+
+  SynthesisOptions options;
+  options.use_dvs = dvs;
+  options.ga.population_size = 64;
+  options.ga.max_generations = 600;
+  options.ga.stagnation_limit = 80;
+  options.seed = 7;
+
+  options.consider_probabilities = false;
+  const SynthesisResult base = synthesize(system, options);
+  options.consider_probabilities = true;
+  const SynthesisResult prop = synthesize(system, options);
+
+  dissect("baseline", system, base);
+  dissect("proposed", system, prop);
+
+  // Cross-evaluate: proposed mapping under uniform weights and vice versa.
+  EvaluationOptions uniform_opts;
+  uniform_opts.use_dvs = dvs;
+  uniform_opts.weight_override.assign(system.omsm.mode_count(), 1.0);
+  const Evaluator uniform_eval(system, uniform_opts);
+  EvaluationOptions true_opts;
+  true_opts.use_dvs = dvs;
+  const Evaluator true_eval(system, true_opts);
+
+  std::printf(
+      "cross: base mapping true-power=%.3f mW, prop mapping uniform-power=%.3f"
+      " mW\n",
+      true_eval.evaluate(base.mapping, base.cores).avg_power_true * 1e3,
+      uniform_eval.evaluate(prop.mapping, prop.cores).avg_power_weighted * 1e3);
+  std::printf(
+      "objectives: base-uniform=%.3f prop-uniform=%.3f | base-true=%.3f "
+      "prop-true=%.3f (mW)\n",
+      uniform_eval.evaluate(base.mapping, base.cores).avg_power_weighted * 1e3,
+      uniform_eval.evaluate(prop.mapping, prop.cores).avg_power_weighted * 1e3,
+      true_eval.evaluate(base.mapping, base.cores).avg_power_true * 1e3,
+      true_eval.evaluate(prop.mapping, prop.cores).avg_power_true * 1e3);
+  return 0;
+}

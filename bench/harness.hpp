@@ -1,0 +1,110 @@
+// Shared experiment harness for the table benches: runs the proposed
+// (probability-aware) synthesis against the probability-neglecting
+// baseline over repeated seeds and aggregates the paper's table columns.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/cosynth.hpp"
+#include "model/system.hpp"
+
+namespace mmsyn::bench {
+
+/// One Table-1/2/3 row: averaged powers, CPU times and the reduction.
+struct ComparisonRow {
+  std::string label;
+  double baseline_power_mw = 0.0;
+  double baseline_cpu_s = 0.0;
+  double proposed_power_mw = 0.0;
+  double proposed_cpu_s = 0.0;
+  double reduction_pct = 0.0;
+  int baseline_feasible = 0;  // feasible runs out of `repeats`
+  int proposed_feasible = 0;
+  int repeats = 0;
+};
+
+/// Runs both approaches `repeats` times (seeds base_seed+i) and averages —
+/// the paper's "run 40 times and average" protocol at configurable scale.
+inline ComparisonRow compare_approaches(const System& system,
+                                        SynthesisOptions options,
+                                        int repeats,
+                                        std::uint64_t base_seed,
+                                        std::string label) {
+  ComparisonRow row;
+  row.label = std::move(label);
+  row.repeats = repeats;
+  RunningStats p_base, t_base, p_prop, t_prop;
+  for (int r = 0; r < repeats; ++r) {
+    options.seed = base_seed + static_cast<std::uint64_t>(r);
+
+    options.consider_probabilities = false;
+    const SynthesisResult baseline = synthesize(system, options);
+    p_base.add(baseline.evaluation.avg_power_true * 1e3);
+    t_base.add(baseline.elapsed_seconds);
+    row.baseline_feasible += baseline.evaluation.feasible() ? 1 : 0;
+
+    options.consider_probabilities = true;
+    const SynthesisResult proposed = synthesize(system, options);
+    p_prop.add(proposed.evaluation.avg_power_true * 1e3);
+    t_prop.add(proposed.elapsed_seconds);
+    row.proposed_feasible += proposed.evaluation.feasible() ? 1 : 0;
+  }
+  row.baseline_power_mw = p_base.mean();
+  row.baseline_cpu_s = t_base.mean();
+  row.proposed_power_mw = p_prop.mean();
+  row.proposed_cpu_s = t_prop.mean();
+  row.reduction_pct = 100.0 * (row.baseline_power_mw - row.proposed_power_mw) /
+                      row.baseline_power_mw;
+  return row;
+}
+
+/// Prints rows in the layout of the paper's Tables 1–3.
+inline void print_comparison_table(const std::vector<ComparisonRow>& rows,
+                                   const std::string& title) {
+  TextTable table;
+  table.set_header({"Example", "w/o prob. P(mW)", "CPU(s)",
+                    "with prob. P(mW)", "CPU(s)", "Reduc.(%)", "feas."});
+  double total_reduction = 0.0;
+  for (const ComparisonRow& r : rows) {
+    table.add_row({r.label, TextTable::num(r.baseline_power_mw),
+                   TextTable::num(r.baseline_cpu_s, 1),
+                   TextTable::num(r.proposed_power_mw),
+                   TextTable::num(r.proposed_cpu_s, 1),
+                   TextTable::num(r.reduction_pct, 2),
+                   std::to_string(r.proposed_feasible) + "/" +
+                       std::to_string(r.repeats)});
+    total_reduction += r.reduction_pct;
+  }
+  table.print(std::cout, title);
+  if (!rows.empty())
+    std::printf("average reduction: %.2f %%\n",
+                total_reduction / static_cast<double>(rows.size()));
+}
+
+/// Standard flags shared by the table benches.
+inline Flags make_standard_flags(int default_repeats) {
+  Flags flags;
+  flags.define_int("repeats", default_repeats,
+                   "synthesis repetitions per approach (paper: 40)");
+  flags.define_int("population", 64, "GA population size");
+  flags.define_int("generations", 600, "GA generation cap");
+  flags.define_int("stagnation", 70, "GA convergence stagnation limit");
+  flags.define_int("seed", 1, "base seed");
+  return flags;
+}
+
+/// Applies the standard flags onto SynthesisOptions.
+inline void apply_standard_flags(const Flags& flags,
+                                 SynthesisOptions& options) {
+  options.ga.population_size = static_cast<int>(flags.get_int("population"));
+  options.ga.max_generations = static_cast<int>(flags.get_int("generations"));
+  options.ga.stagnation_limit = static_cast<int>(flags.get_int("stagnation"));
+}
+
+}  // namespace mmsyn::bench

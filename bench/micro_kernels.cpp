@@ -1,0 +1,116 @@
+// Micro-benchmarks (google-benchmark) of the synthesis kernels: list
+// scheduling, DVS-graph construction, PV-DVS, full candidate evaluation,
+// and the generator. These bound the GA's per-candidate cost and document
+// where the optimisation time of Tables 1–3 goes.
+#include <benchmark/benchmark.h>
+
+#include "core/allocation_builder.hpp"
+#include "core/cosynth.hpp"
+#include "core/genome.hpp"
+#include "dvs/dvs_graph.hpp"
+#include "energy/evaluator.hpp"
+#include "sched/list_scheduler.hpp"
+#include "tgff/suites.hpp"
+
+namespace {
+
+using namespace mmsyn;
+
+struct Fixture {
+  System system;
+  MultiModeMapping mapping;
+  CoreAllocation cores;
+
+  explicit Fixture(int mul_index) : system(make_mul(mul_index)) {
+    const GenomeCodec codec(system);
+    Rng rng(99);
+    mapping = codec.decode(codec.random_genome(rng));
+    cores = build_core_allocation(system, mapping);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f(4);  // mul4: 5 modes, ~90 tasks, 3 PEs
+  return f;
+}
+
+void BM_ListSchedule(benchmark::State& state) {
+  Fixture& f = fixture();
+  const Mode& mode = f.system.omsm.mode(ModeId{0});
+  for (auto _ : state) {
+    ModeSchedule s = list_schedule({mode, f.mapping.modes[0], f.system.arch,
+                                    f.system.tech, f.cores.per_mode[0]});
+    benchmark::DoNotOptimize(s.makespan);
+  }
+}
+BENCHMARK(BM_ListSchedule);
+
+void BM_BuildDvsGraph(benchmark::State& state) {
+  Fixture& f = fixture();
+  const Mode& mode = f.system.omsm.mode(ModeId{0});
+  const ModeSchedule schedule =
+      list_schedule({mode, f.mapping.modes[0], f.system.arch, f.system.tech,
+                     f.cores.per_mode[0]});
+  for (auto _ : state) {
+    DvsGraph g = build_dvs_graph(mode, schedule, f.mapping.modes[0],
+                                 f.system.arch, f.system.tech);
+    benchmark::DoNotOptimize(g.nodes.size());
+  }
+}
+BENCHMARK(BM_BuildDvsGraph);
+
+void BM_PvDvs(benchmark::State& state) {
+  Fixture& f = fixture();
+  const Mode& mode = f.system.omsm.mode(ModeId{0});
+  const ModeSchedule schedule =
+      list_schedule({mode, f.mapping.modes[0], f.system.arch, f.system.tech,
+                     f.cores.per_mode[0]});
+  const DvsGraph graph = build_dvs_graph(mode, schedule, f.mapping.modes[0],
+                                         f.system.arch, f.system.tech);
+  for (auto _ : state) {
+    PvDvsResult r = run_pv_dvs(graph, f.system.arch);
+    benchmark::DoNotOptimize(r.total_energy);
+  }
+}
+BENCHMARK(BM_PvDvs);
+
+void BM_EvaluateCandidate(benchmark::State& state) {
+  Fixture& f = fixture();
+  const Evaluator evaluator(f.system, EvaluationOptions{});
+  for (auto _ : state) {
+    Evaluation e = evaluator.evaluate(f.mapping, f.cores);
+    benchmark::DoNotOptimize(e.avg_power_true);
+  }
+}
+BENCHMARK(BM_EvaluateCandidate);
+
+void BM_EvaluateCandidateDvs(benchmark::State& state) {
+  Fixture& f = fixture();
+  EvaluationOptions options;
+  options.use_dvs = true;
+  const Evaluator evaluator(f.system, options);
+  for (auto _ : state) {
+    Evaluation e = evaluator.evaluate(f.mapping, f.cores);
+    benchmark::DoNotOptimize(e.avg_power_true);
+  }
+}
+BENCHMARK(BM_EvaluateCandidateDvs);
+
+void BM_CoreAllocation(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    CoreAllocation a = build_core_allocation(f.system, f.mapping);
+    benchmark::DoNotOptimize(a.per_mode.size());
+  }
+}
+BENCHMARK(BM_CoreAllocation);
+
+void BM_GenerateSystem(benchmark::State& state) {
+  for (auto _ : state) {
+    System s = make_mul(4);
+    benchmark::DoNotOptimize(s.total_task_count());
+  }
+}
+BENCHMARK(BM_GenerateSystem);
+
+}  // namespace

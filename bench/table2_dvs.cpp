@@ -1,0 +1,35 @@
+// Regenerates Table 2: "Experimental Results with DVS".
+//
+// Identical protocol to Table 1, but the inner loop applies PV-DVS voltage
+// scaling — on DVS-enabled software processors and, via the Fig. 5
+// serialization transformation, on parallel hardware cores. Expected
+// shape: absolute powers drop well below the Table 1 values for *both*
+// approaches (DVS alone is powerful), and considering the execution
+// probabilities still wins on top of it (paper: 5.7%–64.0%).
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "tgff/suites.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmsyn;
+  Flags flags = bench::make_standard_flags(/*default_repeats=*/5);
+  if (!flags.parse(argc, argv)) return 1;
+
+  SynthesisOptions options;
+  options.use_dvs = true;
+  bench::apply_standard_flags(flags, options);
+
+  std::vector<bench::ComparisonRow> rows;
+  for (int i = 1; i <= mul_count(); ++i) {
+    const System system = make_mul(i);
+    rows.push_back(bench::compare_approaches(
+        system, options, static_cast<int>(flags.get_int("repeats")),
+        static_cast<std::uint64_t>(flags.get_int("seed")),
+        system.name + " (" + std::to_string(mul_mode_count(i)) + ")"));
+    std::cerr << "done " << system.name << "\n";
+  }
+  bench::print_comparison_table(rows,
+                                "Table 2: Experimental Results with DVS");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// File-driven synthesis tool: load a .mmsyn system description, run the
+// co-synthesis, and print the full implementation report. Can also export
+// the built-in benchmarks to .mmsyn files to serve as templates.
+//
+//   synthesize_file --input phone.mmsyn --dvs --report-voltages
+//   synthesize_file --input phone.mmsyn --save-mapping phone.mmsyn-map
+//   synthesize_file --input phone.mmsyn --evaluate-mapping phone.mmsyn-map
+//   synthesize_file --export-smartphone phone.mmsyn
+//   synthesize_file --export-mul 6 --output mul6.mmsyn
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "core/allocation_builder.hpp"
+#include "core/cosynth.hpp"
+#include "core/report.hpp"
+#include "model/io.hpp"
+#include "model/mapping_io.hpp"
+#include "tgff/smart_phone.hpp"
+#include "tgff/suites.hpp"
+
+using namespace mmsyn;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_string("input", "", ".mmsyn file to synthesise");
+  flags.define_string("output", "", "write the system/export here");
+  flags.define_bool("export-smartphone", false,
+                    "write the smart-phone benchmark to --output and exit");
+  flags.define_int("export-mul", 0,
+                   "write suite instance mulN to --output and exit");
+  flags.define_bool("dvs", false, "apply dynamic voltage scaling");
+  flags.define_bool("uniform", false,
+                    "neglect mode probabilities (baseline behaviour)");
+  flags.define_bool("report-voltages", false,
+                    "include voltage schedules in the report");
+  flags.define_bool("gantt", true, "include Gantt charts in the report");
+  flags.define_string("save-mapping", "",
+                      "write the synthesised mapping to this file");
+  flags.define_string("evaluate-mapping", "",
+                      "skip synthesis; evaluate this mapping file instead");
+  flags.define_int("seed", 1, "GA seed");
+  flags.define_int("population", 64, "GA population size");
+  flags.define_int("generations", 600, "GA generation cap");
+  if (!flags.parse(argc, argv)) return 1;
+
+  if (flags.get_bool("export-smartphone") || flags.get_int("export-mul") > 0) {
+    const std::string path = flags.get_string("output").empty()
+                                 ? "exported.mmsyn"
+                                 : flags.get_string("output");
+    const System system = flags.get_bool("export-smartphone")
+                              ? make_smart_phone()
+                              : make_mul(static_cast<int>(
+                                    flags.get_int("export-mul")));
+    save_system(path, system);
+    std::printf("wrote %s (%s)\n", path.c_str(), system.name.c_str());
+    return 0;
+  }
+
+  if (flags.get_string("input").empty()) {
+    std::fprintf(stderr, "--input is required (or use an --export option)\n");
+    flags.print_usage(argv[0]);
+    return 1;
+  }
+
+  System system;
+  try {
+    system = load_system(flags.get_string("input"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to load: %s\n", e.what());
+    return 1;
+  }
+  const auto problems = system.validate();
+  if (!problems.empty()) {
+    for (const auto& p : problems)
+      std::fprintf(stderr, "invalid system: %s\n", p.c_str());
+    return 1;
+  }
+  std::printf("%s\n", describe(system).c_str());
+
+  SynthesisOptions options;
+  options.use_dvs = flags.get_bool("dvs");
+  options.consider_probabilities = !flags.get_bool("uniform");
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.ga.population_size = static_cast<int>(flags.get_int("population"));
+  options.ga.max_generations = static_cast<int>(flags.get_int("generations"));
+
+  SynthesisResult result;
+  if (!flags.get_string("evaluate-mapping").empty()) {
+    // Evaluate-only mode: price a stored implementation candidate.
+    try {
+      result.mapping =
+          load_mapping(flags.get_string("evaluate-mapping"), system);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to load mapping: %s\n", e.what());
+      return 1;
+    }
+    result.cores = build_core_allocation(system, result.mapping);
+    EvaluationOptions eval_options;
+    eval_options.use_dvs = options.use_dvs;
+    eval_options.keep_schedules = true;
+    const Evaluator evaluator(system, eval_options);
+    result.evaluation = evaluator.evaluate(result.mapping, result.cores);
+  } else {
+    result = synthesize(system, options);
+  }
+
+  if (!flags.get_string("save-mapping").empty()) {
+    save_mapping(flags.get_string("save-mapping"), system, result.mapping);
+    std::printf("mapping written to %s\n",
+                flags.get_string("save-mapping").c_str());
+  }
+
+  ReportOptions report;
+  report.include_gantt = flags.get_bool("gantt");
+  report.include_voltage_schedules = flags.get_bool("report-voltages");
+  std::printf("%s", implementation_report(system, result, report).c_str());
+  return result.evaluation.feasible() ? 0 : 2;
+}

@@ -1,0 +1,133 @@
+#include "common/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mmsyn {
+namespace {
+
+std::string kind_name(int kind) {
+  switch (kind) {
+    case 0: return "int";
+    case 1: return "double";
+    case 2: return "bool";
+    default: return "string";
+  }
+}
+
+}  // namespace
+
+void Flags::define_int(const std::string& name, std::int64_t default_value,
+                       const std::string& help) {
+  entries_[name] = Entry{Kind::kInt, std::to_string(default_value), help};
+  order_.push_back(name);
+}
+
+void Flags::define_double(const std::string& name, double default_value,
+                          const std::string& help) {
+  entries_[name] = Entry{Kind::kDouble, std::to_string(default_value), help};
+  order_.push_back(name);
+}
+
+void Flags::define_bool(const std::string& name, bool default_value,
+                        const std::string& help) {
+  entries_[name] = Entry{Kind::kBool, default_value ? "true" : "false", help};
+  order_.push_back(name);
+}
+
+void Flags::define_string(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& help) {
+  entries_[name] = Entry{Kind::kString, default_value, help};
+  order_.push_back(name);
+}
+
+bool Flags::set_value(const std::string& name, const std::string& text) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+    return false;
+  }
+  it->second.value = text;
+  return true;
+}
+
+bool Flags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n",
+                   arg.c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+      return false;
+    }
+    if (!have_value) {
+      if (it->second.kind == Kind::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
+        return false;
+      }
+    }
+    if (!set_value(name, value)) return false;
+  }
+  return true;
+}
+
+const Flags::Entry& Flags::entry(const std::string& name, Kind kind) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end())
+    throw std::out_of_range("flag not defined: " + name);
+  if (it->second.kind != kind)
+    throw std::logic_error("flag " + name + " is not of type " +
+                           kind_name(static_cast<int>(kind)));
+  return it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name) const {
+  return std::strtoll(entry(name, Kind::kInt).value.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name) const {
+  return std::strtod(entry(name, Kind::kDouble).value.c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  const std::string& v = entry(name, Kind::kBool).value;
+  return v == "true" || v == "1" || v == "yes";
+}
+
+const std::string& Flags::get_string(const std::string& name) const {
+  return entry(name, Kind::kString).value;
+}
+
+void Flags::print_usage(const std::string& program) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", program.c_str());
+  for (const auto& name : order_) {
+    const Entry& e = entries_.at(name);
+    std::fprintf(stderr, "  --%-20s %s (default: %s)\n", name.c_str(),
+                 e.help.c_str(), e.value.c_str());
+  }
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,86 @@
+// Strongly-typed integer identifiers for model entities.
+//
+// Raw `int` handles for tasks, PEs, modes, etc. are a classic source of
+// silent index-mixup bugs in co-synthesis code (a task index used as a PE
+// index compiles fine and corrupts a mapping). Every entity in mmsyn is
+// therefore addressed by a distinct strong ID type; conversion to the raw
+// index is explicit via `value()`.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace mmsyn {
+
+/// CRTP-free strong identifier. `Tag` makes instantiations distinct types.
+template <typename Tag>
+class StrongId {
+public:
+  using value_type = std::int32_t;
+
+  /// Constructs an invalid id (`valid() == false`).
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+
+  /// Raw index; only meaningful when `valid()`.
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  /// Raw index as size_t for container subscripting.
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value_);
+  }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{}; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+private:
+  value_type value_ = -1;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, StrongId<Tag> id) {
+  if (!id.valid()) return os << "<invalid>";
+  return os << id.value();
+}
+
+struct TaskTag {};
+struct TaskTypeTag {};
+struct EdgeTag {};
+struct ModeTag {};
+struct TransitionTag {};
+struct PeTag {};
+struct ClTag {};
+struct CoreTag {};
+
+/// A task node inside one mode's task graph (mode-local numbering).
+using TaskId = StrongId<TaskTag>;
+/// A function kind (FFT, IDCT, ...) shared across modes.
+using TaskTypeId = StrongId<TaskTypeTag>;
+/// A data-dependency edge inside one mode's task graph.
+using EdgeId = StrongId<EdgeTag>;
+/// An operational mode (node of the OMSM).
+using ModeId = StrongId<ModeTag>;
+/// A transition edge of the OMSM.
+using TransitionId = StrongId<TransitionTag>;
+/// A processing element of the target architecture.
+using PeId = StrongId<PeTag>;
+/// A communication link of the target architecture.
+using ClId = StrongId<ClTag>;
+/// An allocated hardware core instance on one PE.
+using CoreId = StrongId<CoreTag>;
+
+}  // namespace mmsyn
+
+namespace std {
+template <typename Tag>
+struct hash<mmsyn::StrongId<Tag>> {
+  size_t operator()(mmsyn::StrongId<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};
+}  // namespace std

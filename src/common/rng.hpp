@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of mmsyn (benchmark generator, GA, improvement
+// operators) draw from this generator so that a 64-bit seed fully determines
+// every experiment. We implement xoshiro256++ (public-domain algorithm by
+// Blackman & Vigna) rather than rely on std::mt19937 so the stream is
+// bit-identical across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace mmsyn {
+
+/// SplitMix64 — used to expand a single seed into xoshiro state and to
+/// derive independent child seeds.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256++ engine with convenience sampling helpers.
+///
+/// Satisfies UniformRandomBitGenerator so it can feed <random>
+/// distributions, but the helpers below are preferred: they are portable
+/// (no libstdc++/libc++ distribution divergence).
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi);
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double canonical();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p);
+
+  /// Uniformly chosen index into a container of `size` elements. Requires
+  /// size > 0.
+  [[nodiscard]] std::size_t pick_index(std::size_t size);
+
+  /// Uniformly chosen element reference.
+  template <typename Container>
+  [[nodiscard]] auto& pick(Container& c) {
+    return c[pick_index(c.size())];
+  }
+
+  /// Index sampled proportionally to non-negative weights; at least one
+  /// weight must be positive.
+  [[nodiscard]] std::size_t pick_weighted(std::span<const double> weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      using std::swap;
+      swap(c[i - 1], c[pick_index(i)]);
+    }
+  }
+
+  /// Derives a child generator whose stream is independent of subsequent
+  /// draws from this one (seeded via splitmix of a fresh draw).
+  [[nodiscard]] Rng fork();
+
+private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace mmsyn

@@ -1,0 +1,76 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+
+namespace mmsyn {
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::size_t digits = 0;
+  for (char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+    else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'e') return false;
+  }
+  return digits > 0;
+}
+
+}  // namespace
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os, const std::string& title) const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&](const std::vector<std::string>& row, bool force_left) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : std::string{};
+      const bool right = !force_left && looks_numeric(cell);
+      const std::size_t pad = width[c] - cell.size();
+      if (right) os << std::string(pad, ' ') << cell;
+      else os << cell << std::string(pad, ' ');
+      os << (c + 1 < cols ? "  " : "");
+    }
+    os << '\n';
+  };
+
+  if (!title.empty()) os << title << '\n';
+  if (!header_.empty()) {
+    emit(header_, /*force_left=*/true);
+    std::size_t total = cols >= 1 ? 2 * (cols - 1) : 0;
+    for (auto w : width) total += w;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r, /*force_left=*/false);
+}
+
+std::string TextTable::num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string TextTable::pct(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace mmsyn

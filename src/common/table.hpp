@@ -1,0 +1,38 @@
+// Plain-text table rendering for the experiment harnesses.
+//
+// Every bench binary prints rows in the shape of the paper's tables; this
+// helper keeps the column alignment logic in one place.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mmsyn {
+
+/// Column-aligned ASCII table with an optional title and header rule.
+class TextTable {
+public:
+  /// Sets the column headers; must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with 2-space column gaps; numeric-looking cells are
+  /// right-aligned, text cells left-aligned.
+  void print(std::ostream& os, const std::string& title = {}) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Formats a double with `digits` decimal places.
+  static std::string num(double value, int digits = 3);
+  /// Formats a percentage with two decimals (e.g. "22.46").
+  static std::string pct(double fraction);
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mmsyn

@@ -1,0 +1,158 @@
+#include "core/allocation_builder.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "model/system.hpp"
+#include "sched/mobility.hpp"
+
+namespace mmsyn {
+namespace {
+
+/// Maximum number of simultaneously running intervals.
+int max_concurrency(std::vector<std::pair<double, double>> intervals) {
+  std::vector<std::pair<double, int>> events;
+  events.reserve(intervals.size() * 2);
+  for (const auto& [start, end] : intervals) {
+    events.emplace_back(start, +1);
+    events.emplace_back(end, -1);
+  }
+  // Process ends before starts at equal times (back-to-back is sequential).
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  int current = 0, best = 0;
+  for (const auto& [time, delta] : events) {
+    current += delta;
+    best = std::max(best, current);
+  }
+  return best;
+}
+
+/// Greedy extra-core addition into `set` (already holding the base cores)
+/// until `desired` counts are met or `capacity` is exhausted.
+void add_extra_cores(CoreSet& set,
+                     const std::map<TaskTypeId, int>& desired,
+                     const TechLibrary& tech, PeId pe, double capacity) {
+  double used = set.area(tech, pe);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Pick the type with the largest remaining deficit whose extra core
+    // still fits; ties resolved toward the smaller core.
+    TaskTypeId best_type;
+    int best_deficit = 0;
+    double best_area = 0.0;
+    for (const auto& [type, want] : desired) {
+      const int deficit = want - set.count_of(type);
+      if (deficit <= 0) continue;
+      const double area = tech.require(type, pe).area;
+      if (used + area > capacity) continue;
+      if (deficit > best_deficit ||
+          (deficit == best_deficit && area < best_area)) {
+        best_type = type;
+        best_deficit = deficit;
+        best_area = area;
+      }
+    }
+    if (best_deficit > 0) {
+      set.add_core(best_type);
+      used += best_area;
+      progress = true;
+    }
+  }
+}
+
+}  // namespace
+
+CoreAllocation build_core_allocation(const System& system,
+                                     const MultiModeMapping& mapping,
+                                     const AllocationOptions& options) {
+  const Omsm& omsm = system.omsm;
+  const Architecture& arch = system.arch;
+  const TechLibrary& tech = system.tech;
+  const std::size_t n_modes = omsm.mode_count();
+  const std::size_t n_pes = arch.pe_count();
+
+  CoreAllocation alloc;
+  alloc.per_mode.assign(n_modes, std::vector<CoreSet>(n_pes));
+
+  // Per-mode mobility analysis (Fig. 4 line 04).
+  std::vector<MobilityInfo> mobility;
+  mobility.reserve(n_modes);
+  for (std::size_t m = 0; m < n_modes; ++m) {
+    const ModeId mode_id{static_cast<ModeId::value_type>(m)};
+    mobility.push_back(compute_mobility(omsm.mode(mode_id), mapping.modes[m],
+                                        arch, tech));
+  }
+
+  // desired[m][pe] : per-type core demand in mode m on PE pe.
+  std::vector<std::vector<std::map<TaskTypeId, int>>> desired(
+      n_modes, std::vector<std::map<TaskTypeId, int>>(n_pes));
+
+  for (std::size_t m = 0; m < n_modes; ++m) {
+    const ModeId mode_id{static_cast<ModeId::value_type>(m)};
+    const Mode& mode = omsm.mode(mode_id);
+    const MobilityInfo& mob = mobility[m];
+    // Group this mode's hardware tasks by (pe, type).
+    std::map<std::pair<PeId, TaskTypeId>, std::vector<std::size_t>> groups;
+    for (std::size_t t = 0; t < mode.graph.task_count(); ++t) {
+      const PeId pe = mapping.modes[m].task_to_pe[t];
+      if (!is_hardware(arch.pe(pe).kind)) continue;
+      const TaskId id{static_cast<TaskId::value_type>(t)};
+      groups[{pe, mode.graph.task(id).type}].push_back(t);
+    }
+    for (const auto& [key, tasks] : groups) {
+      const auto& [pe, type] = key;
+      int demand = 1;
+      if (options.allocate_parallel_cores && tasks.size() > 1) {
+        // Extra cores pay off only for tasks that can actually overlap and
+        // are urgent (low mobility).
+        std::vector<std::pair<double, double>> windows;
+        const double mobility_cap =
+            options.mobility_threshold * mode.period;
+        for (std::size_t t : tasks) {
+          if (mob.mobility[t] > mobility_cap) continue;
+          windows.emplace_back(mob.asap_start[t],
+                               mob.asap_start[t] + mob.exec_time[t]);
+        }
+        demand = std::max(1, max_concurrency(std::move(windows)));
+      }
+      desired[m][pe.index()][type] = demand;
+    }
+  }
+
+  for (PeId p : arch.pe_ids()) {
+    const Pe& pe = arch.pe(p);
+    if (!is_hardware(pe.kind)) continue;
+
+    if (pe.kind == PeKind::kAsic) {
+      // Static silicon: one set for all modes, per-type max demand.
+      std::map<TaskTypeId, int> merged;
+      for (std::size_t m = 0; m < n_modes; ++m)
+        for (const auto& [type, want] : desired[m][p.index()])
+          merged[type] = std::max(merged[type], want);
+      CoreSet set;
+      for (const auto& [type, want] : merged) set.set_count(type, 1);
+      add_extra_cores(set, merged, tech, p, pe.area_capacity);
+      for (std::size_t m = 0; m < n_modes; ++m)
+        alloc.per_mode[m][p.index()] = set;
+    } else {
+      // FPGA: reconfigurable per mode.
+      for (std::size_t m = 0; m < n_modes; ++m) {
+        CoreSet set;
+        for (const auto& [type, want] : desired[m][p.index()])
+          set.set_count(type, 1);
+        add_extra_cores(set, desired[m][p.index()], tech, p,
+                        pe.area_capacity);
+        alloc.per_mode[m][p.index()] = std::move(set);
+      }
+    }
+  }
+  return alloc;
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,34 @@
+// ImplementHWcores (Fig. 4, line 05): derives the hardware core allocation
+// from a task mapping.
+//
+// Every task type mapped onto a hardware PE needs at least one core of that
+// type. While spare area remains, additional cores are allocated for types
+// whose tasks can actually run in parallel — judged by overlapping
+// contention-free ASAP execution windows, preferring low-mobility (urgent)
+// tasks — so application parallelism (and, with DVS, the resulting slack)
+// can be exploited. ASIC core sets are the per-type maximum over all modes
+// (static silicon); FPGA sets are per-mode (reconfigurable).
+#pragma once
+
+#include "model/core_allocation.hpp"
+#include "model/mapping.hpp"
+
+namespace mmsyn {
+
+struct System;
+
+struct AllocationOptions {
+  /// Allocate extra cores for parallel tasks (disable to study the
+  /// ablation of multi-core allocation).
+  bool allocate_parallel_cores = true;
+  /// Only tasks with mobility below this fraction of the mode period
+  /// attract extra cores.
+  double mobility_threshold = 0.5;
+};
+
+/// Builds the core allocation for `mapping`.
+[[nodiscard]] CoreAllocation build_core_allocation(
+    const System& system, const MultiModeMapping& mapping,
+    const AllocationOptions& options = {});
+
+}  // namespace mmsyn

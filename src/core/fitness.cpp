@@ -1,0 +1,68 @@
+#include "core/fitness.hpp"
+
+#include <algorithm>
+
+namespace mmsyn {
+
+double mapping_fitness(const Evaluation& eval, const Evaluator& evaluator,
+                       const FitnessParams& params) {
+  const System& system = evaluator.system();
+
+  const double power = std::max(eval.avg_power_weighted, 1e-15);
+
+  const double tp = 1.0 + params.timing_weight * eval.weighted_timing_violation;
+
+  double area_factor = 1.0;
+  for (PeId p : system.arch.pe_ids()) {
+    const double violation = eval.pe_area_violation[p.index()];
+    if (violation <= 0.0) continue;
+    const double capacity = system.arch.pe(p).area_capacity;
+    area_factor += params.area_weight * violation / (capacity * 0.01);
+  }
+
+  double transition_factor = 1.0;
+  bool any_transition_violation = false;
+  for (std::size_t t = 0; t < eval.transition_violations.size(); ++t) {
+    if (eval.transition_violations[t] <= 0.0) continue;
+    any_transition_violation = true;
+    const ModeTransition& tr = system.omsm.transition(
+        TransitionId{static_cast<TransitionId::value_type>(t)});
+    transition_factor *= eval.transition_times[t] / tr.max_transition_time;
+  }
+  if (any_transition_violation)
+    transition_factor *= params.transition_weight;
+
+  return power * tp * area_factor * transition_factor;
+}
+
+double constraint_violation(const Evaluation& eval,
+                            const Evaluator& evaluator) {
+  const System& system = evaluator.system();
+  double total = 0.0;
+  for (PeId p : system.arch.pe_ids()) {
+    const double v = eval.pe_area_violation[p.index()];
+    if (v > 0.0) total += v / system.arch.pe(p).area_capacity;
+  }
+  total += eval.weighted_timing_violation;
+  for (const ModeEvaluation& m : eval.modes)
+    if (!m.routable) total += 1.0;
+  for (std::size_t t = 0; t < eval.transition_violations.size(); ++t) {
+    if (eval.transition_violations[t] <= 0.0) continue;
+    const ModeTransition& tr = system.omsm.transition(
+        TransitionId{static_cast<TransitionId::value_type>(t)});
+    total += eval.transition_violations[t] / tr.max_transition_time;
+  }
+  return total;
+}
+
+bool candidate_better(double violation_a, double fitness_a,
+                      double violation_b, double fitness_b) {
+  const bool feasible_a = violation_a <= 0.0;
+  const bool feasible_b = violation_b <= 0.0;
+  if (feasible_a != feasible_b) return feasible_a;
+  if (!feasible_a && violation_a != violation_b)
+    return violation_a < violation_b;
+  return fitness_a < fitness_b;
+}
+
+}  // namespace mmsyn

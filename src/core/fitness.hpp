@@ -1,0 +1,46 @@
+// Mapping fitness F_M (Fig. 4, line 14).
+//
+//   F_M = p̄ · tp · (1 + w_A · Σ_{π∈P_v} (a_π^U − a_π^max)/(a_π^max · 0.01))
+//             · (w_R · Π_{T∈Θ_v} t_T / t_T^max)
+//
+// where p̄ is the weighted average power (Eq. 1), tp a timing-penalty
+// factor, the third factor penalises PEs with area violations (P_v) in
+// units of violation percent, and the last factor penalises transitions
+// whose reconfiguration time exceeds its limit (Θ_v; factor 1 when the set
+// is empty). Lower is better.
+#pragma once
+
+#include "energy/evaluator.hpp"
+
+namespace mmsyn {
+
+struct FitnessParams {
+  /// Area-penalty weight w_A (per percent of violation).
+  double area_weight = 0.05;
+  /// Transition-penalty weight w_R (applied once when any violation).
+  double transition_weight = 2.0;
+  /// Timing-penalty weight: tp = 1 + w_T · weighted timing violation
+  /// (violations expressed in fractions of the mode period).
+  double timing_weight = 20.0;
+};
+
+/// Computes F_M from an evaluation. Lower is better; strictly positive.
+[[nodiscard]] double mapping_fitness(const Evaluation& eval,
+                                     const Evaluator& evaluator,
+                                     const FitnessParams& params);
+
+/// Normalised total constraint violation (0 == feasible): area violations
+/// in fractions of capacity, timing violations in fractions of the period,
+/// transition-time violations in fractions of the limit.
+[[nodiscard]] double constraint_violation(const Evaluation& eval,
+                                          const Evaluator& evaluator);
+
+/// Selection order for the GA and the exhaustive search (Deb's rules):
+/// feasible beats infeasible regardless of fitness; two feasible
+/// candidates compare by fitness; two infeasible by violation, then
+/// fitness. The multiplicative penalties in F_M still provide the
+/// gradient inside the infeasible region.
+[[nodiscard]] bool candidate_better(double violation_a, double fitness_a,
+                                    double violation_b, double fitness_b);
+
+}  // namespace mmsyn

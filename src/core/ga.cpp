@@ -1,0 +1,513 @@
+#include "core/ga.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/improvement.hpp"
+#include "model/system.hpp"
+
+namespace mmsyn {
+
+MappingGa::MappingGa(const System& system, const Evaluator& evaluator,
+                     FitnessParams fitness_params,
+                     AllocationOptions alloc_options, GaOptions options,
+                     std::uint64_t seed)
+    : system_(system),
+      evaluator_(evaluator),
+      fitness_params_(fitness_params),
+      alloc_options_(alloc_options),
+      options_(options),
+      codec_(system),
+      rng_(seed) {}
+
+void MappingGa::evaluate(Individual& ind) {
+  if (options_.memoize_evaluations) {
+    if (auto it = cache_.find(ind.genome); it != cache_.end()) {
+      const CachedFitness& c = it->second;
+      ind.fitness = c.fitness;
+      ind.violation = c.violation;
+      ind.area_infeasible = c.area_infeasible;
+      ind.timing_infeasible = c.timing_infeasible;
+      ind.transition_infeasible = c.transition_infeasible;
+      ind.power_true = c.power_true;
+      ind.evaluated = true;
+      return;
+    }
+  }
+  const MultiModeMapping mapping = codec_.decode(ind.genome);
+  const CoreAllocation cores =
+      build_core_allocation(system_, mapping, alloc_options_);
+  const Evaluation eval = evaluator_.evaluate(mapping, cores);
+  ind.fitness = mapping_fitness(eval, evaluator_, fitness_params_);
+  ind.violation = constraint_violation(eval, evaluator_);
+  ind.area_infeasible = !eval.area_feasible();
+  ind.timing_infeasible = !eval.timing_feasible();
+  ind.transition_infeasible = !eval.transitions_feasible();
+  ind.power_true = eval.avg_power_true;
+  ind.evaluated = true;
+  ++evaluations_;
+  if (options_.memoize_evaluations)
+    cache_.emplace(ind.genome,
+                   CachedFitness{ind.fitness, ind.violation,
+                                 ind.area_infeasible, ind.timing_infeasible,
+                                 ind.transition_infeasible, ind.power_true});
+}
+
+double MappingGa::population_diversity() const {
+  // Sampled mean pairwise Hamming fraction (full O(n²) is unnecessary).
+  if (population_.size() < 2) return 0.0;
+  double total = 0.0;
+  int samples = 0;
+  const std::size_t n = population_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = (i + 1 + i / 2) % n;
+    if (i == j) continue;
+    total += hamming_fraction(population_[i].genome, population_[j].genome);
+    ++samples;
+  }
+  return samples ? total / samples : 0.0;
+}
+
+Genome MappingGa::software_seed_genome() const {
+  Genome genome(codec_.genome_length(), 0);
+  for (std::size_t g = 0; g < codec_.genome_length(); ++g) {
+    const auto& cands = codec_.candidates(g);
+    const ModeId mode = codec_.mode_of_gene(g);
+    const TaskTypeId type =
+        system_.omsm.mode(mode).graph.task(codec_.task_of_gene(g)).type;
+    double best_energy = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < cands.size(); ++c) {
+      if (!is_software(system_.arch.pe(cands[c]).kind)) continue;
+      const double e = system_.tech.require(type, cands[c]).energy();
+      if (e < best_energy) {
+        best_energy = e;
+        genome[g] = static_cast<std::uint16_t>(c);
+      }
+    }
+    // Types without any software implementation stay on candidate 0.
+  }
+  return genome;
+}
+
+Genome MappingGa::knapsack_seed_genome(std::vector<double> mode_weights) const {
+  std::vector<double> weights = mode_weights.empty()
+                                    ? evaluator_.optimisation_weights()
+                                    : std::move(mode_weights);
+  {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total > 0.0)
+      for (double& w : weights) w /= total;
+  }
+  Genome genome = software_seed_genome();
+
+  // Cheapest software energy per (mode-independent) type, as the baseline
+  // each hardware core competes against.
+  auto sw_energy = [&](TaskTypeId type) {
+    double best = std::numeric_limits<double>::infinity();
+    for (PeId p : system_.arch.pe_ids()) {
+      if (!is_software(system_.arch.pe(p).kind)) continue;
+      if (!system_.tech.supports(type, p)) continue;
+      best = std::min(best, system_.tech.require(type, p).energy());
+    }
+    return best;
+  };
+
+  // Per-mode use count of every type.
+  const std::size_t n_modes = system_.omsm.mode_count();
+  const std::size_t n_types = system_.tech.type_count();
+  std::vector<std::vector<std::size_t>> uses(
+      n_modes, std::vector<std::size_t>(n_types, 0));
+  for (std::size_t m = 0; m < n_modes; ++m)
+    for (const Task& task :
+         system_.omsm.mode(ModeId{static_cast<ModeId::value_type>(m)})
+             .graph.tasks())
+      ++uses[m][task.type.index()];
+
+  // Weighted power saving of implementing `type` on hardware PE `p` for
+  // the mode subset `m` (or all modes when m == npos):
+  // Σ_m w_m · uses_m · (E_sw − E_hw) / period_m.
+  constexpr std::size_t kAllModes = static_cast<std::size_t>(-1);
+  auto weighted_saving = [&](TaskTypeId type, PeId p, std::size_t only_mode) {
+    const double base = sw_energy(type);
+    const Implementation& impl = system_.tech.require(type, p);
+    double saving = 0.0;
+    for (std::size_t m = 0; m < n_modes; ++m) {
+      if (only_mode != kAllModes && m != only_mode) continue;
+      if (uses[m][type.index()] == 0) continue;
+      const Mode& mode =
+          system_.omsm.mode(ModeId{static_cast<ModeId::value_type>(m)});
+      const double delta =
+          std::isfinite(base) ? base - impl.energy() : impl.energy();
+      saving += weights[m] * static_cast<double>(uses[m][type.index()]) *
+                delta / mode.period;
+    }
+    return saving;
+  };
+
+  struct CoreChoice {
+    TaskTypeId type;
+    PeId pe;
+    std::size_t mode = 0;  // kAllModes for ASIC placements
+    double saving = 0.0;   // watts
+    double area = 0.0;
+  };
+  auto by_density = [](const CoreChoice& a, const CoreChoice& b) {
+    return a.saving / a.area > b.saving / b.area;
+  };
+
+  std::vector<double> remaining(system_.arch.pe_count(), 0.0);
+  for (PeId p : system_.arch.pe_ids())
+    remaining[p.index()] = system_.arch.pe(p).area_capacity;
+
+  // ---- Pass 1: ASICs (static silicon — one placement serves all modes).
+  std::vector<CoreChoice> asic_choices;
+  for (std::size_t t = 0; t < n_types; ++t) {
+    const TaskTypeId type{static_cast<TaskTypeId::value_type>(t)};
+    for (PeId p : system_.arch.pe_ids()) {
+      if (system_.arch.pe(p).kind != PeKind::kAsic) continue;
+      if (!system_.tech.supports(type, p)) continue;
+      const double area = system_.tech.require(type, p).area;
+      const double saving = weighted_saving(type, p, kAllModes);
+      if (saving > 0.0 && area > 0.0)
+        asic_choices.push_back({type, p, kAllModes, saving, area});
+    }
+  }
+  std::sort(asic_choices.begin(), asic_choices.end(), by_density);
+  std::vector<PeId> placed(n_types, PeId::invalid());
+  for (const CoreChoice& c : asic_choices) {
+    if (placed[c.type.index()].valid()) continue;
+    if (remaining[c.pe.index()] < c.area) continue;
+    remaining[c.pe.index()] -= c.area;
+    placed[c.type.index()] = c.pe;
+  }
+
+  // ---- Pass 2: FPGAs (reconfigurable — independent per-mode budgets).
+  std::vector<std::vector<PeId>> placed_fpga(
+      n_modes, std::vector<PeId>(n_types, PeId::invalid()));
+  std::vector<CoreChoice> fpga_choices;
+  for (std::size_t t = 0; t < n_types; ++t) {
+    const TaskTypeId type{static_cast<TaskTypeId::value_type>(t)};
+    if (placed[t].valid()) continue;  // already covered by an ASIC
+    for (PeId p : system_.arch.pe_ids()) {
+      if (system_.arch.pe(p).kind != PeKind::kFpga) continue;
+      if (!system_.tech.supports(type, p)) continue;
+      const double area = system_.tech.require(type, p).area;
+      for (std::size_t m = 0; m < n_modes; ++m) {
+        if (uses[m][t] == 0) continue;
+        const double saving = weighted_saving(type, p, m);
+        if (saving > 0.0 && area > 0.0)
+          fpga_choices.push_back({type, p, m, saving, area});
+      }
+    }
+  }
+  std::sort(fpga_choices.begin(), fpga_choices.end(), by_density);
+  // Per-mode budgets: the free area, additionally capped by the tightest
+  // incoming transition-time limit (a full reconfiguration into the mode
+  // must stay below t_T^max; resident cores would relax this, which the
+  // GA can discover later).
+  std::vector<std::vector<double>> remaining_fpga(
+      n_modes, std::vector<double>(system_.arch.pe_count(), 0.0));
+  for (std::size_t m = 0; m < n_modes; ++m) {
+    double tightest = std::numeric_limits<double>::infinity();
+    for (const ModeTransition& tr : system_.omsm.transitions())
+      if (tr.to.index() == m)
+        tightest = std::min(tightest, tr.max_transition_time);
+    for (PeId p : system_.arch.pe_ids()) {
+      double budget = remaining[p.index()];
+      const Pe& pe = system_.arch.pe(p);
+      if (pe.kind == PeKind::kFpga && std::isfinite(tightest))
+        budget = std::min(budget, tightest * pe.reconfig_bandwidth);
+      remaining_fpga[m][p.index()] = budget;
+    }
+  }
+  for (const CoreChoice& c : fpga_choices) {
+    if (placed_fpga[c.mode][c.type.index()].valid()) continue;
+    if (remaining_fpga[c.mode][c.pe.index()] < c.area) continue;
+    remaining_fpga[c.mode][c.pe.index()] -= c.area;
+    placed_fpga[c.mode][c.type.index()] = c.pe;
+  }
+
+  for (std::size_t g = 0; g < codec_.genome_length(); ++g) {
+    const ModeId mode = codec_.mode_of_gene(g);
+    const TaskTypeId type =
+        system_.omsm.mode(mode).graph.task(codec_.task_of_gene(g)).type;
+    PeId target = placed[type.index()];
+    if (!target.valid()) target = placed_fpga[mode.index()][type.index()];
+    if (target.valid()) codec_.set_pe(genome, g, target);
+  }
+  return genome;
+}
+
+SynthesisResult MappingGa::run(
+    const std::function<void(const GaProgress&)>& observer) {
+  using Clock = std::chrono::steady_clock;
+  const auto t_begin = Clock::now();
+
+  // Line 01: random initial population, optionally with two deterministic
+  // heuristic seeds that give both comparison approaches the same footing.
+  population_.clear();
+  population_.reserve(static_cast<std::size_t>(options_.population_size));
+  for (int i = 0; i < options_.population_size; ++i)
+    population_.push_back(Individual{codec_.random_genome(rng_)});
+  if (options_.seed_heuristic_individuals && options_.population_size >= 4) {
+    // Greedy seeds of the GA's own objective and of the uniform objective,
+    // plus the all-software mapping. The uniform seed carries no mode-
+    // probability information, so the probability-neglecting baseline
+    // stays honest while both runs get equally strong starting points.
+    population_[0].genome = knapsack_seed_genome();
+    population_[1].genome = knapsack_seed_genome(
+        std::vector<double>(system_.omsm.mode_count(), 1.0));
+    population_[2].genome = software_seed_genome();
+  }
+
+  Individual best;
+  best.fitness = std::numeric_limits<double>::infinity();
+  best.violation = std::numeric_limits<double>::infinity();
+  int stagnation = 0;
+  int area_infeasible_streak = 0;
+  int timing_infeasible_streak = 0;
+  int transition_infeasible_streak = 0;
+  int generation = 0;
+
+  const int n = options_.population_size;
+  const int elite = std::min(options_.elite_count, n);
+
+  for (generation = 0; generation < options_.max_generations; ++generation) {
+    // Lines 03–14: estimate objectives and assign fitness.
+    for (Individual& ind : population_)
+      if (!ind.evaluated) evaluate(ind);
+
+    // Line 15: rank individuals (best first), feasibility-first.
+    std::sort(population_.begin(), population_.end(),
+              [](const Individual& a, const Individual& b) {
+                return candidate_better(a.violation, a.fitness, b.violation,
+                                        b.fitness);
+              });
+
+    const Individual& front = population_.front();
+    if (candidate_better(front.violation, front.fitness, best.violation,
+                         best.fitness * (1.0 - 1e-9))) {
+      best = front;
+      stagnation = 0;
+    } else {
+      ++stagnation;
+    }
+
+    const double diversity = population_diversity();
+    if (observer)
+      observer(GaProgress{generation, best.fitness, best.power_true,
+                          diversity, evaluations_});
+
+    // Line 02: convergence criterion — stagnation, optionally accelerated
+    // by a collapsed population.
+    if (stagnation >= options_.stagnation_limit) break;
+    if (options_.diversity_floor > 0.0 &&
+        diversity < options_.diversity_floor &&
+        stagnation >= options_.stagnation_limit / 2)
+      break;
+
+    // Linear-ranking selection weights (position 0 = best).
+    const double s = options_.ranking_pressure;
+    std::vector<double> rank_weight(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      rank_weight[static_cast<std::size_t>(i)] =
+          s - 2.0 * (s - 1.0) * static_cast<double>(i) /
+                  std::max(1, n - 1);
+
+    auto tournament_pick = [&]() {
+      std::size_t winner = rng_.pick_index(population_.size());
+      for (int k = 1; k < options_.tournament_size; ++k) {
+        const std::size_t challenger = rng_.pick_index(population_.size());
+        if (rank_weight[challenger] > rank_weight[winner])
+          winner = challenger;
+      }
+      return winner;
+    };
+
+    // Lines 16–18: mating, two-point crossover, offspring insertion.
+    const int offspring_count = std::max(
+        2, static_cast<int>(options_.replacement_fraction * n) & ~1);
+    std::vector<Individual> offspring;
+    offspring.reserve(static_cast<std::size_t>(offspring_count));
+    const std::size_t genes = codec_.genome_length();
+    while (static_cast<int>(offspring.size()) < offspring_count) {
+      const Genome& a = population_[tournament_pick()].genome;
+      const Genome& b = population_[tournament_pick()].genome;
+      Genome child1 = a;
+      Genome child2 = b;
+      if (genes >= 2) {
+        std::size_t cut1 = rng_.pick_index(genes);
+        std::size_t cut2 = rng_.pick_index(genes);
+        if (cut1 > cut2) std::swap(cut1, cut2);
+        for (std::size_t g = cut1; g < cut2; ++g) {
+          child1[g] = b[g];
+          child2[g] = a[g];
+        }
+      }
+      offspring.push_back(Individual{std::move(child1)});
+      if (static_cast<int>(offspring.size()) < offspring_count)
+        offspring.push_back(Individual{std::move(child2)});
+    }
+
+    // Random gene mutation on offspring.
+    for (Individual& ind : offspring)
+      for (std::size_t g = 0; g < genes; ++g)
+        if (rng_.chance(options_.gene_mutation_rate))
+          ind.genome[g] = static_cast<std::uint16_t>(
+              rng_.pick_index(codec_.candidates(g).size()));
+
+    // Replace the ranked-worst individuals.
+    for (int i = 0; i < offspring_count; ++i)
+      population_[static_cast<std::size_t>(n - 1 - i)] =
+          std::move(offspring[static_cast<std::size_t>(i)]);
+
+    // Random immigrants: keep exploration alive after the population
+    // concentrates around the incumbent.
+    const int immigrants = static_cast<int>(options_.immigrant_fraction * n);
+    for (int i = 0; i < immigrants; ++i) {
+      const std::size_t slot = static_cast<std::size_t>(
+          n - 1 - offspring_count - i);
+      if (static_cast<int>(slot) <= elite) break;
+      population_[slot] = Individual{codec_.random_genome(rng_)};
+    }
+
+    // Lines 19–22: improvement mutations (never touching the elite).
+    auto non_elite_index = [&]() {
+      return static_cast<std::size_t>(
+          elite + static_cast<int>(rng_.pick_index(
+                      static_cast<std::size_t>(n - elite))));
+    };
+
+    // Shut-down improvement on randomly picked individuals (2%).
+    for (int i = elite; i < n; ++i) {
+      if (!rng_.chance(options_.shutdown_improvement_rate)) continue;
+      Individual& ind = population_[static_cast<std::size_t>(i)];
+      if (shutdown_improvement(ind.genome, codec_, system_, rng_))
+        ind.evaluated = false;
+    }
+
+    // Stagnation-triggered sweeps, driven by whole-population
+    // infeasibility streaks.
+    const bool all_area = std::all_of(
+        population_.begin(), population_.end(),
+        [](const Individual& i) { return !i.evaluated || i.area_infeasible; });
+    const bool all_timing =
+        std::all_of(population_.begin(), population_.end(),
+                    [](const Individual& i) {
+                      return !i.evaluated || i.timing_infeasible;
+                    });
+    const bool all_transition =
+        std::all_of(population_.begin(), population_.end(),
+                    [](const Individual& i) {
+                      return !i.evaluated || i.transition_infeasible;
+                    });
+    area_infeasible_streak = all_area ? area_infeasible_streak + 1 : 0;
+    timing_infeasible_streak = all_timing ? timing_infeasible_streak + 1 : 0;
+    transition_infeasible_streak =
+        all_transition ? transition_infeasible_streak + 1 : 0;
+
+    const int sweep = std::max(
+        1, static_cast<int>(options_.improvement_sweep_fraction * n));
+    if (area_infeasible_streak >= options_.infeasibility_trigger) {
+      for (int i = 0; i < sweep; ++i) {
+        Individual& ind = population_[non_elite_index()];
+        if (area_improvement(ind.genome, codec_, system_, rng_))
+          ind.evaluated = false;
+      }
+      area_infeasible_streak = 0;
+    }
+    if (timing_infeasible_streak >= options_.infeasibility_trigger) {
+      for (int i = 0; i < sweep; ++i) {
+        Individual& ind = population_[non_elite_index()];
+        if (timing_improvement(ind.genome, codec_, system_, rng_))
+          ind.evaluated = false;
+      }
+      timing_infeasible_streak = 0;
+    }
+    if (transition_infeasible_streak >= options_.infeasibility_trigger) {
+      for (int i = 0; i < sweep; ++i) {
+        Individual& ind = population_[non_elite_index()];
+        if (transition_improvement(ind.genome, codec_, system_, rng_))
+          ind.evaluated = false;
+      }
+      transition_infeasible_streak = 0;
+    }
+  }
+
+  // Memetic polish: single-gene hill climbing on the best individual.
+  if (options_.final_hill_climb_passes > 0 && best.evaluated) {
+    std::vector<std::size_t> order(codec_.genome_length());
+    for (std::size_t g = 0; g < order.size(); ++g) order[g] = g;
+    for (int pass = 0; pass < options_.final_hill_climb_passes; ++pass) {
+      bool improved = false;
+      rng_.shuffle(order);
+      for (std::size_t g : order) {
+        const std::size_t cands = codec_.candidates(g).size();
+        if (cands < 2) continue;
+        const std::uint16_t original = best.genome[g];
+        for (std::uint16_t c = 0; c < cands; ++c) {
+          if (c == original) continue;
+          Individual trial = best;
+          trial.genome[g] = c;
+          evaluate(trial);
+          if (candidate_better(trial.violation, trial.fitness, best.violation,
+                               best.fitness * (1.0 - 1e-12))) {
+            best = trial;
+            improved = true;
+          }
+        }
+      }
+      if (!improved) break;
+    }
+  }
+
+  // 2-opt polish on small genomes: coordinated two-gene moves (e.g. swap
+  // one core allocation for another that only fits after freeing area).
+  if (best.evaluated &&
+      static_cast<int>(codec_.genome_length()) <=
+          options_.final_two_opt_max_genes) {
+    bool improved = true;
+    for (int round = 0; improved && round < 3; ++round) {
+      improved = false;
+      for (std::size_t g1 = 0; g1 < codec_.genome_length(); ++g1) {
+        for (std::size_t g2 = g1 + 1; g2 < codec_.genome_length(); ++g2) {
+          const std::size_t c1n = codec_.candidates(g1).size();
+          const std::size_t c2n = codec_.candidates(g2).size();
+          for (std::uint16_t c1 = 0; c1 < c1n; ++c1) {
+            for (std::uint16_t c2 = 0; c2 < c2n; ++c2) {
+              if (c1 == best.genome[g1] && c2 == best.genome[g2]) continue;
+              Individual trial = best;
+              trial.genome[g1] = c1;
+              trial.genome[g2] = c2;
+              evaluate(trial);
+              if (candidate_better(trial.violation, trial.fitness,
+                                   best.violation,
+                                   best.fitness * (1.0 - 1e-12))) {
+                best = trial;
+                improved = true;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Assemble the result from the best individual seen.
+  SynthesisResult result;
+  result.mapping = codec_.decode(best.genome);
+  result.cores = build_core_allocation(system_, result.mapping, alloc_options_);
+  result.evaluation = evaluator_.evaluate(result.mapping, result.cores);
+  result.fitness = best.fitness;
+  result.generations = generation;
+  result.evaluations = evaluations_;
+  result.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - t_begin).count();
+  return result;
+}
+
+}  // namespace mmsyn

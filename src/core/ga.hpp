@@ -1,0 +1,160 @@
+// The outer optimisation loop of Fig. 4: a genetic algorithm over
+// multi-mode mapping strings with ranking selection, two-point crossover,
+// offspring insertion, and the four improvement mutation operators.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/allocation_builder.hpp"
+#include "core/fitness.hpp"
+#include "core/genome.hpp"
+#include "energy/evaluator.hpp"
+#include "model/core_allocation.hpp"
+
+namespace mmsyn {
+
+/// GA tuning parameters.
+struct GaOptions {
+  int population_size = 64;
+  int max_generations = 600;
+  /// Convergence: stop after this many generations without improvement of
+  /// the best individual.
+  int stagnation_limit = 70;
+  /// Convergence: also stop when average pairwise diversity (sampled
+  /// normalised Hamming distance) drops below this value *and* the search
+  /// has stagnated for stagnation_limit/2 generations. Random immigrants
+  /// keep this from firing prematurely; 0 disables the check.
+  double diversity_floor = 0.0;
+  /// Fraction of the population replaced by fresh random genomes each
+  /// generation (random-immigrant diversity maintenance).
+  double immigrant_fraction = 0.08;
+  /// Fraction of the population replaced by offspring each generation.
+  double replacement_fraction = 0.5;
+  /// Per-gene probability of random re-assignment applied to offspring.
+  double gene_mutation_rate = 0.02;
+  /// Tournament size of the mating selection (on rank-scaled fitness).
+  int tournament_size = 2;
+  /// Selection pressure of the linear ranking (1 < s <= 2).
+  double ranking_pressure = 1.8;
+  /// Number of elite individuals never replaced or mutated.
+  int elite_count = 2;
+
+  /// Seed the initial population with deterministic heuristics (weighted
+  /// area-knapsack greedies and all-software) besides the random genomes.
+  bool seed_heuristic_individuals = true;
+  /// Hill-climbing passes over the best individual after convergence
+  /// (memetic polish): every gene tries all its candidates, improvements
+  /// stick; stops early at a fixpoint.
+  int final_hill_climb_passes = 4;
+  /// For genomes up to this many genes, additionally run exhaustive
+  /// pairwise (2-opt) improvement — escapes the coordinated-swap local
+  /// optima that greedy-density seeds produce on tiny instances.
+  int final_two_opt_max_genes = 16;
+
+  /// Memoise fitness by genome: concentrated populations re-evaluate the
+  /// same mapping strings constantly; caching skips the (scheduling + DVS)
+  /// inner loop for repeats. Disable to measure raw evaluation counts.
+  bool memoize_evaluations = true;
+
+  /// Shut-down improvement probability per individual per generation.
+  double shutdown_improvement_rate = 0.02;
+  /// Generations of all-infeasible populations that trigger the area /
+  /// timing / transition improvement sweeps.
+  int infeasibility_trigger = 4;
+  /// Fraction of the (non-elite) population rewritten by a triggered
+  /// improvement sweep.
+  double improvement_sweep_fraction = 0.25;
+};
+
+/// Progress snapshot handed to the optional per-generation observer.
+struct GaProgress {
+  int generation = 0;
+  double best_fitness = 0.0;
+  double best_power_true = 0.0;
+  double diversity = 0.0;
+  long evaluations = 0;
+};
+
+/// Synthesis outcome.
+struct SynthesisResult {
+  MultiModeMapping mapping;
+  CoreAllocation cores;
+  /// Final evaluation of the best candidate (reporting configuration).
+  Evaluation evaluation;
+  double fitness = 0.0;
+  int generations = 0;
+  long evaluations = 0;
+  double elapsed_seconds = 0.0;
+};
+
+/// The multi-mode mapping GA. The evaluator decides whether DVS is applied
+/// inside the loop and which mode weights the objective uses.
+class MappingGa {
+public:
+  MappingGa(const System& system, const Evaluator& evaluator,
+            FitnessParams fitness_params, AllocationOptions alloc_options,
+            GaOptions options, std::uint64_t seed);
+
+  /// Runs to convergence. `observer` (optional) is invoked once per
+  /// generation.
+  [[nodiscard]] SynthesisResult run(
+      const std::function<void(const GaProgress&)>& observer = {});
+
+  /// Objective-aware greedy seed: for each hardware PE, selects the task
+  /// types with the best weighted-energy-saving per area (a knapsack on
+  /// the core area) and maps those types' tasks into hardware, the rest
+  /// onto their cheapest software candidate. `mode_weights` (normalised
+  /// internally; empty = the evaluator's weights) chooses the objective;
+  /// the GA seeds itself with the greedy of its own objective, of the
+  /// uniform objective and of the true-Ψ objective, so no run depends on
+  /// seed luck. Exposed for tests and diagnostics.
+  [[nodiscard]] Genome knapsack_seed_genome(
+      std::vector<double> mode_weights = {}) const;
+  /// All-software seed (lowest-energy software candidate per task).
+  [[nodiscard]] Genome software_seed_genome() const;
+
+  [[nodiscard]] const GenomeCodec& codec() const { return codec_; }
+
+private:
+  struct Individual {
+    Genome genome;
+    double fitness = 0.0;
+    /// Normalised constraint violation (0 == feasible); ranking is
+    /// feasible-first (see candidate_better).
+    double violation = 0.0;
+    bool evaluated = false;
+    bool area_infeasible = false;
+    bool timing_infeasible = false;
+    bool transition_infeasible = false;
+    double power_true = 0.0;
+  };
+
+  void evaluate(Individual& ind);
+  [[nodiscard]] double population_diversity() const;
+
+  const System& system_;
+  const Evaluator& evaluator_;
+  FitnessParams fitness_params_;
+  AllocationOptions alloc_options_;
+  GaOptions options_;
+  GenomeCodec codec_;
+  Rng rng_;
+  std::vector<Individual> population_;
+  long evaluations_ = 0;
+
+  /// Fitness memo keyed by genome (see GaOptions::memoize_evaluations).
+  struct CachedFitness {
+    double fitness;
+    double violation;
+    bool area_infeasible;
+    bool timing_infeasible;
+    bool transition_infeasible;
+    double power_true;
+  };
+  std::unordered_map<Genome, CachedFitness, GenomeHash> cache_;
+};
+
+}  // namespace mmsyn

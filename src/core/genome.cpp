@@ -1,0 +1,110 @@
+#include "core/genome.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "model/system.hpp"
+
+namespace mmsyn {
+
+GenomeCodec::GenomeCodec(const System& system) {
+  const Omsm& omsm = system.omsm;
+  mode_offset_.resize(omsm.mode_count());
+  mode_size_.resize(omsm.mode_count());
+  for (std::size_t m = 0; m < omsm.mode_count(); ++m) {
+    const Mode& mode = omsm.mode(ModeId{static_cast<ModeId::value_type>(m)});
+    mode_offset_[m] = gene_count_;
+    mode_size_[m] = mode.graph.task_count();
+    gene_count_ += mode.graph.task_count();
+    for (const Task& task : mode.graph.tasks()) {
+      auto cands = system.tech.candidate_pes(task.type, system.arch.pe_count());
+      if (cands.empty())
+        throw std::invalid_argument(
+            "GenomeCodec: task type '" + system.tech.type_name(task.type) +
+            "' has no candidate PE");
+      candidates_.push_back(std::move(cands));
+    }
+  }
+}
+
+bool GenomeCodec::set_pe(Genome& genome, std::size_t g, PeId pe) const {
+  const auto& cands = candidates_[g];
+  const auto it = std::find(cands.begin(), cands.end(), pe);
+  if (it == cands.end()) return false;
+  genome[g] = static_cast<std::uint16_t>(it - cands.begin());
+  return true;
+}
+
+MultiModeMapping GenomeCodec::decode(const Genome& genome) const {
+  assert(genome.size() == gene_count_);
+  MultiModeMapping mapping;
+  mapping.modes.resize(mode_offset_.size());
+  for (std::size_t m = 0; m < mode_offset_.size(); ++m) {
+    auto& task_to_pe = mapping.modes[m].task_to_pe;
+    task_to_pe.resize(mode_size_[m]);
+    for (std::size_t t = 0; t < mode_size_[m]; ++t) {
+      const std::size_t g = mode_offset_[m] + t;
+      task_to_pe[t] = candidates_[g][genome[g]];
+    }
+  }
+  return mapping;
+}
+
+Genome GenomeCodec::encode(const MultiModeMapping& mapping) const {
+  Genome genome(gene_count_);
+  for (std::size_t m = 0; m < mode_offset_.size(); ++m) {
+    for (std::size_t t = 0; t < mode_size_[m]; ++t) {
+      const std::size_t g = mode_offset_[m] + t;
+      const PeId pe = mapping.modes[m].task_to_pe[t];
+      if (!set_pe(genome, g, pe))
+        throw std::invalid_argument(
+            "GenomeCodec::encode: mapping uses a non-candidate PE");
+    }
+  }
+  return genome;
+}
+
+Genome GenomeCodec::random_genome(Rng& rng) const {
+  Genome genome(gene_count_);
+  for (std::size_t g = 0; g < gene_count_; ++g)
+    genome[g] =
+        static_cast<std::uint16_t>(rng.pick_index(candidates_[g].size()));
+  return genome;
+}
+
+ModeId GenomeCodec::mode_of_gene(std::size_t g) const {
+  // mode_offset_ is ascending; find the last offset <= g.
+  auto it = std::upper_bound(mode_offset_.begin(), mode_offset_.end(), g);
+  const std::size_t m = static_cast<std::size_t>(it - mode_offset_.begin()) - 1;
+  return ModeId{static_cast<ModeId::value_type>(m)};
+}
+
+TaskId GenomeCodec::task_of_gene(std::size_t g) const {
+  const ModeId mode = mode_of_gene(g);
+  return TaskId{
+      static_cast<TaskId::value_type>(g - mode_offset_[mode.index()])};
+}
+
+std::size_t GenomeHash::operator()(const Genome& genome) const {
+  // FNV-1a over the gene bytes; genomes are short, collisions harmless
+  // (the cache only skips work, never changes results... provided the full
+  // key comparison of unordered_map resolves them — it does).
+  std::size_t hash = 1469598103934665603ull;
+  for (std::uint16_t gene : genome) {
+    hash ^= gene;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+double hamming_fraction(const Genome& a, const Genome& b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) ++diff;
+  return static_cast<double>(diff) / static_cast<double>(a.size());
+}
+
+}  // namespace mmsyn

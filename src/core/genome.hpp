@@ -1,0 +1,89 @@
+// Multi-mode mapping string (the GA genome of Section 4.1).
+//
+// A mapping candidate is encoded exactly as in the paper's Fig. 2/3: the
+// concatenation over all modes of one gene per task. To keep every genome
+// decodable, a gene stores an index into the task's *candidate PE list*
+// (the PEs its type has implementations for) rather than a raw PE id —
+// crossover and mutation then always produce well-formed mappings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "model/mapping.hpp"
+
+namespace mmsyn {
+
+struct System;
+
+/// The mapping string: one candidate index per (mode, task) gene.
+using Genome = std::vector<std::uint16_t>;
+
+/// Gene layout and decoding for one system.
+class GenomeCodec {
+public:
+  explicit GenomeCodec(const System& system);
+
+  [[nodiscard]] std::size_t genome_length() const { return gene_count_; }
+
+  /// Flat gene position of (mode, task).
+  [[nodiscard]] std::size_t gene_index(ModeId mode, TaskId task) const {
+    return mode_offset_[mode.index()] + task.index();
+  }
+
+  /// Candidate PEs of the gene at flat position `g` (never empty for a
+  /// valid system).
+  [[nodiscard]] const std::vector<PeId>& candidates(std::size_t g) const {
+    return candidates_[g];
+  }
+
+  /// PE encoded by `genome` at flat position `g`.
+  [[nodiscard]] PeId pe_at(const Genome& genome, std::size_t g) const {
+    return candidates_[g][genome[g]];
+  }
+
+  /// Sets gene `g` to map onto `pe`; returns false when `pe` is not a
+  /// candidate of that gene.
+  bool set_pe(Genome& genome, std::size_t g, PeId pe) const;
+
+  [[nodiscard]] MultiModeMapping decode(const Genome& genome) const;
+
+  /// Inverse of decode(); mapping must be well-formed for this system.
+  [[nodiscard]] Genome encode(const MultiModeMapping& mapping) const;
+
+  [[nodiscard]] Genome random_genome(Rng& rng) const;
+
+  /// Mode owning flat gene position `g`.
+  [[nodiscard]] ModeId mode_of_gene(std::size_t g) const;
+  /// Task within its mode at flat gene position `g`.
+  [[nodiscard]] TaskId task_of_gene(std::size_t g) const;
+
+  [[nodiscard]] std::size_t mode_count() const {
+    return mode_offset_.size();
+  }
+  [[nodiscard]] std::size_t mode_gene_begin(ModeId mode) const {
+    return mode_offset_[mode.index()];
+  }
+  [[nodiscard]] std::size_t mode_gene_count(ModeId mode) const {
+    return mode_size_[mode.index()];
+  }
+
+private:
+  std::size_t gene_count_ = 0;
+  std::vector<std::size_t> mode_offset_;
+  std::vector<std::size_t> mode_size_;
+  std::vector<std::vector<PeId>> candidates_;  // per flat gene
+};
+
+/// Fraction of gene positions at which two genomes differ (normalised
+/// Hamming distance); used by the GA's diversity-based convergence check.
+[[nodiscard]] double hamming_fraction(const Genome& a, const Genome& b);
+
+/// Hash functor for genome-keyed containers (fitness memoisation).
+struct GenomeHash {
+  std::size_t operator()(const Genome& genome) const;
+};
+
+}  // namespace mmsyn

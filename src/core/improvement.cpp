@@ -1,0 +1,131 @@
+#include "core/improvement.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "model/system.hpp"
+
+namespace mmsyn {
+namespace {
+
+/// Flat gene positions of mode `m` currently mapped onto `pe`.
+std::vector<std::size_t> genes_on_pe(const Genome& genome,
+                                     const GenomeCodec& codec, ModeId m,
+                                     PeId pe) {
+  std::vector<std::size_t> result;
+  const std::size_t begin = codec.mode_gene_begin(m);
+  const std::size_t count = codec.mode_gene_count(m);
+  for (std::size_t g = begin; g < begin + count; ++g)
+    if (codec.pe_at(genome, g) == pe) result.push_back(g);
+  return result;
+}
+
+/// Re-maps gene `g` to a uniformly random candidate other than `avoid`.
+/// Returns false when no alternative exists.
+bool remap_away(Genome& genome, const GenomeCodec& codec, std::size_t g,
+                PeId avoid, Rng& rng) {
+  const auto& cands = codec.candidates(g);
+  std::vector<std::uint16_t> options;
+  for (std::size_t i = 0; i < cands.size(); ++i)
+    if (cands[i] != avoid) options.push_back(static_cast<std::uint16_t>(i));
+  if (options.empty()) return false;
+  genome[g] = rng.pick(options);
+  return true;
+}
+
+}  // namespace
+
+bool shutdown_improvement(Genome& genome, const GenomeCodec& codec,
+                          const System& system, Rng& rng) {
+  if (system.arch.pe_count() < 2 || codec.mode_count() == 0) return false;
+  // Random mode, then scan PEs in random order for a non-essential one.
+  const ModeId mode{static_cast<ModeId::value_type>(
+      rng.pick_index(codec.mode_count()))};
+  std::vector<PeId> pes = system.arch.pe_ids();
+  rng.shuffle(pes);
+  for (PeId pe : pes) {
+    const auto genes = genes_on_pe(genome, codec, mode, pe);
+    if (genes.empty()) continue;  // already off in this mode
+    // Non-essential: every hosted task has an alternative candidate.
+    const bool non_essential =
+        std::all_of(genes.begin(), genes.end(), [&](std::size_t g) {
+          return codec.candidates(g).size() >= 2;
+        });
+    if (!non_essential) continue;
+    for (std::size_t g : genes) remap_away(genome, codec, g, pe, rng);
+    return true;
+  }
+  return false;
+}
+
+bool area_improvement(Genome& genome, const GenomeCodec& codec,
+                      const System& system, Rng& rng) {
+  // Hardware PEs hosting at least one gene, in random order.
+  std::vector<PeId> hw;
+  for (PeId p : system.arch.pe_ids())
+    if (is_hardware(system.arch.pe(p).kind)) hw.push_back(p);
+  if (hw.empty()) return false;
+  rng.shuffle(hw);
+  for (PeId pe : hw) {
+    bool changed = false;
+    for (std::size_t g = 0; g < codec.genome_length(); ++g) {
+      if (codec.pe_at(genome, g) != pe) continue;
+      if (!rng.chance(0.5)) continue;
+      // Prefer software candidates; fall back to any alternative.
+      const auto& cands = codec.candidates(g);
+      std::vector<std::uint16_t> sw;
+      for (std::size_t i = 0; i < cands.size(); ++i)
+        if (is_software(system.arch.pe(cands[i]).kind))
+          sw.push_back(static_cast<std::uint16_t>(i));
+      if (sw.empty()) continue;
+      genome[g] = rng.pick(sw);
+      changed = true;
+    }
+    if (changed) return true;
+  }
+  return false;
+}
+
+bool timing_improvement(Genome& genome, const GenomeCodec& codec,
+                        const System& system, Rng& rng) {
+  bool changed = false;
+  for (std::size_t g = 0; g < codec.genome_length(); ++g) {
+    const PeId current = codec.pe_at(genome, g);
+    if (!is_software(system.arch.pe(current).kind)) continue;
+    if (!rng.chance(0.3)) continue;
+    const ModeId mode = codec.mode_of_gene(g);
+    const TaskId task = codec.task_of_gene(g);
+    const TaskTypeId type = system.omsm.mode(mode).graph.task(task).type;
+    const double current_time =
+        system.tech.require(type, current).exec_time;
+    const auto& cands = codec.candidates(g);
+    std::vector<std::uint16_t> faster_hw;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (!is_hardware(system.arch.pe(cands[i]).kind)) continue;
+      if (system.tech.require(type, cands[i]).exec_time < current_time)
+        faster_hw.push_back(static_cast<std::uint16_t>(i));
+    }
+    if (faster_hw.empty()) continue;
+    genome[g] = rng.pick(faster_hw);
+    changed = true;
+  }
+  return changed;
+}
+
+bool transition_improvement(Genome& genome, const GenomeCodec& codec,
+                            const System& system, Rng& rng) {
+  std::vector<PeId> fpgas;
+  for (PeId p : system.arch.pe_ids())
+    if (system.arch.pe(p).kind == PeKind::kFpga) fpgas.push_back(p);
+  if (fpgas.empty() || codec.mode_count() == 0) return false;
+  const PeId fpga = rng.pick(fpgas);
+  const ModeId mode{static_cast<ModeId::value_type>(
+      rng.pick_index(codec.mode_count()))};
+  bool changed = false;
+  for (std::size_t g : genes_on_pe(genome, codec, mode, fpga))
+    if (rng.chance(0.5) && remap_away(genome, codec, g, fpga, rng))
+      changed = true;
+  return changed;
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,37 @@
+// The four genetic improvement operators of Section 4.1 (Fig. 4 lines
+// 19–22). Each rewrites a genome in place; all return true when they
+// changed at least one gene.
+#pragma once
+
+#include "common/rng.hpp"
+#include "core/genome.hpp"
+
+namespace mmsyn {
+
+struct System;
+
+/// Shut-down improvement: picks one mode and one *non-essential* PE (every
+/// task it hosts in that mode has an alternative implementation) and
+/// re-maps all of that mode's tasks away from it, enabling the PE to be
+/// powered down during the mode.
+bool shutdown_improvement(Genome& genome, const GenomeCodec& codec,
+                          const System& system, Rng& rng);
+
+/// Area improvement: picks one hardware PE and randomly re-maps tasks
+/// assigned to it onto software-programmable candidates, pulling the
+/// search away from area-infeasible regions.
+bool area_improvement(Genome& genome, const GenomeCodec& codec,
+                      const System& system, Rng& rng);
+
+/// Timing improvement: randomly re-maps software tasks onto strictly
+/// faster hardware implementations.
+bool timing_improvement(Genome& genome, const GenomeCodec& codec,
+                        const System& system, Rng& rng);
+
+/// Transition improvement: picks one FPGA and one mode and re-maps that
+/// mode's tasks away from the FPGA, reducing reconfiguration payload on
+/// transitions into the mode.
+bool transition_improvement(Genome& genome, const GenomeCodec& codec,
+                            const System& system, Rng& rng);
+
+}  // namespace mmsyn

@@ -1,0 +1,31 @@
+// Human-readable implementation reports.
+//
+// Renders a SynthesisResult — the four implementation functions of
+// Section 2.2 (task mapping, communication mapping, timing schedule,
+// voltage schedule) plus the power/feasibility summary — as text for
+// logs, examples, and tool output.
+#pragma once
+
+#include <string>
+
+#include "core/ga.hpp"
+
+namespace mmsyn {
+
+struct ReportOptions {
+  /// Append an ASCII Gantt chart per mode (requires the result to carry
+  /// schedules, which synthesize() always provides).
+  bool include_gantt = true;
+  /// Recompute and append the per-mode voltage schedules (meaningful for
+  /// results synthesised with DVS).
+  bool include_voltage_schedules = false;
+  /// Chart width passed to the Gantt renderer.
+  int gantt_width = 72;
+};
+
+/// Formats the complete implementation report of `result` for `system`.
+[[nodiscard]] std::string implementation_report(
+    const System& system, const SynthesisResult& result,
+    const ReportOptions& options = {});
+
+}  // namespace mmsyn

@@ -1,0 +1,292 @@
+#include "dvs/dvs_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "dvs/voltage_model.hpp"
+#include "model/architecture.hpp"
+#include "model/omsm.hpp"
+#include "model/tech_library.hpp"
+
+namespace mmsyn {
+namespace {
+
+/// True when the PE's tasks can actually be voltage-scaled.
+bool pe_scalable(const Pe& pe) {
+  return pe.dvs_enabled && pe.voltage_levels.size() >= 2;
+}
+
+double pe_max_slowdown(const Pe& pe) {
+  if (!pe_scalable(pe)) return 1.0;
+  return VoltageModel(pe.vmax(), pe.threshold_voltage).slowdown(pe.vmin());
+}
+
+/// Per-PE segment bookkeeping produced by the Fig. 5 transformation.
+struct PeSegments {
+  struct Segment {
+    double start;
+    double end;
+    int node = -1;  // DvsGraph node index
+  };
+  std::vector<Segment> segments;          // time-ordered
+  std::vector<int> task_first;            // per task id on this PE, or -1
+  std::vector<int> task_last;
+};
+
+}  // namespace
+
+DvsGraph build_dvs_graph(const Mode& mode, const ModeSchedule& schedule,
+                         const ModeMapping& mapping, const Architecture& arch,
+                         const TechLibrary& tech, bool scale_hardware) {
+  (void)mapping;  // PEs come from the schedule; kept for interface symmetry
+  const TaskGraph& graph = mode.graph;
+  const std::size_t n_tasks = graph.task_count();
+  const std::size_t n_edges = graph.edge_count();
+  const double eps = 1e-9 * std::max(1.0, schedule.makespan);
+
+  DvsGraph g;
+  g.task_node.assign(n_tasks, -1);
+  g.comm_node.assign(n_edges, -1);
+
+  auto task_limit = [&](TaskId t) {
+    double limit = mode.period;
+    if (const auto& dl = graph.task(t).deadline)
+      limit = std::min(limit, *dl);
+    return limit;
+  };
+
+  auto add_node = [&](DvsNode node) {
+    g.nodes.push_back(node);
+    g.succs.emplace_back();
+    g.preds.emplace_back();
+    return static_cast<int>(g.nodes.size() - 1);
+  };
+  auto add_edge = [&](int u, int v) {
+    if (u == v) return;
+    g.succs[static_cast<std::size_t>(u)].push_back(v);
+    g.preds[static_cast<std::size_t>(v)].push_back(u);
+  };
+
+  // ---- Classify PEs and create task nodes for non-DVS-HW PEs. ----------
+  std::vector<bool> is_dvs_hw(arch.pe_count(), false);
+  for (PeId p : arch.pe_ids()) {
+    const Pe& pe = arch.pe(p);
+    is_dvs_hw[p.index()] =
+        scale_hardware && is_hardware(pe.kind) && pe_scalable(pe);
+  }
+
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    const TaskId id{static_cast<TaskId::value_type>(t)};
+    const ScheduledTask& st = schedule.tasks[t];
+    if (is_dvs_hw[st.pe.index()]) continue;  // becomes segments below
+    const Pe& pe = arch.pe(st.pe);
+    const Implementation& impl = tech.require(graph.task(id).type, st.pe);
+    DvsNode node;
+    node.kind = DvsNodeKind::kTask;
+    node.ref = static_cast<int>(t);
+    node.pe = st.pe;
+    node.tmin = st.duration();
+    node.e_nom = impl.energy();
+    node.scalable = is_software(pe.kind) && pe_scalable(pe);
+    node.max_slowdown = node.scalable ? pe_max_slowdown(pe) : 1.0;
+    node.deadline = task_limit(id);
+    g.task_node[t] = add_node(node);
+  }
+
+  // ---- Fig. 5 transformation for each DVS hardware PE. ------------------
+  std::vector<PeSegments> pe_segments(arch.pe_count());
+  for (PeId p : arch.pe_ids()) {
+    if (!is_dvs_hw[p.index()]) continue;
+    PeSegments& ps = pe_segments[p.index()];
+    ps.task_first.assign(n_tasks, -1);
+    ps.task_last.assign(n_tasks, -1);
+
+    // Tasks hosted on this PE, with their nominal powers.
+    std::vector<std::size_t> hosted;
+    for (std::size_t t = 0; t < n_tasks; ++t)
+      if (schedule.tasks[t].pe == p) hosted.push_back(t);
+    if (hosted.empty()) continue;
+
+    // Cut points: task starts/finishes plus in-flight data arrivals.
+    std::vector<double> cuts;
+    for (std::size_t t : hosted) {
+      cuts.push_back(schedule.tasks[t].start);
+      cuts.push_back(schedule.tasks[t].finish);
+    }
+    for (std::size_t e = 0; e < n_edges; ++e) {
+      const TaskEdge& edge = graph.edge(EdgeId{static_cast<EdgeId::value_type>(e)});
+      if (schedule.tasks[edge.dst.index()].pe != p) continue;
+      const ScheduledComm& comm = schedule.comms[e];
+      if (!comm.local) cuts.push_back(comm.finish);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end(),
+                           [&](double a, double b) { return b - a < eps; }),
+               cuts.end());
+
+    const Pe& pe = arch.pe(p);
+    const double slowdown_cap = pe_max_slowdown(pe);
+
+    // Build segments: each [cuts[i], cuts[i+1]) slice with >= 1 active task.
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      const double a = cuts[i];
+      const double b = cuts[i + 1];
+      double power = 0.0;
+      double deadline = mode.period;
+      bool any_active = false;
+      for (std::size_t t : hosted) {
+        const ScheduledTask& st = schedule.tasks[t];
+        if (st.start <= a + eps && st.finish >= b - eps) {
+          any_active = true;
+          const TaskId id{static_cast<TaskId::value_type>(t)};
+          power += tech.require(graph.task(id).type, p).dyn_power;
+          if (std::abs(st.finish - b) < eps)
+            deadline = std::min(deadline, task_limit(id));
+        }
+      }
+      if (!any_active) continue;  // idle gap
+
+      DvsNode node;
+      node.kind = DvsNodeKind::kSegment;
+      node.ref = static_cast<int>(ps.segments.size());
+      node.pe = p;
+      node.tmin = b - a;
+      node.e_nom = power * (b - a);
+      node.scalable = true;
+      node.max_slowdown = slowdown_cap;
+      node.deadline = deadline;
+      const int idx = add_node(node);
+      ps.segments.push_back({a, b, idx});
+    }
+
+    // Map tasks to their first/last segments and chain the segments.
+    for (std::size_t t : hosted) {
+      const ScheduledTask& st = schedule.tasks[t];
+      for (std::size_t s = 0; s < ps.segments.size(); ++s) {
+        const auto& seg = ps.segments[s];
+        if (std::abs(seg.start - st.start) < eps && ps.task_first[t] == -1)
+          ps.task_first[t] = static_cast<int>(s);
+        if (std::abs(seg.end - st.finish) < eps)
+          ps.task_last[t] = static_cast<int>(s);
+      }
+      assert(ps.task_first[t] >= 0 && ps.task_last[t] >= 0);
+      g.task_node[t] = ps.segments[static_cast<std::size_t>(ps.task_last[t])].node;
+    }
+    for (std::size_t s = 0; s + 1 < ps.segments.size(); ++s)
+      add_edge(ps.segments[s].node, ps.segments[s + 1].node);
+  }
+
+  // ---- Communication nodes. ---------------------------------------------
+  for (std::size_t e = 0; e < n_edges; ++e) {
+    const ScheduledComm& comm = schedule.comms[e];
+    if (comm.local) continue;
+    DvsNode node;
+    node.kind = DvsNodeKind::kComm;
+    node.ref = static_cast<int>(e);
+    node.pe = PeId::invalid();
+    node.tmin = comm.duration();
+    node.e_nom = comm.cl.valid()
+                     ? arch.cl(comm.cl).transfer_power * comm.duration()
+                     : 0.0;
+    node.scalable = false;
+    node.max_slowdown = 1.0;
+    node.deadline = mode.period;
+    g.comm_node[e] = add_node(node);
+  }
+
+  // ---- Data-precedence edges. -------------------------------------------
+  auto in_node_for = [&](TaskId dst, double arrival) {
+    const ScheduledTask& st = schedule.tasks[dst.index()];
+    if (!is_dvs_hw[st.pe.index()]) return g.task_node[dst.index()];
+    // Earliest segment starting at/after the arrival; never later than the
+    // task's own first segment (the arrival instant is a cut point).
+    const PeSegments& ps = pe_segments[st.pe.index()];
+    for (const auto& seg : ps.segments)
+      if (seg.start >= arrival - eps) return seg.node;
+    return g.task_node[dst.index()];
+  };
+
+  for (std::size_t e = 0; e < n_edges; ++e) {
+    const TaskEdge& edge = graph.edge(EdgeId{static_cast<EdgeId::value_type>(e)});
+    const int out_node = g.task_node[edge.src.index()];
+    const ScheduledComm& comm = schedule.comms[e];
+    if (comm.local) {
+      add_edge(out_node, in_node_for(edge.dst, comm.finish));
+    } else {
+      const int cn = g.comm_node[e];
+      add_edge(out_node, cn);
+      add_edge(cn, in_node_for(edge.dst, comm.finish));
+    }
+  }
+
+  // ---- Resource execution-order edges. ----------------------------------
+  // Software PEs and non-DVS hardware cores: chain by start time.
+  for (PeId p : arch.pe_ids()) {
+    if (is_dvs_hw[p.index()]) continue;  // already chained as segments
+    const Pe& pe = arch.pe(p);
+    if (is_software(pe.kind)) {
+      std::vector<std::size_t> hosted;
+      for (std::size_t t = 0; t < n_tasks; ++t)
+        if (schedule.tasks[t].pe == p) hosted.push_back(t);
+      std::sort(hosted.begin(), hosted.end(), [&](std::size_t a, std::size_t b) {
+        return schedule.tasks[a].start < schedule.tasks[b].start;
+      });
+      for (std::size_t i = 0; i + 1 < hosted.size(); ++i)
+        add_edge(g.task_node[hosted[i]], g.task_node[hosted[i + 1]]);
+    } else {
+      // Group by (task type, core instance); chain within each core.
+      std::map<std::pair<TaskTypeId, int>, std::vector<std::size_t>> groups;
+      for (std::size_t t = 0; t < n_tasks; ++t) {
+        const ScheduledTask& st = schedule.tasks[t];
+        if (st.pe != p) continue;
+        const TaskId id{static_cast<TaskId::value_type>(t)};
+        groups[{graph.task(id).type, st.core_instance}].push_back(t);
+      }
+      for (auto& [key, hosted] : groups) {
+        std::sort(hosted.begin(), hosted.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    return schedule.tasks[a].start < schedule.tasks[b].start;
+                  });
+        for (std::size_t i = 0; i + 1 < hosted.size(); ++i)
+          add_edge(g.task_node[hosted[i]], g.task_node[hosted[i + 1]]);
+      }
+    }
+  }
+  // Communication links: chain transfers per CL.
+  for (ClId c : arch.cl_ids()) {
+    std::vector<std::size_t> on_link;
+    for (std::size_t e = 0; e < n_edges; ++e)
+      if (!schedule.comms[e].local && schedule.comms[e].cl == c)
+        on_link.push_back(e);
+    std::sort(on_link.begin(), on_link.end(), [&](std::size_t a, std::size_t b) {
+      return schedule.comms[a].start < schedule.comms[b].start;
+    });
+    for (std::size_t i = 0; i + 1 < on_link.size(); ++i)
+      add_edge(g.comm_node[on_link[i]], g.comm_node[on_link[i + 1]]);
+  }
+
+  // ---- Topological order (Kahn). -----------------------------------------
+  const std::size_t n = g.nodes.size();
+  std::vector<std::size_t> indegree(n, 0);
+  for (std::size_t u = 0; u < n; ++u)
+    for (int v : g.succs[u]) indegree[static_cast<std::size_t>(v)]++;
+  g.topo.reserve(n);
+  std::vector<int> frontier;
+  for (std::size_t u = 0; u < n; ++u)
+    if (indegree[u] == 0) frontier.push_back(static_cast<int>(u));
+  std::size_t cursor = 0;
+  while (cursor < frontier.size()) {
+    const int u = frontier[cursor++];
+    g.topo.push_back(u);
+    for (int v : g.succs[static_cast<std::size_t>(u)])
+      if (--indegree[static_cast<std::size_t>(v)] == 0) frontier.push_back(v);
+  }
+  if (g.topo.size() != n)
+    throw std::logic_error("build_dvs_graph: constructed graph is cyclic");
+  return g;
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,86 @@
+// DVS problem graph for one scheduled mode.
+//
+// The voltage-scaling algorithm (pv_dvs.hpp) operates on a DAG whose nodes
+// are the *activities* of the mode's schedule — tasks, inter-PE
+// communications, and, for DVS-enabled hardware PEs, the virtual sequential
+// segments of the paper's Fig. 5 transformation — and whose edges encode
+// both data precedence and resource execution order. Edges are constructed
+// forward-in-schedule-time, which keeps the graph acyclic by construction.
+//
+// Fig. 5 transformation: all cores of a DVS hardware PE share one supply,
+// so parallel tasks cannot be scaled independently. The PE's busy timeline
+// is cut at every task start, task finish, and incoming-data arrival that
+// falls inside a busy interval; each resulting slice becomes one *segment*
+// node with power equal to the sum of the concurrently active core powers.
+// Segments chain sequentially and inherit the tightest deadline of the
+// tasks finishing at their end. Cutting at data-arrival instants guarantees
+// that cross-PE edges attach to a segment starting no earlier than the
+// arrival, i.e. edges never point backward in time.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "model/mapping.hpp"
+#include "sched/schedule.hpp"
+
+namespace mmsyn {
+
+struct Mode;
+class Architecture;
+class TechLibrary;
+
+/// Node kinds of the DVS graph.
+enum class DvsNodeKind {
+  kTask,     ///< a task on a software PE or non-DVS hardware PE
+  kComm,     ///< an inter-PE communication on a CL
+  kSegment,  ///< a Fig.-5 virtual segment of a DVS hardware PE
+};
+
+/// One activity node.
+struct DvsNode {
+  DvsNodeKind kind = DvsNodeKind::kTask;
+  /// Task id (kTask), edge id (kComm), or per-PE segment ordinal (kSegment).
+  int ref = -1;
+  /// Owning resource: PE for tasks/segments, invalid for comms.
+  PeId pe;
+  /// Nominal (unscaled) duration, seconds.
+  double tmin = 0.0;
+  /// Nominal dynamic energy at V_max, joules.
+  double e_nom = 0.0;
+  /// True when the node's supply voltage may be lowered.
+  bool scalable = false;
+  /// Largest allowed stretch factor t/tmin (from the PE's lowest level).
+  double max_slowdown = 1.0;
+  /// Absolute latest-finish constraint (mode period and/or task deadline).
+  double deadline = std::numeric_limits<double>::infinity();
+};
+
+/// The DAG. Node indices are positions in `nodes`.
+struct DvsGraph {
+  std::vector<DvsNode> nodes;
+  std::vector<std::vector<int>> succs;
+  std::vector<std::vector<int>> preds;
+  /// Topological order (valid by construction).
+  std::vector<int> topo;
+
+  /// node index of each task (kTask) or of the task's *last* segment
+  /// (tasks absorbed into a DVS-HW chain); index == task id.
+  std::vector<int> task_node;
+  /// node index of each non-local comm; -1 for local edges. index == edge id.
+  std::vector<int> comm_node;
+};
+
+/// Builds the DVS graph from a mode schedule. `scale_hardware` enables the
+/// Fig. 5 transformation for DVS hardware PEs; when false those PEs are
+/// treated like fixed-voltage hardware (software-only DVS, the prior-work
+/// baseline).
+[[nodiscard]] DvsGraph build_dvs_graph(const Mode& mode,
+                                       const ModeSchedule& schedule,
+                                       const ModeMapping& mapping,
+                                       const Architecture& arch,
+                                       const TechLibrary& tech,
+                                       bool scale_hardware = true);
+
+}  // namespace mmsyn

@@ -1,0 +1,196 @@
+#include "dvs/pv_dvs.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "dvs/voltage_model.hpp"
+#include "model/architecture.hpp"
+
+namespace mmsyn {
+
+double continuous_energy(double e_nom, double slowdown, double vmax,
+                         double vt) {
+  if (slowdown <= 1.0) return e_nom;
+  const VoltageModel model(vmax, vt);
+  const double v = model.voltage_for_slowdown(slowdown);
+  return e_nom * model.energy_factor(v);
+}
+
+double discrete_energy(double e_nom, double tmin, double target_time,
+                       const std::vector<double>& levels, double vt) {
+  assert(!levels.empty());
+  const double vmax = levels.back();
+  if (target_time <= tmin || levels.size() == 1) return e_nom;
+  const VoltageModel model(vmax, vt);
+
+  // Time and energy of running the whole activity at one level.
+  auto time_at = [&](double v) { return tmin * model.slowdown(v); };
+  auto energy_at = [&](double v) { return e_nom * model.energy_factor(v); };
+
+  // If even the lowest level finishes within the target, use it outright
+  // (the activity simply completes early).
+  if (time_at(levels.front()) <= target_time)
+    return energy_at(levels.front());
+
+  // Find adjacent levels v_lo < v_hi with time_at(v_hi) <= target <
+  // time_at(v_lo) and split the workload: fraction w at v_hi, (1-w) at
+  // v_lo, chosen so the total time equals target_time exactly.
+  for (std::size_t i = levels.size() - 1; i > 0; --i) {
+    const double v_hi = levels[i];
+    const double v_lo = levels[i - 1];
+    const double t_hi = time_at(v_hi);
+    const double t_lo = time_at(v_lo);
+    if (t_hi <= target_time && target_time <= t_lo) {
+      const double w = (t_lo - target_time) / (t_lo - t_hi);
+      return w * energy_at(v_hi) + (1.0 - w) * energy_at(v_lo);
+    }
+  }
+  // target_time < time at vmax can't happen (target >= tmin); fall back.
+  return e_nom;
+}
+
+namespace {
+
+struct NodeModel {
+  double vmax = 0.0;
+  double vt = 0.0;
+  std::vector<double> levels;
+};
+
+/// Forward pass: earliest finish times under current durations.
+void forward_pass(const DvsGraph& g, const std::vector<double>& t,
+                  std::vector<double>& ef) {
+  for (int u : g.topo) {
+    const auto ui = static_cast<std::size_t>(u);
+    double start = 0.0;
+    for (int p : g.preds[ui])
+      start = std::max(start, ef[static_cast<std::size_t>(p)]);
+    ef[ui] = start + t[ui];
+  }
+}
+
+/// Backward pass: latest allowed finish times under current durations.
+void backward_pass(const DvsGraph& g, const std::vector<double>& t,
+                   std::vector<double>& lf) {
+  for (auto it = g.topo.rbegin(); it != g.topo.rend(); ++it) {
+    const auto ui = static_cast<std::size_t>(*it);
+    double limit = g.nodes[ui].deadline;
+    for (int s : g.succs[ui]) {
+      const auto si = static_cast<std::size_t>(s);
+      limit = std::min(limit, lf[si] - t[si]);
+    }
+    lf[ui] = limit;
+  }
+}
+
+}  // namespace
+
+PvDvsResult run_pv_dvs(const DvsGraph& g, const Architecture& arch,
+                       const PvDvsOptions& options) {
+  const std::size_t n = g.nodes.size();
+  PvDvsResult result;
+  result.scaled_time.resize(n);
+  result.voltage.assign(n, 0.0);
+  result.energy.resize(n);
+
+  std::vector<NodeModel> models(n);
+  std::vector<int> scalable;
+  for (std::size_t i = 0; i < n; ++i) {
+    const DvsNode& node = g.nodes[i];
+    result.scaled_time[i] = node.tmin;
+    result.nominal_energy += node.e_nom;
+    if (node.scalable && node.pe.valid()) {
+      const Pe& pe = arch.pe(node.pe);
+      models[i] = {pe.vmax(), pe.threshold_voltage, pe.voltage_levels};
+      result.voltage[i] = pe.vmax();
+      if (node.tmin > 0.0 && node.e_nom > 0.0)
+        scalable.push_back(static_cast<int>(i));
+    } else if (node.pe.valid()) {
+      result.voltage[i] = arch.pe(node.pe).vmax();
+    }
+  }
+
+  std::vector<double>& t = result.scaled_time;
+  std::vector<double> ef(n, 0.0), lf(n, 0.0);
+
+  auto node_energy_continuous = [&](std::size_t i, double ti) {
+    const DvsNode& node = g.nodes[i];
+    if (node.tmin <= 0.0) return node.e_nom;
+    return continuous_energy(node.e_nom, ti / node.tmin, models[i].vmax,
+                             models[i].vt);
+  };
+
+  if (!scalable.empty()) {
+    const double gain_floor =
+        std::max(result.nominal_energy, 1e-30) * options.min_relative_gain;
+    const int max_iterations =
+        options.max_iterations_per_node * static_cast<int>(scalable.size());
+
+    // Cached energy-descent rate -dE/dt per scalable node, refreshed only
+    // when the node's time changes — the inverse-voltage bisection behind
+    // it is the algorithm's dominant cost.
+    std::vector<double> descent(n, 0.0);
+    auto refresh_descent = [&](std::size_t ui) {
+      const DvsNode& node = g.nodes[ui];
+      const double h = 0.01 * node.tmin;
+      descent[ui] = (node_energy_continuous(ui, t[ui]) -
+                     node_energy_continuous(ui, t[ui] + h)) /
+                    h;
+    };
+    for (int u : scalable) refresh_descent(static_cast<std::size_t>(u));
+
+    for (int iter = 0; iter < max_iterations; ++iter) {
+      forward_pass(g, t, ef);
+      backward_pass(g, t, lf);
+
+      double best_gain = 0.0;
+      int best_node = -1;
+      double best_step = 0.0;
+      for (int u : scalable) {
+        const auto ui = static_cast<std::size_t>(u);
+        const DvsNode& node = g.nodes[ui];
+        const double slack = lf[ui] - ef[ui];
+        const double cap = node.tmin * node.max_slowdown - t[ui];
+        const double avail = std::min(slack, cap);
+        if (avail <= 1e-12 * std::max(1.0, node.tmin)) continue;
+        const double step = options.step_fraction * avail;
+        const double gain = descent[ui] * step;  // linearised estimate
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_node = u;
+          best_step = step;
+        }
+      }
+      if (best_node < 0 || best_gain < gain_floor) break;
+      const auto bi = static_cast<std::size_t>(best_node);
+      t[bi] += best_step;
+      refresh_descent(bi);
+    }
+  }
+
+  // Final timing check and energy accounting.
+  forward_pass(g, t, ef);
+  result.deadlines_met = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const DvsNode& node = g.nodes[i];
+    if (ef[i] > node.deadline * (1.0 + 1e-9) + 1e-12)
+      result.deadlines_met = false;
+    if (!node.scalable || node.tmin <= 0.0 || node.e_nom <= 0.0) {
+      result.energy[i] = node.e_nom;
+    } else {
+      const VoltageModel model(models[i].vmax, models[i].vt);
+      result.voltage[i] = model.voltage_for_slowdown(t[i] / node.tmin);
+      result.energy[i] =
+          options.discrete_voltages
+              ? discrete_energy(node.e_nom, node.tmin, t[i], models[i].levels,
+                                models[i].vt)
+              : node.e_nom * model.energy_factor(result.voltage[i]);
+    }
+    result.total_energy += result.energy[i];
+  }
+  return result;
+}
+
+}  // namespace mmsyn

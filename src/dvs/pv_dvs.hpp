@@ -1,0 +1,76 @@
+// PV-DVS: greedy energy-gradient slack distribution (paper ref [10],
+// extended to hardware cores via the Fig. 5 transformation in dvs_graph).
+//
+// Given the DVS graph of one scheduled mode, the algorithm repeatedly
+// extends the scalable activity with the largest achievable energy gain,
+// bounded by its path slack (deadlines, the mode period, and successor
+// activities), until no worthwhile gain remains. Scaled supply voltages
+// follow from the α-power delay model; the final energies account for the
+// PE's *discrete* voltage levels by splitting each activity across the two
+// levels adjacent to its ideal continuous voltage.
+#pragma once
+
+#include <vector>
+
+#include "dvs/dvs_graph.hpp"
+
+namespace mmsyn {
+
+class Architecture;
+
+/// Tuning knobs; the defaults suit final evaluation, the GA inner loop uses
+/// coarser settings (see core/fitness).
+struct PvDvsOptions {
+  /// Iteration cap as a multiple of the scalable-node count.
+  int max_iterations_per_node = 25;
+  /// Fraction of the available slack consumed per greedy step.
+  double step_fraction = 0.5;
+  /// Stop when the best achievable step gain drops below this fraction of
+  /// the initial total energy.
+  double min_relative_gain = 1e-6;
+  /// Account for discrete voltage levels (two-level splitting). When
+  /// false, energies assume an ideal continuous supply.
+  bool discrete_voltages = true;
+  /// Scale DVS-enabled *hardware* PEs via the Fig. 5 transformation. When
+  /// false only software processors scale — the prior-work behaviour
+  /// (refs [5, 8, 10]) the paper's Section 4.2 extends.
+  bool scale_hardware = true;
+};
+
+/// Result of voltage scaling one mode.
+struct PvDvsResult {
+  /// Scaled execution time per DVS-graph node (== tmin when unscaled).
+  std::vector<double> scaled_time;
+  /// Continuous supply voltage per node (PE V_max when unscaled; 0 for
+  /// communications).
+  std::vector<double> voltage;
+  /// Dynamic energy per node after scaling (discrete-aware when enabled).
+  std::vector<double> energy;
+  /// Sum of `energy`.
+  double total_energy = 0.0;
+  /// Dynamic energy at nominal voltage (no scaling), for reporting.
+  double nominal_energy = 0.0;
+  /// True when every node's earliest finish meets its deadline after
+  /// scaling (false indicates the unscaled schedule was already late).
+  bool deadlines_met = true;
+};
+
+/// Runs the slack-distribution heuristic on `graph`.
+[[nodiscard]] PvDvsResult run_pv_dvs(const DvsGraph& graph,
+                                     const Architecture& arch,
+                                     const PvDvsOptions& options = {});
+
+/// Dynamic energy of one activity executed with an ideal continuous supply
+/// stretched by factor `slowdown`; exposed for tests.
+[[nodiscard]] double continuous_energy(double e_nom, double slowdown,
+                                       double vmax, double vt);
+
+/// Dynamic energy with a discrete level set: the activity is split across
+/// the two levels adjacent to the ideal voltage so that it exactly fills
+/// `target_time`. `levels` must be ascending with back() == vmax.
+[[nodiscard]] double discrete_energy(double e_nom, double tmin,
+                                     double target_time,
+                                     const std::vector<double>& levels,
+                                     double vt);
+
+}  // namespace mmsyn

@@ -1,0 +1,49 @@
+#include "dvs/voltage_model.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace mmsyn {
+
+VoltageModel::VoltageModel(double vmax, double vt, double alpha)
+    : vmax_(vmax), vt_(vt), alpha_(alpha) {
+  if (!(vmax > 0.0) || !(vt >= 0.0) || !(vt < vmax))
+    throw std::invalid_argument("VoltageModel: require 0 <= vt < vmax");
+  if (!(alpha > 0.0))
+    throw std::invalid_argument("VoltageModel: alpha must be positive");
+}
+
+double VoltageModel::slowdown(double v) const {
+  assert(v > vt_ && v <= vmax_ + 1e-12);
+  if (alpha_ == 2.0) {  // hot path: classic quadratic α-power law
+    const double a = vmax_ - vt_;
+    const double b = v - vt_;
+    return v * a * a / (vmax_ * b * b);
+  }
+  const double num = v * std::pow(vmax_ - vt_, alpha_);
+  const double den = vmax_ * std::pow(v - vt_, alpha_);
+  return num / den;
+}
+
+double VoltageModel::energy_factor(double v) const {
+  const double r = v / vmax_;
+  return r * r;
+}
+
+double VoltageModel::voltage_for_slowdown(double s) const {
+  if (s <= 1.0) return vmax_;
+  // slowdown() is strictly decreasing in v on (vt, vmax]; bisect.
+  double lo = vt_ + 1e-9 * (vmax_ - vt_);
+  double hi = vmax_;
+  if (slowdown(lo) < s) return lo;  // stretch beyond physical range: clamp
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (slowdown(mid) > s) lo = mid;
+    else hi = mid;
+    if (hi - lo < 1e-9 * vmax_) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace mmsyn

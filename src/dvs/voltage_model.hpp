@@ -1,0 +1,43 @@
+// Supply-voltage ↔ delay/energy model (α-power law).
+//
+// The paper's energy equation (Section 3) gives the dynamic energy of a
+// scaled task as E = P_max · t_min · (V_dd / V_max)²; the execution time
+// grows with the standard α-power delay model
+//   t(V) = t_min · (V / V_max) · ((V_max − V_t) / (V − V_t))^α,  α = 2.
+// This header packages both directions (voltage → slowdown/energy and
+// slowdown → voltage) for one PE's electrical parameters.
+#pragma once
+
+namespace mmsyn {
+
+/// Electrical model of one DVS-capable PE.
+class VoltageModel {
+public:
+  /// `vmax` nominal supply, `vt` threshold voltage (0 < vt < vmax),
+  /// `alpha` velocity-saturation exponent (2.0 = classic long-channel).
+  VoltageModel(double vmax, double vt, double alpha = 2.0);
+
+  [[nodiscard]] double vmax() const { return vmax_; }
+  [[nodiscard]] double vt() const { return vt_; }
+
+  /// Execution-time stretch factor t(v)/t_min; 1 at v == vmax, increasing
+  /// as v decreases. Requires vt < v <= vmax.
+  [[nodiscard]] double slowdown(double v) const;
+
+  /// Dynamic-energy scale factor (v/vmax)².
+  [[nodiscard]] double energy_factor(double v) const;
+
+  /// Inverse of slowdown(): the supply voltage that stretches execution by
+  /// factor `s` >= 1 (clamped to vmax when s <= 1). Monotone bisection.
+  [[nodiscard]] double voltage_for_slowdown(double s) const;
+
+  /// Largest usable stretch factor given the lowest supply level `vmin`.
+  [[nodiscard]] double max_slowdown(double vmin) const { return slowdown(vmin); }
+
+private:
+  double vmax_;
+  double vt_;
+  double alpha_;
+};
+
+}  // namespace mmsyn

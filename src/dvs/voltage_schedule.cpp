@@ -1,0 +1,92 @@
+#include "dvs/voltage_schedule.hpp"
+
+#include <cassert>
+#include <sstream>
+
+#include "dvs/voltage_model.hpp"
+#include "model/architecture.hpp"
+
+namespace mmsyn {
+
+VoltageSchedule derive_voltage_schedule(const DvsGraph& graph,
+                                        const PvDvsResult& result,
+                                        const Architecture& arch) {
+  VoltageSchedule schedule;
+  schedule.activities.resize(graph.nodes.size());
+
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    const DvsNode& node = graph.nodes[i];
+    ActivityVoltageSchedule& activity = schedule.activities[i];
+    activity.kind = node.kind;
+    activity.ref = node.ref;
+    activity.pe = node.pe;
+    if (node.tmin <= 0.0) continue;  // zero-work activity: no slices
+
+    if (!node.scalable || !node.pe.valid()) {
+      const double v =
+          node.pe.valid() ? arch.pe(node.pe).vmax() : 0.0;
+      activity.slices.push_back({v, node.tmin, 1.0});
+      continue;
+    }
+
+    const Pe& pe = arch.pe(node.pe);
+    const VoltageModel model(pe.vmax(), pe.threshold_voltage);
+    const double target = result.scaled_time[i];
+    auto time_at = [&](double v) { return node.tmin * model.slowdown(v); };
+
+    if (target <= node.tmin * (1.0 + 1e-12)) {
+      activity.slices.push_back({pe.vmax(), node.tmin, 1.0});
+      continue;
+    }
+    if (time_at(pe.vmin()) <= target) {
+      // Even the lowest level finishes early; idle the remainder.
+      activity.slices.push_back({pe.vmin(), time_at(pe.vmin()), 1.0});
+      continue;
+    }
+    // Find the adjacent level pair bracketing the target time and split
+    // the workload so the slice durations sum to the target exactly.
+    const auto& levels = pe.voltage_levels;
+    for (std::size_t l = levels.size() - 1; l > 0; --l) {
+      const double v_hi = levels[l];
+      const double v_lo = levels[l - 1];
+      const double t_hi = time_at(v_hi);
+      const double t_lo = time_at(v_lo);
+      if (t_hi <= target && target <= t_lo) {
+        const double w = (t_lo - target) / (t_lo - t_hi);
+        if (w >= 1.0 - 1e-12) {
+          activity.slices.push_back({v_hi, t_hi, 1.0});
+        } else if (w <= 1e-12) {
+          activity.slices.push_back({v_lo, t_lo, 1.0});
+        } else {
+          activity.slices.push_back({v_hi, w * t_hi, w});
+          activity.slices.push_back({v_lo, (1.0 - w) * t_lo, 1.0 - w});
+        }
+        break;
+      }
+    }
+    assert(!activity.slices.empty() && "target time outside level range");
+  }
+  return schedule;
+}
+
+std::string VoltageSchedule::to_string(const Architecture& arch) const {
+  std::ostringstream os;
+  for (const ActivityVoltageSchedule& a : activities) {
+    switch (a.kind) {
+      case DvsNodeKind::kTask: os << "task " << a.ref; break;
+      case DvsNodeKind::kComm: os << "comm " << a.ref; break;
+      case DvsNodeKind::kSegment: os << "segment " << a.ref; break;
+    }
+    if (a.pe.valid()) os << " on " << arch.pe(a.pe).name;
+    os << ":";
+    if (a.slices.empty()) os << " (no work)";
+    for (const VoltageSlice& s : a.slices) {
+      os << " [" << s.voltage << " V for " << s.duration * 1e3 << " ms, "
+         << s.workload_fraction * 100.0 << "% of work]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,64 @@
+// Explicit voltage schedules — the paper's fourth implementation function
+// V_τ^O : T_DVS → V_π (Section 2.2).
+//
+// PV-DVS computes an ideal continuous voltage per activity; a real DVS
+// component only offers discrete levels, so each scaled activity executes
+// as one or two *slices* at adjacent levels whose combined duration equals
+// the allotted time (the classic two-level theorem). This module turns a
+// PvDvsResult into that explicit slice schedule, per task and — for DVS
+// hardware — per Fig. 5 segment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "dvs/dvs_graph.hpp"
+#include "dvs/pv_dvs.hpp"
+
+namespace mmsyn {
+
+class Architecture;
+
+/// One constant-voltage slice of an activity's execution.
+struct VoltageSlice {
+  double voltage = 0.0;   ///< supply level [V]
+  double duration = 0.0;  ///< time spent at this level [s]
+  /// Fraction of the activity's workload (cycles) executed in this slice.
+  double workload_fraction = 1.0;
+};
+
+/// Voltage schedule of one DVS-graph node.
+struct ActivityVoltageSchedule {
+  DvsNodeKind kind = DvsNodeKind::kTask;
+  /// Task id / edge id / segment ordinal (see DvsNode::ref).
+  int ref = -1;
+  PeId pe;
+  /// One slice for unscaled or exactly-on-level execution; two when the
+  /// ideal voltage falls between levels. Empty for zero-work activities.
+  std::vector<VoltageSlice> slices;
+
+  [[nodiscard]] double total_time() const {
+    double t = 0.0;
+    for (const VoltageSlice& s : slices) t += s.duration;
+    return t;
+  }
+};
+
+/// The whole mode's voltage schedule (index == DVS-graph node index).
+struct VoltageSchedule {
+  std::vector<ActivityVoltageSchedule> activities;
+
+  /// Human-readable rendering for reports and debugging.
+  [[nodiscard]] std::string to_string(const Architecture& arch) const;
+};
+
+/// Derives the explicit slice schedule from a PV-DVS result. For each
+/// scalable node the slices realise `result.scaled_time[i]` exactly with
+/// the PE's discrete levels (single slice at the lowest level when even it
+/// finishes early); unscalable nodes get one nominal-voltage slice.
+[[nodiscard]] VoltageSchedule derive_voltage_schedule(
+    const DvsGraph& graph, const PvDvsResult& result,
+    const Architecture& arch);
+
+}  // namespace mmsyn

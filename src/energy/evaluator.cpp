@@ -1,0 +1,144 @@
+#include "energy/evaluator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "dvs/dvs_graph.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace mmsyn {
+
+Evaluator::Evaluator(const System& system, EvaluationOptions options)
+    : system_(system), options_(std::move(options)) {
+  true_probs_ = system.omsm.probabilities();
+  if (options_.weight_override.empty()) {
+    weights_ = true_probs_;
+  } else {
+    if (options_.weight_override.size() != system.omsm.mode_count())
+      throw std::invalid_argument(
+          "EvaluationOptions::weight_override size mismatch");
+    weights_ = options_.weight_override;
+  }
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  if (total <= 0.0)
+    throw std::invalid_argument("optimisation weights must sum > 0");
+  for (double& w : weights_) w /= total;
+}
+
+Evaluation Evaluator::evaluate(const MultiModeMapping& mapping,
+                               const CoreAllocation& cores) const {
+  const Omsm& omsm = system_.omsm;
+  const Architecture& arch = system_.arch;
+  const TechLibrary& tech = system_.tech;
+
+  Evaluation eval;
+  eval.modes.resize(omsm.mode_count());
+
+  for (std::size_t m = 0; m < omsm.mode_count(); ++m) {
+    const ModeId mode_id{static_cast<ModeId::value_type>(m)};
+    const Mode& mode = omsm.mode(mode_id);
+    const ModeMapping& mm = mapping.modes[m];
+    ModeEvaluation& me = eval.modes[m];
+
+    // ---- Inner loop: communication mapping + scheduling. ---------------
+    const ListSchedulerInput input{mode,
+                                   mm,
+                                   arch,
+                                   tech,
+                                   cores.per_mode[m],
+                                   options_.scheduling_policy};
+    ModeSchedule schedule = list_schedule(input);
+    me.makespan = schedule.makespan;
+    me.routable = schedule.routable;
+
+    // ---- Timing penalty: finish within min(deadline, period). ----------
+    for (std::size_t t = 0; t < mode.graph.task_count(); ++t) {
+      const TaskId id{static_cast<TaskId::value_type>(t)};
+      double limit = mode.period;
+      if (const auto& dl = mode.graph.task(id).deadline)
+        limit = std::min(limit, *dl);
+      me.timing_violation +=
+          std::max(0.0, schedule.tasks[t].finish - limit);
+    }
+
+    // ---- Dynamic energy (Fig. 4 line 12), with DVS when enabled. -------
+    if (options_.use_dvs) {
+      const DvsGraph dvs_graph = build_dvs_graph(
+          mode, schedule, mm, arch, tech, options_.dvs.scale_hardware);
+      const PvDvsResult dvs = run_pv_dvs(dvs_graph, arch, options_.dvs);
+      me.dyn_energy = dvs.total_energy;
+    } else {
+      for (std::size_t t = 0; t < mode.graph.task_count(); ++t) {
+        const TaskId id{static_cast<TaskId::value_type>(t)};
+        me.dyn_energy +=
+            tech.require(mode.graph.task(id).type, mm.task_to_pe[t]).energy();
+      }
+      for (const ScheduledComm& c : schedule.comms)
+        if (!c.local && c.cl.valid())
+          me.dyn_energy += arch.cl(c.cl).transfer_power * c.duration();
+    }
+    me.dyn_power = me.dyn_energy / mode.period;
+
+    // ---- Shut-down analysis and static power (lines 07/13). ------------
+    me.pe_active.assign(arch.pe_count(), false);
+    me.cl_active.assign(arch.cl_count(), false);
+    for (PeId pe : mm.task_to_pe) me.pe_active[pe.index()] = true;
+    for (const ScheduledComm& c : schedule.comms)
+      if (!c.local && c.cl.valid()) me.cl_active[c.cl.index()] = true;
+    for (std::size_t p = 0; p < arch.pe_count(); ++p)
+      if (me.pe_active[p])
+        me.static_power +=
+            arch.pe(PeId{static_cast<PeId::value_type>(p)}).static_power;
+    for (std::size_t c = 0; c < arch.cl_count(); ++c)
+      if (me.cl_active[c])
+        me.static_power +=
+            arch.cl(ClId{static_cast<ClId::value_type>(c)}).static_power;
+
+    if (options_.keep_schedules) me.schedule = std::move(schedule);
+
+    const double mode_power = me.dyn_power + me.static_power;
+    eval.avg_power_true += mode_power * true_probs_[m];
+    eval.avg_power_weighted += mode_power * weights_[m];
+    eval.weighted_timing_violation +=
+        weights_[m] * me.timing_violation / mode.period;
+  }
+
+  // ---- Area usage and violations (line 06). -----------------------------
+  eval.pe_used_area.assign(arch.pe_count(), 0.0);
+  eval.pe_area_violation.assign(arch.pe_count(), 0.0);
+  for (PeId p : arch.pe_ids()) {
+    const Pe& pe = arch.pe(p);
+    if (!is_hardware(pe.kind)) continue;
+    eval.pe_used_area[p.index()] = cores.required_area(p, tech);
+    eval.pe_area_violation[p.index()] =
+        std::max(0.0, eval.pe_used_area[p.index()] - pe.area_capacity);
+    eval.total_area_violation += eval.pe_area_violation[p.index()];
+  }
+
+  // ---- Mode-transition (FPGA reconfiguration) times (line 08). ----------
+  eval.transition_times.assign(omsm.transition_count(), 0.0);
+  eval.transition_violations.assign(omsm.transition_count(), 0.0);
+  for (std::size_t t = 0; t < omsm.transition_count(); ++t) {
+    const ModeTransition& tr =
+        omsm.transition(TransitionId{static_cast<TransitionId::value_type>(t)});
+    double time = 0.0;
+    for (PeId p : arch.pe_ids()) {
+      const Pe& pe = arch.pe(p);
+      if (pe.kind != PeKind::kFpga) continue;
+      const double delta = cores.cores(tr.to, p).delta_area_from(
+          cores.cores(tr.from, p), tech, p);
+      // FPGAs reconfigure in parallel with each other; the transition
+      // waits for the slowest one.
+      time = std::max(time, delta / pe.reconfig_bandwidth);
+    }
+    eval.transition_times[t] = time;
+    eval.transition_violations[t] =
+        std::max(0.0, time - tr.max_transition_time);
+  }
+
+  return eval;
+}
+
+}  // namespace mmsyn

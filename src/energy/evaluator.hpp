@@ -1,0 +1,132 @@
+// Implementation-candidate evaluation: Eq. (1) of the paper.
+//
+// Given a multi-mode task mapping and a hardware core allocation, this
+// module runs the inner loop for every mode (communication mapping + list
+// scheduling, optionally PV-DVS voltage scaling), performs the component
+// shut-down analysis, and aggregates
+//
+//   p̄ = Σ_O ( p̄_dyn(O) + p̄_stat(O) ) · Ψ_O
+//
+// together with the penalty quantities (area, timing, mode-transition)
+// that the GA fitness combines. The probability-neglecting baseline is
+// obtained by overriding the Ψ weights used during optimisation while the
+// reported power always uses the true Ψ.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dvs/pv_dvs.hpp"
+#include "model/core_allocation.hpp"
+#include "model/mapping.hpp"
+#include "model/system.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/schedule.hpp"
+
+namespace mmsyn {
+
+/// Evaluation controls.
+struct EvaluationOptions {
+  /// Apply PV-DVS voltage scaling to DVS-enabled PEs.
+  bool use_dvs = false;
+  /// Voltage-scaling knobs (used when use_dvs).
+  PvDvsOptions dvs;
+  /// Mode weights used for the *optimisation* objective. Empty = the true
+  /// probabilities Ψ from the OMSM. The probability-neglecting baseline
+  /// passes uniform weights here.
+  std::vector<double> weight_override;
+  /// Keep the per-mode schedules in the result (off in the GA hot loop).
+  bool keep_schedules = false;
+  /// Task-selection priority of the inner-loop list scheduler.
+  SchedulingPolicy scheduling_policy = SchedulingPolicy::kBottomLevel;
+};
+
+/// Per-mode evaluation detail.
+struct ModeEvaluation {
+  /// Dynamic energy per hyper-period (after DVS when enabled), joules.
+  double dyn_energy = 0.0;
+  /// dyn_energy / period, watts.
+  double dyn_power = 0.0;
+  /// Static power of the components active in this mode, watts.
+  double static_power = 0.0;
+  /// Σ_τ max(0, finish(τ) − min(θ_τ, φ)), seconds.
+  double timing_violation = 0.0;
+  double makespan = 0.0;
+  /// Shut-down analysis: component powered during this mode?
+  std::vector<bool> pe_active;
+  std::vector<bool> cl_active;
+  bool routable = true;
+  /// Schedule retained when EvaluationOptions::keep_schedules.
+  std::optional<ModeSchedule> schedule;
+};
+
+/// Whole-candidate evaluation.
+struct Evaluation {
+  std::vector<ModeEvaluation> modes;
+
+  /// Average power with the true probabilities Ψ (the reported metric).
+  double avg_power_true = 0.0;
+  /// Average power with the optimisation weights (== avg_power_true when
+  /// no override) — the p̄ entering the fitness.
+  double avg_power_weighted = 0.0;
+
+  /// Per-PE used area (hardware PEs; max over modes for FPGAs).
+  std::vector<double> pe_used_area;
+  /// Per-PE max(0, used − capacity).
+  std::vector<double> pe_area_violation;
+  double total_area_violation = 0.0;
+
+  /// Per-OMSM-transition reconfiguration time (seconds).
+  std::vector<double> transition_times;
+  /// Per-transition max(0, t_T − t_T^max).
+  std::vector<double> transition_violations;
+
+  /// Σ over modes of weighted timing violations (seconds, weighted by the
+  /// optimisation weights).
+  double weighted_timing_violation = 0.0;
+
+  [[nodiscard]] bool timing_feasible() const {
+    for (const ModeEvaluation& m : modes)
+      if (m.timing_violation > 0.0 || !m.routable) return false;
+    return true;
+  }
+  [[nodiscard]] bool area_feasible() const {
+    return total_area_violation <= 0.0;
+  }
+  [[nodiscard]] bool transitions_feasible() const {
+    for (double v : transition_violations)
+      if (v > 0.0) return false;
+    return true;
+  }
+  [[nodiscard]] bool feasible() const {
+    return timing_feasible() && area_feasible() && transitions_feasible();
+  }
+};
+
+/// Evaluates candidates against one system. The system reference must
+/// outlive the evaluator.
+class Evaluator {
+public:
+  Evaluator(const System& system, EvaluationOptions options);
+
+  /// Full evaluation of (mapping, core allocation).
+  [[nodiscard]] Evaluation evaluate(const MultiModeMapping& mapping,
+                                    const CoreAllocation& cores) const;
+
+  [[nodiscard]] const EvaluationOptions& options() const { return options_; }
+  [[nodiscard]] const System& system() const { return system_; }
+
+  /// The weights entering the optimisation objective (true Ψ or override),
+  /// normalised to sum 1.
+  [[nodiscard]] const std::vector<double>& optimisation_weights() const {
+    return weights_;
+  }
+
+private:
+  const System& system_;
+  EvaluationOptions options_;
+  std::vector<double> weights_;      // optimisation weights (normalised)
+  std::vector<double> true_probs_;   // Ψ from the OMSM
+};
+
+}  // namespace mmsyn

@@ -1,0 +1,127 @@
+#include "energy/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace mmsyn {
+
+std::vector<double> jump_chain_stationary_distribution(const Omsm& omsm,
+                                                       int iterations) {
+  const std::size_t n = omsm.mode_count();
+  // Outgoing transition lists.
+  std::vector<std::vector<std::size_t>> out(n);
+  for (const ModeTransition& t : omsm.transitions())
+    out[t.from.index()].push_back(t.to.index());
+
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t m = 0; m < n; ++m) {
+      if (out[m].empty()) {
+        next[m] += pi[m];  // absorbing: mass stays
+        continue;
+      }
+      const double share = pi[m] / static_cast<double>(out[m].size());
+      for (std::size_t to : out[m]) next[to] += share;
+    }
+    // Damped update: converges even for periodic (bipartite) chains,
+    // where the undamped iteration oscillates.
+    for (std::size_t m = 0; m < n; ++m) pi[m] = 0.5 * (pi[m] + next[m]);
+  }
+  // Normalise against numeric drift.
+  double total = 0.0;
+  for (double p : pi) total += p;
+  if (total > 0.0)
+    for (double& p : pi) p /= total;
+  return pi;
+}
+
+SimulationResult simulate_usage(const System& system,
+                                const Evaluation& evaluation,
+                                const SimulationOptions& options) {
+  const Omsm& omsm = system.omsm;
+  const std::size_t n = omsm.mode_count();
+  Rng rng(options.seed);
+
+  // Outgoing transitions per mode (indices into the transition list so the
+  // reconfiguration time of the taken edge can be charged).
+  std::vector<std::vector<std::size_t>> out(n);
+  for (std::size_t t = 0; t < omsm.transition_count(); ++t)
+    out[omsm.transition(TransitionId{static_cast<TransitionId::value_type>(t)})
+            .from.index()]
+        .push_back(t);
+
+  // Dwell-time calibration: with jump-chain stationary distribution π and
+  // mean dwell d_m per visit, the long-run time fraction of mode m is
+  // π_m d_m / Σ_k π_k d_k. Choosing d_m ∝ Ψ_m / π_m makes that Ψ_m.
+  const std::vector<double> pi = jump_chain_stationary_distribution(omsm);
+  std::vector<double> mean_dwell(n, options.mean_dwell);
+  for (std::size_t m = 0; m < n; ++m) {
+    const double psi = omsm.mode(ModeId{static_cast<ModeId::value_type>(m)})
+                           .probability;
+    if (pi[m] > 1e-12) mean_dwell[m] = options.mean_dwell * psi / pi[m];
+    // Modes with Ψ == 0 keep the default dwell; they contribute ~nothing.
+  }
+
+  SimulationResult result;
+  result.time_in_mode.assign(n, 0.0);
+  result.empirical_probability.assign(n, 0.0);
+  result.visits.assign(n, 0);
+
+  // Per-mode total power of the candidate.
+  std::vector<double> mode_power(n, 0.0);
+  for (std::size_t m = 0; m < n; ++m)
+    mode_power[m] =
+        evaluation.modes[m].dyn_power + evaluation.modes[m].static_power;
+
+  // Start in the most probable mode (the device's resting state).
+  std::size_t current = 0;
+  for (std::size_t m = 1; m < n; ++m)
+    if (omsm.mode(ModeId{static_cast<ModeId::value_type>(m)}).probability >
+        omsm.mode(ModeId{static_cast<ModeId::value_type>(current)})
+            .probability)
+      current = m;
+
+  double now = 0.0;
+  while (now < options.total_time) {
+    ++result.visits[current];
+    // Exponential dwell, truncated at the simulation horizon.
+    const double u = std::max(1e-12, 1.0 - rng.canonical());
+    double dwell = -mean_dwell[current] * std::log(u);
+    if (out[current].empty()) dwell = options.total_time - now;  // absorbing
+    dwell = std::min(dwell, options.total_time - now);
+    result.time_in_mode[current] += dwell;
+    result.total_energy += dwell * mode_power[current];
+    now += dwell;
+    if (now >= options.total_time || out[current].empty()) break;
+
+    // Jump uniformly over outgoing transitions.
+    const std::size_t edge = out[current][rng.pick_index(out[current].size())];
+    const ModeTransition& tr = omsm.transition(
+        TransitionId{static_cast<TransitionId::value_type>(edge)});
+    ++result.transition_count;
+    if (options.include_transition_overheads) {
+      const double reconf =
+          std::min(evaluation.transition_times[edge],
+                   options.total_time - now);
+      result.transition_time_total += reconf;
+      // During reconfiguration the target mode's components are powering
+      // up: charge its static power.
+      result.total_energy +=
+          reconf * evaluation.modes[tr.to.index()].static_power;
+      now += reconf;
+    }
+    current = tr.to.index();
+  }
+
+  const double elapsed = std::max(now, 1e-12);
+  for (std::size_t m = 0; m < n; ++m)
+    result.empirical_probability[m] = result.time_in_mode[m] / elapsed;
+  result.average_power = result.total_energy / elapsed;
+  return result;
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,63 @@
+// Monte-Carlo usage simulation over the OMSM.
+//
+// Eq. (1) abstracts a device's life as "fraction Ψ_O of the time in mode
+// O". This module validates that abstraction for a concrete
+// implementation candidate: it random-walks the OMSM's transition graph
+// (uniform choice among outgoing transitions), samples exponential dwell
+// times calibrated so the long-run time fractions converge to Ψ, and
+// integrates the per-mode powers of an Evaluation — plus, optionally, the
+// FPGA reconfiguration overheads the static analysis only bounds. The
+// simulated average power must converge to Eq. (1)'s value, which the
+// test suite asserts and the sim_validation bench demonstrates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "energy/evaluator.hpp"
+#include "model/system.hpp"
+
+namespace mmsyn {
+
+struct SimulationOptions {
+  /// Simulated operational time [s].
+  double total_time = 3600.0;
+  /// Mean mode dwell [s] before the next transition event fires.
+  double mean_dwell = 2.0;
+  /// Charge mode-change reconfiguration time (at the target mode's static
+  /// power) to the energy account.
+  bool include_transition_overheads = true;
+  std::uint64_t seed = 1;
+};
+
+struct SimulationResult {
+  /// Wall time spent per mode [s] (index == mode id).
+  std::vector<double> time_in_mode;
+  /// time_in_mode normalised — converges to Ψ.
+  std::vector<double> empirical_probability;
+  /// Visits per mode.
+  std::vector<long> visits;
+  long transition_count = 0;
+  /// Total time spent reconfiguring on mode changes [s].
+  double transition_time_total = 0.0;
+  /// Integrated energy [J] and the resulting average power [W].
+  double total_energy = 0.0;
+  double average_power = 0.0;
+};
+
+/// Simulates `system` running the implementation candidate priced by
+/// `evaluation` (typically SynthesisResult::evaluation).
+/// Requires at least one outgoing transition per reachable mode; modes
+/// without outgoing transitions absorb the walk (the remaining time is
+/// spent there).
+[[nodiscard]] SimulationResult simulate_usage(
+    const System& system, const Evaluation& evaluation,
+    const SimulationOptions& options = {});
+
+/// Stationary distribution of the OMSM's jump chain (uniform choice among
+/// outgoing transitions), via power iteration; used to calibrate dwell
+/// times so the walk's time fractions converge to Ψ. Exposed for tests.
+[[nodiscard]] std::vector<double> jump_chain_stationary_distribution(
+    const Omsm& omsm, int iterations = 1000);
+
+}  // namespace mmsyn

@@ -1,0 +1,80 @@
+#include "model/architecture.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace mmsyn {
+
+const char* to_string(PeKind k) {
+  switch (k) {
+    case PeKind::kGpp: return "GPP";
+    case PeKind::kAsip: return "ASIP";
+    case PeKind::kAsic: return "ASIC";
+    case PeKind::kFpga: return "FPGA";
+  }
+  return "?";
+}
+
+PeId Architecture::add_pe(Pe pe) {
+  if (pe.voltage_levels.empty())
+    throw std::invalid_argument("Pe must have at least one voltage level");
+  if (!std::is_sorted(pe.voltage_levels.begin(), pe.voltage_levels.end()))
+    throw std::invalid_argument("Pe voltage levels must be ascending");
+  if (pe.threshold_voltage >= pe.voltage_levels.front())
+    throw std::invalid_argument(
+        "Pe threshold voltage must be below the lowest supply level");
+  pes_.push_back(std::move(pe));
+  return PeId{static_cast<PeId::value_type>(pes_.size() - 1)};
+}
+
+ClId Architecture::add_cl(Cl cl) {
+  if (cl.bandwidth <= 0.0)
+    throw std::invalid_argument("Cl bandwidth must be positive");
+  for (PeId p : cl.attached)
+    if (!p.valid() || p.index() >= pes_.size())
+      throw std::out_of_range("Cl attached to unknown PE");
+  cls_.push_back(std::move(cl));
+  return ClId{static_cast<ClId::value_type>(cls_.size() - 1)};
+}
+
+std::vector<ClId> Architecture::links_between(PeId a, PeId b) const {
+  std::vector<ClId> result;
+  if (a == b) return result;
+  for (std::size_t c = 0; c < cls_.size(); ++c) {
+    const auto& att = cls_[c].attached;
+    const bool has_a = std::find(att.begin(), att.end(), a) != att.end();
+    const bool has_b = std::find(att.begin(), att.end(), b) != att.end();
+    if (has_a && has_b)
+      result.push_back(ClId{static_cast<ClId::value_type>(c)});
+  }
+  return result;
+}
+
+bool Architecture::fully_connected() const {
+  for (std::size_t a = 0; a < pes_.size(); ++a)
+    for (std::size_t b = a + 1; b < pes_.size(); ++b)
+      if (links_between(PeId{static_cast<PeId::value_type>(a)},
+                        PeId{static_cast<PeId::value_type>(b)})
+              .empty())
+        return false;
+  return true;
+}
+
+std::vector<PeId> Architecture::pe_ids() const {
+  std::vector<PeId> ids;
+  ids.reserve(pes_.size());
+  for (std::size_t i = 0; i < pes_.size(); ++i)
+    ids.push_back(PeId{static_cast<PeId::value_type>(i)});
+  return ids;
+}
+
+std::vector<ClId> Architecture::cl_ids() const {
+  std::vector<ClId> ids;
+  ids.reserve(cls_.size());
+  for (std::size_t i = 0; i < cls_.size(); ++i)
+    ids.push_back(ClId{static_cast<ClId::value_type>(i)});
+  return ids;
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,110 @@
+// Target-architecture model (Section 2.2 of the paper).
+//
+// A distributed heterogeneous architecture G_A(P, L): processing elements
+// (general-purpose processors, ASIPs, ASICs, FPGAs) connected by
+// communication links (buses). Software PEs sequentialize their tasks;
+// hardware PEs execute tasks in parallel on allocated *cores* (one core
+// serves one task type; same-core contention sequentializes). PEs may be
+// DVS-enabled — including hardware PEs, whose cores then share one supply.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace mmsyn {
+
+/// Processing-element class. Gpp/Asip run software (sequential execution);
+/// Asic/Fpga are hardware (parallel cores, area-constrained). Fpga cores
+/// can be swapped at mode changes at a reconfiguration-time cost.
+enum class PeKind { kGpp, kAsip, kAsic, kFpga };
+
+[[nodiscard]] constexpr bool is_hardware(PeKind k) {
+  return k == PeKind::kAsic || k == PeKind::kFpga;
+}
+[[nodiscard]] constexpr bool is_software(PeKind k) { return !is_hardware(k); }
+
+[[nodiscard]] const char* to_string(PeKind k);
+
+/// One processing element. Units: volts, watts, cells (area),
+/// cells/second (reconfiguration bandwidth).
+struct Pe {
+  std::string name;
+  PeKind kind = PeKind::kGpp;
+
+  /// True when the PE supports dynamic voltage scaling. For hardware PEs
+  /// all cores share a single scaled supply (Section 4.2).
+  bool dvs_enabled = false;
+
+  /// Discrete supply-voltage levels, ascending; the last entry is the
+  /// nominal V_max at which the technology library is characterized.
+  /// Must be non-empty; single-entry means fixed-voltage.
+  std::vector<double> voltage_levels{3.3};
+
+  /// Threshold voltage V_t of the α-power delay model (< min level).
+  double threshold_voltage = 0.8;
+
+  /// Available core area in cells; only meaningful for hardware PEs.
+  double area_capacity = 0.0;
+
+  /// Static (leakage + idle) power drawn while the PE is powered in a mode.
+  double static_power = 0.0;
+
+  /// FPGA only: configuration bandwidth in cells/second used to charge
+  /// mode-transition reconfiguration time.
+  double reconfig_bandwidth = 0.0;
+
+  [[nodiscard]] double vmax() const { return voltage_levels.back(); }
+  [[nodiscard]] double vmin() const { return voltage_levels.front(); }
+};
+
+/// One communication link (bus). A CL connects a subset of PEs; an
+/// inter-PE communication can only map onto a CL that connects both
+/// endpoints. Units: bits/second, watts.
+struct Cl {
+  std::string name;
+  /// Transfer rate in bits/second.
+  double bandwidth = 1e6;
+  /// Fixed per-message startup latency in seconds.
+  double startup_latency = 0.0;
+  /// Dynamic power P_C drawn while a transfer is in flight.
+  double transfer_power = 0.0;
+  /// Static power drawn while the CL is powered in a mode.
+  double static_power = 0.0;
+  /// PEs attached to this link.
+  std::vector<PeId> attached;
+};
+
+/// The architecture graph: PEs plus CLs with attachment lists.
+class Architecture {
+public:
+  PeId add_pe(Pe pe);
+  ClId add_cl(Cl cl);
+
+  [[nodiscard]] std::size_t pe_count() const { return pes_.size(); }
+  [[nodiscard]] std::size_t cl_count() const { return cls_.size(); }
+
+  [[nodiscard]] const Pe& pe(PeId id) const { return pes_[id.index()]; }
+  [[nodiscard]] const Cl& cl(ClId id) const { return cls_[id.index()]; }
+  [[nodiscard]] Pe& pe(PeId id) { return pes_[id.index()]; }
+  [[nodiscard]] Cl& cl(ClId id) { return cls_[id.index()]; }
+  [[nodiscard]] const std::vector<Pe>& pes() const { return pes_; }
+  [[nodiscard]] const std::vector<Cl>& cls() const { return cls_; }
+
+  /// All CLs connecting both a and b (empty when a == b — no link needed).
+  [[nodiscard]] std::vector<ClId> links_between(PeId a, PeId b) const;
+
+  /// True when every PE pair is joined by at least one CL (or pe_count()<2).
+  [[nodiscard]] bool fully_connected() const;
+
+  /// Convenience iteration helpers.
+  [[nodiscard]] std::vector<PeId> pe_ids() const;
+  [[nodiscard]] std::vector<ClId> cl_ids() const;
+
+private:
+  std::vector<Pe> pes_;
+  std::vector<Cl> cls_;
+};
+
+}  // namespace mmsyn

@@ -1,0 +1,64 @@
+#include "model/core_allocation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "model/tech_library.hpp"
+
+namespace mmsyn {
+
+int CoreSet::count_of(TaskTypeId type) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), type,
+      [](const auto& entry, TaskTypeId t) { return entry.first < t; });
+  if (it == entries_.end() || it->first != type) return 0;
+  return it->second;
+}
+
+void CoreSet::set_count(TaskTypeId type, int count) {
+  assert(count >= 0);
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), type,
+      [](const auto& entry, TaskTypeId t) { return entry.first < t; });
+  if (it != entries_.end() && it->first == type) {
+    if (count == 0) entries_.erase(it);
+    else it->second = count;
+  } else if (count > 0) {
+    entries_.insert(it, {type, count});
+  }
+}
+
+void CoreSet::add_core(TaskTypeId type) {
+  set_count(type, count_of(type) + 1);
+}
+
+double CoreSet::area(const TechLibrary& tech, PeId pe) const {
+  double total = 0.0;
+  for (const auto& [type, count] : entries_)
+    total += tech.require(type, pe).area * count;
+  return total;
+}
+
+double CoreSet::delta_area_from(const CoreSet& previous,
+                                const TechLibrary& tech, PeId pe) const {
+  double total = 0.0;
+  for (const auto& [type, count] : entries_) {
+    const int extra = count - previous.count_of(type);
+    if (extra > 0) total += tech.require(type, pe).area * extra;
+  }
+  return total;
+}
+
+void CoreSet::merge_max(const CoreSet& other) {
+  for (const auto& [type, count] : other.entries_)
+    set_count(type, std::max(count_of(type), count));
+}
+
+double CoreAllocation::required_area(PeId pe, const TechLibrary& tech) const {
+  double worst = 0.0;
+  for (const auto& mode_sets : per_mode)
+    worst = std::max(worst, mode_sets[pe.index()].area(tech, pe));
+  return worst;
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,28 @@
+#include "model/mapping.hpp"
+
+#include "model/architecture.hpp"
+#include "model/omsm.hpp"
+#include "model/tech_library.hpp"
+
+namespace mmsyn {
+
+bool mapping_is_well_formed(const MultiModeMapping& mapping, const Omsm& omsm,
+                            const Architecture& arch,
+                            const TechLibrary& tech) {
+  if (mapping.modes.size() != omsm.mode_count()) return false;
+  for (std::size_t m = 0; m < omsm.mode_count(); ++m) {
+    const ModeId mode_id{static_cast<ModeId::value_type>(m)};
+    const Mode& mode = omsm.mode(mode_id);
+    const ModeMapping& mm = mapping.modes[m];
+    if (mm.task_to_pe.size() != mode.graph.task_count()) return false;
+    for (std::size_t t = 0; t < mm.task_to_pe.size(); ++t) {
+      const PeId pe = mm.task_to_pe[t];
+      if (!pe.valid() || pe.index() >= arch.pe_count()) return false;
+      const TaskId task_id{static_cast<TaskId::value_type>(t)};
+      if (!tech.supports(mode.graph.task(task_id).type, pe)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,47 @@
+// Implementation-candidate representation: the multi-mode task mapping
+// M_τ^O of Section 2.2 (one PE assignment per task per mode), decoded from
+// the GA's mapping string.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace mmsyn {
+
+class Omsm;
+class Architecture;
+class TechLibrary;
+
+/// Per-mode task→PE assignment. Index = task id within that mode's graph.
+struct ModeMapping {
+  std::vector<PeId> task_to_pe;
+};
+
+/// Task mapping for every mode of the OMSM. Communication mapping and the
+/// schedules are derived from this by the inner loop (sched/, dvs/).
+struct MultiModeMapping {
+  std::vector<ModeMapping> modes;
+
+  [[nodiscard]] PeId pe_of(ModeId mode, TaskId task) const {
+    return modes[mode.index()].task_to_pe[task.index()];
+  }
+
+  /// Total number of genes (== total task count across modes).
+  [[nodiscard]] std::size_t total_size() const {
+    std::size_t n = 0;
+    for (const ModeMapping& m : modes) n += m.task_to_pe.size();
+    return n;
+  }
+};
+
+/// Checks that a mapping is structurally consistent with the system: one
+/// assignment per task, valid PE ids, and every task's type supported on
+/// its PE. (Area/timing feasibility is the evaluator's job, not this one.)
+[[nodiscard]] bool mapping_is_well_formed(const MultiModeMapping& mapping,
+                                          const Omsm& omsm,
+                                          const Architecture& arch,
+                                          const TechLibrary& tech);
+
+}  // namespace mmsyn

@@ -1,0 +1,47 @@
+// Text serialization of implementation candidates (.mmsyn-map format).
+//
+// A synthesis result's task mapping can be saved and later re-evaluated or
+// deployed without re-running the GA:
+//
+//   mapping for-system phone
+//   map idle sense CPU
+//   map idle act CPU
+//   map burst fft1 ACC
+//   ...
+//
+// Entities are referenced by name against the system the mapping belongs
+// to; `#` starts a comment. The reader validates completeness (every task
+// mapped exactly once) and type support.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/io.hpp"
+#include "model/mapping.hpp"
+#include "model/system.hpp"
+
+namespace mmsyn {
+
+/// Serialises `mapping` for `system` (names resolved through the system).
+void write_mapping(std::ostream& os, const System& system,
+                   const MultiModeMapping& mapping);
+
+[[nodiscard]] std::string mapping_to_string(const System& system,
+                                            const MultiModeMapping& mapping);
+
+/// Parses a mapping against `system`; throws ParseError on malformed
+/// input, unknown names, unsupported task/PE pairs, or missing tasks.
+[[nodiscard]] MultiModeMapping read_mapping(std::istream& is,
+                                            const System& system);
+
+[[nodiscard]] MultiModeMapping mapping_from_string(const std::string& text,
+                                                   const System& system);
+
+/// File helpers; throw std::runtime_error on I/O failure.
+void save_mapping(const std::string& path, const System& system,
+                  const MultiModeMapping& mapping);
+[[nodiscard]] MultiModeMapping load_mapping(const std::string& path,
+                                            const System& system);
+
+}  // namespace mmsyn

@@ -1,0 +1,79 @@
+#include "model/omsm.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace mmsyn {
+
+ModeId Omsm::add_mode(Mode mode) {
+  modes_.push_back(std::move(mode));
+  return ModeId{static_cast<ModeId::value_type>(modes_.size() - 1)};
+}
+
+TransitionId Omsm::add_transition(ModeTransition transition) {
+  transitions_.push_back(transition);
+  return TransitionId{
+      static_cast<TransitionId::value_type>(transitions_.size() - 1)};
+}
+
+std::vector<ModeId> Omsm::mode_ids() const {
+  std::vector<ModeId> ids;
+  ids.reserve(modes_.size());
+  for (std::size_t i = 0; i < modes_.size(); ++i)
+    ids.push_back(ModeId{static_cast<ModeId::value_type>(i)});
+  return ids;
+}
+
+std::vector<double> Omsm::probabilities() const {
+  std::vector<double> p;
+  p.reserve(modes_.size());
+  for (const Mode& m : modes_) p.push_back(m.probability);
+  return p;
+}
+
+void Omsm::normalize_probabilities() {
+  double total = 0.0;
+  for (const Mode& m : modes_) total += m.probability;
+  if (total <= 0.0) return;
+  for (Mode& m : modes_) m.probability /= total;
+}
+
+std::vector<std::string> Omsm::validate(double tolerance) const {
+  std::vector<std::string> problems;
+  if (modes_.empty()) {
+    problems.push_back("OMSM has no modes");
+    return problems;
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < modes_.size(); ++i) {
+    const Mode& m = modes_[i];
+    if (m.probability < 0.0 || m.probability > 1.0)
+      problems.push_back("mode '" + m.name + "' probability outside [0,1]");
+    total += m.probability;
+    if (!(m.period > 0.0))
+      problems.push_back("mode '" + m.name + "' period must be positive");
+    if (!m.graph.finalize())
+      problems.push_back("mode '" + m.name + "' task graph is cyclic");
+    for (const Task& t : m.graph.tasks())
+      if (t.deadline && *t.deadline <= 0.0)
+        problems.push_back("task '" + t.name + "' in mode '" + m.name +
+                           "' has non-positive deadline");
+  }
+  if (std::abs(total - 1.0) > tolerance)
+    problems.push_back("mode probabilities sum to " + std::to_string(total) +
+                       ", expected 1");
+  for (const ModeTransition& t : transitions_) {
+    const bool from_ok = t.from.valid() && t.from.index() < modes_.size();
+    const bool to_ok = t.to.valid() && t.to.index() < modes_.size();
+    if (!from_ok || !to_ok)
+      problems.push_back("transition references unknown mode");
+    else if (t.from == t.to)
+      problems.push_back("transition is a self-loop on mode '" +
+                         modes_[t.from.index()].name + "'");
+    if (t.max_transition_time <= 0.0)
+      problems.push_back("transition has non-positive time limit");
+  }
+  return problems;
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,87 @@
+// Operational Mode State Machine (Section 2.1 of the paper).
+//
+// The top-level specification ϒ(Ω, Θ): a directed cyclic graph whose nodes
+// are mutually-exclusive operational modes and whose edges are mode
+// transitions with maximal transition-time limits t_T^max. Each mode O
+// carries its execution probability Ψ_O (fraction of operational time spent
+// in O), its repetition period φ (the hyper-period hp_O over which its task
+// graph repeats), and the task graph implementing its functionality.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "model/task_graph.hpp"
+
+namespace mmsyn {
+
+/// One operational mode of the OMSM.
+struct Mode {
+  std::string name;
+  /// Execution probability Ψ_O ∈ [0, 1]; probabilities of all modes sum
+  /// to 1 (validated by Omsm::validate).
+  double probability = 0.0;
+  /// Repetition period φ (== hyper-period hp_O), seconds. Every task must
+  /// finish within min(θ_τ, φ) of the period start.
+  double period = 0.0;
+  /// The mode's functionality.
+  TaskGraph graph;
+};
+
+/// One transition edge of the OMSM with its maximal transition time.
+struct ModeTransition {
+  ModeId from;
+  ModeId to;
+  /// Maximal allowed system-reconfiguration time t_T^max, seconds.
+  /// Infinity (the default) means unconstrained.
+  double max_transition_time = std::numeric_limits<double>::infinity();
+};
+
+/// The operational mode state machine.
+class Omsm {
+public:
+  ModeId add_mode(Mode mode);
+  TransitionId add_transition(ModeTransition transition);
+
+  [[nodiscard]] std::size_t mode_count() const { return modes_.size(); }
+  [[nodiscard]] std::size_t transition_count() const {
+    return transitions_.size();
+  }
+
+  [[nodiscard]] const Mode& mode(ModeId id) const { return modes_[id.index()]; }
+  [[nodiscard]] Mode& mode(ModeId id) { return modes_[id.index()]; }
+  [[nodiscard]] const ModeTransition& transition(TransitionId id) const {
+    return transitions_[id.index()];
+  }
+  [[nodiscard]] ModeTransition& transition(TransitionId id) {
+    return transitions_[id.index()];
+  }
+  [[nodiscard]] const std::vector<Mode>& modes() const { return modes_; }
+  [[nodiscard]] const std::vector<ModeTransition>& transitions() const {
+    return transitions_;
+  }
+
+  [[nodiscard]] std::vector<ModeId> mode_ids() const;
+
+  /// Mode probabilities as a dense vector (index == mode id).
+  [[nodiscard]] std::vector<double> probabilities() const;
+
+  /// Rescales probabilities to sum to exactly 1 (no-op on an empty OMSM or
+  /// when all probabilities are zero).
+  void normalize_probabilities();
+
+  /// Checks: at least one mode; probabilities in [0,1] summing to 1 within
+  /// `tolerance`; positive periods; per-mode graphs acyclic; transition
+  /// endpoints valid and distinct. Returns a list of human-readable
+  /// problems (empty == valid).
+  [[nodiscard]] std::vector<std::string> validate(
+      double tolerance = 1e-6) const;
+
+private:
+  std::vector<Mode> modes_;
+  std::vector<ModeTransition> transitions_;
+};
+
+}  // namespace mmsyn

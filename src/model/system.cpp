@@ -1,0 +1,73 @@
+#include "model/system.hpp"
+
+#include <sstream>
+
+namespace mmsyn {
+
+std::vector<std::string> System::validate() const {
+  std::vector<std::string> problems = omsm.validate();
+
+  if (arch.pe_count() == 0) problems.push_back("architecture has no PEs");
+  if (!arch.fully_connected())
+    problems.push_back("architecture is not fully connected by CLs");
+
+  for (PeId p : arch.pe_ids()) {
+    const Pe& pe = arch.pe(p);
+    if (is_hardware(pe.kind) && pe.area_capacity <= 0.0)
+      problems.push_back("hardware PE '" + pe.name +
+                         "' has non-positive area capacity");
+    if (pe.kind == PeKind::kFpga && pe.reconfig_bandwidth <= 0.0)
+      problems.push_back("FPGA '" + pe.name +
+                         "' has non-positive reconfiguration bandwidth");
+  }
+
+  for (const Mode& m : omsm.modes()) {
+    for (const Task& t : m.graph.tasks()) {
+      if (!t.type.valid() || t.type.index() >= tech.type_count()) {
+        problems.push_back("task '" + t.name + "' in mode '" + m.name +
+                           "' has an unregistered type");
+        continue;
+      }
+      if (tech.candidate_pes(t.type, arch.pe_count()).empty())
+        problems.push_back("task type '" + tech.type_name(t.type) +
+                           "' has no implementation on any PE");
+    }
+  }
+  return problems;
+}
+
+std::size_t System::total_task_count() const {
+  std::size_t n = 0;
+  for (const Mode& m : omsm.modes()) n += m.graph.task_count();
+  return n;
+}
+
+std::size_t System::total_edge_count() const {
+  std::size_t n = 0;
+  for (const Mode& m : omsm.modes()) n += m.graph.edge_count();
+  return n;
+}
+
+std::string describe(const System& system) {
+  std::ostringstream os;
+  os << "System '" << system.name << "': " << system.omsm.mode_count()
+     << " modes, " << system.total_task_count() << " tasks, "
+     << system.total_edge_count() << " edges, " << system.arch.pe_count()
+     << " PEs, " << system.arch.cl_count() << " CLs, "
+     << system.tech.type_count() << " task types\n";
+  for (const Mode& m : system.omsm.modes()) {
+    os << "  mode '" << m.name << "': Psi=" << m.probability
+       << " period=" << m.period << "s tasks=" << m.graph.task_count()
+       << " edges=" << m.graph.edge_count() << "\n";
+  }
+  for (PeId p : system.arch.pe_ids()) {
+    const Pe& pe = system.arch.pe(p);
+    os << "  PE '" << pe.name << "' (" << to_string(pe.kind) << ")"
+       << (pe.dvs_enabled ? " DVS" : "");
+    if (is_hardware(pe.kind)) os << " area=" << pe.area_capacity;
+    os << " Pstat=" << pe.static_power << "W\n";
+  }
+  return os.str();
+}
+
+}  // namespace mmsyn

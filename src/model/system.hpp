@@ -1,0 +1,42 @@
+// The complete co-synthesis problem instance: specification + architecture
+// + technology library, with cross-model validation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/architecture.hpp"
+#include "model/omsm.hpp"
+#include "model/tech_library.hpp"
+
+namespace mmsyn {
+
+/// A full problem instance as consumed by the synthesis flow.
+struct System {
+  std::string name;
+  Omsm omsm;
+  Architecture arch;
+  TechLibrary tech;
+
+  /// Cross-model checks on top of Omsm::validate():
+  ///  * every task's type is registered and has >= 1 implementation on the
+  ///    architecture's PEs;
+  ///  * every PE pair that could need to communicate is linked (the
+  ///    architecture is connected);
+  ///  * hardware PEs have positive area capacity;
+  ///  * FPGAs have positive reconfiguration bandwidth.
+  /// Returns human-readable problems; empty == valid.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Total number of tasks over all modes (genome length of the mapping GA).
+  [[nodiscard]] std::size_t total_task_count() const;
+
+  /// Total number of edges over all modes.
+  [[nodiscard]] std::size_t total_edge_count() const;
+};
+
+/// Renders a human-readable summary (mode/task/PE counts, probabilities)
+/// used by examples and debugging.
+[[nodiscard]] std::string describe(const System& system);
+
+}  // namespace mmsyn

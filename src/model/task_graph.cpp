@@ -1,0 +1,79 @@
+#include "model/task_graph.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mmsyn {
+
+TaskId TaskGraph::add_task(std::string name, TaskTypeId type,
+                           std::optional<double> deadline) {
+  assert(type.valid());
+  finalized_ = false;
+  tasks_.push_back(Task{std::move(name), type, deadline});
+  return TaskId{static_cast<TaskId::value_type>(tasks_.size() - 1)};
+}
+
+EdgeId TaskGraph::add_edge(TaskId src, TaskId dst, double data_bits) {
+  if (!src.valid() || !dst.valid() || src.index() >= tasks_.size() ||
+      dst.index() >= tasks_.size())
+    throw std::out_of_range("TaskGraph::add_edge: endpoint does not exist");
+  if (src == dst)
+    throw std::invalid_argument("TaskGraph::add_edge: self-loop");
+  if (data_bits < 0.0)
+    throw std::invalid_argument("TaskGraph::add_edge: negative data volume");
+  finalized_ = false;
+  edges_.push_back(TaskEdge{src, dst, data_bits});
+  return EdgeId{static_cast<EdgeId::value_type>(edges_.size() - 1)};
+}
+
+bool TaskGraph::finalize() const {
+  if (finalized_) return true;
+  out_.assign(tasks_.size(), {});
+  in_.assign(tasks_.size(), {});
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    const EdgeId id{static_cast<EdgeId::value_type>(e)};
+    out_[edges_[e].src.index()].push_back(id);
+    in_[edges_[e].dst.index()].push_back(id);
+  }
+  // Kahn's algorithm; stable order (lowest task id first) for determinism.
+  topo_.clear();
+  topo_.reserve(tasks_.size());
+  std::vector<std::size_t> indegree(tasks_.size());
+  for (std::size_t t = 0; t < tasks_.size(); ++t)
+    indegree[t] = in_[t].size();
+  std::vector<TaskId> frontier;
+  for (std::size_t t = 0; t < tasks_.size(); ++t)
+    if (indegree[t] == 0)
+      frontier.push_back(TaskId{static_cast<TaskId::value_type>(t)});
+  std::size_t cursor = 0;
+  while (cursor < frontier.size()) {
+    const TaskId u = frontier[cursor++];
+    topo_.push_back(u);
+    for (EdgeId e : out_[u.index()]) {
+      const TaskId v = edges_[e.index()].dst;
+      if (--indegree[v.index()] == 0) frontier.push_back(v);
+    }
+  }
+  finalized_ = topo_.size() == tasks_.size();
+  return finalized_;
+}
+
+const std::vector<EdgeId>& TaskGraph::out_edges(TaskId id) const {
+  if (!finalized_ && !finalize())
+    throw std::logic_error("TaskGraph: cyclic graph");
+  return out_[id.index()];
+}
+
+const std::vector<EdgeId>& TaskGraph::in_edges(TaskId id) const {
+  if (!finalized_ && !finalize())
+    throw std::logic_error("TaskGraph: cyclic graph");
+  return in_[id.index()];
+}
+
+const std::vector<TaskId>& TaskGraph::topological_order() const {
+  if (!finalized_ && !finalize())
+    throw std::logic_error("TaskGraph: cyclic graph");
+  return topo_;
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,89 @@
+// Task-graph model for one operational mode (Section 2.1.2 of the paper).
+//
+// A mode's functionality is a directed acyclic graph G_S(T, C): nodes are
+// coarse-grained, non-preemptible tasks (Huffman decoder, FFT, IDCT, ...)
+// tagged with a *task type*; edges are data dependencies carrying a data
+// volume that determines communication time/energy when the endpoints map
+// to different processing elements.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace mmsyn {
+
+/// One task node. Units: seconds for deadlines, bits for data volumes.
+struct Task {
+  std::string name;
+  TaskTypeId type;
+  /// Optional individual deadline θ_τ relative to the mode period start;
+  /// the effective limit is min(deadline, mode period φ).
+  std::optional<double> deadline;
+};
+
+/// One precedence/data edge τ_src → τ_dst.
+struct TaskEdge {
+  TaskId src;
+  TaskId dst;
+  /// Transferred data volume in bits (drives CL time and energy).
+  double data_bits = 0.0;
+};
+
+/// Immutable-after-build DAG of tasks. Construction is additive; structural
+/// queries (adjacency, topological order) are validated/derived lazily via
+/// `finalize()`, which must be called (or is called implicitly by accessors
+/// that need it) before use.
+class TaskGraph {
+public:
+  /// Adds a task and returns its id (dense, starting at 0).
+  TaskId add_task(std::string name, TaskTypeId type,
+                  std::optional<double> deadline = std::nullopt);
+
+  /// Adds a dependency edge; endpoints must already exist and be distinct.
+  EdgeId add_edge(TaskId src, TaskId dst, double data_bits);
+
+  /// Sets/clears a task's individual deadline (structure is unaffected).
+  void set_deadline(TaskId id, std::optional<double> deadline) {
+    tasks_[id.index()].deadline = deadline;
+  }
+
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  [[nodiscard]] const Task& task(TaskId id) const { return tasks_[id.index()]; }
+  [[nodiscard]] const TaskEdge& edge(EdgeId id) const {
+    return edges_[id.index()];
+  }
+  [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
+  [[nodiscard]] const std::vector<TaskEdge>& edges() const { return edges_; }
+
+  /// Outgoing/incoming edge ids of a task.
+  [[nodiscard]] const std::vector<EdgeId>& out_edges(TaskId id) const;
+  [[nodiscard]] const std::vector<EdgeId>& in_edges(TaskId id) const;
+
+  /// Tasks in a topological order (stable across runs).
+  /// Precondition: the graph is acyclic (checked by finalize()).
+  [[nodiscard]] const std::vector<TaskId>& topological_order() const;
+
+  /// Validates acyclicity and builds adjacency caches. Returns false iff a
+  /// cycle exists. Idempotent; adding tasks/edges resets it.
+  bool finalize() const;
+
+  /// True when finalize() has run successfully.
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+private:
+  std::vector<Task> tasks_;
+  std::vector<TaskEdge> edges_;
+
+  // Derived, rebuilt by finalize().
+  mutable std::vector<std::vector<EdgeId>> out_;
+  mutable std::vector<std::vector<EdgeId>> in_;
+  mutable std::vector<TaskId> topo_;
+  mutable bool finalized_ = false;
+};
+
+}  // namespace mmsyn

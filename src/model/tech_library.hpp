@@ -1,0 +1,73 @@
+// Technology library: implementation alternatives per (task type, PE).
+//
+// Mirrors the per-type tables in the paper's motivational example
+// (Section 2.3): for every task type and every PE capable of executing it,
+// the library stores nominal execution time t_min, nominal dynamic power
+// P_max (both at the PE's V_max), and — for hardware PEs — the core area
+// the type occupies.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace mmsyn {
+
+/// One implementation alternative of a task type on a specific PE.
+struct Implementation {
+  /// Worst-case execution time at nominal voltage, seconds.
+  double exec_time = 0.0;
+  /// Dynamic power at nominal voltage, watts.
+  double dyn_power = 0.0;
+  /// Core area in cells (hardware PEs only; 0 for software).
+  double area = 0.0;
+
+  /// Dynamic energy of one execution at nominal voltage, joules.
+  [[nodiscard]] double energy() const { return exec_time * dyn_power; }
+};
+
+/// Registry of task types plus the (type × PE) implementation matrix.
+class TechLibrary {
+public:
+  /// Registers a task type; names are for reporting only and need not be
+  /// unique (though generators keep them unique).
+  TaskTypeId add_type(std::string name);
+
+  /// Declares that `type` can run on `pe` with the given characteristics.
+  /// Re-setting an existing pair overwrites it.
+  void set_implementation(TaskTypeId type, PeId pe, Implementation impl);
+
+  [[nodiscard]] std::size_t type_count() const { return names_.size(); }
+  [[nodiscard]] const std::string& type_name(TaskTypeId id) const {
+    return names_[id.index()];
+  }
+
+  /// Implementation of `type` on `pe`, or nullopt when not supported.
+  [[nodiscard]] std::optional<Implementation> implementation(TaskTypeId type,
+                                                             PeId pe) const;
+
+  /// Implementation that must exist; throws std::logic_error otherwise.
+  [[nodiscard]] const Implementation& require(TaskTypeId type, PeId pe) const;
+
+  [[nodiscard]] bool supports(TaskTypeId type, PeId pe) const;
+
+  /// All PEs (ascending id) able to execute `type`, among the first
+  /// `pe_count` PEs.
+  [[nodiscard]] std::vector<PeId> candidate_pes(TaskTypeId type,
+                                                std::size_t pe_count) const;
+
+private:
+  struct Cell {
+    bool present = false;
+    Implementation impl;
+  };
+  [[nodiscard]] const Cell* find(TaskTypeId type, PeId pe) const;
+
+  std::vector<std::string> names_;
+  // impls_[type] is a vector indexed by PE; grown on demand.
+  std::vector<std::vector<Cell>> impls_;
+};
+
+}  // namespace mmsyn

@@ -1,0 +1,98 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "model/architecture.hpp"
+#include "model/omsm.hpp"
+#include "model/tech_library.hpp"
+
+namespace mmsyn {
+namespace {
+
+/// Occupancy rows keyed by a stable resource label.
+struct Row {
+  std::string label;
+  // (start, finish, symbol)
+  std::vector<std::tuple<double, double, char>> blocks;
+};
+
+char symbol_for(std::size_t index) {
+  static const char kSymbols[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  return kSymbols[index % (sizeof(kSymbols) - 1)];
+}
+
+}  // namespace
+
+std::string render_gantt(const Mode& mode, const ModeSchedule& schedule,
+                         const ModeMapping& mapping, const Architecture& arch,
+                         const GanttOptions& options) {
+  const double horizon = std::max(schedule.makespan, 1e-12);
+  std::map<std::string, Row> rows;
+  std::ostringstream legend;
+
+  auto add_block = [&](const std::string& label, double start, double finish,
+                       char symbol) {
+    Row& row = rows[label];
+    row.label = label;
+    row.blocks.emplace_back(start, finish, symbol);
+  };
+
+  for (std::size_t t = 0; t < schedule.tasks.size(); ++t) {
+    const ScheduledTask& st = schedule.tasks[t];
+    const Pe& pe = arch.pe(st.pe);
+    std::string label = pe.name;
+    if (is_hardware(pe.kind)) {
+      const TaskTypeId type = mode.graph.task(st.task).type;
+      label += "/core" + std::to_string(st.core_instance) + "(" +
+               std::string(1, '#') + std::to_string(type.value()) + ")";
+    }
+    const char symbol = symbol_for(t);
+    add_block(label, st.start, st.finish, symbol);
+    legend << "  " << symbol << " = "
+           << (options.use_task_names ? mode.graph.task(st.task).name
+                                      : "task" + std::to_string(st.task.value()))
+           << " [" << st.start * 1e3 << ".." << st.finish * 1e3 << " ms]\n";
+  }
+  for (std::size_t e = 0; e < schedule.comms.size(); ++e) {
+    const ScheduledComm& c = schedule.comms[e];
+    if (c.local || !c.cl.valid() || c.duration() <= 0.0) continue;
+    const char symbol = symbol_for(schedule.tasks.size() + e);
+    add_block(arch.cl(c.cl).name, c.start, c.finish, symbol);
+    legend << "  " << symbol << " = edge" << e << " transfer ["
+           << c.start * 1e3 << ".." << c.finish * 1e3 << " ms]\n";
+  }
+
+  std::size_t label_width = 0;
+  for (const auto& [label, row] : rows)
+    label_width = std::max(label_width, label.size());
+
+  std::ostringstream os;
+  char header[128];
+  std::snprintf(header, sizeof header,
+                "Gantt: mode '%s', makespan %.3f ms, period %.3f ms\n",
+                mode.name.c_str(), schedule.makespan * 1e3,
+                mode.period * 1e3);
+  os << header;
+  for (const auto& [label, row] : rows) {
+    std::string line(static_cast<std::size_t>(options.width), '.');
+    for (const auto& [start, finish, symbol] : row.blocks) {
+      const int from = static_cast<int>(start / horizon * options.width);
+      int to = static_cast<int>(finish / horizon * options.width);
+      to = std::max(to, from + 1);  // at least one cell
+      for (int x = from; x < to && x < options.width; ++x)
+        line[static_cast<std::size_t>(x)] = symbol;
+    }
+    os << label << std::string(label_width - label.size(), ' ') << " |"
+       << line << "|\n";
+  }
+  os << legend.str();
+  (void)mapping;
+  return os.str();
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,34 @@
+// ASCII Gantt rendering of mode schedules.
+//
+// Renders one ModeSchedule as a per-resource timeline chart (software PEs,
+// hardware core instances, buses), for reports, debugging, and the
+// examples. Pure formatting — no scheduling logic.
+#pragma once
+
+#include <string>
+
+#include "model/mapping.hpp"
+#include "sched/schedule.hpp"
+
+namespace mmsyn {
+
+struct Mode;
+class Architecture;
+
+struct GanttOptions {
+  /// Chart width in character columns (time axis resolution).
+  int width = 72;
+  /// Label tasks with their graph names (otherwise task ids).
+  bool use_task_names = true;
+};
+
+/// Renders `schedule` of `mode` under `mapping`. One row per occupied
+/// resource: "GPP0", "ASIC1/FFT#0" (core instance), "BUS0". Rows show the
+/// scheduled occupancy; a trailing legend maps row letters to activities.
+[[nodiscard]] std::string render_gantt(const Mode& mode,
+                                       const ModeSchedule& schedule,
+                                       const ModeMapping& mapping,
+                                       const Architecture& arch,
+                                       const GanttOptions& options = {});
+
+}  // namespace mmsyn

@@ -1,0 +1,262 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "model/architecture.hpp"
+#include "model/omsm.hpp"
+#include "model/tech_library.hpp"
+#include "sched/timeline.hpp"
+
+namespace mmsyn {
+namespace {
+
+constexpr double kUnroutablePenalty = 1e6;  // seconds; flags broken routing
+
+/// Bottom level: longest path from task start to any sink's finish, using
+/// mapped execution times and best-case communication delays. Classic list
+/// scheduling priority: larger == more urgent.
+std::vector<double> bottom_levels(const TaskGraph& graph,
+                                  const ModeMapping& mapping,
+                                  const Architecture& arch,
+                                  const TechLibrary& tech) {
+  const std::size_t n = graph.task_count();
+  std::vector<double> exec(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const TaskId id{static_cast<TaskId::value_type>(t)};
+    exec[t] = tech.require(graph.task(id).type, mapping.task_to_pe[t])
+                  .exec_time;
+  }
+  std::vector<double> level(n, 0.0);
+  const auto& topo = graph.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const TaskId u = *it;
+    double tail = 0.0;
+    for (EdgeId e : graph.out_edges(u)) {
+      const TaskEdge& edge = graph.edge(e);
+      const PeId src_pe = mapping.task_to_pe[edge.src.index()];
+      const PeId dst_pe = mapping.task_to_pe[edge.dst.index()];
+      double comm = 0.0;
+      if (src_pe != dst_pe) {
+        comm = std::numeric_limits<double>::infinity();
+        for (ClId cl : arch.links_between(src_pe, dst_pe)) {
+          const Cl& link = arch.cl(cl);
+          comm = std::min(comm,
+                          link.startup_latency + edge.data_bits / link.bandwidth);
+        }
+        if (!std::isfinite(comm)) comm = kUnroutablePenalty;
+      }
+      tail = std::max(tail, comm + level[edge.dst.index()]);
+    }
+    level[u.index()] = exec[u.index()] + tail;
+  }
+  return level;
+}
+
+/// Identifies the sequential execution resources of one PE: the PE itself
+/// for software, or one timeline per allocated core instance for hardware.
+class PeResources {
+public:
+  PeResources(const Pe& pe, const CoreSet& cores) : pe_(pe) {
+    if (is_software(pe.kind)) {
+      timelines_.resize(1);
+      return;
+    }
+    for (const auto& [type, count] : cores.entries()) {
+      group_offset_[type] = timelines_.size();
+      group_size_[type] = count;
+      timelines_.resize(timelines_.size() + static_cast<std::size_t>(count));
+    }
+  }
+
+  /// Earliest-fitting (start, instance) choice for a task of `type`.
+  std::pair<double, int> best_slot(TaskTypeId type, double ready,
+                                   double duration) {
+    if (is_software(pe_.kind)) {
+      return {timelines_[0].earliest_fit(ready, duration), 0};
+    }
+    auto off = group_offset_.find(type);
+    if (off == group_offset_.end()) {
+      // Type not in the allocated core set: behave as one implicit core so
+      // the schedule stays well-defined; the fitness layer charges the
+      // area for it via the allocation builder.
+      group_offset_[type] = timelines_.size();
+      group_size_[type] = 1;
+      timelines_.emplace_back();
+      off = group_offset_.find(type);
+    }
+    double best_start = std::numeric_limits<double>::infinity();
+    int best_instance = 0;
+    const int count = group_size_[type];
+    for (int i = 0; i < count; ++i) {
+      const double s =
+          timelines_[off->second + static_cast<std::size_t>(i)].earliest_fit(
+              ready, duration);
+      if (s < best_start) {
+        best_start = s;
+        best_instance = i;
+      }
+    }
+    return {best_start, best_instance};
+  }
+
+  void reserve(TaskTypeId type, int instance, double start, double duration) {
+    if (is_software(pe_.kind)) {
+      timelines_[0].reserve(start, duration);
+      return;
+    }
+    const std::size_t idx =
+        group_offset_.at(type) + static_cast<std::size_t>(instance);
+    timelines_[idx].reserve(start, duration);
+  }
+
+private:
+  const Pe& pe_;
+  std::vector<Timeline> timelines_;
+  std::map<TaskTypeId, std::size_t> group_offset_;
+  std::map<TaskTypeId, int> group_size_;
+};
+
+}  // namespace
+
+ModeSchedule list_schedule(const ListSchedulerInput& input) {
+  const TaskGraph& graph = input.mode.graph;
+  const std::size_t n = graph.task_count();
+
+  ModeSchedule result;
+  result.tasks.resize(n);
+  result.comms.resize(graph.edge_count());
+
+  std::vector<double> priority;
+  switch (input.policy) {
+    case SchedulingPolicy::kBottomLevel:
+      priority = bottom_levels(graph, input.mapping, input.arch, input.tech);
+      break;
+    case SchedulingPolicy::kTopoOrder:
+      priority.resize(n);
+      for (std::size_t t = 0; t < n; ++t)
+        priority[t] = -static_cast<double>(t);
+      break;
+    case SchedulingPolicy::kLongestTask:
+      priority.resize(n);
+      for (std::size_t t = 0; t < n; ++t) {
+        const TaskId id{static_cast<TaskId::value_type>(t)};
+        priority[t] =
+            input.tech.require(graph.task(id).type, input.mapping.task_to_pe[t])
+                .exec_time;
+      }
+      break;
+  }
+
+  std::vector<PeResources> pe_resources;
+  pe_resources.reserve(input.arch.pe_count());
+  for (PeId p : input.arch.pe_ids())
+    pe_resources.emplace_back(input.arch.pe(p), input.hw_cores[p.index()]);
+  std::vector<Timeline> cl_timelines(input.arch.cl_count());
+
+  std::vector<std::size_t> unscheduled_preds(n, 0);
+  for (std::size_t t = 0; t < n; ++t)
+    unscheduled_preds[t] =
+        graph.in_edges(TaskId{static_cast<TaskId::value_type>(t)}).size();
+
+  std::vector<TaskId> ready;
+  for (std::size_t t = 0; t < n; ++t)
+    if (unscheduled_preds[t] == 0)
+      ready.push_back(TaskId{static_cast<TaskId::value_type>(t)});
+
+  std::size_t scheduled = 0;
+  while (!ready.empty()) {
+    // Highest bottom-level first; ties broken by lower task id for
+    // determinism.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+      const double a = priority[ready[i].index()];
+      const double b = priority[ready[best].index()];
+      if (a > b || (a == b && ready[i] < ready[best])) best = i;
+    }
+    const TaskId u = ready[best];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+
+    const PeId pe = input.mapping.task_to_pe[u.index()];
+    const Task& task = graph.task(u);
+    const double exec = input.tech.require(task.type, pe).exec_time;
+
+    // Route every incoming edge, committing the earliest-delivery CL.
+    double est = 0.0;
+    for (EdgeId e : graph.in_edges(u)) {
+      const TaskEdge& edge = graph.edge(e);
+      const ScheduledTask& pred = result.tasks[edge.src.index()];
+      ScheduledComm& comm = result.comms[e.index()];
+      comm.edge = e;
+      const PeId src_pe = input.mapping.task_to_pe[edge.src.index()];
+      if (src_pe == pe) {
+        comm.local = true;
+        comm.cl = ClId::invalid();
+        comm.start = comm.finish = pred.finish;
+        est = std::max(est, pred.finish);
+        continue;
+      }
+      comm.local = false;
+      const auto links = input.arch.links_between(src_pe, pe);
+      if (links.empty()) {
+        result.routable = false;
+        comm.cl = ClId::invalid();
+        comm.start = pred.finish;
+        comm.finish = pred.finish + kUnroutablePenalty;
+        est = std::max(est, comm.finish);
+        continue;
+      }
+      double best_finish = std::numeric_limits<double>::infinity();
+      double best_start = 0.0;
+      ClId best_cl;
+      for (ClId cl : links) {
+        const Cl& link = input.arch.cl(cl);
+        const double dur =
+            link.startup_latency + edge.data_bits / link.bandwidth;
+        const double s =
+            cl_timelines[cl.index()].earliest_fit(pred.finish, dur);
+        if (s + dur < best_finish) {
+          best_finish = s + dur;
+          best_start = s;
+          best_cl = cl;
+        }
+      }
+      const Cl& link = input.arch.cl(best_cl);
+      const double dur =
+          link.startup_latency + edge.data_bits / link.bandwidth;
+      cl_timelines[best_cl.index()].reserve(best_start, dur);
+      comm.cl = best_cl;
+      comm.start = best_start;
+      comm.finish = best_start + dur;
+      est = std::max(est, comm.finish);
+    }
+
+    auto [start, instance] =
+        pe_resources[pe.index()].best_slot(task.type, est, exec);
+    pe_resources[pe.index()].reserve(task.type, instance, start, exec);
+
+    ScheduledTask& st = result.tasks[u.index()];
+    st.task = u;
+    st.pe = pe;
+    st.core_instance = instance;
+    st.start = start;
+    st.finish = start + exec;
+    result.makespan = std::max(result.makespan, st.finish);
+    ++scheduled;
+
+    for (EdgeId e : graph.out_edges(u)) {
+      const TaskId v = graph.edge(e).dst;
+      if (--unscheduled_preds[v.index()] == 0) ready.push_back(v);
+    }
+  }
+  assert(scheduled == n && "task graph must be acyclic");
+  for (const ScheduledComm& c : result.comms)
+    result.makespan = std::max(result.makespan, c.finish);
+  return result;
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,51 @@
+// Priority list scheduler with communication mapping (the inner
+// optimisation loop of Fig. 4, line 10 — LOPOCOS-style, paper ref [12]).
+//
+// Given one mode, a task mapping and a hardware core allocation, the
+// scheduler derives the communication mapping M_γ and the timing schedule
+// S_ε: tasks are placed in bottom-level priority order; software PEs and
+// individual hardware core instances are sequential resources with
+// first-fit gap insertion; each inter-PE edge is routed over the connecting
+// CL that delivers its data earliest.
+#pragma once
+
+#include "common/ids.hpp"
+#include "model/core_allocation.hpp"
+#include "model/mapping.hpp"
+#include "sched/schedule.hpp"
+
+namespace mmsyn {
+
+struct Mode;
+class Architecture;
+class TechLibrary;
+
+/// Task-selection priority of the list scheduler.
+enum class SchedulingPolicy {
+  /// Longest remaining path to a sink (critical-path list scheduling, the
+  /// default and the paper's reference behaviour).
+  kBottomLevel,
+  /// Ready tasks in task-id order (a FIFO strawman for ablation).
+  kTopoOrder,
+  /// Longest mapped execution time first (LPT-style).
+  kLongestTask,
+};
+
+/// Scheduler inputs for one mode. All references must outlive the call.
+struct ListSchedulerInput {
+  const Mode& mode;
+  const ModeMapping& mapping;
+  const Architecture& arch;
+  const TechLibrary& tech;
+  /// Core set loaded on each hardware PE during this mode (from the outer
+  /// loop's core allocation). Types mapped to a HW PE but missing from its
+  /// set are treated as a single implicit core.
+  const std::vector<CoreSet>& hw_cores;  // index == PE id
+  SchedulingPolicy policy = SchedulingPolicy::kBottomLevel;
+};
+
+/// Schedules one mode. Never fails structurally: unroutable messages are
+/// assigned a large penalty latency and flagged via `routable == false`.
+[[nodiscard]] ModeSchedule list_schedule(const ListSchedulerInput& input);
+
+}  // namespace mmsyn

@@ -1,0 +1,47 @@
+// Schedule result types for one operational mode.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace mmsyn {
+
+/// One scheduled task occurrence.
+struct ScheduledTask {
+  TaskId task;
+  PeId pe;
+  /// Core instance index within the (pe, task-type) core group; 0 on
+  /// software PEs.
+  int core_instance = 0;
+  double start = 0.0;
+  double finish = 0.0;
+
+  [[nodiscard]] double duration() const { return finish - start; }
+};
+
+/// One scheduled communication (the activity of a task-graph edge).
+struct ScheduledComm {
+  EdgeId edge;
+  /// CL carrying the message; invalid id when `local` (same-PE, zero cost).
+  ClId cl;
+  bool local = true;
+  double start = 0.0;
+  double finish = 0.0;
+
+  [[nodiscard]] double duration() const { return finish - start; }
+};
+
+/// Complete timing schedule S_ε of one mode: start/finish times for every
+/// task (index == task id) and every edge's communication (index == edge
+/// id), as produced by the list scheduler.
+struct ModeSchedule {
+  std::vector<ScheduledTask> tasks;
+  std::vector<ScheduledComm> comms;
+  /// Latest finish over all activities.
+  double makespan = 0.0;
+  /// True when every inter-PE edge found a connecting CL.
+  bool routable = true;
+};
+
+}  // namespace mmsyn

@@ -1,0 +1,47 @@
+#include "sched/timeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mmsyn {
+
+namespace {
+// Tolerance absorbing floating-point noise when intervals abut.
+constexpr double kEps = 1e-12;
+}  // namespace
+
+double Timeline::earliest_fit(double ready, double duration) const {
+  assert(duration >= 0.0);
+  double candidate = ready;
+  for (const Interval& iv : intervals_) {
+    if (candidate + duration <= iv.start + kEps) return candidate;
+    candidate = std::max(candidate, iv.end);
+  }
+  return candidate;
+}
+
+void Timeline::reserve(double start, double duration) {
+  assert(duration >= 0.0);
+  if (duration == 0.0) return;  // zero-length blocks occupy nothing
+  const Interval block{start, start + duration};
+  auto it = std::lower_bound(intervals_.begin(), intervals_.end(), block,
+                             [](const Interval& a, const Interval& b) {
+                               return a.start < b.start;
+                             });
+  // Overlap check against neighbours (debug builds only).
+  assert(it == intervals_.end() || block.end <= it->start + kEps);
+  assert(it == intervals_.begin() || std::prev(it)->end <= block.start + kEps);
+  intervals_.insert(it, block);
+}
+
+double Timeline::horizon() const {
+  return intervals_.empty() ? 0.0 : intervals_.back().end;
+}
+
+double Timeline::busy_time() const {
+  double total = 0.0;
+  for (const Interval& iv : intervals_) total += iv.end - iv.start;
+  return total;
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,49 @@
+// Resource timeline with first-fit gap insertion.
+//
+// Each sequential resource (a software PE, one hardware core instance, a
+// communication link) is modelled as a set of disjoint busy intervals; the
+// list scheduler places activities into the earliest gap that fits
+// (insertion-based list scheduling).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mmsyn {
+
+/// Ordered set of busy [start, end) intervals on one sequential resource.
+class Timeline {
+public:
+  /// Earliest start >= `ready` at which a block of `duration` fits into a
+  /// gap (or after the last interval).
+  [[nodiscard]] double earliest_fit(double ready, double duration) const;
+
+  /// Marks [start, start + duration) busy. The block must not overlap an
+  /// existing interval (guaranteed when `start` came from earliest_fit).
+  void reserve(double start, double duration);
+
+  /// End of the last busy interval (0 when idle).
+  [[nodiscard]] double horizon() const;
+
+  /// Total busy time.
+  [[nodiscard]] double busy_time() const;
+
+  [[nodiscard]] std::size_t interval_count() const {
+    return intervals_.size();
+  }
+
+  void clear() { intervals_.clear(); }
+
+  struct Interval {
+    double start;
+    double end;
+  };
+  [[nodiscard]] const std::vector<Interval>& intervals() const {
+    return intervals_;
+  }
+
+private:
+  std::vector<Interval> intervals_;  // sorted, disjoint
+};
+
+}  // namespace mmsyn

@@ -1,0 +1,182 @@
+#include "sched/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "model/architecture.hpp"
+#include "model/omsm.hpp"
+#include "model/tech_library.hpp"
+
+namespace mmsyn {
+namespace {
+
+std::string task_label(const Mode& mode, TaskId id) {
+  return "'" + mode.graph.task(id).name + "'";
+}
+
+}  // namespace
+
+const char* to_string(ScheduleViolation::Kind kind) {
+  switch (kind) {
+    case ScheduleViolation::Kind::kPrecedence: return "precedence";
+    case ScheduleViolation::Kind::kResourceOverlap: return "resource-overlap";
+    case ScheduleViolation::Kind::kRouting: return "routing";
+    case ScheduleViolation::Kind::kDuration: return "duration";
+    case ScheduleViolation::Kind::kCoreMissing: return "core-missing";
+    case ScheduleViolation::Kind::kDeadline: return "deadline";
+  }
+  return "?";
+}
+
+std::vector<ScheduleViolation> validate_schedule(
+    const Mode& mode, const ModeSchedule& schedule,
+    const ModeMapping& mapping, const Architecture& arch,
+    const TechLibrary& tech, const std::vector<CoreSet>& hw_cores,
+    const ValidateOptions& options) {
+  std::vector<ScheduleViolation> violations;
+  const double eps = options.tolerance;
+  auto report = [&](ScheduleViolation::Kind kind, const std::string& detail) {
+    violations.push_back({kind, detail});
+  };
+
+  const TaskGraph& graph = mode.graph;
+
+  // ---- Durations match the technology library / CL model. ---------------
+  for (std::size_t t = 0; t < graph.task_count(); ++t) {
+    const TaskId id{static_cast<TaskId::value_type>(t)};
+    const ScheduledTask& st = schedule.tasks[t];
+    const double expected =
+        tech.require(graph.task(id).type, mapping.task_to_pe[t]).exec_time;
+    if (std::abs(st.duration() - expected) > eps + 1e-12 * expected)
+      report(ScheduleViolation::Kind::kDuration,
+             "task " + task_label(mode, id) + " duration " +
+                 std::to_string(st.duration()) + " != model " +
+                 std::to_string(expected));
+  }
+  for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+    const ScheduledComm& comm = schedule.comms[e];
+    if (comm.local || !comm.cl.valid()) continue;
+    const Cl& cl = arch.cl(comm.cl);
+    const double expected =
+        cl.startup_latency +
+        graph.edge(EdgeId{static_cast<EdgeId::value_type>(e)}).data_bits /
+            cl.bandwidth;
+    if (std::abs(comm.duration() - expected) > eps + 1e-12 * expected)
+      report(ScheduleViolation::Kind::kDuration,
+             "edge " + std::to_string(e) + " transfer duration " +
+                 std::to_string(comm.duration()) + " != model " +
+                 std::to_string(expected));
+  }
+
+  // ---- Precedence through communications. --------------------------------
+  for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+    const TaskEdge& edge = graph.edge(EdgeId{static_cast<EdgeId::value_type>(e)});
+    const ScheduledComm& comm = schedule.comms[e];
+    const ScheduledTask& src = schedule.tasks[edge.src.index()];
+    const ScheduledTask& dst = schedule.tasks[edge.dst.index()];
+    if (comm.start + eps < src.finish)
+      report(ScheduleViolation::Kind::kPrecedence,
+             "transfer of edge " + std::to_string(e) +
+                 " starts before producer " + task_label(mode, edge.src) +
+                 " finishes");
+    if (dst.start + eps < comm.finish)
+      report(ScheduleViolation::Kind::kPrecedence,
+             "consumer " + task_label(mode, edge.dst) +
+                 " starts before edge " + std::to_string(e) + " arrives");
+  }
+
+  // ---- Routing: CL must connect both endpoints. ---------------------------
+  for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+    const TaskEdge& edge = graph.edge(EdgeId{static_cast<EdgeId::value_type>(e)});
+    const ScheduledComm& comm = schedule.comms[e];
+    const PeId src_pe = mapping.task_to_pe[edge.src.index()];
+    const PeId dst_pe = mapping.task_to_pe[edge.dst.index()];
+    if (src_pe == dst_pe) {
+      if (!comm.local)
+        report(ScheduleViolation::Kind::kRouting,
+               "same-PE edge " + std::to_string(e) + " marked non-local");
+      continue;
+    }
+    if (comm.local) {
+      report(ScheduleViolation::Kind::kRouting,
+             "cross-PE edge " + std::to_string(e) + " marked local");
+      continue;
+    }
+    if (!comm.cl.valid()) {
+      report(ScheduleViolation::Kind::kRouting,
+             "cross-PE edge " + std::to_string(e) + " has no CL");
+      continue;
+    }
+    const auto& attached = arch.cl(comm.cl).attached;
+    const bool ok =
+        std::find(attached.begin(), attached.end(), src_pe) != attached.end() &&
+        std::find(attached.begin(), attached.end(), dst_pe) != attached.end();
+    if (!ok)
+      report(ScheduleViolation::Kind::kRouting,
+             "edge " + std::to_string(e) + " rides CL '" +
+                 arch.cl(comm.cl).name + "' which misses an endpoint");
+  }
+
+  // ---- Core coverage and resource exclusiveness. --------------------------
+  // Group activities per sequential resource.
+  std::map<std::string, std::vector<std::pair<double, double>>> resources;
+  for (std::size_t t = 0; t < graph.task_count(); ++t) {
+    const TaskId id{static_cast<TaskId::value_type>(t)};
+    const ScheduledTask& st = schedule.tasks[t];
+    const Pe& pe = arch.pe(st.pe);
+    std::string key;
+    if (is_software(pe.kind)) {
+      key = "pe" + std::to_string(st.pe.value());
+    } else {
+      const TaskTypeId type = graph.task(id).type;
+      const int count = hw_cores[st.pe.index()].count_of(type);
+      // Missing allocation is tolerated as one implicit core (the
+      // scheduler's documented fallback) but instances beyond the
+      // allocated count are a violation.
+      const int limit = std::max(count, 1);
+      if (st.core_instance < 0 || st.core_instance >= limit)
+        report(ScheduleViolation::Kind::kCoreMissing,
+               "task " + task_label(mode, id) + " uses core instance " +
+                   std::to_string(st.core_instance) + " of " +
+                   std::to_string(limit));
+      key = "pe" + std::to_string(st.pe.value()) + "/type" +
+            std::to_string(type.value()) + "/core" +
+            std::to_string(st.core_instance);
+    }
+    resources[key].emplace_back(st.start, st.finish);
+  }
+  for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+    const ScheduledComm& comm = schedule.comms[e];
+    if (comm.local || !comm.cl.valid() || comm.duration() <= 0.0) continue;
+    resources["cl" + std::to_string(comm.cl.value())].emplace_back(
+        comm.start, comm.finish);
+  }
+  for (auto& [key, intervals] : resources) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i)
+      if (intervals[i].first + eps < intervals[i - 1].second)
+        report(ScheduleViolation::Kind::kResourceOverlap,
+               "overlap on " + key + " around t=" +
+                   std::to_string(intervals[i].first));
+  }
+
+  // ---- Deadlines (optional). ----------------------------------------------
+  if (options.check_deadlines) {
+    for (std::size_t t = 0; t < graph.task_count(); ++t) {
+      const TaskId id{static_cast<TaskId::value_type>(t)};
+      double limit = mode.period;
+      if (const auto& dl = graph.task(id).deadline)
+        limit = std::min(limit, *dl);
+      if (schedule.tasks[t].finish > limit + eps)
+        report(ScheduleViolation::Kind::kDeadline,
+               "task " + task_label(mode, id) + " finishes at " +
+                   std::to_string(schedule.tasks[t].finish) + " > limit " +
+                   std::to_string(limit));
+    }
+  }
+  return violations;
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,58 @@
+// Schedule validation: independent checking of the inner loop's output.
+//
+// A co-synthesis result is only trustworthy if the schedules it prices
+// are executable. This module re-checks a ModeSchedule against the model
+// from first principles — data precedence through communications, resource
+// exclusiveness (software PEs, hardware core instances, buses), routing
+// (CL connects both endpoints), core-allocation coverage, and timing
+// limits — completely independently of how the scheduler constructed it.
+// Used by the test suite and available to downstream users as a safety
+// net behind custom schedulers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/core_allocation.hpp"
+#include "model/mapping.hpp"
+#include "sched/schedule.hpp"
+
+namespace mmsyn {
+
+struct Mode;
+class Architecture;
+class TechLibrary;
+
+/// One detected problem.
+struct ScheduleViolation {
+  enum class Kind {
+    kPrecedence,       ///< consumer starts before its input arrives
+    kResourceOverlap,  ///< two activities overlap on a sequential resource
+    kRouting,          ///< comm mapped to a CL not connecting its endpoints
+    kDuration,         ///< task/comm duration disagrees with the model
+    kCoreMissing,      ///< HW task lacks an allocated core instance
+    kDeadline,         ///< task finishes after min(deadline, period)
+  };
+  Kind kind;
+  std::string detail;
+};
+
+/// Validation controls: deadline checking is optional because candidate
+/// evaluation legitimately prices infeasible schedules via penalties.
+struct ValidateOptions {
+  bool check_deadlines = false;
+  double tolerance = 1e-9;
+};
+
+/// Checks `schedule` for `mode` under `mapping` and `hw_cores` (the same
+/// inputs the list scheduler received). Returns every violation found.
+[[nodiscard]] std::vector<ScheduleViolation> validate_schedule(
+    const Mode& mode, const ModeSchedule& schedule,
+    const ModeMapping& mapping, const Architecture& arch,
+    const TechLibrary& tech, const std::vector<CoreSet>& hw_cores,
+    const ValidateOptions& options = {});
+
+/// Human-readable rendering of a violation kind.
+[[nodiscard]] const char* to_string(ScheduleViolation::Kind kind);
+
+}  // namespace mmsyn

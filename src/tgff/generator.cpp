@@ -1,0 +1,301 @@
+#include "tgff/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace mmsyn {
+namespace {
+
+/// Evenly spaced discrete voltage levels from `vlow` up to `vmax`.
+std::vector<double> make_levels(double vlow, double vmax, int count) {
+  std::vector<double> levels(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    levels[static_cast<std::size_t>(i)] =
+        vlow + (vmax - vlow) * static_cast<double>(i) / (count - 1);
+  return levels;
+}
+
+/// Grows one TGFF-style task graph: tasks arrive level by level; each
+/// non-root task draws 1..max_in_degree parents from recent levels.
+void grow_task_graph(TaskGraph& graph, int task_count,
+                     const std::vector<TaskTypeId>& pool,
+                     const GeneratorConfig& cfg, Rng& rng) {
+  std::vector<std::vector<TaskId>> levels;
+  int created = 0;
+  while (created < task_count) {
+    const int width = static_cast<int>(rng.uniform_int(
+        1, std::min<std::int64_t>(cfg.max_graph_width,
+                                  task_count - created)));
+    std::vector<TaskId> level;
+    for (int w = 0; w < width; ++w) {
+      const TaskTypeId type = pool[rng.pick_index(pool.size())];
+      const TaskId task = graph.add_task(
+          "t" + std::to_string(created), type);
+      ++created;
+      if (!levels.empty()) {
+        // Parents from the previous two levels, newest first.
+        std::vector<TaskId> parents;
+        for (std::size_t back = 0; back < 2 && back < levels.size(); ++back)
+          for (TaskId p : levels[levels.size() - 1 - back])
+            parents.push_back(p);
+        rng.shuffle(parents);
+        const int in_degree = static_cast<int>(rng.uniform_int(
+            1, std::min<std::int64_t>(cfg.max_in_degree,
+                                      static_cast<std::int64_t>(
+                                          parents.size()))));
+        for (int d = 0; d < in_degree; ++d)
+          graph.add_edge(parents[static_cast<std::size_t>(d)], task,
+                         rng.uniform_real(cfg.edge_bits_min,
+                                          cfg.edge_bits_max));
+      }
+      level.push_back(task);
+    }
+    levels.push_back(std::move(level));
+  }
+}
+
+}  // namespace
+
+System generate_system(const GeneratorConfig& cfg, std::string name) {
+  Rng rng(cfg.seed);
+  System system;
+  system.name = std::move(name);
+
+  // ---- Architecture: PEs. ------------------------------------------------
+  const int pe_count =
+      static_cast<int>(rng.uniform_int(cfg.pe_count_min, cfg.pe_count_max));
+  std::vector<PeKind> kinds;
+  kinds.push_back(PeKind::kGpp);  // always one general-purpose processor
+  if (pe_count >= 2)
+    kinds.push_back(PeKind::kAsic);  // always one contested static resource
+  const PeKind extras[] = {PeKind::kGpp, PeKind::kAsip, PeKind::kAsic,
+                           PeKind::kFpga};
+  while (static_cast<int>(kinds.size()) < pe_count)
+    kinds.push_back(extras[rng.pick_index(4)]);
+
+  std::vector<bool> dvs_flags(kinds.size(), false);
+  bool any_dvs = false;
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    dvs_flags[i] = rng.chance(cfg.dvs_probability);
+    any_dvs = any_dvs || dvs_flags[i];
+  }
+  if (!any_dvs) dvs_flags[0] = true;
+
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    Pe pe;
+    pe.name = std::string(to_string(kinds[i])) + std::to_string(i);
+    pe.kind = kinds[i];
+    pe.dvs_enabled = dvs_flags[i];
+    pe.threshold_voltage = 0.8;
+    pe.voltage_levels =
+        dvs_flags[i]
+            ? make_levels(rng.uniform_real(1.1, 1.6), 3.3,
+                          static_cast<int>(rng.uniform_int(4, 6)))
+            : std::vector<double>{3.3};
+    pe.static_power =
+        rng.uniform_real(cfg.pe_static_power_min, cfg.pe_static_power_max);
+    // Area capacity and FPGA reconfiguration bandwidth are set below once
+    // the type areas are known.
+    system.arch.add_pe(std::move(pe));
+  }
+
+  // ---- Architecture: CLs (buses connecting all PEs). ---------------------
+  const int cl_count =
+      static_cast<int>(rng.uniform_int(cfg.cl_count_min, cfg.cl_count_max));
+  for (int c = 0; c < cl_count; ++c) {
+    Cl cl;
+    cl.name = "BUS" + std::to_string(c);
+    cl.bandwidth = cfg.cl_bandwidth;
+    cl.startup_latency = cfg.cl_startup;
+    cl.transfer_power = rng.uniform_real(cfg.cl_power_min, cfg.cl_power_max);
+    cl.static_power =
+        rng.uniform_real(cfg.cl_static_power_min, cfg.cl_static_power_max);
+    cl.attached = system.arch.pe_ids();
+    system.arch.add_cl(std::move(cl));
+  }
+
+  // ---- Technology library. -----------------------------------------------
+  std::vector<TaskTypeId> pool;
+  std::vector<double> hw_area_sum(system.arch.pe_count(), 0.0);
+  for (int t = 0; t < cfg.type_pool_size; ++t) {
+    const TaskTypeId type = system.tech.add_type("T" + std::to_string(t));
+    pool.push_back(type);
+
+    const double base_time = rng.uniform_real(cfg.sw_time_min, cfg.sw_time_max);
+    const double base_power =
+        rng.uniform_real(cfg.sw_power_min, cfg.sw_power_max);
+    const double base_energy = base_time * base_power;
+
+    for (PeId p : system.arch.pe_ids()) {
+      const Pe& pe = system.arch.pe(p);
+      if (pe.kind == PeKind::kGpp) {
+        // GPPs support every type (guaranteed fallback implementation).
+        Implementation impl;
+        impl.exec_time = base_time * rng.uniform_real(0.9, 1.1);
+        impl.dyn_power = base_power * rng.uniform_real(0.9, 1.1);
+        system.tech.set_implementation(type, p, impl);
+      } else if (pe.kind == PeKind::kAsip) {
+        if (!rng.chance(0.8)) continue;
+        Implementation impl;
+        impl.exec_time = base_time * rng.uniform_real(0.6, 1.1);
+        impl.dyn_power = base_power * rng.uniform_real(0.6, 1.1);
+        system.tech.set_implementation(type, p, impl);
+      } else {
+        if (!rng.chance(cfg.hw_support_probability)) continue;
+        Implementation impl;
+        const double speedup =
+            rng.uniform_real(cfg.hw_speedup_min, cfg.hw_speedup_max);
+        const double energy_ratio = rng.uniform_real(
+            cfg.hw_energy_ratio_min, cfg.hw_energy_ratio_max);
+        impl.exec_time = base_time / speedup;
+        impl.dyn_power = (base_energy / energy_ratio) / impl.exec_time;
+        impl.area = (cfg.hw_area_base + cfg.hw_area_per_mj * base_energy * 1e3) *
+                    rng.uniform_real(1.0 - cfg.hw_area_noise,
+                                     1.0 + cfg.hw_area_noise);
+        system.tech.set_implementation(type, p, impl);
+        hw_area_sum[p.index()] += impl.area;
+      }
+    }
+  }
+
+  // Hardware capacities: a fraction of the total supported-type area, so
+  // only a subset of types fits simultaneously.
+  for (PeId p : system.arch.pe_ids()) {
+    Pe& pe = system.arch.pe(p);
+    if (!is_hardware(pe.kind)) continue;
+    // Never below the area of one large core, so every HW PE is usable.
+    const double one_core =
+        cfg.hw_area_base +
+        cfg.hw_area_per_mj * cfg.sw_time_max * cfg.sw_power_max * 1e3;
+    pe.area_capacity =
+        std::max(one_core, hw_area_sum[p.index()] *
+                               rng.uniform_real(cfg.hw_capacity_fraction_min,
+                                                cfg.hw_capacity_fraction_max));
+    if (pe.kind == PeKind::kFpga)
+      pe.reconfig_bandwidth =
+          pe.area_capacity / rng.uniform_real(0.01, 0.05);
+  }
+
+  // ---- Modes with task graphs. -------------------------------------------
+  // Each mode draws tasks from its own subset of the type pool: a few
+  // *common* types shared by all modes (cross-mode resource sharing) plus
+  // mode-biased types. This differentiation is what makes the hardware
+  // area a contested resource between modes — the effect the paper's
+  // probability-aware mapping exploits.
+  const int mode_count =
+      static_cast<int>(rng.uniform_int(cfg.mode_count_min, cfg.mode_count_max));
+  const int common_count = std::max(
+      2, static_cast<int>(cfg.shared_type_fraction * cfg.types_per_mode));
+  std::vector<TaskTypeId> common_pool(
+      pool.begin(), pool.begin() + std::min<std::size_t>(
+                                       pool.size(),
+                                       static_cast<std::size_t>(common_count)));
+  // The dominant mode is the lightest one (like the paper's 74% Radio Link
+  // Control mode): generate one mode with a task count from the bottom of
+  // the range and remember it for the probability assignment.
+  const std::size_t dominant = 0;
+  for (int m = 0; m < mode_count; ++m) {
+    Mode mode;
+    mode.name = "mode" + std::to_string(m);
+    const int tasks =
+        (static_cast<std::size_t>(m) == dominant)
+            ? static_cast<int>(rng.uniform_int(
+                  cfg.tasks_per_mode_min,
+                  std::max<std::int64_t>(cfg.tasks_per_mode_min,
+                                         (cfg.tasks_per_mode_min +
+                                          cfg.tasks_per_mode_max) /
+                                             2)))
+            : static_cast<int>(rng.uniform_int(cfg.tasks_per_mode_min,
+                                               cfg.tasks_per_mode_max));
+    // Mode-private subset: common types plus uniformly drawn extras.
+    std::vector<TaskTypeId> subset = common_pool;
+    while (static_cast<int>(subset.size()) <
+           std::max(common_count + 1,
+                    std::min<int>(cfg.types_per_mode,
+                                  static_cast<int>(pool.size())))) {
+      const TaskTypeId t = pool[rng.pick_index(pool.size())];
+      if (std::find(subset.begin(), subset.end(), t) == subset.end())
+        subset.push_back(t);
+    }
+    grow_task_graph(mode.graph, tasks, subset, cfg, rng);
+    mode.period = 1.0;  // placeholder; probed below
+    system.omsm.add_mode(std::move(mode));
+  }
+
+  // ---- Period calibration via a software-only feasibility probe. --------
+  const std::vector<CoreSet> no_cores(system.arch.pe_count());
+  for (std::size_t m = 0; m < system.omsm.mode_count(); ++m) {
+    Mode& mode =
+        system.omsm.mode(ModeId{static_cast<ModeId::value_type>(m)});
+    ModeMapping probe;
+    probe.task_to_pe.assign(mode.graph.task_count(),
+                            PeId{0});  // GPP supports everything
+    const ModeSchedule schedule = list_schedule(
+        {mode, probe, system.arch, system.tech, no_cores});
+    const bool is_dominant = m == 0;  // mode 0 is the dominant mode
+    mode.period = schedule.makespan *
+                  (is_dominant
+                       ? rng.uniform_real(cfg.dominant_period_factor_min,
+                                          cfg.dominant_period_factor_max)
+                       : rng.uniform_real(cfg.period_factor_min,
+                                          cfg.period_factor_max));
+    // Occasionally pin a sink task to a tighter individual deadline.
+    if (rng.chance(0.3) && mode.graph.task_count() > 0) {
+      const std::size_t t = rng.pick_index(mode.graph.task_count());
+      const TaskId id{static_cast<TaskId::value_type>(t)};
+      if (mode.graph.out_edges(id).empty()) {
+        // Keep the deadline above the probe finish of the task itself so
+        // at least the all-software mapping stays achievable.
+        const double floor_time = schedule.tasks[t].finish;
+        const double dl =
+            std::max(floor_time, mode.period * rng.uniform_real(0.75, 1.0));
+        mode.graph.set_deadline(id, dl);
+      }
+    }
+  }
+
+  // ---- Mode execution probabilities (one dominant mode). -----------------
+  {
+    const double p_dom = rng.uniform_real(cfg.dominant_probability_min,
+                                          cfg.dominant_probability_max);
+    std::vector<double> sticks;
+    double stick_total = 0.0;
+    for (std::size_t m = 0; m < system.omsm.mode_count(); ++m) {
+      const double u = (m == dominant) ? 0.0 : rng.uniform_real(0.1, 1.0);
+      sticks.push_back(u);
+      stick_total += u;
+    }
+    for (std::size_t m = 0; m < system.omsm.mode_count(); ++m) {
+      Mode& mode =
+          system.omsm.mode(ModeId{static_cast<ModeId::value_type>(m)});
+      mode.probability = (m == dominant)
+                             ? p_dom
+                             : (1.0 - p_dom) * sticks[m] / stick_total;
+    }
+  }
+
+  // ---- OMSM transitions: a ring plus a few random chords. ----------------
+  const auto add_transition = [&](std::size_t from, std::size_t to) {
+    if (from == to) return;
+    system.omsm.add_transition(
+        {ModeId{static_cast<ModeId::value_type>(from)},
+         ModeId{static_cast<ModeId::value_type>(to)},
+         rng.uniform_real(cfg.transition_limit_min,
+                          cfg.transition_limit_max)});
+  };
+  for (std::size_t m = 0; m < system.omsm.mode_count(); ++m)
+    add_transition(m, (m + 1) % system.omsm.mode_count());
+  const std::size_t chords = system.omsm.mode_count() / 2;
+  for (std::size_t c = 0; c < chords; ++c)
+    add_transition(rng.pick_index(system.omsm.mode_count()),
+                   rng.pick_index(system.omsm.mode_count()));
+
+  return system;
+}
+
+}  // namespace mmsyn

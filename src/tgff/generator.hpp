@@ -1,0 +1,118 @@
+// TGFF-style random multi-mode system generator.
+//
+// The paper evaluates on 12 automatically generated examples (mul1–mul12):
+// 3–5 operational modes of 8–32 tasks each, mapped onto 2–4 heterogeneous
+// PEs (some DVS-enabled) connected by 1–3 CLs. The authors' instances are
+// not published, so this module regenerates the family: task graphs grow by
+// the classic TGFF fan-in/fan-out method, task types are drawn from a pool
+// shared across modes (enabling cross-mode resource sharing), and the
+// technology tables follow the paper's characteristics (hardware 5–100×
+// faster than software, drastically lower energy, area-constrained).
+// Every instance is fully determined by the config's 64-bit seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/system.hpp"
+
+namespace mmsyn {
+
+/// Generation parameters. Ranges are inclusive.
+struct GeneratorConfig {
+  std::uint64_t seed = 1;
+
+  int mode_count_min = 3;
+  int mode_count_max = 5;
+  int tasks_per_mode_min = 8;
+  int tasks_per_mode_max = 32;
+  /// Size of the shared task-type pool; smaller pools increase cross-mode
+  /// type sharing.
+  int type_pool_size = 36;
+  /// Each mode draws its tasks from a private subset of the pool of this
+  /// size...
+  int types_per_mode = 9;
+  /// ...where this fraction of draws comes from a small *common* sub-pool
+  /// shared by all modes (cross-mode resource sharing à la Fig. 3). Too
+  /// many shared types let them crowd the hardware area under any mode
+  /// weighting, erasing the probability effect.
+  double shared_type_fraction = 0.25;
+  /// Maximum parallel width of a generated task-graph level.
+  int max_graph_width = 4;
+  /// Maximum predecessors of a non-root task.
+  int max_in_degree = 3;
+
+  int pe_count_min = 2;
+  int pe_count_max = 4;
+  int cl_count_min = 1;
+  int cl_count_max = 3;
+  /// Probability that a PE is DVS-enabled (at least one always is).
+  double dvs_probability = 0.5;
+
+  // --- Technology characteristics (SI units). ---------------------------
+  double sw_time_min = 5e-3;    ///< software exec time range [s]
+  double sw_time_max = 15e-3;
+  double sw_power_min = 0.10;   ///< software dynamic power range [W]
+  double sw_power_max = 0.25;
+  double hw_speedup_min = 5.0;  ///< hardware is 5–100× faster
+  double hw_speedup_max = 100.0;
+  double hw_energy_ratio_min = 50.0;  ///< SW/HW energy ratio
+  double hw_energy_ratio_max = 1000.0;
+  /// Core area grows with the type's computational weight (its software
+  /// energy), as in the paper's table where the heavier types occupy the
+  /// larger cores: area = (base + per_mj · E_sw[mJ]) · (1 ± noise).
+  double hw_area_base = 60.0;    ///< [cells]
+  double hw_area_per_mj = 80.0;  ///< [cells per mJ of software energy]
+  double hw_area_noise = 0.1;
+  /// Probability that a type has an implementation on a given HW PE.
+  double hw_support_probability = 0.7;
+  /// HW capacity = fraction of the summed area of all its supported types.
+  /// Calibrated so the cross-mode shared types fit together with *some*
+  /// but not all mode-exclusive types — the contested regime the paper's
+  /// motivational example (600 cells for 2 of 6 cores) sits in.
+  double hw_capacity_fraction_min = 0.32;
+  double hw_capacity_fraction_max = 0.45;
+
+  double pe_static_power_min = 3e-4;  ///< [W]
+  double pe_static_power_max = 1.5e-3;
+  double cl_static_power_min = 1e-4;
+  double cl_static_power_max = 4e-4;
+
+  double cl_bandwidth = 1e7;          ///< [bit/s]
+  double cl_startup = 1e-4;           ///< [s]
+  double cl_power_min = 0.02;         ///< transfer power [W]
+  double cl_power_max = 0.10;
+
+  double edge_bits_min = 1e3;
+  double edge_bits_max = 3.2e4;
+
+  // --- Timing. ------------------------------------------------------------
+  /// Mode period = software-only feasibility-probe makespan × factor drawn
+  /// from this range. Factors > 1 keep the all-software mapping feasible
+  /// (so every instance has solutions). Non-dominant modes are *bursty*:
+  /// tight periods make them power-dense, which is what attracts a
+  /// probability-neglecting optimiser to them.
+  double period_factor_min = 1.05;
+  double period_factor_max = 1.3;
+  /// The dominant mode runs relaxed (idle-ish background work, like the
+  /// paper's Radio Link Control): generous period, low power density, DVS
+  /// headroom.
+  double dominant_period_factor_min = 1.6;
+  double dominant_period_factor_max = 2.2;
+
+  // --- Mode probabilities. ------------------------------------------------
+  /// The dominant mode's probability range; the remainder is split over
+  /// the other modes with random stick-breaking.
+  double dominant_probability_min = 0.55;
+  double dominant_probability_max = 0.85;
+
+  /// Mode-transition time limits [s].
+  double transition_limit_min = 5e-3;
+  double transition_limit_max = 5e-2;
+};
+
+/// Generates one system; deterministic in `config.seed`.
+[[nodiscard]] System generate_system(const GeneratorConfig& config,
+                                     std::string name);
+
+}  // namespace mmsyn

@@ -1,0 +1,184 @@
+#include "tgff/motivational.hpp"
+
+#include <array>
+
+namespace mmsyn {
+namespace {
+
+/// Chain edges t0 -> t1 -> ... with a common data volume.
+void chain(TaskGraph& graph, const std::array<TaskId, 3>& tasks,
+           double bits) {
+  graph.add_edge(tasks[0], tasks[1], bits);
+  graph.add_edge(tasks[1], tasks[2], bits);
+}
+
+MultiModeMapping mapping_from(
+    const std::array<std::array<int, 3>, 2>& pe_per_task) {
+  MultiModeMapping mapping;
+  mapping.modes.resize(2);
+  for (std::size_t m = 0; m < 2; ++m)
+    for (int pe : pe_per_task[m])
+      mapping.modes[m].task_to_pe.push_back(
+          PeId{static_cast<PeId::value_type>(pe)});
+  return mapping;
+}
+
+}  // namespace
+
+System make_motivational_example1() {
+  System system;
+  system.name = "motivational-example1";
+
+  Pe gpp;
+  gpp.name = "PE0";
+  gpp.kind = PeKind::kGpp;
+  const PeId pe0 = system.arch.add_pe(gpp);
+  Pe asic;
+  asic.name = "PE1";
+  asic.kind = PeKind::kAsic;
+  asic.area_capacity = 600.0;
+  const PeId pe1 = system.arch.add_pe(asic);
+  Cl bus;
+  bus.name = "CL0";
+  bus.bandwidth = 1e6;
+  bus.attached = {pe0, pe1};
+  system.arch.add_cl(bus);
+
+  // Published type table (Section 2.3): exec time [ms], dynamic energy
+  // [mW·s] on each PE, HW core area [cells].
+  struct Row {
+    const char* name;
+    double sw_ms, sw_mws;
+    double hw_ms, hw_mws;
+    double area;
+  };
+  constexpr Row kRows[6] = {
+      {"A", 20, 10, 2.0, 0.010, 240}, {"B", 28, 14, 2.2, 0.012, 300},
+      {"C", 32, 16, 1.6, 0.023, 275}, {"D", 26, 13, 3.1, 0.047, 245},
+      {"E", 30, 15, 1.8, 0.015, 210}, {"F", 24, 14, 2.2, 0.032, 280},
+  };
+  std::array<TaskTypeId, 6> types;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const Row& r = kRows[i];
+    types[i] = system.tech.add_type(r.name);
+    // ms -> s, mW·s -> J; power = energy / time.
+    const double sw_t = r.sw_ms * 1e-3, sw_e = r.sw_mws * 1e-3;
+    const double hw_t = r.hw_ms * 1e-3, hw_e = r.hw_mws * 1e-3;
+    system.tech.set_implementation(types[i], pe0, {sw_t, sw_e / sw_t, 0.0});
+    system.tech.set_implementation(types[i], pe1, {hw_t, hw_e / hw_t, r.area});
+  }
+
+  // Mode O1 (Ψ=0.1): τ1(A) → τ2(B) → τ3(C); zero-volume edges keep
+  // communication neutral as in the paper's example.
+  Mode o1;
+  o1.name = "O1";
+  o1.probability = 0.1;
+  o1.period = 1.0;
+  chain(o1.graph,
+        {o1.graph.add_task("tau1", types[0]),
+         o1.graph.add_task("tau2", types[1]),
+         o1.graph.add_task("tau3", types[2])},
+        0.0);
+  const ModeId m1 = system.omsm.add_mode(std::move(o1));
+
+  Mode o2;
+  o2.name = "O2";
+  o2.probability = 0.9;
+  o2.period = 1.0;
+  chain(o2.graph,
+        {o2.graph.add_task("tau4", types[3]),
+         o2.graph.add_task("tau5", types[4]),
+         o2.graph.add_task("tau6", types[5])},
+        0.0);
+  const ModeId m2 = system.omsm.add_mode(std::move(o2));
+
+  system.omsm.add_transition({m1, m2});
+  system.omsm.add_transition({m2, m1});
+  return system;
+}
+
+MultiModeMapping example1_mapping_without_probabilities() {
+  // Fig. 2b: τ3 (C) and τ5 (E) in hardware.
+  return mapping_from({{{0, 0, 1}, {0, 1, 0}}});
+}
+
+MultiModeMapping example1_mapping_with_probabilities() {
+  // Fig. 2c: τ5 (E) and τ6 (F) in hardware.
+  return mapping_from({{{0, 0, 0}, {0, 1, 1}}});
+}
+
+System make_motivational_example2() {
+  System system;
+  system.name = "motivational-example2";
+
+  Pe gpp;
+  gpp.name = "PE0";
+  gpp.kind = PeKind::kGpp;
+  gpp.static_power = 5e-3;
+  const PeId pe0 = system.arch.add_pe(gpp);
+  Pe asic;
+  asic.name = "PE1";
+  asic.kind = PeKind::kAsic;
+  asic.area_capacity = 600.0;
+  asic.static_power = 10e-3;
+  const PeId pe1 = system.arch.add_pe(asic);
+  Cl bus;
+  bus.name = "CL0";
+  bus.bandwidth = 1e6;
+  bus.transfer_power = 20e-3;
+  bus.static_power = 5e-3;
+  bus.attached = {pe0, pe1};
+  system.arch.add_cl(bus);
+
+  // Type A is hardware-capable (and shared across both modes); the others
+  // are software-only. A is heavy, so O1 (1 s period) needs its hardware
+  // core; O2 repeats only every 10 s, so duplicating τ4 in software costs
+  // less than keeping the ASIC and bus powered during O2.
+  const TaskTypeId a = system.tech.add_type("A");
+  system.tech.set_implementation(a, pe0, {60e-3, 0.30, 0.0});
+  system.tech.set_implementation(a, pe1, {1e-3, 1.8e-3, 240.0});
+  const TaskTypeId b = system.tech.add_type("B");
+  system.tech.set_implementation(b, pe0, {4e-3, 0.050, 0.0});
+  const TaskTypeId c = system.tech.add_type("C");
+  system.tech.set_implementation(c, pe0, {3e-3, 0.060, 0.0});
+  const TaskTypeId e = system.tech.add_type("E");
+  system.tech.set_implementation(e, pe0, {5e-3, 0.050, 0.0});
+  const TaskTypeId f = system.tech.add_type("F");
+  system.tech.set_implementation(f, pe0, {4e-3, 0.055, 0.0});
+
+  Mode o1;
+  o1.name = "O1";
+  o1.probability = 0.3;
+  o1.period = 1.0;
+  chain(o1.graph,
+        {o1.graph.add_task("tau1", a), o1.graph.add_task("tau2", b),
+         o1.graph.add_task("tau3", c)},
+        1000.0);
+  const ModeId m1 = system.omsm.add_mode(std::move(o1));
+
+  Mode o2;
+  o2.name = "O2";
+  o2.probability = 0.7;
+  o2.period = 10.0;  // slow background activity
+  chain(o2.graph,
+        {o2.graph.add_task("tau4", a), o2.graph.add_task("tau5", e),
+         o2.graph.add_task("tau6", f)},
+        1000.0);
+  const ModeId m2 = system.omsm.add_mode(std::move(o2));
+
+  system.omsm.add_transition({m1, m2});
+  system.omsm.add_transition({m2, m1});
+  return system;
+}
+
+MultiModeMapping example2_mapping_shared() {
+  // Fig. 3b: τ1 and τ4 share the hardware A-core on PE1.
+  return mapping_from({{{1, 0, 0}, {1, 0, 0}}});
+}
+
+MultiModeMapping example2_mapping_multiple_impl() {
+  // Fig. 3c: τ4 implemented in software; PE1 and CL0 idle during O2.
+  return mapping_from({{{1, 0, 0}, {0, 0, 0}}});
+}
+
+}  // namespace mmsyn

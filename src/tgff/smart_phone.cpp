@@ -1,0 +1,372 @@
+#include "tgff/smart_phone.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace mmsyn {
+namespace {
+
+/// Symbolic task types of the three applications plus the radio stack.
+/// The first seven mirror the cores of the paper's Fig. 1c.
+enum Type : int {
+  FFT,          // C1: network correlation / synthesis filterbank
+  HD,           // C2: Huffman decoding (MP3 bitstream, JPEG entropy)
+  IDCT,         // C3: inverse DCT (MP3 IMDCT, JPEG blocks)
+  COLORTRANS,   // C4: colour-space transform
+  DEQ,          // C5: de-quantiser (MP3, JPEG)
+  STP,          // C6: GSM short-term prediction
+  LTP,          // C7: GSM long-term prediction
+  PREEMPH, LPC, RPE_ENC, GRID_SEL, FRAME_PACK, FRAME_UNPACK, RPE_DEC,
+  POSTFILT, SCALEFACT, STEREO, ANTIALIAS, SUBBAND, PCM_OUT,
+  DEINTERLEAVE, CHAN_EST, EQUALIZE, CRC_CHECK, POWER_CTRL, HANDOVER,
+  RLC_CTRL, FRAME_SYNC, SCAN_RF, SYNC_DET, BCCH_DEC, CELL_SEL,
+  SENSOR_READ, BAYER, SHARPEN, JPEG_ENC, STORE, DISPLAY,
+  kTypeCount
+};
+
+const char* type_name(int t) {
+  static const char* kNames[] = {
+      "FFT", "HD", "IDCT", "COLORTRANS", "DEQ", "STP", "LTP",
+      "PREEMPH", "LPC", "RPE_ENC", "GRID_SEL", "FRAME_PACK", "FRAME_UNPACK",
+      "RPE_DEC", "POSTFILT", "SCALEFACT", "STEREO", "ANTIALIAS", "SUBBAND",
+      "PCM_OUT", "DEINTERLEAVE", "CHAN_EST", "EQUALIZE", "CRC_CHECK",
+      "POWER_CTRL", "HANDOVER", "RLC_CTRL", "FRAME_SYNC", "SCAN_RF",
+      "SYNC_DET", "BCCH_DEC", "CELL_SEL", "SENSOR_READ", "BAYER", "SHARPEN",
+      "JPEG_ENC", "STORE", "DISPLAY"};
+  return kNames[t];
+}
+
+/// Builder context shared by the per-application subgraph functions.
+struct Builder {
+  TaskGraph* graph = nullptr;
+  const std::array<TaskTypeId, kTypeCount>* types = nullptr;
+  int counter = 0;
+  double bits = 4096.0;  // default message size
+
+  TaskId add(int type) {
+    return graph->add_task(std::string(type_name(type)) + "#" +
+                               std::to_string(counter++),
+                           (*types)[static_cast<std::size_t>(type)]);
+  }
+  void edge(TaskId a, TaskId b, double data_bits = -1.0) {
+    graph->add_edge(a, b, data_bits < 0 ? bits : data_bits);
+  }
+};
+
+/// Radio link control: 8 tasks keeping the network connection alive.
+void add_rlc(Builder& b) {
+  const TaskId sync = b.add(FRAME_SYNC);
+  const TaskId deint = b.add(DEINTERLEAVE);
+  const TaskId chan = b.add(CHAN_EST);
+  const TaskId eq = b.add(EQUALIZE);
+  const TaskId crc = b.add(CRC_CHECK);
+  const TaskId ctrl = b.add(RLC_CTRL);
+  const TaskId pwr = b.add(POWER_CTRL);
+  const TaskId hand = b.add(HANDOVER);
+  b.edge(sync, deint);
+  b.edge(sync, chan);
+  b.edge(deint, eq);
+  b.edge(chan, eq);
+  b.edge(eq, crc);
+  b.edge(crc, ctrl);
+  b.edge(ctrl, pwr);
+  b.edge(ctrl, hand);
+}
+
+/// Network search: 5 tasks scanning for a carrier.
+void add_network_search(Builder& b) {
+  const TaskId scan = b.add(SCAN_RF);
+  const TaskId corr = b.add(FFT);
+  const TaskId sync = b.add(SYNC_DET);
+  const TaskId bcch = b.add(BCCH_DEC);
+  const TaskId sel = b.add(CELL_SEL);
+  b.edge(scan, corr);
+  b.edge(corr, sync);
+  b.edge(sync, bcch);
+  b.edge(bcch, sel);
+}
+
+/// GSM 06.10 full-rate codec (encoder + decoder), 27 tasks: the encoder
+/// processes four sub-frames through LTP/RPE after STP analysis, the
+/// decoder reverses the chain through short-term synthesis.
+void add_gsm_codec(Builder& b) {
+  const TaskId pre = b.add(PREEMPH);
+  const TaskId lpc = b.add(LPC);
+  const TaskId stp = b.add(STP);
+  b.edge(pre, lpc);
+  b.edge(lpc, stp);
+  const TaskId pack = b.add(FRAME_PACK);
+  for (int sub = 0; sub < 4; ++sub) {
+    const TaskId ltp = b.add(LTP);
+    const TaskId rpe = b.add(RPE_ENC);
+    const TaskId grid = b.add(GRID_SEL);
+    b.edge(stp, ltp);
+    b.edge(ltp, rpe);
+    b.edge(rpe, grid);
+    b.edge(grid, pack);
+  }
+  const TaskId unpack = b.add(FRAME_UNPACK);
+  b.edge(pack, unpack, 2048.0);
+  const TaskId stp_syn = b.add(STP);
+  for (int sub = 0; sub < 4; ++sub) {
+    const TaskId rpe_d = b.add(RPE_DEC);
+    const TaskId ltp_d = b.add(LTP);
+    b.edge(unpack, rpe_d);
+    b.edge(rpe_d, ltp_d);
+    b.edge(ltp_d, stp_syn);
+  }
+  const TaskId post = b.add(POSTFILT);
+  b.edge(stp_syn, post);
+}
+
+/// MP3 decoder, 13 tasks: bitstream + side info, two granules of
+/// dequantise/stereo/antialias/IMDCT/filterbank, PCM merge.
+void add_mp3(Builder& b) {
+  const TaskId hd = b.add(HD);
+  const TaskId scale = b.add(SCALEFACT);
+  b.edge(hd, scale);
+  const TaskId pcm = b.add(PCM_OUT);
+  for (int granule = 0; granule < 2; ++granule) {
+    const TaskId deq = b.add(DEQ);
+    const TaskId stereo = b.add(STEREO);
+    const TaskId anti = b.add(ANTIALIAS);
+    const TaskId imdct = b.add(IDCT);
+    const TaskId sub = b.add(SUBBAND);
+    b.edge(scale, deq);
+    b.edge(deq, stereo);
+    b.edge(stereo, anti);
+    b.edge(anti, imdct);
+    b.edge(imdct, sub);
+    b.edge(sub, pcm);
+  }
+}
+
+/// JPEG baseline decoder, 2 + 4*strips tasks: per-strip entropy decode,
+/// dequantise, IDCT, colour transform; fan-out from the header parse and
+/// fan-in to the image assembly.
+void add_jpeg_decode(Builder& b, int strips) {
+  const TaskId header = b.add(HD);
+  const TaskId assemble = b.add(DISPLAY);
+  for (int s = 0; s < strips; ++s) {
+    const TaskId hd = b.add(HD);
+    const TaskId deq = b.add(DEQ);
+    const TaskId idct = b.add(IDCT);
+    const TaskId color = b.add(COLORTRANS);
+    b.edge(header, hd, 1024.0);
+    b.edge(hd, deq);
+    b.edge(deq, idct);
+    b.edge(idct, color);
+    b.edge(color, assemble, 8192.0);
+  }
+}
+
+/// Camera pipeline (take photo + show photo), 14 tasks.
+void add_camera(Builder& b) {
+  const TaskId sensor = b.add(SENSOR_READ);
+  const TaskId bayer = b.add(BAYER);
+  const TaskId sharpen = b.add(SHARPEN);
+  const TaskId ct = b.add(COLORTRANS);
+  b.edge(sensor, bayer, 16384.0);
+  b.edge(bayer, sharpen);
+  b.edge(sharpen, ct);
+  const TaskId store = b.add(STORE);
+  for (int s = 0; s < 2; ++s) {
+    const TaskId enc = b.add(JPEG_ENC);
+    b.edge(ct, enc);
+    b.edge(enc, store, 8192.0);
+  }
+  // Review path: decode the stored thumbnail and display it.
+  const TaskId hd = b.add(HD);
+  const TaskId deq = b.add(DEQ);
+  const TaskId idct = b.add(IDCT);
+  const TaskId color = b.add(COLORTRANS);
+  const TaskId disp = b.add(DISPLAY);
+  b.edge(store, hd, 2048.0);
+  b.edge(hd, deq);
+  b.edge(deq, idct);
+  b.edge(idct, color);
+  b.edge(color, disp, 8192.0);
+}
+
+}  // namespace
+
+System make_smart_phone() {
+  System system;
+  system.name = "smart-phone";
+  Rng rng(0x50EA'2003'0DA7Eull);
+
+  // ---- Architecture (Table 3): one DVS GPP + two ASICs on one bus. ------
+  Pe cpu;
+  cpu.name = "CPU";
+  cpu.kind = PeKind::kGpp;
+  cpu.dvs_enabled = true;
+  cpu.voltage_levels = {1.2, 1.7, 2.2, 2.75, 3.3};
+  cpu.threshold_voltage = 0.8;
+  cpu.static_power = 4e-4;
+  const PeId pe_cpu = system.arch.add_pe(std::move(cpu));
+
+  Pe asic1;
+  asic1.name = "ASIC1";
+  asic1.kind = PeKind::kAsic;
+  asic1.static_power = 2.5e-4;
+  const PeId pe_asic1 = system.arch.add_pe(std::move(asic1));
+
+  Pe asic2;
+  asic2.name = "ASIC2";
+  asic2.kind = PeKind::kAsic;
+  asic2.static_power = 2e-4;
+  const PeId pe_asic2 = system.arch.add_pe(std::move(asic2));
+
+  Cl bus;
+  bus.name = "BUS";
+  bus.bandwidth = 1e7;
+  bus.startup_latency = 5e-5;
+  bus.transfer_power = 5e-2;
+  bus.static_power = 1e-4;
+  bus.attached = {pe_cpu, pe_asic1, pe_asic2};
+  system.arch.add_cl(std::move(bus));
+
+  // ---- Technology library. ----------------------------------------------
+  // ASIC1 hosts the signal-processing cores of Fig. 1c's left ASIC; ASIC2
+  // the prediction/image cores. IDCT is implementable on both (the paper's
+  // MP3/JPEG sharing example).
+  const std::vector<int> asic1_types = {
+      FFT,      HD,           IDCT,      DEQ,       SUBBAND, ANTIALIAS,
+      STEREO,   EQUALIZE,     DEINTERLEAVE, CRC_CHECK, CHAN_EST,
+      FRAME_SYNC};
+  const std::vector<int> asic2_types = {
+      IDCT,     COLORTRANS, STP,     LTP,      RPE_ENC, RPE_DEC,
+      JPEG_ENC, SHARPEN,    BAYER,   SCALEFACT, POWER_CTRL, HANDOVER,
+      RLC_CTRL};
+
+  std::array<TaskTypeId, kTypeCount> types;
+  double area_sum1 = 0.0, area_sum2 = 0.0;
+  for (int t = 0; t < kTypeCount; ++t) {
+    types[static_cast<std::size_t>(t)] = system.tech.add_type(type_name(t));
+    const double sw_time = rng.uniform_real(1e-3, 8e-3);
+    const double sw_power = rng.uniform_real(0.08, 0.25);
+    system.tech.set_implementation(types[static_cast<std::size_t>(t)], pe_cpu,
+                                   {sw_time, sw_power, 0.0});
+    auto add_hw = [&](PeId pe, double& area_sum) {
+      Implementation impl;
+      const double speedup = rng.uniform_real(5.0, 100.0);
+      const double energy_ratio = rng.uniform_real(100.0, 800.0);
+      impl.exec_time = sw_time / speedup;
+      impl.dyn_power = (sw_time * sw_power / energy_ratio) / impl.exec_time;
+      impl.area = rng.uniform_real(150.0, 400.0);
+      area_sum += impl.area;
+      system.tech.set_implementation(types[static_cast<std::size_t>(t)], pe,
+                                     impl);
+    };
+    if (std::find(asic1_types.begin(), asic1_types.end(), t) !=
+        asic1_types.end())
+      add_hw(pe_asic1, area_sum1);
+    if (std::find(asic2_types.begin(), asic2_types.end(), t) !=
+        asic2_types.end())
+      add_hw(pe_asic2, area_sum2);
+  }
+  // Tight enough that the radio stack, the codecs and the imaging pipeline
+  // compete for core area — the contest the mode probabilities resolve.
+  system.arch.pe(pe_asic1).area_capacity = 0.30 * area_sum1;
+  system.arch.pe(pe_asic2).area_capacity = 0.28 * area_sum2;
+
+  // ---- The eight operational modes (Fig. 1a probabilities). -------------
+  struct ModeSpec {
+    const char* name;
+    double probability;
+    double period_factor;  // of the software-only probe makespan
+    void (*build)(Builder&);
+  };
+  static const auto build_ns = [](Builder& b) { add_network_search(b); };
+  static const auto build_rlc = [](Builder& b) { add_rlc(b); };
+  static const auto build_gsm = [](Builder& b) {
+    add_gsm_codec(b);
+    add_rlc(b);
+  };
+  static const auto build_mp3_rlc = [](Builder& b) {
+    add_mp3(b);
+    add_rlc(b);
+  };
+  static const auto build_mp3_ns = [](Builder& b) {
+    add_mp3(b);
+    add_network_search(b);
+  };
+  static const auto build_photo_rlc = [](Builder& b) {
+    add_jpeg_decode(b, 16);
+    add_rlc(b);
+  };
+  static const auto build_photo_ns = [](Builder& b) {
+    add_jpeg_decode(b, 16);
+    add_network_search(b);
+  };
+  static const auto build_camera = [](Builder& b) { add_camera(b); };
+
+  const ModeSpec kModes[8] = {
+      {"NetworkSearch", 0.01, 2.0, build_ns},
+      {"RadioLinkControl", 0.74, 2.0, build_rlc},
+      {"GSMcodec+RLC", 0.09, 1.2, build_gsm},
+      {"MP3play+RLC", 0.10, 1.3, build_mp3_rlc},
+      {"MP3play+NetworkSearch", 0.01, 1.3, build_mp3_ns},
+      {"decodePhoto+RLC", 0.02, 0.8, build_photo_rlc},
+      {"decodePhoto+NetworkSearch", 0.02, 0.8, build_photo_ns},
+      {"Take/ShowPhoto", 0.01, 1.0, build_camera},
+  };
+
+  const std::vector<CoreSet> no_cores(system.arch.pe_count());
+  for (const ModeSpec& spec : kModes) {
+    Mode mode;
+    mode.name = spec.name;
+    mode.probability = spec.probability;
+    Builder b;
+    b.graph = &mode.graph;
+    b.types = &types;
+    spec.build(b);
+    // Software-only feasibility probe calibrates the period; factors < 1
+    // force hardware acceleration (photo decode), factors > 1 leave DVS
+    // headroom (control-dominated modes).
+    ModeMapping probe;
+    probe.task_to_pe.assign(mode.graph.task_count(), pe_cpu);
+    const ModeSchedule sched =
+        list_schedule({mode, probe, system.arch, system.tech, no_cores});
+    mode.period = sched.makespan * spec.period_factor;
+    system.omsm.add_mode(std::move(mode));
+  }
+
+  // ---- OMSM transitions (Fig. 1a), with transition-time limits. ---------
+  auto mode_id = [](PhoneMode m) {
+    return ModeId{static_cast<ModeId::value_type>(static_cast<int>(m))};
+  };
+  using P = PhoneMode;
+  const std::pair<P, P> kEdges[] = {
+      {P::kNetworkSearch, P::kRadioLinkControl},      // network found
+      {P::kRadioLinkControl, P::kNetworkSearch},      // network lost
+      {P::kRadioLinkControl, P::kGsmCodecRlc},        // incoming call
+      {P::kGsmCodecRlc, P::kRadioLinkControl},        // terminate call
+      {P::kRadioLinkControl, P::kMp3Rlc},             // play audio
+      {P::kMp3Rlc, P::kRadioLinkControl},             // terminate audio
+      {P::kMp3Rlc, P::kMp3NetworkSearch},             // network lost
+      {P::kMp3NetworkSearch, P::kMp3Rlc},             // network found
+      {P::kMp3NetworkSearch, P::kNetworkSearch},      // terminate audio
+      {P::kRadioLinkControl, P::kPhotoRlc},           // show photo
+      {P::kPhotoRlc, P::kRadioLinkControl},           // terminate photo
+      {P::kPhotoRlc, P::kPhotoNetworkSearch},         // network lost
+      {P::kPhotoNetworkSearch, P::kPhotoRlc},         // network found
+      {P::kPhotoNetworkSearch, P::kNetworkSearch},    // terminate photo
+      {P::kRadioLinkControl, P::kTakeShowPhoto},      // take photo
+      {P::kTakeShowPhoto, P::kRadioLinkControl},      // photo taken
+      {P::kTakeShowPhoto, P::kPhotoRlc},              // show photo
+  };
+  for (const auto& [from, to] : kEdges)
+    system.omsm.add_transition(
+        {mode_id(from), mode_id(to), rng.uniform_real(0.015, 0.05)});
+
+  return system;
+}
+
+}  // namespace mmsyn

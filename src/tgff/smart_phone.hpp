@@ -1,0 +1,34 @@
+// The smart-phone real-life benchmark (Section 5, Fig. 1a, Table 3).
+//
+// Eight operational modes combining a GSM cellular phone (GSM 06.10
+// codec + radio link control), an MP3 player, and a digital camera (JPEG
+// decode/encode), with the paper's published mode execution probabilities
+// (e.g. 74% Radio Link Control, 9% GSM codec + RLC, 1% Network Search).
+// The original benchmark profiles real code (toast, jpeg-6b, mpeg3play)
+// on real hardware; this reconstruction preserves the structure — task
+// graphs of 5–88 nodes shaped after the three applications, shared task
+// types across modes (FFT, HD, IDCT, DeQ, ColorTrans, STP, LTP per
+// Fig. 1c), hardware 5–100× faster than software — on the published
+// architecture: one DVS-enabled GPP plus two ASICs on a single bus.
+#pragma once
+
+#include "model/system.hpp"
+
+namespace mmsyn {
+
+/// Builds the smart-phone system. Deterministic (fixed internal seed).
+[[nodiscard]] System make_smart_phone();
+
+/// Mode indices of the smart-phone OMSM, for tests and reporting.
+enum class PhoneMode : int {
+  kNetworkSearch = 0,
+  kRadioLinkControl = 1,
+  kGsmCodecRlc = 2,
+  kMp3Rlc = 3,
+  kMp3NetworkSearch = 4,
+  kPhotoRlc = 5,
+  kPhotoNetworkSearch = 6,
+  kTakeShowPhoto = 7,
+};
+
+}  // namespace mmsyn

@@ -1,0 +1,23 @@
+// The fixed benchmark suite of the paper's evaluation.
+//
+// mul1–mul12: twelve generated multi-mode examples with the published
+// structural parameters (3–5 modes of 8–32 tasks, 2–4 heterogeneous PEs,
+// 1–3 CLs). The authors' concrete instances are unpublished; these are
+// regenerated from fixed seeds (see DESIGN.md, substitution notes) with
+// the mode counts matching Table 1/2's "(No. of modes)" column.
+#pragma once
+
+#include "model/system.hpp"
+
+namespace mmsyn {
+
+/// Number of suite instances (12).
+[[nodiscard]] int mul_count();
+
+/// Builds suite instance `index` (1-based, 1..mul_count()). Deterministic.
+[[nodiscard]] System make_mul(int index);
+
+/// Mode count of instance `index` as published in Table 1 ("mulN (k)").
+[[nodiscard]] int mul_mode_count(int index);
+
+}  // namespace mmsyn

@@ -1,0 +1,100 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mmsyn {
+namespace {
+
+/// argv helper (parse takes char**).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    ptrs_.push_back(const_cast<char*>("prog"));
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+Flags make_flags() {
+  Flags flags;
+  flags.define_int("count", 5, "a count");
+  flags.define_double("ratio", 0.5, "a ratio");
+  flags.define_bool("verbose", false, "verbosity");
+  flags.define_string("name", "default", "a name");
+  return flags;
+}
+
+TEST(Flags, DefaultsApply) {
+  Flags flags = make_flags();
+  Argv argv({});
+  ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(flags.get_int("count"), 5);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), 0.5);
+  EXPECT_FALSE(flags.get_bool("verbose"));
+  EXPECT_EQ(flags.get_string("name"), "default");
+}
+
+TEST(Flags, SpaceSeparatedValues) {
+  Flags flags = make_flags();
+  Argv argv({"--count", "9", "--ratio", "0.25", "--name", "x"});
+  ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(flags.get_int("count"), 9);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), 0.25);
+  EXPECT_EQ(flags.get_string("name"), "x");
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags flags = make_flags();
+  Argv argv({"--count=7", "--verbose=true"});
+  ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(flags.get_int("count"), 7);
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(Flags, BareBooleanIsTrue) {
+  Flags flags = make_flags();
+  Argv argv({"--verbose"});
+  ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(Flags, UnknownFlagFails) {
+  Flags flags = make_flags();
+  Argv argv({"--bogus", "1"});
+  EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Flags, MissingValueFails) {
+  Flags flags = make_flags();
+  Argv argv({"--count"});
+  EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Flags, PositionalArgumentFails) {
+  Flags flags = make_flags();
+  Argv argv({"stray"});
+  EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Flags, HelpReturnsFalse) {
+  Flags flags = make_flags();
+  Argv argv({"--help"});
+  EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Flags, TypeMismatchThrows) {
+  Flags flags = make_flags();
+  EXPECT_THROW((void)flags.get_int("ratio"), std::logic_error);
+  EXPECT_THROW((void)flags.get_bool("count"), std::logic_error);
+  EXPECT_THROW((void)flags.get_int("nonexistent"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mmsyn

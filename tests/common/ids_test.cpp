@@ -1,0 +1,51 @@
+#include "common/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+#include <unordered_set>
+
+namespace mmsyn {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  TaskId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, TaskId::invalid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  const PeId id{3};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 3);
+  EXPECT_EQ(id.index(), 3u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(TaskId{1}, TaskId{2});
+  EXPECT_EQ(TaskId{5}, TaskId{5});
+  EXPECT_NE(TaskId{5}, TaskId{6});
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<TaskId, PeId>);
+  static_assert(!std::is_same_v<ModeId, ClId>);
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<TaskTypeId> set;
+  set.insert(TaskTypeId{1});
+  set.insert(TaskTypeId{2});
+  set.insert(TaskTypeId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(StrongId, StreamOutput) {
+  std::ostringstream os;
+  os << ModeId{4} << " " << ModeId{};
+  EXPECT_EQ(os.str(), "4 <invalid>");
+}
+
+}  // namespace
+}  // namespace mmsyn

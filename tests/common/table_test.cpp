@@ -1,0 +1,60 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mmsyn {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1.5"});
+  t.add_row({"longer", "20.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Numeric cells right-aligned: "1.5" is padded on the left.
+  EXPECT_NE(out.find("a         1.5"), std::string::npos) << out;
+}
+
+TEST(TextTable, TitleIsPrinted) {
+  TextTable t;
+  t.add_row({"x"});
+  std::ostringstream os;
+  t.print(os, "My Title");
+  EXPECT_EQ(os.str().rfind("My Title\n", 0), 0u);
+}
+
+TEST(TextTable, RowsWiderThanHeaderHandled) {
+  TextTable t;
+  t.set_header({"one"});
+  t.add_row({"a", "b", "c"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("c"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsDigits) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::num(-1.5, 3), "-1.500");
+}
+
+TEST(TextTable, PctFormatsFraction) {
+  EXPECT_EQ(TextTable::pct(0.2246), "22.46");
+  EXPECT_EQ(TextTable::pct(1.0), "100.00");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t;
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"r"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace mmsyn

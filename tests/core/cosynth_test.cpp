@@ -1,0 +1,90 @@
+#include "core/cosynth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tgff/suites.hpp"
+
+namespace mmsyn {
+namespace {
+
+SynthesisOptions small(std::uint64_t seed) {
+  SynthesisOptions options;
+  options.ga.population_size = 24;
+  options.ga.max_generations = 60;
+  options.ga.stagnation_limit = 20;
+  options.seed = seed;
+  return options;
+}
+
+TEST(Cosynth, MemoisationDoesNotChangeResults) {
+  const System system = make_mul(9);
+  SynthesisOptions with = small(6);
+  with.ga.memoize_evaluations = true;
+  SynthesisOptions without = small(6);
+  without.ga.memoize_evaluations = false;
+  const SynthesisResult a = synthesize(system, with);
+  const SynthesisResult b = synthesize(system, without);
+  EXPECT_DOUBLE_EQ(a.evaluation.avg_power_true,
+                   b.evaluation.avg_power_true);
+  EXPECT_EQ(a.fitness, b.fitness);
+  // Memoisation strictly reduces the number of inner-loop evaluations.
+  EXPECT_LE(a.evaluations, b.evaluations);
+}
+
+TEST(Cosynth, SchedulingPolicyIsPlumbedThrough) {
+  const System system = make_mul(9);
+  for (SchedulingPolicy policy :
+       {SchedulingPolicy::kBottomLevel, SchedulingPolicy::kTopoOrder,
+        SchedulingPolicy::kLongestTask}) {
+    SynthesisOptions options = small(7);
+    options.scheduling_policy = policy;
+    const SynthesisResult result = synthesize(system, options);
+    EXPECT_TRUE(result.evaluation.feasible());
+    EXPECT_GT(result.evaluation.avg_power_true, 0.0);
+  }
+}
+
+TEST(Cosynth, FinalEvaluationKeepsSchedules) {
+  const System system = make_mul(11);
+  const SynthesisResult result = synthesize(system, small(8));
+  for (const ModeEvaluation& m : result.evaluation.modes)
+    EXPECT_TRUE(m.schedule.has_value());
+}
+
+TEST(Cosynth, BaselineUsesUniformWeightsOnlyInObjective) {
+  // The probability-neglecting run must still *report* with the true Ψ:
+  // its avg_power_weighted (uniform) and avg_power_true (Ψ) differ unless
+  // the mode powers are equal.
+  const System system = make_mul(6);
+  SynthesisOptions options = small(9);
+  options.consider_probabilities = false;
+  const SynthesisResult result = synthesize(system, options);
+  // Reported power is the Ψ-weighted combination of per-mode powers.
+  double expected = 0.0;
+  for (std::size_t m = 0; m < system.omsm.mode_count(); ++m)
+    expected += (result.evaluation.modes[m].dyn_power +
+                 result.evaluation.modes[m].static_power) *
+                system.omsm.mode(ModeId{static_cast<int>(m)}).probability;
+  EXPECT_NEAR(result.evaluation.avg_power_true, expected, 1e-12);
+}
+
+TEST(Cosynth, DvsInLoopCoarsenessDoesNotAffectFinalReportingConfig) {
+  // The reported evaluation always uses the fine DVS settings, so making
+  // the in-loop settings coarser can change *which* mapping wins but the
+  // reported number is always a fine evaluation of that mapping.
+  const System system = make_mul(9);
+  SynthesisOptions options = small(10);
+  options.use_dvs = true;
+  options.dvs_in_loop.max_iterations_per_node = 2;  // very coarse
+  const SynthesisResult result = synthesize(system, options);
+  // Re-evaluate the returned mapping with the fine settings: identical.
+  EvaluationOptions fine;
+  fine.use_dvs = true;
+  fine.dvs = options.dvs_final;
+  const Evaluator evaluator(system, fine);
+  const Evaluation check = evaluator.evaluate(result.mapping, result.cores);
+  EXPECT_NEAR(check.avg_power_true, result.evaluation.avg_power_true, 1e-12);
+}
+
+}  // namespace
+}  // namespace mmsyn

@@ -1,0 +1,93 @@
+#include "core/fitness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/allocation_builder.hpp"
+#include "tgff/motivational.hpp"
+
+namespace mmsyn {
+namespace {
+
+/// Uses the Fig. 2 system (exact numbers) to validate the fitness pieces.
+class FitnessTest : public ::testing::Test {
+ protected:
+  FitnessTest()
+      : system_(make_motivational_example1()),
+        evaluator_(system_, EvaluationOptions{}) {}
+
+  Evaluation evaluate(const MultiModeMapping& m) const {
+    return evaluator_.evaluate(m, build_core_allocation(system_, m));
+  }
+
+  static MultiModeMapping mapping(std::initializer_list<int> o1,
+                                  std::initializer_list<int> o2) {
+    MultiModeMapping m;
+    m.modes.resize(2);
+    for (int pe : o1) m.modes[0].task_to_pe.push_back(PeId{pe});
+    for (int pe : o2) m.modes[1].task_to_pe.push_back(PeId{pe});
+    return m;
+  }
+
+  System system_;
+  Evaluator evaluator_;
+};
+
+TEST_F(FitnessTest, FeasibleFitnessEqualsWeightedPower) {
+  const MultiModeMapping m = example1_mapping_with_probabilities();
+  const Evaluation e = evaluate(m);
+  const double f = mapping_fitness(e, evaluator_, FitnessParams{});
+  EXPECT_NEAR(f, e.avg_power_weighted, 1e-12);
+  EXPECT_DOUBLE_EQ(constraint_violation(e, evaluator_), 0.0);
+}
+
+TEST_F(FitnessTest, AreaViolationInflatesFitness) {
+  // All six tasks in hardware: 1550 cells on a 600-cell ASIC.
+  const MultiModeMapping m = mapping({1, 1, 1}, {1, 1, 1});
+  const Evaluation e = evaluate(m);
+  EXPECT_FALSE(e.area_feasible());
+  const double f = mapping_fitness(e, evaluator_, FitnessParams{});
+  EXPECT_GT(f, e.avg_power_weighted * 2.0);
+  EXPECT_GT(constraint_violation(e, evaluator_), 0.0);
+}
+
+TEST_F(FitnessTest, AreaWeightControlsAggressiveness) {
+  const MultiModeMapping m = mapping({1, 1, 1}, {1, 1, 1});
+  const Evaluation e = evaluate(m);
+  FitnessParams soft;
+  soft.area_weight = 0.01;
+  FitnessParams hard;
+  hard.area_weight = 1.0;
+  EXPECT_LT(mapping_fitness(e, evaluator_, soft),
+            mapping_fitness(e, evaluator_, hard));
+}
+
+TEST_F(FitnessTest, TimingViolationInflatesFitness) {
+  System tight = system_;
+  tight.omsm.mode(ModeId{1}).period = 1e-3;  // chain needs ~80 ms in SW
+  const Evaluator evaluator(tight, EvaluationOptions{});
+  const MultiModeMapping m = mapping({0, 0, 0}, {0, 0, 0});
+  const Evaluation e =
+      evaluator.evaluate(m, build_core_allocation(tight, m));
+  EXPECT_FALSE(e.timing_feasible());
+  EXPECT_GT(mapping_fitness(e, evaluator, FitnessParams{}),
+            e.avg_power_weighted);
+  EXPECT_GT(constraint_violation(e, evaluator), 0.0);
+}
+
+TEST(CandidateBetter, FeasibleBeatsInfeasible) {
+  EXPECT_TRUE(candidate_better(0.0, 100.0, 5.0, 0.001));
+  EXPECT_FALSE(candidate_better(5.0, 0.001, 0.0, 100.0));
+}
+
+TEST(CandidateBetter, FeasibleComparesByFitness) {
+  EXPECT_TRUE(candidate_better(0.0, 1.0, 0.0, 2.0));
+  EXPECT_FALSE(candidate_better(0.0, 2.0, 0.0, 1.0));
+}
+
+TEST(CandidateBetter, InfeasibleComparesByViolationFirst) {
+  EXPECT_TRUE(candidate_better(1.0, 10.0, 2.0, 1.0));
+  EXPECT_TRUE(candidate_better(1.0, 1.0, 1.0, 2.0));
+}
+
+}  // namespace
+}  // namespace mmsyn

@@ -1,0 +1,133 @@
+#include "core/genome.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/system.hpp"
+#include "tgff/suites.hpp"
+
+namespace mmsyn {
+namespace {
+
+/// Small deterministic system: 2 modes x 2 tasks, 2 PEs.
+System make_system() {
+  System s;
+  Pe gpp;
+  gpp.name = "GPP";
+  const PeId p0 = s.arch.add_pe(gpp);
+  Pe asic;
+  asic.name = "ASIC";
+  asic.kind = PeKind::kAsic;
+  asic.area_capacity = 500.0;
+  const PeId p1 = s.arch.add_pe(asic);
+  Cl bus;
+  bus.attached = {p0, p1};
+  s.arch.add_cl(bus);
+
+  const TaskTypeId both = s.tech.add_type("BOTH");
+  s.tech.set_implementation(both, p0, {1e-3, 0.1, 0.0});
+  s.tech.set_implementation(both, p1, {1e-4, 0.01, 100.0});
+  const TaskTypeId sw_only = s.tech.add_type("SW");
+  s.tech.set_implementation(sw_only, p0, {1e-3, 0.1, 0.0});
+
+  for (int i = 0; i < 2; ++i) {
+    Mode m;
+    m.name = "m" + std::to_string(i);
+    m.probability = 0.5;
+    m.period = 0.1;
+    m.graph.add_task("t0", both);
+    m.graph.add_task("t1", sw_only);
+    s.omsm.add_mode(std::move(m));
+  }
+  return s;
+}
+
+TEST(GenomeCodec, LayoutMatchesModes) {
+  const System s = make_system();
+  const GenomeCodec codec(s);
+  EXPECT_EQ(codec.genome_length(), 4u);
+  EXPECT_EQ(codec.mode_count(), 2u);
+  EXPECT_EQ(codec.gene_index(ModeId{0}, TaskId{0}), 0u);
+  EXPECT_EQ(codec.gene_index(ModeId{1}, TaskId{1}), 3u);
+  EXPECT_EQ(codec.mode_gene_begin(ModeId{1}), 2u);
+  EXPECT_EQ(codec.mode_gene_count(ModeId{1}), 2u);
+}
+
+TEST(GenomeCodec, CandidatesReflectTechLibrary) {
+  const System s = make_system();
+  const GenomeCodec codec(s);
+  EXPECT_EQ(codec.candidates(0).size(), 2u);  // BOTH type
+  EXPECT_EQ(codec.candidates(1).size(), 1u);  // SW-only type
+}
+
+TEST(GenomeCodec, DecodeEncodeRoundTrip) {
+  const System s = make_system();
+  const GenomeCodec codec(s);
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Genome g = codec.random_genome(rng);
+    const MultiModeMapping m = codec.decode(g);
+    EXPECT_TRUE(mapping_is_well_formed(m, s.omsm, s.arch, s.tech));
+    EXPECT_EQ(codec.encode(m), g);
+  }
+}
+
+TEST(GenomeCodec, ModeAndTaskOfGene) {
+  const System s = make_system();
+  const GenomeCodec codec(s);
+  EXPECT_EQ(codec.mode_of_gene(0), ModeId{0});
+  EXPECT_EQ(codec.mode_of_gene(1), ModeId{0});
+  EXPECT_EQ(codec.mode_of_gene(2), ModeId{1});
+  EXPECT_EQ(codec.task_of_gene(3), TaskId{1});
+}
+
+TEST(GenomeCodec, SetPeRejectsNonCandidate) {
+  const System s = make_system();
+  const GenomeCodec codec(s);
+  Genome g(codec.genome_length(), 0);
+  EXPECT_TRUE(codec.set_pe(g, 0, PeId{1}));
+  EXPECT_EQ(codec.pe_at(g, 0), PeId{1});
+  EXPECT_FALSE(codec.set_pe(g, 1, PeId{1}));  // SW-only gene
+}
+
+TEST(GenomeCodec, EncodeRejectsNonCandidate) {
+  const System s = make_system();
+  const GenomeCodec codec(s);
+  MultiModeMapping m;
+  m.modes.resize(2);
+  m.modes[0].task_to_pe = {PeId{1}, PeId{1}};  // t1 cannot run on ASIC
+  m.modes[1].task_to_pe = {PeId{0}, PeId{0}};
+  EXPECT_THROW((void)codec.encode(m), std::invalid_argument);
+}
+
+TEST(GenomeCodec, RandomGenomesCoverCandidates) {
+  const System s = make_system();
+  const GenomeCodec codec(s);
+  Rng rng(9);
+  bool saw_hw = false, saw_sw = false;
+  for (int i = 0; i < 50; ++i) {
+    const Genome g = codec.random_genome(rng);
+    if (codec.pe_at(g, 0) == PeId{1}) saw_hw = true;
+    if (codec.pe_at(g, 0) == PeId{0}) saw_sw = true;
+  }
+  EXPECT_TRUE(saw_hw);
+  EXPECT_TRUE(saw_sw);
+}
+
+TEST(GenomeCodec, SuiteInstancesAreCodable) {
+  const System s = make_mul(1);
+  const GenomeCodec codec(s);
+  EXPECT_EQ(codec.genome_length(), s.total_task_count());
+  Rng rng(1);
+  const Genome g = codec.random_genome(rng);
+  EXPECT_TRUE(
+      mapping_is_well_formed(codec.decode(g), s.omsm, s.arch, s.tech));
+}
+
+TEST(HammingFraction, CountsDifferences) {
+  EXPECT_DOUBLE_EQ(hamming_fraction({0, 1, 2, 3}, {0, 1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(hamming_fraction({0, 1, 2, 3}, {1, 1, 2, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(hamming_fraction({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace mmsyn

@@ -1,0 +1,175 @@
+#include "core/improvement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "model/system.hpp"
+
+namespace mmsyn {
+namespace {
+
+/// Fixture: GPP + ASIC + FPGA; TYPE_BOTH runs anywhere, TYPE_HW_ONLY only
+/// on hardware, TYPE_SW_ONLY only on the GPP.
+class ImprovementTest : public ::testing::Test {
+ protected:
+  ImprovementTest() {
+    Pe gpp;
+    gpp.name = "GPP";
+    sw_ = system_.arch.add_pe(gpp);
+    Pe asic;
+    asic.name = "ASIC";
+    asic.kind = PeKind::kAsic;
+    asic.area_capacity = 1000.0;
+    asic_ = system_.arch.add_pe(asic);
+    Pe fpga;
+    fpga.name = "FPGA";
+    fpga.kind = PeKind::kFpga;
+    fpga.area_capacity = 1000.0;
+    fpga.reconfig_bandwidth = 1e5;
+    fpga_ = system_.arch.add_pe(fpga);
+    Cl bus;
+    bus.attached = {sw_, asic_, fpga_};
+    system_.arch.add_cl(bus);
+
+    both_ = system_.tech.add_type("BOTH");
+    system_.tech.set_implementation(both_, sw_, {10e-3, 0.1, 0.0});
+    system_.tech.set_implementation(both_, asic_, {1e-3, 1e-3, 200.0});
+    system_.tech.set_implementation(both_, fpga_, {1e-3, 1e-3, 200.0});
+    hw_only_ = system_.tech.add_type("HWONLY");
+    system_.tech.set_implementation(hw_only_, asic_, {1e-3, 1e-3, 200.0});
+    sw_only_ = system_.tech.add_type("SWONLY");
+    system_.tech.set_implementation(sw_only_, sw_, {5e-3, 0.1, 0.0});
+
+    Mode m0;
+    m0.name = "m0";
+    m0.probability = 0.5;
+    m0.period = 0.1;
+    m0.graph.add_task("a", both_);
+    m0.graph.add_task("b", both_);
+    m0.graph.add_task("c", sw_only_);
+    system_.omsm.add_mode(std::move(m0));
+    Mode m1;
+    m1.name = "m1";
+    m1.probability = 0.5;
+    m1.period = 0.1;
+    m1.graph.add_task("d", both_);
+    m1.graph.add_task("e", hw_only_);
+    system_.omsm.add_mode(std::move(m1));
+
+    codec_ = std::make_unique<GenomeCodec>(system_);
+  }
+
+  Genome genome_with(std::initializer_list<PeId> pes) const {
+    Genome g(codec_->genome_length(), 0);
+    std::size_t i = 0;
+    for (PeId pe : pes) {
+      EXPECT_TRUE(codec_->set_pe(g, i, pe)) << "gene " << i;
+      ++i;
+    }
+    return g;
+  }
+
+  System system_;
+  PeId sw_, asic_, fpga_;
+  TaskTypeId both_, hw_only_, sw_only_;
+  std::unique_ptr<GenomeCodec> codec_;
+};
+
+TEST_F(ImprovementTest, ShutdownEvacuatesOnePeInOneMode) {
+  // Mode 0: a,b on ASIC, c on GPP. ASIC is non-essential in mode 0.
+  Genome g = genome_with({asic_, asic_, sw_, sw_, asic_});
+  Rng rng(5);
+  bool changed = false;
+  for (int i = 0; i < 50 && !changed; ++i)
+    changed = shutdown_improvement(g, *codec_, system_, rng);
+  ASSERT_TRUE(changed);
+  // After some successful application, at least one (mode, PE) pair that
+  // previously hosted tasks is now empty. Verify the invariant: every gene
+  // still maps to a candidate PE.
+  for (std::size_t i = 0; i < codec_->genome_length(); ++i) {
+    const auto& cands = codec_->candidates(i);
+    EXPECT_LT(g[i], cands.size());
+  }
+}
+
+TEST_F(ImprovementTest, ShutdownSkipsEssentialPes) {
+  // Mode 1 task e (HWONLY) has only the ASIC: ASIC is essential there.
+  // A genome where every mode-1 task sits on the ASIC can only be improved
+  // by evacuating mode-0 PEs or moving mode-1's 'd'.
+  Genome g = genome_with({sw_, sw_, sw_, asic_, asic_});
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    Genome before = g;
+    (void)shutdown_improvement(g, *codec_, system_, rng);
+    // 'e' must never leave the ASIC (no alternative exists).
+    EXPECT_EQ(codec_->pe_at(g, 4), asic_);
+  }
+}
+
+TEST_F(ImprovementTest, AreaImprovementMovesHwTasksToSoftware) {
+  Genome g = genome_with({asic_, asic_, sw_, asic_, asic_});
+  Rng rng(11);
+  bool moved_any = false;
+  for (int i = 0; i < 50; ++i) {
+    if (area_improvement(g, *codec_, system_, rng)) {
+      moved_any = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(moved_any);
+  // HWONLY gene (index 4) can never move to software.
+  EXPECT_EQ(codec_->pe_at(g, 4), asic_);
+}
+
+TEST_F(ImprovementTest, TimingImprovementMovesToFasterHardware) {
+  Genome g = genome_with({sw_, sw_, sw_, sw_, asic_});
+  Rng rng(13);
+  bool moved = false;
+  for (int i = 0; i < 50 && !moved; ++i) {
+    moved = timing_improvement(g, *codec_, system_, rng);
+  }
+  ASSERT_TRUE(moved);
+  // Whatever moved is now on hardware with a faster implementation.
+  bool any_hw = false;
+  for (std::size_t i = 0; i < 4; ++i)
+    if (is_hardware(system_.arch.pe(codec_->pe_at(g, i)).kind)) any_hw = true;
+  EXPECT_TRUE(any_hw);
+  // The SW-only task cannot move.
+  EXPECT_EQ(codec_->pe_at(g, 2), sw_);
+}
+
+TEST_F(ImprovementTest, TransitionImprovementPullsTasksOffFpga) {
+  Genome g = genome_with({fpga_, fpga_, sw_, fpga_, asic_});
+  Rng rng(17);
+  int on_fpga_before = 0;
+  for (std::size_t i = 0; i < codec_->genome_length(); ++i)
+    if (codec_->pe_at(g, i) == fpga_) ++on_fpga_before;
+  bool moved = false;
+  for (int i = 0; i < 100 && !moved; ++i)
+    moved = transition_improvement(g, *codec_, system_, rng);
+  ASSERT_TRUE(moved);
+  int on_fpga_after = 0;
+  for (std::size_t i = 0; i < codec_->genome_length(); ++i)
+    if (codec_->pe_at(g, i) == fpga_) ++on_fpga_after;
+  EXPECT_LT(on_fpga_after, on_fpga_before);
+}
+
+TEST_F(ImprovementTest, OperatorsKeepGenomesWellFormed) {
+  Rng rng(23);
+  Genome g = codec_->random_genome(rng);
+  for (int i = 0; i < 200; ++i) {
+    switch (i % 4) {
+      case 0: (void)shutdown_improvement(g, *codec_, system_, rng); break;
+      case 1: (void)area_improvement(g, *codec_, system_, rng); break;
+      case 2: (void)timing_improvement(g, *codec_, system_, rng); break;
+      case 3: (void)transition_improvement(g, *codec_, system_, rng); break;
+    }
+    const MultiModeMapping m = codec_->decode(g);
+    ASSERT_TRUE(mapping_is_well_formed(m, system_.omsm, system_.arch,
+                                       system_.tech));
+  }
+}
+
+}  // namespace
+}  // namespace mmsyn

@@ -1,0 +1,68 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cosynth.hpp"
+#include "tgff/motivational.hpp"
+#include "tgff/suites.hpp"
+
+namespace mmsyn {
+namespace {
+
+SynthesisResult synthesise_small(const System& system, bool dvs) {
+  SynthesisOptions options;
+  options.use_dvs = dvs;
+  options.ga.population_size = 24;
+  options.ga.max_generations = 40;
+  options.ga.stagnation_limit = 15;
+  options.seed = 2;
+  return synthesize(system, options);
+}
+
+TEST(Report, MentionsEveryModeAndMapping) {
+  const System system = make_motivational_example1();
+  const SynthesisResult result = synthesise_small(system, false);
+  const std::string report = implementation_report(system, result);
+  EXPECT_NE(report.find("Implementation report"), std::string::npos);
+  EXPECT_NE(report.find("mode 'O1'"), std::string::npos);
+  EXPECT_NE(report.find("mode 'O2'"), std::string::npos);
+  EXPECT_NE(report.find("tau1->"), std::string::npos);
+  EXPECT_NE(report.find("average power"), std::string::npos);
+  EXPECT_NE(report.find("feasible=yes"), std::string::npos);
+}
+
+TEST(Report, GanttToggle) {
+  const System system = make_motivational_example1();
+  const SynthesisResult result = synthesise_small(system, false);
+  ReportOptions with;
+  with.include_gantt = true;
+  ReportOptions without;
+  without.include_gantt = false;
+  EXPECT_NE(implementation_report(system, result, with).find("Gantt"),
+            std::string::npos);
+  EXPECT_EQ(implementation_report(system, result, without).find("Gantt"),
+            std::string::npos);
+}
+
+TEST(Report, VoltageSchedulesIncludedOnRequest) {
+  const System system = make_mul(9);
+  const SynthesisResult result = synthesise_small(system, true);
+  ReportOptions options;
+  options.include_voltage_schedules = true;
+  options.include_gantt = false;
+  const std::string report =
+      implementation_report(system, result, options);
+  EXPECT_NE(report.find("voltage schedule"), std::string::npos);
+  EXPECT_NE(report.find(" V for "), std::string::npos);
+}
+
+TEST(Report, CoreAllocationListed) {
+  const System system = make_motivational_example1();
+  const SynthesisResult result = synthesise_small(system, false);
+  const std::string report = implementation_report(system, result);
+  // The optimum maps two types onto the ASIC; their cores must be listed.
+  EXPECT_NE(report.find("cores on PE1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmsyn

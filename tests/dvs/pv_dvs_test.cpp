@@ -1,0 +1,199 @@
+#include "dvs/pv_dvs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dvs/voltage_model.hpp"
+#include "model/architecture.hpp"
+
+namespace mmsyn {
+namespace {
+
+/// Builds a DVS graph by hand (bypassing the scheduler) so the algorithm's
+/// behaviour is tested in isolation.
+class PvDvsTest : public ::testing::Test {
+ protected:
+  PvDvsTest() {
+    Pe pe;
+    pe.name = "P";
+    pe.dvs_enabled = true;
+    pe.voltage_levels = {1.2, 1.9, 2.6, 3.3};
+    pe.threshold_voltage = 0.8;
+    pe_ = arch_.add_pe(pe);
+    Pe fixed;
+    fixed.name = "F";
+    fixed_ = arch_.add_pe(fixed);
+  }
+
+  int add_node(DvsGraph& g, double tmin, double e_nom, bool scalable,
+               double deadline, PeId pe) const {
+    DvsNode n;
+    n.kind = DvsNodeKind::kTask;
+    n.ref = static_cast<int>(g.nodes.size());
+    n.pe = pe;
+    n.tmin = tmin;
+    n.e_nom = e_nom;
+    n.scalable = scalable;
+    n.max_slowdown =
+        scalable ? VoltageModel(3.3, 0.8).slowdown(1.2) : 1.0;
+    n.deadline = deadline;
+    g.nodes.push_back(n);
+    g.succs.emplace_back();
+    g.preds.emplace_back();
+    g.topo.push_back(n.ref);
+    return n.ref;
+  }
+
+  static void add_edge(DvsGraph& g, int u, int v) {
+    g.succs[static_cast<std::size_t>(u)].push_back(v);
+    g.preds[static_cast<std::size_t>(v)].push_back(u);
+  }
+
+  Architecture arch_;
+  PeId pe_, fixed_;
+};
+
+TEST_F(PvDvsTest, NoSlackMeansNoScaling) {
+  DvsGraph g;
+  add_node(g, 10e-3, 1e-3, true, 10e-3, pe_);  // deadline == tmin
+  const PvDvsResult r = run_pv_dvs(g, arch_);
+  EXPECT_NEAR(r.scaled_time[0], 10e-3, 1e-9);
+  EXPECT_NEAR(r.total_energy, 1e-3, 1e-9);
+  EXPECT_TRUE(r.deadlines_met);
+}
+
+TEST_F(PvDvsTest, AmpleSlackScalesToLowestLevel) {
+  DvsGraph g;
+  add_node(g, 10e-3, 1e-3, true, 1.0, pe_);  // 100x slack
+  const PvDvsResult r = run_pv_dvs(g, arch_);
+  EXPECT_GT(r.scaled_time[0], 10e-3);
+  // Energy floor: run entirely at the lowest level 1.2 V.
+  const double floor_energy = 1e-3 * (1.2 / 3.3) * (1.2 / 3.3);
+  EXPECT_NEAR(r.total_energy, floor_energy, floor_energy * 0.05);
+  EXPECT_TRUE(r.deadlines_met);
+}
+
+TEST_F(PvDvsTest, UnscalableNodeKeepsNominalEnergy) {
+  DvsGraph g;
+  add_node(g, 10e-3, 1e-3, false, 1.0, fixed_);
+  const PvDvsResult r = run_pv_dvs(g, arch_);
+  EXPECT_DOUBLE_EQ(r.scaled_time[0], 10e-3);
+  EXPECT_DOUBLE_EQ(r.total_energy, 1e-3);
+}
+
+TEST_F(PvDvsTest, ChainSharesSlackByPower) {
+  // Two chained tasks, equal times, one dissipating 10x the power: the
+  // greedy must hand (most of) the slack to the hungrier task.
+  DvsGraph g;
+  const int hot = add_node(g, 10e-3, 10e-3, true, 40e-3, pe_);
+  const int cold = add_node(g, 10e-3, 1e-3, true, 40e-3, pe_);
+  add_edge(g, hot, cold);
+  const PvDvsResult r = run_pv_dvs(g, arch_);
+  EXPECT_GT(r.scaled_time[static_cast<std::size_t>(hot)],
+            r.scaled_time[static_cast<std::size_t>(cold)]);
+  EXPECT_LT(r.total_energy, 11e-3);
+  EXPECT_TRUE(r.deadlines_met);
+  // Chain must still fit in the 40 ms deadline.
+  EXPECT_LE(r.scaled_time[0] + r.scaled_time[1], 40e-3 * (1 + 1e-9));
+}
+
+TEST_F(PvDvsTest, PrecedenceLimitsExtension) {
+  // a -> b where b's deadline is tight; extending a must not push b late.
+  DvsGraph g;
+  const int a = add_node(g, 10e-3, 5e-3, true, 1.0, pe_);
+  const int b = add_node(g, 10e-3, 5e-3, true, 25e-3, pe_);
+  add_edge(g, a, b);
+  const PvDvsResult r = run_pv_dvs(g, arch_);
+  EXPECT_LE(r.scaled_time[static_cast<std::size_t>(a)] +
+                r.scaled_time[static_cast<std::size_t>(b)],
+            25e-3 * (1 + 1e-9));
+  EXPECT_TRUE(r.deadlines_met);
+}
+
+TEST_F(PvDvsTest, AlreadyLateScheduleReported) {
+  DvsGraph g;
+  add_node(g, 10e-3, 1e-3, false, 5e-3, fixed_);  // cannot make 5 ms
+  const PvDvsResult r = run_pv_dvs(g, arch_);
+  EXPECT_FALSE(r.deadlines_met);
+  EXPECT_DOUBLE_EQ(r.scaled_time[0], 10e-3);  // never scaled into lateness
+}
+
+TEST_F(PvDvsTest, EnergyNeverIncreases) {
+  DvsGraph g;
+  const int a = add_node(g, 5e-3, 2e-3, true, 0.1, pe_);
+  const int b = add_node(g, 7e-3, 3e-3, true, 0.1, pe_);
+  const int c = add_node(g, 3e-3, 1e-3, false, 0.1, fixed_);
+  add_edge(g, a, b);
+  add_edge(g, b, c);
+  const PvDvsResult r = run_pv_dvs(g, arch_);
+  EXPECT_LE(r.total_energy, r.nominal_energy + 1e-15);
+  EXPECT_DOUBLE_EQ(r.nominal_energy, 6e-3);
+}
+
+TEST_F(PvDvsTest, ContinuousBeatsDiscrete) {
+  PvDvsOptions continuous;
+  continuous.discrete_voltages = false;
+  PvDvsOptions discrete;
+  discrete.discrete_voltages = true;
+  DvsGraph g;
+  add_node(g, 10e-3, 1e-3, true, 17e-3, pe_);  // slack between two levels
+  const double e_cont = run_pv_dvs(g, arch_, continuous).total_energy;
+  const double e_disc = run_pv_dvs(g, arch_, discrete).total_energy;
+  EXPECT_LE(e_cont, e_disc + 1e-15);
+  EXPECT_LT(e_disc, 1e-3);  // still saves vs nominal
+}
+
+TEST(DiscreteEnergy, ExactLevelNeedsNoSplit) {
+  const std::vector<double> levels{1.2, 1.9, 2.6, 3.3};
+  const VoltageModel m(3.3, 0.8);
+  const double t_at_19 = 10e-3 * m.slowdown(1.9);
+  const double e = discrete_energy(1e-3, 10e-3, t_at_19, levels, 0.8);
+  EXPECT_NEAR(e, 1e-3 * m.energy_factor(1.9), 1e-9);
+}
+
+TEST(DiscreteEnergy, SplitInterpolatesBetweenLevels) {
+  const std::vector<double> levels{1.2, 1.9, 2.6, 3.3};
+  const VoltageModel m(3.3, 0.8);
+  const double t_hi = 10e-3 * m.slowdown(2.6);
+  const double t_lo = 10e-3 * m.slowdown(1.9);
+  const double target = 0.5 * (t_hi + t_lo);
+  const double e = discrete_energy(1e-3, 10e-3, target, levels, 0.8);
+  EXPECT_GT(e, 1e-3 * m.energy_factor(1.9));
+  EXPECT_LT(e, 1e-3 * m.energy_factor(2.6));
+  // The split is exact: w*t_hi + (1-w)*t_lo == target with the matching
+  // energy mix.
+  const double w = (t_lo - target) / (t_lo - t_hi);
+  const double expected =
+      w * 1e-3 * m.energy_factor(2.6) + (1 - w) * 1e-3 * m.energy_factor(1.9);
+  EXPECT_NEAR(e, expected, 1e-12);
+}
+
+TEST(DiscreteEnergy, BeyondLowestLevelClamps) {
+  const std::vector<double> levels{1.2, 3.3};
+  const VoltageModel m(3.3, 0.8);
+  const double e = discrete_energy(1e-3, 10e-3, 10.0, levels, 0.8);
+  EXPECT_NEAR(e, 1e-3 * m.energy_factor(1.2), 1e-12);
+}
+
+TEST(DiscreteEnergy, NoSlackReturnsNominal) {
+  const std::vector<double> levels{1.2, 3.3};
+  EXPECT_DOUBLE_EQ(discrete_energy(1e-3, 10e-3, 10e-3, levels, 0.8), 1e-3);
+  EXPECT_DOUBLE_EQ(discrete_energy(1e-3, 10e-3, 5e-3, levels, 0.8), 1e-3);
+}
+
+TEST(DiscreteEnergy, SingleLevelCannotScale) {
+  const std::vector<double> levels{3.3};
+  EXPECT_DOUBLE_EQ(discrete_energy(1e-3, 10e-3, 1.0, levels, 0.8), 1e-3);
+}
+
+TEST(ContinuousEnergy, MatchesModel) {
+  const VoltageModel m(3.3, 0.8);
+  const double s = m.slowdown(2.0);
+  EXPECT_NEAR(continuous_energy(1e-3, s, 3.3, 0.8),
+              1e-3 * m.energy_factor(2.0), 1e-9);
+  EXPECT_DOUBLE_EQ(continuous_energy(1e-3, 1.0, 3.3, 0.8), 1e-3);
+}
+
+}  // namespace
+}  // namespace mmsyn

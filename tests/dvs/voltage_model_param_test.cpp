@@ -1,0 +1,68 @@
+// Parameterised property sweep over the voltage model: monotonicity and
+// inverse consistency across a grid of (vmax, vt, alpha) electrical
+// configurations.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dvs/voltage_model.hpp"
+
+namespace mmsyn {
+namespace {
+
+using Params = std::tuple<double, double, double>;  // vmax, vt, alpha
+
+class VoltageModelSweep : public ::testing::TestWithParam<Params> {
+ protected:
+  VoltageModelSweep()
+      : model_(std::get<0>(GetParam()), std::get<1>(GetParam()),
+               std::get<2>(GetParam())) {}
+  VoltageModel model_;
+};
+
+TEST_P(VoltageModelSweep, SlowdownIsOneAtNominal) {
+  EXPECT_NEAR(model_.slowdown(model_.vmax()), 1.0, 1e-9);
+}
+
+TEST_P(VoltageModelSweep, SlowdownStrictlyDecreasesWithVoltage) {
+  const double lo = model_.vt() + 0.15 * (model_.vmax() - model_.vt());
+  double prev = model_.slowdown(lo);
+  for (int i = 1; i <= 20; ++i) {
+    const double v = lo + (model_.vmax() - lo) * i / 20.0;
+    const double s = model_.slowdown(v);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+  EXPECT_GE(prev, 1.0 - 1e-9);
+}
+
+TEST_P(VoltageModelSweep, InverseIsConsistentEverywhere) {
+  const double lo = model_.vt() + 0.15 * (model_.vmax() - model_.vt());
+  for (int i = 0; i <= 20; ++i) {
+    const double v = lo + (model_.vmax() - lo) * i / 20.0;
+    const double s = model_.slowdown(v);
+    EXPECT_NEAR(model_.voltage_for_slowdown(s), v, 1e-5 * model_.vmax());
+  }
+}
+
+TEST_P(VoltageModelSweep, EnergyFactorBounded) {
+  const double lo = model_.vt() + 0.15 * (model_.vmax() - model_.vt());
+  for (int i = 0; i <= 10; ++i) {
+    const double v = lo + (model_.vmax() - lo) * i / 10.0;
+    const double f = model_.energy_factor(v);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LE(f, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ElectricalConfigs, VoltageModelSweep,
+    ::testing::Values(Params{3.3, 0.8, 2.0},   // classic 0.35 um
+                      Params{2.5, 0.6, 2.0},   // lower rail
+                      Params{1.8, 0.45, 1.6},  // velocity-saturated
+                      Params{5.0, 1.0, 2.0},   // legacy 5 V
+                      Params{1.2, 0.3, 1.3},   // near-threshold-ish
+                      Params{3.3, 0.0, 2.0})); // zero-threshold idealised
+
+}  // namespace
+}  // namespace mmsyn

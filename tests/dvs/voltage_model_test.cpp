@@ -1,0 +1,82 @@
+#include "dvs/voltage_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mmsyn {
+namespace {
+
+TEST(VoltageModel, NominalVoltageHasUnitSlowdown) {
+  const VoltageModel m(3.3, 0.8);
+  EXPECT_NEAR(m.slowdown(3.3), 1.0, 1e-12);
+  EXPECT_NEAR(m.energy_factor(3.3), 1.0, 1e-12);
+}
+
+TEST(VoltageModel, SlowdownIncreasesAsVoltageDrops) {
+  const VoltageModel m(3.3, 0.8);
+  double previous = m.slowdown(3.3);
+  for (double v = 3.2; v > 0.9; v -= 0.1) {
+    const double s = m.slowdown(v);
+    EXPECT_GT(s, previous) << "at v=" << v;
+    previous = s;
+  }
+}
+
+TEST(VoltageModel, EnergyFactorIsQuadratic) {
+  const VoltageModel m(3.3, 0.8);
+  EXPECT_NEAR(m.energy_factor(1.65), 0.25, 1e-12);
+  EXPECT_NEAR(m.energy_factor(3.3 / 3.0), 1.0 / 9.0, 1e-12);
+}
+
+TEST(VoltageModel, KnownSlowdownValue) {
+  // t(v)/tmin = (v / vmax) * ((vmax - vt) / (v - vt))^2.
+  const VoltageModel m(3.3, 0.8);
+  const double expected = (1.65 / 3.3) *
+                          ((3.3 - 0.8) / (1.65 - 0.8)) *
+                          ((3.3 - 0.8) / (1.65 - 0.8));
+  EXPECT_NEAR(m.slowdown(1.65), expected, 1e-12);
+}
+
+TEST(VoltageModel, InverseRoundTrips) {
+  const VoltageModel m(3.3, 0.8);
+  for (double v : {1.0, 1.4, 2.0, 2.7, 3.1}) {
+    const double s = m.slowdown(v);
+    EXPECT_NEAR(m.voltage_for_slowdown(s), v, 1e-6);
+  }
+}
+
+TEST(VoltageModel, InverseClampsAtNominal) {
+  const VoltageModel m(3.3, 0.8);
+  EXPECT_DOUBLE_EQ(m.voltage_for_slowdown(1.0), 3.3);
+  EXPECT_DOUBLE_EQ(m.voltage_for_slowdown(0.5), 3.3);
+}
+
+TEST(VoltageModel, InverseClampsAtPhysicalFloor) {
+  const VoltageModel m(3.3, 0.8);
+  // Enormous stretch: voltage approaches (but stays above) vt.
+  const double v = m.voltage_for_slowdown(1e9);
+  EXPECT_GT(v, 0.8);
+  EXPECT_LT(v, 0.9);
+}
+
+TEST(VoltageModel, MaxSlowdownMatchesVmin) {
+  const VoltageModel m(3.3, 0.8);
+  EXPECT_DOUBLE_EQ(m.max_slowdown(1.2), m.slowdown(1.2));
+}
+
+TEST(VoltageModel, AlphaParameterChangesCurve) {
+  const VoltageModel quad(3.3, 0.8, 2.0);
+  const VoltageModel lin(3.3, 0.8, 1.0);
+  EXPECT_GT(quad.slowdown(1.2), lin.slowdown(1.2));
+}
+
+TEST(VoltageModel, InvalidParametersRejected) {
+  EXPECT_THROW(VoltageModel(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(VoltageModel(3.3, 3.3), std::invalid_argument);
+  EXPECT_THROW(VoltageModel(3.3, 4.0), std::invalid_argument);
+  EXPECT_THROW(VoltageModel(3.3, 0.8, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmsyn

@@ -1,0 +1,134 @@
+#include "dvs/voltage_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dvs/voltage_model.hpp"
+#include "model/architecture.hpp"
+
+namespace mmsyn {
+namespace {
+
+class VoltageScheduleTest : public ::testing::Test {
+ protected:
+  VoltageScheduleTest() {
+    Pe pe;
+    pe.name = "P";
+    pe.dvs_enabled = true;
+    pe.voltage_levels = {1.2, 1.9, 2.6, 3.3};
+    pe.threshold_voltage = 0.8;
+    pe_ = arch_.add_pe(pe);
+    Pe fixed;
+    fixed.name = "F";
+    fixed_ = arch_.add_pe(fixed);
+  }
+
+  /// Single-node graph plus a PvDvsResult with the given scaled time.
+  std::pair<DvsGraph, PvDvsResult> single(double tmin, double target,
+                                          bool scalable, PeId pe) {
+    DvsGraph g;
+    DvsNode n;
+    n.kind = DvsNodeKind::kTask;
+    n.ref = 0;
+    n.pe = pe;
+    n.tmin = tmin;
+    n.e_nom = 1e-3;
+    n.scalable = scalable;
+    n.max_slowdown = scalable ? 100.0 : 1.0;
+    g.nodes.push_back(n);
+    g.succs.emplace_back();
+    g.preds.emplace_back();
+    g.topo.push_back(0);
+    PvDvsResult r;
+    r.scaled_time = {target};
+    r.voltage = {3.3};
+    r.energy = {1e-3};
+    return {std::move(g), std::move(r)};
+  }
+
+  Architecture arch_;
+  PeId pe_, fixed_;
+};
+
+TEST_F(VoltageScheduleTest, UnscaledTaskGetsOneNominalSlice) {
+  auto [g, r] = single(10e-3, 10e-3, true, pe_);
+  const VoltageSchedule vs = derive_voltage_schedule(g, r, arch_);
+  ASSERT_EQ(vs.activities.size(), 1u);
+  ASSERT_EQ(vs.activities[0].slices.size(), 1u);
+  EXPECT_DOUBLE_EQ(vs.activities[0].slices[0].voltage, 3.3);
+  EXPECT_DOUBLE_EQ(vs.activities[0].slices[0].duration, 10e-3);
+}
+
+TEST_F(VoltageScheduleTest, UnscalableNodeStaysNominal) {
+  auto [g, r] = single(10e-3, 10e-3, false, fixed_);
+  const VoltageSchedule vs = derive_voltage_schedule(g, r, arch_);
+  ASSERT_EQ(vs.activities[0].slices.size(), 1u);
+  EXPECT_DOUBLE_EQ(vs.activities[0].slices[0].voltage, 3.3);
+}
+
+TEST_F(VoltageScheduleTest, BetweenLevelsSplitsIntoTwoSlices) {
+  const VoltageModel model(3.3, 0.8);
+  const double target =
+      10e-3 * 0.5 * (model.slowdown(2.6) + model.slowdown(1.9));
+  auto [g, r] = single(10e-3, target, true, pe_);
+  const VoltageSchedule vs = derive_voltage_schedule(g, r, arch_);
+  const auto& slices = vs.activities[0].slices;
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_DOUBLE_EQ(slices[0].voltage, 2.6);
+  EXPECT_DOUBLE_EQ(slices[1].voltage, 1.9);
+  // Durations fill the target exactly; workload fractions sum to 1.
+  EXPECT_NEAR(slices[0].duration + slices[1].duration, target, 1e-12);
+  EXPECT_NEAR(slices[0].workload_fraction + slices[1].workload_fraction, 1.0,
+              1e-12);
+  // Each slice's duration is consistent with its share of work.
+  EXPECT_NEAR(slices[0].duration,
+              slices[0].workload_fraction * 10e-3 * model.slowdown(2.6),
+              1e-12);
+}
+
+TEST_F(VoltageScheduleTest, ExactLevelGetsSingleSlice) {
+  const VoltageModel model(3.3, 0.8);
+  const double target = 10e-3 * model.slowdown(1.9);
+  auto [g, r] = single(10e-3, target, true, pe_);
+  const VoltageSchedule vs = derive_voltage_schedule(g, r, arch_);
+  ASSERT_EQ(vs.activities[0].slices.size(), 1u);
+  EXPECT_DOUBLE_EQ(vs.activities[0].slices[0].voltage, 1.9);
+}
+
+TEST_F(VoltageScheduleTest, BeyondFloorRunsAtLowestAndIdles) {
+  auto [g, r] = single(10e-3, 10.0, true, pe_);  // absurd slack
+  const VoltageSchedule vs = derive_voltage_schedule(g, r, arch_);
+  ASSERT_EQ(vs.activities[0].slices.size(), 1u);
+  EXPECT_DOUBLE_EQ(vs.activities[0].slices[0].voltage, 1.2);
+  // Finishes early: total_time < allotted.
+  EXPECT_LT(vs.activities[0].total_time(), 10.0);
+}
+
+TEST_F(VoltageScheduleTest, SliceEnergyMatchesDiscreteEnergyModel) {
+  const VoltageModel model(3.3, 0.8);
+  const double target =
+      10e-3 * (0.3 * model.slowdown(2.6) + 0.7 * model.slowdown(1.9));
+  auto [g, r] = single(10e-3, target, true, pe_);
+  const VoltageSchedule vs = derive_voltage_schedule(g, r, arch_);
+  double slice_energy = 0.0;
+  for (const VoltageSlice& s : vs.activities[0].slices)
+    slice_energy +=
+        s.workload_fraction * 1e-3 * model.energy_factor(s.voltage);
+  const double expected = discrete_energy(1e-3, 10e-3, target,
+                                          {1.2, 1.9, 2.6, 3.3}, 0.8);
+  EXPECT_NEAR(slice_energy, expected, 1e-12);
+}
+
+TEST_F(VoltageScheduleTest, ToStringMentionsEverySlice) {
+  const VoltageModel model(3.3, 0.8);
+  const double target =
+      10e-3 * 0.5 * (model.slowdown(2.6) + model.slowdown(1.9));
+  auto [g, r] = single(10e-3, target, true, pe_);
+  const VoltageSchedule vs = derive_voltage_schedule(g, r, arch_);
+  const std::string text = vs.to_string(arch_);
+  EXPECT_NE(text.find("task 0"), std::string::npos);
+  EXPECT_NE(text.find("2.6 V"), std::string::npos);
+  EXPECT_NE(text.find("1.9 V"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmsyn

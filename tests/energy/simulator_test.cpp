@@ -1,0 +1,188 @@
+#include "energy/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/allocation_builder.hpp"
+#include "core/genome.hpp"
+#include "tgff/motivational.hpp"
+#include "tgff/suites.hpp"
+
+namespace mmsyn {
+namespace {
+
+Evaluation evaluate_random(const System& system, std::uint64_t seed) {
+  const GenomeCodec codec(system);
+  Rng rng(seed);
+  const MultiModeMapping mapping = codec.decode(codec.random_genome(rng));
+  const Evaluator evaluator(system, EvaluationOptions{});
+  return evaluator.evaluate(mapping, build_core_allocation(system, mapping));
+}
+
+TEST(JumpChain, TwoModeRingIsUniform) {
+  Omsm omsm;
+  Mode a;
+  a.name = "a";
+  a.probability = 0.5;
+  a.period = 1;
+  a.graph.add_task("t", TaskTypeId{0});
+  Mode b = a;
+  b.name = "b";
+  const ModeId ma = omsm.add_mode(std::move(a));
+  const ModeId mb = omsm.add_mode(std::move(b));
+  omsm.add_transition({ma, mb});
+  omsm.add_transition({mb, ma});
+  const auto pi = jump_chain_stationary_distribution(omsm);
+  EXPECT_NEAR(pi[0], 0.5, 1e-9);
+  EXPECT_NEAR(pi[1], 0.5, 1e-9);
+}
+
+TEST(JumpChain, AsymmetricGraph) {
+  // a -> b, a -> c, b -> a, c -> a: a is visited every other step.
+  Omsm omsm;
+  Mode proto;
+  proto.probability = 1.0 / 3;
+  proto.period = 1;
+  proto.graph.add_task("t", TaskTypeId{0});
+  Mode a = proto;
+  a.name = "a";
+  Mode b = proto;
+  b.name = "b";
+  Mode c = proto;
+  c.name = "c";
+  const ModeId ma = omsm.add_mode(std::move(a));
+  const ModeId mb = omsm.add_mode(std::move(b));
+  const ModeId mc = omsm.add_mode(std::move(c));
+  omsm.add_transition({ma, mb});
+  omsm.add_transition({ma, mc});
+  omsm.add_transition({mb, ma});
+  omsm.add_transition({mc, ma});
+  const auto pi = jump_chain_stationary_distribution(omsm);
+  EXPECT_NEAR(pi[0], 0.5, 1e-6);
+  EXPECT_NEAR(pi[1], 0.25, 1e-6);
+  EXPECT_NEAR(pi[2], 0.25, 1e-6);
+}
+
+TEST(Simulator, EmpiricalProbabilitiesConvergeToPsi) {
+  const System system = make_mul(9);
+  const Evaluation eval = evaluate_random(system, 1);
+  SimulationOptions options;
+  options.total_time = 50000.0;
+  options.mean_dwell = 1.0;
+  options.include_transition_overheads = false;
+  const SimulationResult sim = simulate_usage(system, eval, options);
+  for (std::size_t m = 0; m < system.omsm.mode_count(); ++m) {
+    const double psi =
+        system.omsm.mode(ModeId{static_cast<int>(m)}).probability;
+    EXPECT_NEAR(sim.empirical_probability[m], psi, 0.05)
+        << "mode " << m;
+  }
+}
+
+TEST(Simulator, AveragePowerConvergesToEquationOne) {
+  // The headline validation: the simulated usage trace must reproduce the
+  // analytical probability-weighted power of Eq. (1).
+  const System system = make_mul(9);
+  const Evaluation eval = evaluate_random(system, 2);
+  SimulationOptions options;
+  options.total_time = 50000.0;
+  options.include_transition_overheads = false;
+  const SimulationResult sim = simulate_usage(system, eval, options);
+  EXPECT_NEAR(sim.average_power, eval.avg_power_true,
+              0.05 * eval.avg_power_true);
+}
+
+TEST(Simulator, DeterministicInSeed) {
+  const System system = make_mul(11);
+  const Evaluation eval = evaluate_random(system, 3);
+  SimulationOptions options;
+  options.total_time = 100.0;
+  options.seed = 99;
+  const SimulationResult a = simulate_usage(system, eval, options);
+  const SimulationResult b = simulate_usage(system, eval, options);
+  EXPECT_EQ(a.transition_count, b.transition_count);
+  EXPECT_DOUBLE_EQ(a.total_energy, b.total_energy);
+}
+
+TEST(Simulator, TimeAccounting) {
+  const System system = make_mul(11);
+  const Evaluation eval = evaluate_random(system, 4);
+  SimulationOptions options;
+  options.total_time = 500.0;
+  options.include_transition_overheads = true;
+  const SimulationResult sim = simulate_usage(system, eval, options);
+  double sum = 0.0;
+  for (double t : sim.time_in_mode) sum += t;
+  EXPECT_NEAR(sum + sim.transition_time_total, 500.0, 1.0);
+  EXPECT_GT(sim.transition_count, 0);
+}
+
+TEST(Simulator, TransitionOverheadsOnlyAddEnergy) {
+  const System system = make_mul(9);
+  const Evaluation eval = evaluate_random(system, 5);
+  SimulationOptions without;
+  without.total_time = 2000.0;
+  without.include_transition_overheads = false;
+  SimulationOptions with = without;
+  with.include_transition_overheads = true;
+  const double p_without = simulate_usage(system, eval, without).average_power;
+  const double p_with = simulate_usage(system, eval, with).average_power;
+  // Overheads add static-power-weighted reconfiguration time; with no
+  // FPGAs in the mapping they can be identical.
+  EXPECT_GE(p_with, p_without * 0.999);
+}
+
+TEST(Simulator, AbsorbingModeSoaksRemainingTime) {
+  // A mode with no outgoing transitions absorbs the walk; the simulator
+  // must spend the remaining horizon there instead of spinning.
+  System system;
+  Pe gpp;
+  gpp.name = "P";
+  system.arch.add_pe(gpp);
+  const TaskTypeId t = system.tech.add_type("T");
+  system.tech.set_implementation(t, PeId{0}, {1e-3, 0.1, 0.0});
+  Mode a;
+  a.name = "a";
+  a.probability = 0.5;
+  a.period = 0.01;
+  a.graph.add_task("x", t);
+  Mode b = a;
+  b.name = "b";
+  const ModeId ma = system.omsm.add_mode(std::move(a));
+  const ModeId mb = system.omsm.add_mode(std::move(b));
+  system.omsm.add_transition({ma, mb});  // b has no way out
+
+  MultiModeMapping mapping;
+  mapping.modes.resize(2);
+  mapping.modes[0].task_to_pe = {PeId{0}};
+  mapping.modes[1].task_to_pe = {PeId{0}};
+  const Evaluator evaluator(system, EvaluationOptions{});
+  const Evaluation eval =
+      evaluator.evaluate(mapping, CoreAllocation{{{CoreSet{}}, {CoreSet{}}}});
+
+  SimulationOptions options;
+  options.total_time = 100.0;
+  options.mean_dwell = 0.5;
+  options.include_transition_overheads = false;
+  const SimulationResult sim = simulate_usage(system, eval, options);
+  double total = 0.0;
+  for (double x : sim.time_in_mode) total += x;
+  EXPECT_NEAR(total, 100.0, 1e-6);
+  // Almost all time ends up in the absorbing mode b.
+  EXPECT_GT(sim.empirical_probability[mb.index()], 0.9);
+}
+
+TEST(Simulator, Example1MatchesHandComputedPower) {
+  const System system = make_motivational_example1();
+  const MultiModeMapping mapping = example1_mapping_with_probabilities();
+  const Evaluator evaluator(system, EvaluationOptions{});
+  const Evaluation eval =
+      evaluator.evaluate(mapping, build_core_allocation(system, mapping));
+  SimulationOptions options;
+  options.total_time = 20000.0;
+  options.include_transition_overheads = false;
+  const SimulationResult sim = simulate_usage(system, eval, options);
+  EXPECT_NEAR(sim.average_power * 1e3, 15.7423, 0.6);
+}
+
+}  // namespace
+}  // namespace mmsyn

@@ -1,0 +1,126 @@
+// End-to-end integration: full synthesis runs on suite instances, checking
+// cross-module invariants (well-formed mappings, valid schedules, feasible
+// results, energy bookkeeping) rather than specific numbers.
+#include <gtest/gtest.h>
+
+#include "core/cosynth.hpp"
+#include "tgff/smart_phone.hpp"
+#include "tgff/suites.hpp"
+
+namespace mmsyn {
+namespace {
+
+GaOptions test_ga() {
+  GaOptions ga;
+  ga.population_size = 32;
+  ga.max_generations = 120;
+  ga.stagnation_limit = 30;
+  return ga;
+}
+
+void expect_result_consistent(const System& system,
+                              const SynthesisResult& result) {
+  // Mapping well-formed.
+  EXPECT_TRUE(mapping_is_well_formed(result.mapping, system.omsm,
+                                     system.arch, system.tech));
+  // Evaluation carries one entry per mode with retained schedules.
+  ASSERT_EQ(result.evaluation.modes.size(), system.omsm.mode_count());
+  for (std::size_t m = 0; m < system.omsm.mode_count(); ++m) {
+    const ModeEvaluation& me = result.evaluation.modes[m];
+    const Mode& mode = system.omsm.mode(ModeId{static_cast<int>(m)});
+    ASSERT_TRUE(me.schedule.has_value());
+    const ModeSchedule& sched = *me.schedule;
+    ASSERT_EQ(sched.tasks.size(), mode.graph.task_count());
+    // Precedence holds in the final schedule.
+    for (std::size_t e = 0; e < mode.graph.edge_count(); ++e) {
+      const TaskEdge& edge = mode.graph.edge(EdgeId{static_cast<int>(e)});
+      EXPECT_LE(sched.tasks[edge.src.index()].finish,
+                sched.comms[e].start + 1e-9);
+      EXPECT_LE(sched.comms[e].finish,
+                sched.tasks[edge.dst.index()].start + 1e-9);
+    }
+    // Active components are exactly those hosting work.
+    for (std::size_t p = 0; p < system.arch.pe_count(); ++p) {
+      bool hosts = false;
+      for (PeId pe : result.mapping.modes[m].task_to_pe)
+        if (pe.index() == p) hosts = true;
+      EXPECT_EQ(me.pe_active[p], hosts);
+    }
+    EXPECT_GE(me.dyn_power, 0.0);
+    EXPECT_GE(me.static_power, 0.0);
+  }
+  // Power aggregation matches the per-mode numbers.
+  double expected = 0.0;
+  for (std::size_t m = 0; m < system.omsm.mode_count(); ++m)
+    expected += (result.evaluation.modes[m].dyn_power +
+                 result.evaluation.modes[m].static_power) *
+                system.omsm.mode(ModeId{static_cast<int>(m)}).probability;
+  EXPECT_NEAR(result.evaluation.avg_power_true, expected, 1e-12);
+  EXPECT_GT(result.evaluations, 0);
+}
+
+class EndToEndTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EndToEndTest, SynthesisProducesConsistentFeasibleResults) {
+  const System system = make_mul(GetParam());
+  SynthesisOptions options;
+  options.ga = test_ga();
+  options.seed = 11;
+  const SynthesisResult result = synthesize(system, options);
+  expect_result_consistent(system, result);
+  EXPECT_TRUE(result.evaluation.feasible()) << system.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(SuiteSample, EndToEndTest,
+                         ::testing::Values(2, 5, 6, 9, 11));
+
+TEST(EndToEndDvs, DvsSynthesisFeasibleAndCheaper) {
+  const System system = make_mul(9);
+  SynthesisOptions options;
+  options.ga = test_ga();
+  options.seed = 4;
+  const SynthesisResult nominal = synthesize(system, options);
+  options.use_dvs = true;
+  const SynthesisResult dvs = synthesize(system, options);
+  expect_result_consistent(system, dvs);
+  EXPECT_TRUE(dvs.evaluation.feasible());
+  EXPECT_LT(dvs.evaluation.avg_power_true,
+            nominal.evaluation.avg_power_true);
+}
+
+TEST(EndToEndPhone, SmartPhoneSynthesisIsFeasible) {
+  const System system = make_smart_phone();
+  SynthesisOptions options;
+  options.ga = test_ga();
+  options.seed = 8;
+  const SynthesisResult result = synthesize(system, options);
+  expect_result_consistent(system, result);
+  EXPECT_TRUE(result.evaluation.feasible());
+  // The dominant RLC mode must end up cheaper than the naive all-software
+  // implementation at nominal voltage — optimising it is the whole point
+  // of the methodology.
+  const std::size_t rlc_idx =
+      static_cast<std::size_t>(PhoneMode::kRadioLinkControl);
+  const auto& rlc = result.evaluation.modes[rlc_idx];
+  const Mode& rlc_mode = system.omsm.mode(ModeId{static_cast<int>(rlc_idx)});
+  double sw_energy = 0.0;
+  for (const Task& t : rlc_mode.graph.tasks())
+    sw_energy += system.tech.require(t.type, PeId{0}).energy();
+  const double naive_power =
+      sw_energy / rlc_mode.period + system.arch.pe(PeId{0}).static_power;
+  EXPECT_LT(rlc.dyn_power + rlc.static_power, naive_power);
+}
+
+TEST(EndToEndSeeds, DifferentSeedsGiveValidResults) {
+  const System system = make_mul(11);
+  SynthesisOptions options;
+  options.ga = test_ga();
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    options.seed = seed;
+    const SynthesisResult result = synthesize(system, options);
+    expect_result_consistent(system, result);
+  }
+}
+
+}  // namespace
+}  // namespace mmsyn

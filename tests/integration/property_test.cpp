@@ -1,0 +1,218 @@
+// Property-based sweeps: structural invariants that must hold for *every*
+// generated system and *every* well-formed mapping, exercised over a grid
+// of generator seeds (TEST_P).
+#include <gtest/gtest.h>
+
+#include "core/allocation_builder.hpp"
+#include "core/genome.hpp"
+#include "dvs/dvs_graph.hpp"
+#include "dvs/pv_dvs.hpp"
+#include "energy/evaluator.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/validate.hpp"
+#include "tgff/generator.hpp"
+
+namespace mmsyn {
+namespace {
+
+System make_system(std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.tasks_per_mode_min = 8;
+  cfg.tasks_per_mode_max = 16;
+  return generate_system(cfg, "prop" + std::to_string(seed));
+}
+
+class PropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  PropertyTest()
+      : system_(make_system(GetParam())), codec_(system_), rng_(GetParam()) {}
+
+  MultiModeMapping random_mapping() {
+    return codec_.decode(codec_.random_genome(rng_));
+  }
+
+  System system_;
+  GenomeCodec codec_;
+  Rng rng_;
+};
+
+TEST_P(PropertyTest, GeneratedSystemsValidate) {
+  const auto problems = system_.validate();
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST_P(PropertyTest, SchedulesRespectPrecedenceAndResources) {
+  for (int trial = 0; trial < 5; ++trial) {
+    const MultiModeMapping mapping = random_mapping();
+    const CoreAllocation cores = build_core_allocation(system_, mapping);
+    for (std::size_t m = 0; m < system_.omsm.mode_count(); ++m) {
+      const Mode& mode = system_.omsm.mode(ModeId{static_cast<int>(m)});
+      const ModeSchedule s =
+          list_schedule({mode, mapping.modes[m], system_.arch, system_.tech,
+                         cores.per_mode[m]});
+      ASSERT_TRUE(s.routable);
+      // Precedence.
+      for (std::size_t e = 0; e < mode.graph.edge_count(); ++e) {
+        const TaskEdge& edge = mode.graph.edge(EdgeId{static_cast<int>(e)});
+        ASSERT_LE(s.tasks[edge.src.index()].finish, s.comms[e].start + 1e-9);
+        ASSERT_LE(s.comms[e].finish, s.tasks[edge.dst.index()].start + 1e-9);
+      }
+      // Software PEs sequential.
+      for (std::size_t i = 0; i < s.tasks.size(); ++i)
+        for (std::size_t j = i + 1; j < s.tasks.size(); ++j) {
+          if (s.tasks[i].pe != s.tasks[j].pe) continue;
+          if (!is_software(system_.arch.pe(s.tasks[i].pe).kind)) continue;
+          const bool disjoint = s.tasks[i].finish <= s.tasks[j].start + 1e-9 ||
+                                s.tasks[j].finish <= s.tasks[i].start + 1e-9;
+          ASSERT_TRUE(disjoint);
+        }
+      ASSERT_GE(s.makespan, 0.0);
+    }
+  }
+}
+
+TEST_P(PropertyTest, SchedulesPassTheIndependentValidator) {
+  for (int trial = 0; trial < 5; ++trial) {
+    const MultiModeMapping mapping = random_mapping();
+    const CoreAllocation cores = build_core_allocation(system_, mapping);
+    for (std::size_t m = 0; m < system_.omsm.mode_count(); ++m) {
+      const Mode& mode = system_.omsm.mode(ModeId{static_cast<int>(m)});
+      const ModeSchedule s =
+          list_schedule({mode, mapping.modes[m], system_.arch, system_.tech,
+                         cores.per_mode[m]});
+      const auto violations = validate_schedule(
+          mode, s, mapping.modes[m], system_.arch, system_.tech,
+          cores.per_mode[m]);
+      ASSERT_TRUE(violations.empty())
+          << to_string(violations.front().kind) << ": "
+          << violations.front().detail;
+    }
+  }
+}
+
+TEST_P(PropertyTest, DvsNeverIncreasesEnergyNorBreaksDeadlines) {
+  for (int trial = 0; trial < 3; ++trial) {
+    const MultiModeMapping mapping = random_mapping();
+    const CoreAllocation cores = build_core_allocation(system_, mapping);
+    for (std::size_t m = 0; m < system_.omsm.mode_count(); ++m) {
+      const Mode& mode = system_.omsm.mode(ModeId{static_cast<int>(m)});
+      const ModeSchedule s =
+          list_schedule({mode, mapping.modes[m], system_.arch, system_.tech,
+                         cores.per_mode[m]});
+      const DvsGraph g = build_dvs_graph(mode, s, mapping.modes[m],
+                                         system_.arch, system_.tech);
+      const PvDvsResult r = run_pv_dvs(g, system_.arch);
+      ASSERT_LE(r.total_energy, r.nominal_energy * (1 + 1e-9));
+      for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+        ASSERT_GE(r.scaled_time[i], g.nodes[i].tmin * (1 - 1e-9));
+        ASSERT_LE(r.scaled_time[i],
+                  g.nodes[i].tmin * g.nodes[i].max_slowdown * (1 + 1e-9));
+        ASSERT_GE(r.energy[i], 0.0);
+      }
+      // Was the base schedule on time? Then scaling must keep it on time.
+      bool base_on_time = true;
+      for (std::size_t t = 0; t < mode.graph.task_count(); ++t) {
+        double limit = mode.period;
+        if (const auto& dl = mode.graph.task(TaskId{static_cast<int>(t)}).deadline)
+          limit = std::min(limit, *dl);
+        if (s.tasks[t].finish > limit * (1 + 1e-9)) base_on_time = false;
+      }
+      if (base_on_time) ASSERT_TRUE(r.deadlines_met);
+    }
+  }
+}
+
+TEST_P(PropertyTest, EvaluatorPowerDecomposesOverModes) {
+  const MultiModeMapping mapping = random_mapping();
+  const CoreAllocation cores = build_core_allocation(system_, mapping);
+  const Evaluator evaluator(system_, EvaluationOptions{});
+  const Evaluation e = evaluator.evaluate(mapping, cores);
+  double sum = 0.0;
+  for (std::size_t m = 0; m < e.modes.size(); ++m)
+    sum += (e.modes[m].dyn_power + e.modes[m].static_power) *
+           system_.omsm.mode(ModeId{static_cast<int>(m)}).probability;
+  EXPECT_NEAR(e.avg_power_true, sum, 1e-12);
+  EXPECT_GE(e.avg_power_true, 0.0);
+}
+
+TEST_P(PropertyTest, WeightedPowerIsLinearInWeights) {
+  // avg_power_weighted must be the weights' convex combination of per-mode
+  // powers — verified against an independently computed value.
+  const MultiModeMapping mapping = random_mapping();
+  const CoreAllocation cores = build_core_allocation(system_, mapping);
+  std::vector<double> weights(system_.omsm.mode_count());
+  for (std::size_t m = 0; m < weights.size(); ++m)
+    weights[m] = 1.0 + static_cast<double>(m);
+  EvaluationOptions opts;
+  opts.weight_override = weights;
+  const Evaluator evaluator(system_, opts);
+  const Evaluation e = evaluator.evaluate(mapping, cores);
+  double total_w = 0.0;
+  for (double w : weights) total_w += w;
+  double expected = 0.0;
+  for (std::size_t m = 0; m < e.modes.size(); ++m)
+    expected += (e.modes[m].dyn_power + e.modes[m].static_power) *
+                weights[m] / total_w;
+  EXPECT_NEAR(e.avg_power_weighted, expected, 1e-12);
+}
+
+TEST_P(PropertyTest, CoreAllocationCoversEveryHardwareMapping) {
+  const MultiModeMapping mapping = random_mapping();
+  const CoreAllocation cores = build_core_allocation(system_, mapping);
+  for (std::size_t m = 0; m < system_.omsm.mode_count(); ++m) {
+    const Mode& mode = system_.omsm.mode(ModeId{static_cast<int>(m)});
+    for (std::size_t t = 0; t < mode.graph.task_count(); ++t) {
+      const PeId pe = mapping.modes[m].task_to_pe[t];
+      if (!is_hardware(system_.arch.pe(pe).kind)) continue;
+      const TaskTypeId type = mode.graph.task(TaskId{static_cast<int>(t)}).type;
+      EXPECT_GE(cores.cores(ModeId{static_cast<int>(m)}, pe).count_of(type), 1);
+    }
+  }
+}
+
+TEST_P(PropertyTest, AsicCoreSetsAreModeInvariant) {
+  const MultiModeMapping mapping = random_mapping();
+  const CoreAllocation cores = build_core_allocation(system_, mapping);
+  for (PeId p : system_.arch.pe_ids()) {
+    if (system_.arch.pe(p).kind != PeKind::kAsic) continue;
+    for (std::size_t m = 1; m < system_.omsm.mode_count(); ++m)
+      EXPECT_EQ(cores.cores(ModeId{0}, p),
+                cores.cores(ModeId{static_cast<int>(m)}, p));
+  }
+}
+
+TEST_P(PropertyTest, DvsGraphEnergyMatchesScheduleEnergy) {
+  // Sum of node nominal energies == task energies + comm energies.
+  const MultiModeMapping mapping = random_mapping();
+  const CoreAllocation cores = build_core_allocation(system_, mapping);
+  for (std::size_t m = 0; m < system_.omsm.mode_count(); ++m) {
+    const Mode& mode = system_.omsm.mode(ModeId{static_cast<int>(m)});
+    const ModeSchedule s =
+        list_schedule({mode, mapping.modes[m], system_.arch, system_.tech,
+                       cores.per_mode[m]});
+    const DvsGraph g = build_dvs_graph(mode, s, mapping.modes[m],
+                                       system_.arch, system_.tech);
+    double node_energy = 0.0;
+    for (const DvsNode& n : g.nodes) node_energy += n.e_nom;
+    double expected = 0.0;
+    for (std::size_t t = 0; t < mode.graph.task_count(); ++t) {
+      const TaskId id{static_cast<int>(t)};
+      expected += system_.tech
+                      .require(mode.graph.task(id).type,
+                               mapping.modes[m].task_to_pe[t])
+                      .energy();
+    }
+    for (const ScheduledComm& c : s.comms)
+      if (!c.local && c.cl.valid())
+        expected += system_.arch.cl(c.cl).transfer_power * c.duration();
+    EXPECT_NEAR(node_energy, expected, expected * 1e-9 + 1e-15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808));
+
+}  // namespace
+}  // namespace mmsyn

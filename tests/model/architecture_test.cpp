@@ -1,0 +1,111 @@
+#include "model/architecture.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmsyn {
+namespace {
+
+Pe make_gpp(const std::string& name) {
+  Pe pe;
+  pe.name = name;
+  pe.kind = PeKind::kGpp;
+  return pe;
+}
+
+TEST(Architecture, PeKindPredicates) {
+  EXPECT_TRUE(is_software(PeKind::kGpp));
+  EXPECT_TRUE(is_software(PeKind::kAsip));
+  EXPECT_TRUE(is_hardware(PeKind::kAsic));
+  EXPECT_TRUE(is_hardware(PeKind::kFpga));
+  EXPECT_STREQ(to_string(PeKind::kFpga), "FPGA");
+}
+
+TEST(Architecture, AddAndQueryPes) {
+  Architecture arch;
+  const PeId a = arch.add_pe(make_gpp("A"));
+  const PeId b = arch.add_pe(make_gpp("B"));
+  EXPECT_EQ(arch.pe_count(), 2u);
+  EXPECT_EQ(arch.pe(a).name, "A");
+  EXPECT_EQ(arch.pe(b).name, "B");
+  EXPECT_EQ(arch.pe_ids().size(), 2u);
+}
+
+TEST(Architecture, VoltageLevelValidation) {
+  Architecture arch;
+  Pe pe = make_gpp("bad");
+  pe.voltage_levels = {};
+  EXPECT_THROW(arch.add_pe(pe), std::invalid_argument);
+  pe.voltage_levels = {3.3, 1.2};  // not ascending
+  EXPECT_THROW(arch.add_pe(pe), std::invalid_argument);
+  pe.voltage_levels = {1.2, 3.3};
+  pe.threshold_voltage = 1.5;  // above the lowest level
+  EXPECT_THROW(arch.add_pe(pe), std::invalid_argument);
+  pe.threshold_voltage = 0.8;
+  EXPECT_NO_THROW(arch.add_pe(pe));
+}
+
+TEST(Architecture, VminVmax) {
+  Pe pe = make_gpp("x");
+  pe.voltage_levels = {1.2, 2.0, 3.3};
+  EXPECT_DOUBLE_EQ(pe.vmin(), 1.2);
+  EXPECT_DOUBLE_EQ(pe.vmax(), 3.3);
+}
+
+TEST(Architecture, LinksBetween) {
+  Architecture arch;
+  const PeId a = arch.add_pe(make_gpp("A"));
+  const PeId b = arch.add_pe(make_gpp("B"));
+  const PeId c = arch.add_pe(make_gpp("C"));
+  Cl bus_ab;
+  bus_ab.name = "ab";
+  bus_ab.attached = {a, b};
+  const ClId ab = arch.add_cl(bus_ab);
+  Cl bus_all;
+  bus_all.name = "all";
+  bus_all.attached = {a, b, c};
+  const ClId all = arch.add_cl(bus_all);
+
+  const auto links_ab = arch.links_between(a, b);
+  EXPECT_EQ(links_ab.size(), 2u);
+  const auto links_ac = arch.links_between(a, c);
+  ASSERT_EQ(links_ac.size(), 1u);
+  EXPECT_EQ(links_ac[0], all);
+  EXPECT_TRUE(arch.links_between(a, a).empty());
+  (void)ab;
+}
+
+TEST(Architecture, FullyConnected) {
+  Architecture arch;
+  const PeId a = arch.add_pe(make_gpp("A"));
+  const PeId b = arch.add_pe(make_gpp("B"));
+  const PeId c = arch.add_pe(make_gpp("C"));
+  EXPECT_FALSE(arch.fully_connected());
+  Cl partial;
+  partial.attached = {a, b};
+  arch.add_cl(partial);
+  EXPECT_FALSE(arch.fully_connected());
+  Cl rest;
+  rest.attached = {a, b, c};
+  arch.add_cl(rest);
+  EXPECT_TRUE(arch.fully_connected());
+}
+
+TEST(Architecture, SinglePeIsFullyConnected) {
+  Architecture arch;
+  arch.add_pe(make_gpp("only"));
+  EXPECT_TRUE(arch.fully_connected());
+}
+
+TEST(Architecture, ClValidation) {
+  Architecture arch;
+  arch.add_pe(make_gpp("A"));
+  Cl cl;
+  cl.bandwidth = 0.0;
+  EXPECT_THROW(arch.add_cl(cl), std::invalid_argument);
+  cl.bandwidth = 1.0;
+  cl.attached = {PeId{5}};
+  EXPECT_THROW(arch.add_cl(cl), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mmsyn

@@ -1,0 +1,106 @@
+#include "model/core_allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/tech_library.hpp"
+
+namespace mmsyn {
+namespace {
+
+class CoreSetTest : public ::testing::Test {
+ protected:
+  CoreSetTest() {
+    a_ = lib_.add_type("A");
+    b_ = lib_.add_type("B");
+    c_ = lib_.add_type("C");
+    lib_.set_implementation(a_, pe_, {1e-3, 0.1, 100.0});
+    lib_.set_implementation(b_, pe_, {1e-3, 0.1, 200.0});
+    lib_.set_implementation(c_, pe_, {1e-3, 0.1, 50.0});
+  }
+  TechLibrary lib_;
+  PeId pe_{0};
+  TaskTypeId a_, b_, c_;
+};
+
+TEST_F(CoreSetTest, CountsDefaultToZero) {
+  CoreSet set;
+  EXPECT_EQ(set.count_of(a_), 0);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST_F(CoreSetTest, AddAndSetCounts) {
+  CoreSet set;
+  set.add_core(a_);
+  set.add_core(a_);
+  set.set_count(b_, 3);
+  EXPECT_EQ(set.count_of(a_), 2);
+  EXPECT_EQ(set.count_of(b_), 3);
+  set.set_count(a_, 0);
+  EXPECT_EQ(set.count_of(a_), 0);
+  EXPECT_EQ(set.entries().size(), 1u);
+}
+
+TEST_F(CoreSetTest, EntriesSortedByType) {
+  CoreSet set;
+  set.add_core(c_);
+  set.add_core(a_);
+  set.add_core(b_);
+  ASSERT_EQ(set.entries().size(), 3u);
+  EXPECT_EQ(set.entries()[0].first, a_);
+  EXPECT_EQ(set.entries()[1].first, b_);
+  EXPECT_EQ(set.entries()[2].first, c_);
+}
+
+TEST_F(CoreSetTest, AreaSumsInstances) {
+  CoreSet set;
+  set.set_count(a_, 2);  // 200
+  set.set_count(c_, 1);  // 50
+  EXPECT_DOUBLE_EQ(set.area(lib_, pe_), 250.0);
+}
+
+TEST_F(CoreSetTest, DeltaAreaCountsOnlyAdditions) {
+  CoreSet prev;
+  prev.set_count(a_, 1);
+  prev.set_count(b_, 2);
+  CoreSet next;
+  next.set_count(a_, 2);  // +1 A = 100
+  next.set_count(b_, 1);  // fewer B = 0
+  next.set_count(c_, 1);  // +1 C = 50
+  EXPECT_DOUBLE_EQ(next.delta_area_from(prev, lib_, pe_), 150.0);
+  EXPECT_DOUBLE_EQ(prev.delta_area_from(prev, lib_, pe_), 0.0);
+}
+
+TEST_F(CoreSetTest, MergeMaxTakesPerTypeMaximum) {
+  CoreSet x;
+  x.set_count(a_, 2);
+  x.set_count(b_, 1);
+  CoreSet y;
+  y.set_count(b_, 3);
+  y.set_count(c_, 1);
+  x.merge_max(y);
+  EXPECT_EQ(x.count_of(a_), 2);
+  EXPECT_EQ(x.count_of(b_), 3);
+  EXPECT_EQ(x.count_of(c_), 1);
+}
+
+TEST_F(CoreSetTest, Equality) {
+  CoreSet x, y;
+  x.set_count(a_, 1);
+  y.set_count(a_, 1);
+  EXPECT_EQ(x, y);
+  y.add_core(a_);
+  EXPECT_NE(x, y);
+}
+
+TEST_F(CoreSetTest, RequiredAreaIsMaxOverModes) {
+  CoreAllocation alloc;
+  alloc.per_mode.resize(2, std::vector<CoreSet>(1));
+  alloc.per_mode[0][0].set_count(a_, 1);                       // 100
+  alloc.per_mode[1][0].set_count(b_, 1);                       // 200
+  EXPECT_DOUBLE_EQ(alloc.required_area(pe_, lib_), 200.0);
+  EXPECT_EQ(alloc.cores(ModeId{0}, pe_).count_of(a_), 1);
+  EXPECT_EQ(alloc.cores(ModeId{1}, pe_).count_of(b_), 1);
+}
+
+}  // namespace
+}  // namespace mmsyn

@@ -1,0 +1,204 @@
+#include "model/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tgff/motivational.hpp"
+#include "tgff/smart_phone.hpp"
+#include "tgff/suites.hpp"
+
+namespace mmsyn {
+namespace {
+
+/// Structural equivalence check (names, counts, numbers).
+void expect_equivalent(const System& a, const System& b) {
+  EXPECT_EQ(a.name, b.name);
+  ASSERT_EQ(a.arch.pe_count(), b.arch.pe_count());
+  for (PeId p : a.arch.pe_ids()) {
+    const Pe& x = a.arch.pe(p);
+    const Pe& y = b.arch.pe(p);
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.dvs_enabled, y.dvs_enabled);
+    EXPECT_EQ(x.voltage_levels, y.voltage_levels);
+    EXPECT_DOUBLE_EQ(x.threshold_voltage, y.threshold_voltage);
+    EXPECT_DOUBLE_EQ(x.area_capacity, y.area_capacity);
+    EXPECT_DOUBLE_EQ(x.static_power, y.static_power);
+    EXPECT_DOUBLE_EQ(x.reconfig_bandwidth, y.reconfig_bandwidth);
+  }
+  ASSERT_EQ(a.arch.cl_count(), b.arch.cl_count());
+  for (ClId c : a.arch.cl_ids()) {
+    const Cl& x = a.arch.cl(c);
+    const Cl& y = b.arch.cl(c);
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_DOUBLE_EQ(x.bandwidth, y.bandwidth);
+    EXPECT_DOUBLE_EQ(x.startup_latency, y.startup_latency);
+    EXPECT_DOUBLE_EQ(x.transfer_power, y.transfer_power);
+    EXPECT_DOUBLE_EQ(x.static_power, y.static_power);
+    EXPECT_EQ(x.attached, y.attached);
+  }
+  ASSERT_EQ(a.tech.type_count(), b.tech.type_count());
+  for (std::size_t t = 0; t < a.tech.type_count(); ++t) {
+    const TaskTypeId type{static_cast<int>(t)};
+    EXPECT_EQ(a.tech.type_name(type), b.tech.type_name(type));
+    for (PeId p : a.arch.pe_ids()) {
+      const auto x = a.tech.implementation(type, p);
+      const auto y = b.tech.implementation(type, p);
+      ASSERT_EQ(x.has_value(), y.has_value());
+      if (!x) continue;
+      EXPECT_DOUBLE_EQ(x->exec_time, y->exec_time);
+      EXPECT_DOUBLE_EQ(x->dyn_power, y->dyn_power);
+      EXPECT_DOUBLE_EQ(x->area, y->area);
+    }
+  }
+  ASSERT_EQ(a.omsm.mode_count(), b.omsm.mode_count());
+  for (std::size_t m = 0; m < a.omsm.mode_count(); ++m) {
+    const Mode& x = a.omsm.mode(ModeId{static_cast<int>(m)});
+    const Mode& y = b.omsm.mode(ModeId{static_cast<int>(m)});
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_DOUBLE_EQ(x.probability, y.probability);
+    EXPECT_DOUBLE_EQ(x.period, y.period);
+    ASSERT_EQ(x.graph.task_count(), y.graph.task_count());
+    ASSERT_EQ(x.graph.edge_count(), y.graph.edge_count());
+    for (std::size_t t = 0; t < x.graph.task_count(); ++t) {
+      const TaskId id{static_cast<int>(t)};
+      EXPECT_EQ(x.graph.task(id).name, y.graph.task(id).name);
+      EXPECT_EQ(x.graph.task(id).type, y.graph.task(id).type);
+      EXPECT_EQ(x.graph.task(id).deadline, y.graph.task(id).deadline);
+    }
+    for (std::size_t e = 0; e < x.graph.edge_count(); ++e) {
+      const EdgeId id{static_cast<int>(e)};
+      EXPECT_EQ(x.graph.edge(id).src, y.graph.edge(id).src);
+      EXPECT_EQ(x.graph.edge(id).dst, y.graph.edge(id).dst);
+      EXPECT_DOUBLE_EQ(x.graph.edge(id).data_bits, y.graph.edge(id).data_bits);
+    }
+  }
+  ASSERT_EQ(a.omsm.transition_count(), b.omsm.transition_count());
+  for (std::size_t t = 0; t < a.omsm.transition_count(); ++t) {
+    const TransitionId id{static_cast<int>(t)};
+    EXPECT_EQ(a.omsm.transition(id).from, b.omsm.transition(id).from);
+    EXPECT_EQ(a.omsm.transition(id).to, b.omsm.transition(id).to);
+    EXPECT_DOUBLE_EQ(a.omsm.transition(id).max_transition_time,
+                     b.omsm.transition(id).max_transition_time);
+  }
+}
+
+TEST(Io, RoundTripExample1) {
+  const System original = make_motivational_example1();
+  const System parsed = system_from_string(system_to_string(original));
+  expect_equivalent(original, parsed);
+  EXPECT_TRUE(parsed.validate().empty());
+}
+
+TEST(Io, RoundTripSmartPhone) {
+  const System original = make_smart_phone();
+  const System parsed = system_from_string(system_to_string(original));
+  expect_equivalent(original, parsed);
+  EXPECT_TRUE(parsed.validate().empty());
+}
+
+class IoSuiteTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IoSuiteTest, RoundTripSuiteInstance) {
+  const System original = make_mul(GetParam());
+  const System parsed = system_from_string(system_to_string(original));
+  expect_equivalent(original, parsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMuls, IoSuiteTest, ::testing::Range(1, 13));
+
+TEST(Io, MinimalHandWrittenFile) {
+  const System s = system_from_string(R"(
+# comment
+system tiny
+pe CPU kind=GPP dvs=1 levels=1.2,3.3 vt=0.8 static=1e-3
+pe ACC kind=ASIC area=500 static=2e-4
+cl BUS bandwidth=1e7 attached=CPU,ACC
+type FFT
+impl FFT CPU time=1e-3 power=0.1
+impl FFT ACC time=1e-4 power=0.01 area=200
+mode run psi=1.0 period=0.01
+task a FFT
+task b FFT deadline=0.008
+edge a b bits=1000
+)");
+  EXPECT_EQ(s.name, "tiny");
+  EXPECT_EQ(s.arch.pe_count(), 2u);
+  EXPECT_TRUE(s.arch.pe(PeId{0}).dvs_enabled);
+  EXPECT_EQ(s.omsm.mode_count(), 1u);
+  const Mode& mode = s.omsm.mode(ModeId{0});
+  EXPECT_EQ(mode.graph.task_count(), 2u);
+  EXPECT_EQ(mode.graph.task(TaskId{1}).deadline, 0.008);
+  EXPECT_EQ(mode.graph.edge(EdgeId{0}).data_bits, 1000.0);
+  EXPECT_TRUE(s.validate().empty());
+}
+
+TEST(Io, ErrorsCarryLineNumbers) {
+  try {
+    (void)system_from_string("system x\nbogus_keyword y\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Io, UnknownReferencesRejected) {
+  EXPECT_THROW((void)system_from_string("impl FFT CPU time=1 power=1\n"),
+               ParseError);
+  EXPECT_THROW((void)system_from_string(
+                   "pe CPU kind=GPP\ncl B bandwidth=1 attached=NOPE\n"),
+               ParseError);
+  EXPECT_THROW((void)system_from_string("task a FFT\n"), ParseError);
+  EXPECT_THROW(
+      (void)system_from_string("mode m psi=1 period=1\nedge a b\n"),
+      ParseError);
+}
+
+TEST(Io, DuplicateNamesRejected) {
+  EXPECT_THROW((void)system_from_string("pe A kind=GPP\npe A kind=GPP\n"),
+               ParseError);
+  EXPECT_THROW((void)system_from_string("type T\ntype T\n"), ParseError);
+  EXPECT_THROW((void)system_from_string(
+                   "mode m psi=1 period=1\nmode m psi=1 period=1\n"),
+               ParseError);
+}
+
+TEST(Io, MalformedNumbersRejected) {
+  EXPECT_THROW(
+      (void)system_from_string("mode m psi=abc period=1\n"), ParseError);
+  EXPECT_THROW(
+      (void)system_from_string("mode m psi=1x period=1\n"), ParseError);
+}
+
+TEST(Io, MissingRequiredOptionRejected) {
+  EXPECT_THROW((void)system_from_string("mode m psi=1\n"), ParseError);
+  EXPECT_THROW((void)system_from_string("pe A kind=GPP\ncl B attached=A\n"),
+               ParseError);
+}
+
+TEST(Io, FileRoundTrip) {
+  const System original = make_mul(5);
+  const std::string path = ::testing::TempDir() + "/io_roundtrip.mmsyn";
+  save_system(path, original);
+  const System loaded = load_system(path);
+  expect_equivalent(original, loaded);
+}
+
+TEST(Io, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_system("/nonexistent/dir/x.mmsyn"),
+               std::runtime_error);
+}
+
+TEST(Io, ShippedSampleFileIsValid) {
+  const System s =
+      load_system(std::string(MMSYN_SOURCE_DIR) +
+                  "/examples/data/sensor_node.mmsyn");
+  EXPECT_EQ(s.name, "sensor-node");
+  EXPECT_EQ(s.omsm.mode_count(), 3u);
+  EXPECT_EQ(s.arch.pe_count(), 2u);
+  const auto problems = s.validate();
+  EXPECT_TRUE(problems.empty()) << problems.front();
+  EXPECT_DOUBLE_EQ(s.omsm.mode(ModeId{0}).probability, 0.92);
+}
+
+}  // namespace
+}  // namespace mmsyn

@@ -1,0 +1,116 @@
+#include "model/omsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmsyn {
+namespace {
+
+Mode make_mode(const std::string& name, double prob, double period = 1.0) {
+  Mode m;
+  m.name = name;
+  m.probability = prob;
+  m.period = period;
+  m.graph.add_task("t", TaskTypeId{0});
+  return m;
+}
+
+TEST(Omsm, AddModesAndTransitions) {
+  Omsm omsm;
+  const ModeId a = omsm.add_mode(make_mode("a", 0.4));
+  const ModeId b = omsm.add_mode(make_mode("b", 0.6));
+  omsm.add_transition({a, b, 0.01});
+  omsm.add_transition({b, a, 0.02});
+  EXPECT_EQ(omsm.mode_count(), 2u);
+  EXPECT_EQ(omsm.transition_count(), 2u);
+  EXPECT_EQ(omsm.mode(a).name, "a");
+  EXPECT_DOUBLE_EQ(omsm.transition(TransitionId{0}).max_transition_time,
+                   0.01);
+}
+
+TEST(Omsm, ProbabilitiesVector) {
+  Omsm omsm;
+  omsm.add_mode(make_mode("a", 0.25));
+  omsm.add_mode(make_mode("b", 0.75));
+  const auto p = omsm.probabilities();
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p[0], 0.25);
+  EXPECT_DOUBLE_EQ(p[1], 0.75);
+}
+
+TEST(Omsm, NormalizeProbabilities) {
+  Omsm omsm;
+  omsm.add_mode(make_mode("a", 2.0));
+  omsm.add_mode(make_mode("b", 6.0));
+  omsm.normalize_probabilities();
+  EXPECT_DOUBLE_EQ(omsm.mode(ModeId{0}).probability, 0.25);
+  EXPECT_DOUBLE_EQ(omsm.mode(ModeId{1}).probability, 0.75);
+}
+
+TEST(Omsm, ValidAcceptance) {
+  Omsm omsm;
+  const ModeId a = omsm.add_mode(make_mode("a", 0.5));
+  const ModeId b = omsm.add_mode(make_mode("b", 0.5));
+  omsm.add_transition({a, b});
+  EXPECT_TRUE(omsm.validate().empty());
+}
+
+TEST(Omsm, EmptyOmsmRejected) {
+  Omsm omsm;
+  EXPECT_FALSE(omsm.validate().empty());
+}
+
+TEST(Omsm, ProbabilitySumChecked) {
+  Omsm omsm;
+  omsm.add_mode(make_mode("a", 0.5));
+  omsm.add_mode(make_mode("b", 0.3));
+  EXPECT_FALSE(omsm.validate().empty());
+}
+
+TEST(Omsm, NegativePeriodRejected) {
+  Omsm omsm;
+  omsm.add_mode(make_mode("a", 1.0, -1.0));
+  EXPECT_FALSE(omsm.validate().empty());
+}
+
+TEST(Omsm, CyclicTaskGraphRejected) {
+  Omsm omsm;
+  Mode m = make_mode("a", 1.0);
+  const TaskId t0{0};
+  const TaskId t1 = m.graph.add_task("u", TaskTypeId{0});
+  m.graph.add_edge(t0, t1, 0.0);
+  m.graph.add_edge(t1, t0, 0.0);
+  omsm.add_mode(std::move(m));
+  EXPECT_FALSE(omsm.validate().empty());
+}
+
+TEST(Omsm, SelfLoopTransitionRejected) {
+  Omsm omsm;
+  const ModeId a = omsm.add_mode(make_mode("a", 1.0));
+  omsm.add_transition({a, a});
+  EXPECT_FALSE(omsm.validate().empty());
+}
+
+TEST(Omsm, UnknownTransitionEndpointRejected) {
+  Omsm omsm;
+  const ModeId a = omsm.add_mode(make_mode("a", 1.0));
+  omsm.add_transition({a, ModeId{9}});
+  EXPECT_FALSE(omsm.validate().empty());
+}
+
+TEST(Omsm, NonPositiveDeadlineRejected) {
+  Omsm omsm;
+  Mode m = make_mode("a", 1.0);
+  m.graph.set_deadline(TaskId{0}, -0.5);
+  omsm.add_mode(std::move(m));
+  EXPECT_FALSE(omsm.validate().empty());
+}
+
+TEST(Omsm, DefaultTransitionIsUnconstrained) {
+  const ModeTransition t{ModeId{0}, ModeId{1}};
+  EXPECT_TRUE(std::isinf(t.max_transition_time));
+}
+
+}  // namespace
+}  // namespace mmsyn

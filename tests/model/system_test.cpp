@@ -1,0 +1,132 @@
+#include "model/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/mapping.hpp"
+
+namespace mmsyn {
+namespace {
+
+/// Minimal valid system: 2 modes, GPP + ASIC + bus, 2 types.
+System make_valid_system() {
+  System s;
+  s.name = "test";
+  Pe gpp;
+  gpp.name = "GPP";
+  const PeId p0 = s.arch.add_pe(gpp);
+  Pe asic;
+  asic.name = "ASIC";
+  asic.kind = PeKind::kAsic;
+  asic.area_capacity = 500.0;
+  const PeId p1 = s.arch.add_pe(asic);
+  Cl bus;
+  bus.attached = {p0, p1};
+  s.arch.add_cl(bus);
+
+  const TaskTypeId t0 = s.tech.add_type("T0");
+  s.tech.set_implementation(t0, p0, {1e-3, 0.1, 0.0});
+  s.tech.set_implementation(t0, p1, {1e-4, 0.01, 100.0});
+  const TaskTypeId t1 = s.tech.add_type("T1");
+  s.tech.set_implementation(t1, p0, {2e-3, 0.2, 0.0});
+
+  Mode a;
+  a.name = "A";
+  a.probability = 0.7;
+  a.period = 0.1;
+  const TaskId ta = a.graph.add_task("ta", t0);
+  const TaskId tb = a.graph.add_task("tb", t1);
+  a.graph.add_edge(ta, tb, 1000.0);
+  const ModeId ma = s.omsm.add_mode(std::move(a));
+
+  Mode b;
+  b.name = "B";
+  b.probability = 0.3;
+  b.period = 0.2;
+  b.graph.add_task("tc", t0);
+  const ModeId mb = s.omsm.add_mode(std::move(b));
+
+  s.omsm.add_transition({ma, mb, 0.05});
+  s.omsm.add_transition({mb, ma, 0.05});
+  return s;
+}
+
+TEST(System, ValidSystemPasses) {
+  const System s = make_valid_system();
+  EXPECT_TRUE(s.validate().empty());
+}
+
+TEST(System, CountsAggregateOverModes) {
+  const System s = make_valid_system();
+  EXPECT_EQ(s.total_task_count(), 3u);
+  EXPECT_EQ(s.total_edge_count(), 1u);
+}
+
+TEST(System, DisconnectedArchitectureRejected) {
+  System s = make_valid_system();
+  s.arch.cl(ClId{0}).attached.pop_back();  // bus now misses the ASIC
+  EXPECT_FALSE(s.validate().empty());
+}
+
+TEST(System, HardwareWithoutAreaRejected) {
+  System s = make_valid_system();
+  s.arch.pe(PeId{1}).area_capacity = 0.0;
+  EXPECT_FALSE(s.validate().empty());
+}
+
+TEST(System, FpgaWithoutReconfigBandwidthRejected) {
+  System s = make_valid_system();
+  s.arch.pe(PeId{1}).kind = PeKind::kFpga;
+  EXPECT_FALSE(s.validate().empty());
+  s.arch.pe(PeId{1}).reconfig_bandwidth = 1e5;
+  EXPECT_TRUE(s.validate().empty());
+}
+
+TEST(System, DescribeMentionsEverything) {
+  const System s = make_valid_system();
+  const std::string d = describe(s);
+  EXPECT_NE(d.find("test"), std::string::npos);
+  EXPECT_NE(d.find("GPP"), std::string::npos);
+  EXPECT_NE(d.find("ASIC"), std::string::npos);
+  EXPECT_NE(d.find("Psi"), std::string::npos);
+}
+
+TEST(Mapping, WellFormedAccepted) {
+  const System s = make_valid_system();
+  MultiModeMapping m;
+  m.modes.resize(2);
+  m.modes[0].task_to_pe = {PeId{1}, PeId{0}};
+  m.modes[1].task_to_pe = {PeId{0}};
+  EXPECT_TRUE(mapping_is_well_formed(m, s.omsm, s.arch, s.tech));
+  EXPECT_EQ(m.total_size(), 3u);
+  EXPECT_EQ(m.pe_of(ModeId{0}, TaskId{0}), PeId{1});
+}
+
+TEST(Mapping, WrongModeCountRejected) {
+  const System s = make_valid_system();
+  MultiModeMapping m;
+  m.modes.resize(1);
+  m.modes[0].task_to_pe = {PeId{0}, PeId{0}};
+  EXPECT_FALSE(mapping_is_well_formed(m, s.omsm, s.arch, s.tech));
+}
+
+TEST(Mapping, UnsupportedPeRejected) {
+  const System s = make_valid_system();
+  MultiModeMapping m;
+  m.modes.resize(2);
+  // Task tb has type T1 which only runs on the GPP.
+  m.modes[0].task_to_pe = {PeId{0}, PeId{1}};
+  m.modes[1].task_to_pe = {PeId{0}};
+  EXPECT_FALSE(mapping_is_well_formed(m, s.omsm, s.arch, s.tech));
+}
+
+TEST(Mapping, InvalidPeIdRejected) {
+  const System s = make_valid_system();
+  MultiModeMapping m;
+  m.modes.resize(2);
+  m.modes[0].task_to_pe = {PeId{0}, PeId{7}};
+  m.modes[1].task_to_pe = {PeId{0}};
+  EXPECT_FALSE(mapping_is_well_formed(m, s.omsm, s.arch, s.tech));
+}
+
+}  // namespace
+}  // namespace mmsyn

@@ -1,0 +1,113 @@
+#include "model/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mmsyn {
+namespace {
+
+TaskGraph diamond() {
+  // a -> b, a -> c, b -> d, c -> d
+  TaskGraph g;
+  const TaskId a = g.add_task("a", TaskTypeId{0});
+  const TaskId b = g.add_task("b", TaskTypeId{1});
+  const TaskId c = g.add_task("c", TaskTypeId{2});
+  const TaskId d = g.add_task("d", TaskTypeId{3});
+  g.add_edge(a, b, 10.0);
+  g.add_edge(a, c, 20.0);
+  g.add_edge(b, d, 30.0);
+  g.add_edge(c, d, 40.0);
+  return g;
+}
+
+TEST(TaskGraph, BasicCounts) {
+  const TaskGraph g = diamond();
+  EXPECT_EQ(g.task_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 4u);
+}
+
+TEST(TaskGraph, AdjacencyLists) {
+  const TaskGraph g = diamond();
+  EXPECT_EQ(g.out_edges(TaskId{0}).size(), 2u);
+  EXPECT_EQ(g.in_edges(TaskId{0}).size(), 0u);
+  EXPECT_EQ(g.in_edges(TaskId{3}).size(), 2u);
+  EXPECT_EQ(g.out_edges(TaskId{3}).size(), 0u);
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsEdges) {
+  const TaskGraph g = diamond();
+  const auto& topo = g.topological_order();
+  ASSERT_EQ(topo.size(), 4u);
+  auto pos = [&](TaskId t) {
+    return std::find(topo.begin(), topo.end(), t) - topo.begin();
+  };
+  for (const TaskEdge& e : g.edges()) EXPECT_LT(pos(e.src), pos(e.dst));
+}
+
+TEST(TaskGraph, CycleDetected) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", TaskTypeId{0});
+  const TaskId b = g.add_task("b", TaskTypeId{0});
+  g.add_edge(a, b, 0.0);
+  g.add_edge(b, a, 0.0);
+  EXPECT_FALSE(g.finalize());
+  EXPECT_THROW((void)g.topological_order(), std::logic_error);
+}
+
+TEST(TaskGraph, SelfLoopRejected) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", TaskTypeId{0});
+  EXPECT_THROW(g.add_edge(a, a, 0.0), std::invalid_argument);
+}
+
+TEST(TaskGraph, UnknownEndpointRejected) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", TaskTypeId{0});
+  EXPECT_THROW(g.add_edge(a, TaskId{7}, 0.0), std::out_of_range);
+  EXPECT_THROW(g.add_edge(TaskId{}, a, 0.0), std::out_of_range);
+}
+
+TEST(TaskGraph, NegativeDataRejected) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", TaskTypeId{0});
+  const TaskId b = g.add_task("b", TaskTypeId{0});
+  EXPECT_THROW(g.add_edge(a, b, -1.0), std::invalid_argument);
+}
+
+TEST(TaskGraph, FinalizeIsInvalidatedByMutation) {
+  TaskGraph g = diamond();
+  ASSERT_TRUE(g.finalize());
+  ASSERT_TRUE(g.finalized());
+  (void)g.add_task("e", TaskTypeId{0});
+  EXPECT_FALSE(g.finalized());
+  EXPECT_TRUE(g.finalize());
+  EXPECT_EQ(g.topological_order().size(), 5u);
+}
+
+TEST(TaskGraph, DeadlineStorage) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", TaskTypeId{0}, 0.5);
+  EXPECT_EQ(g.task(a).deadline, 0.5);
+  g.set_deadline(a, std::nullopt);
+  EXPECT_FALSE(g.task(a).deadline.has_value());
+  g.set_deadline(a, 1.25);
+  EXPECT_EQ(g.task(a).deadline, 1.25);
+}
+
+TEST(TaskGraph, EmptyGraphIsValid) {
+  TaskGraph g;
+  EXPECT_TRUE(g.finalize());
+  EXPECT_TRUE(g.topological_order().empty());
+}
+
+TEST(TaskGraph, DisconnectedComponentsOrdered) {
+  TaskGraph g;
+  (void)g.add_task("a", TaskTypeId{0});
+  (void)g.add_task("b", TaskTypeId{0});
+  EXPECT_TRUE(g.finalize());
+  EXPECT_EQ(g.topological_order().size(), 2u);
+}
+
+}  // namespace
+}  // namespace mmsyn

@@ -1,0 +1,108 @@
+#include "sched/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/system.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace mmsyn {
+namespace {
+
+class GanttTest : public ::testing::Test {
+ protected:
+  GanttTest() {
+    Pe gpp;
+    gpp.name = "GPP";
+    sw_ = system_.arch.add_pe(gpp);
+    Pe asic;
+    asic.name = "HW";
+    asic.kind = PeKind::kAsic;
+    asic.area_capacity = 500.0;
+    hw_ = system_.arch.add_pe(asic);
+    Cl bus;
+    bus.name = "BUS";
+    bus.bandwidth = 1e6;
+    bus.attached = {sw_, hw_};
+    system_.arch.add_cl(bus);
+    type_ = system_.tech.add_type("T");
+    system_.tech.set_implementation(type_, sw_, {10e-3, 0.1, 0.0});
+    system_.tech.set_implementation(type_, hw_, {1e-3, 0.01, 100.0});
+    mode_.name = "m";
+    mode_.period = 0.1;
+  }
+
+  System system_;
+  Mode mode_;
+  PeId sw_, hw_;
+  TaskTypeId type_;
+};
+
+TEST_F(GanttTest, RendersRowsAndLegend) {
+  const TaskId a = mode_.graph.add_task("alpha", type_);
+  const TaskId b = mode_.graph.add_task("beta", type_);
+  mode_.graph.add_edge(a, b, 2000.0);
+  ModeMapping m;
+  m.task_to_pe = {sw_, hw_};
+  std::vector<CoreSet> cores(system_.arch.pe_count());
+  cores[hw_.index()].set_count(type_, 1);
+  const ModeSchedule s =
+      list_schedule({mode_, m, system_.arch, system_.tech, cores});
+  const std::string chart = render_gantt(mode_, s, m, system_.arch);
+  EXPECT_NE(chart.find("GPP"), std::string::npos);
+  EXPECT_NE(chart.find("HW/core0"), std::string::npos);
+  EXPECT_NE(chart.find("BUS"), std::string::npos);
+  EXPECT_NE(chart.find("alpha"), std::string::npos);
+  EXPECT_NE(chart.find("beta"), std::string::npos);
+  EXPECT_NE(chart.find("transfer"), std::string::npos);
+  EXPECT_NE(chart.find("makespan"), std::string::npos);
+}
+
+TEST_F(GanttTest, RowWidthsAreUniform) {
+  mode_.graph.add_task("a", type_);
+  mode_.graph.add_task("b", type_);
+  ModeMapping m;
+  m.task_to_pe = {sw_, sw_};
+  const ModeSchedule s = list_schedule(
+      {mode_, m, system_.arch, system_.tech,
+       std::vector<CoreSet>(system_.arch.pe_count())});
+  GanttOptions options;
+  options.width = 40;
+  const std::string chart = render_gantt(mode_, s, m, system_.arch, options);
+  // Every chart row (lines containing '|') has the same length.
+  std::istringstream lines(chart);
+  std::string line;
+  std::size_t expected = 0;
+  while (std::getline(lines, line)) {
+    if (line.find('|') == std::string::npos) continue;
+    if (!expected) expected = line.size();
+    EXPECT_EQ(line.size(), expected);
+  }
+  EXPECT_GT(expected, 40u);
+}
+
+TEST_F(GanttTest, ShortTasksStillVisible) {
+  // A 1 ms HW task next to a 10 ms SW task must still occupy >= 1 cell.
+  mode_.graph.add_task("long", type_);
+  mode_.graph.add_task("short", type_);
+  ModeMapping m;
+  m.task_to_pe = {sw_, hw_};
+  std::vector<CoreSet> cores(system_.arch.pe_count());
+  cores[hw_.index()].set_count(type_, 1);
+  const ModeSchedule s =
+      list_schedule({mode_, m, system_.arch, system_.tech, cores});
+  const std::string chart = render_gantt(mode_, s, m, system_.arch);
+  // Task with id 1 renders with symbol 'B'.
+  EXPECT_NE(chart.find('B'), std::string::npos);
+}
+
+TEST_F(GanttTest, EmptyScheduleRendersHeaderOnly) {
+  ModeMapping m;
+  const ModeSchedule s = list_schedule(
+      {mode_, m, system_.arch, system_.tech,
+       std::vector<CoreSet>(system_.arch.pe_count())});
+  const std::string chart = render_gantt(mode_, s, m, system_.arch);
+  EXPECT_NE(chart.find("Gantt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmsyn

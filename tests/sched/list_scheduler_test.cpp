@@ -1,0 +1,314 @@
+#include "sched/list_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/system.hpp"
+
+namespace mmsyn {
+namespace {
+
+/// Shared checks: precedence and resource exclusivity of a schedule.
+void expect_schedule_valid(const Mode& mode, const ModeMapping& mapping,
+                           const Architecture& arch,
+                           const ModeSchedule& schedule) {
+  // Precedence with communication in between.
+  for (std::size_t e = 0; e < mode.graph.edge_count(); ++e) {
+    const TaskEdge& edge = mode.graph.edge(EdgeId{static_cast<int>(e)});
+    const ScheduledComm& comm = schedule.comms[e];
+    EXPECT_GE(comm.start + 1e-12, schedule.tasks[edge.src.index()].finish);
+    EXPECT_GE(schedule.tasks[edge.dst.index()].start + 1e-12, comm.finish);
+  }
+  // Sequential software PEs never overlap two tasks.
+  for (std::size_t i = 0; i < schedule.tasks.size(); ++i) {
+    for (std::size_t j = i + 1; j < schedule.tasks.size(); ++j) {
+      const ScheduledTask& x = schedule.tasks[i];
+      const ScheduledTask& y = schedule.tasks[j];
+      if (x.pe != y.pe) continue;
+      const bool same_resource =
+          is_software(arch.pe(x.pe).kind) ||
+          (mode.graph.task(x.task).type == mode.graph.task(y.task).type &&
+           x.core_instance == y.core_instance);
+      if (!same_resource) continue;
+      const bool disjoint =
+          x.finish <= y.start + 1e-12 || y.finish <= x.start + 1e-12;
+      EXPECT_TRUE(disjoint) << "overlap on PE " << x.pe;
+    }
+  }
+  (void)mapping;
+}
+
+/// Fixture: GPP + ASIC (two HW types) + single bus.
+class ListSchedulerTest : public ::testing::Test {
+ protected:
+  ListSchedulerTest() {
+    Pe gpp;
+    gpp.name = "GPP";
+    pe0_ = system_.arch.add_pe(gpp);
+    Pe asic;
+    asic.name = "HW";
+    asic.kind = PeKind::kAsic;
+    asic.area_capacity = 1000.0;
+    pe1_ = system_.arch.add_pe(asic);
+    Cl bus;
+    bus.bandwidth = 1e6;
+    bus.startup_latency = 0.0;
+    bus.attached = {pe0_, pe1_};
+    system_.arch.add_cl(bus);
+
+    t_sw_ = system_.tech.add_type("SW");
+    system_.tech.set_implementation(t_sw_, pe0_, {10e-3, 0.1, 0.0});
+    t_hw_ = system_.tech.add_type("HW");
+    system_.tech.set_implementation(t_hw_, pe0_, {20e-3, 0.1, 0.0});
+    system_.tech.set_implementation(t_hw_, pe1_, {2e-3, 0.01, 100.0});
+
+    mode_.name = "m";
+    mode_.probability = 1.0;
+    mode_.period = 1.0;
+  }
+
+  ModeSchedule schedule(const ModeMapping& mapping,
+                        const std::vector<CoreSet>& cores) {
+    return list_schedule({mode_, mapping, system_.arch, system_.tech, cores});
+  }
+  std::vector<CoreSet> no_cores() const {
+    return std::vector<CoreSet>(system_.arch.pe_count());
+  }
+
+  System system_;
+  Mode mode_;
+  PeId pe0_, pe1_;
+  TaskTypeId t_sw_, t_hw_;
+};
+
+TEST_F(ListSchedulerTest, SoftwareChainIsSequential) {
+  const TaskId a = mode_.graph.add_task("a", t_sw_);
+  const TaskId b = mode_.graph.add_task("b", t_sw_);
+  mode_.graph.add_edge(a, b, 0.0);
+  ModeMapping m;
+  m.task_to_pe = {pe0_, pe0_};
+  const ModeSchedule s = schedule(m, no_cores());
+  EXPECT_DOUBLE_EQ(s.tasks[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(s.tasks[1].start, 10e-3);
+  EXPECT_DOUBLE_EQ(s.makespan, 20e-3);
+  EXPECT_TRUE(s.comms[0].local);
+  expect_schedule_valid(mode_, m, system_.arch, s);
+}
+
+TEST_F(ListSchedulerTest, IndependentSoftwareTasksSerialise) {
+  mode_.graph.add_task("a", t_sw_);
+  mode_.graph.add_task("b", t_sw_);
+  ModeMapping m;
+  m.task_to_pe = {pe0_, pe0_};
+  const ModeSchedule s = schedule(m, no_cores());
+  EXPECT_DOUBLE_EQ(s.makespan, 20e-3);
+  expect_schedule_valid(mode_, m, system_.arch, s);
+}
+
+TEST_F(ListSchedulerTest, CrossPeEdgeUsesBus) {
+  const TaskId a = mode_.graph.add_task("a", t_sw_);
+  const TaskId b = mode_.graph.add_task("b", t_hw_);
+  mode_.graph.add_edge(a, b, 2000.0);  // 2 ms on the bus
+  ModeMapping m;
+  m.task_to_pe = {pe0_, pe1_};
+  const ModeSchedule s = schedule(m, no_cores());
+  EXPECT_FALSE(s.comms[0].local);
+  EXPECT_TRUE(s.comms[0].cl.valid());
+  EXPECT_DOUBLE_EQ(s.comms[0].start, 10e-3);
+  EXPECT_DOUBLE_EQ(s.comms[0].finish, 12e-3);
+  EXPECT_DOUBLE_EQ(s.tasks[1].start, 12e-3);
+  EXPECT_DOUBLE_EQ(s.makespan, 14e-3);
+  expect_schedule_valid(mode_, m, system_.arch, s);
+}
+
+TEST_F(ListSchedulerTest, SingleHwCoreSerialisesSameType) {
+  mode_.graph.add_task("a", t_hw_);
+  mode_.graph.add_task("b", t_hw_);
+  ModeMapping m;
+  m.task_to_pe = {pe1_, pe1_};
+  std::vector<CoreSet> cores = no_cores();
+  cores[pe1_.index()].set_count(t_hw_, 1);
+  const ModeSchedule s = schedule(m, cores);
+  EXPECT_DOUBLE_EQ(s.makespan, 4e-3);  // 2 tasks x 2 ms on one core
+  expect_schedule_valid(mode_, m, system_.arch, s);
+}
+
+TEST_F(ListSchedulerTest, TwoHwCoresRunInParallel) {
+  mode_.graph.add_task("a", t_hw_);
+  mode_.graph.add_task("b", t_hw_);
+  ModeMapping m;
+  m.task_to_pe = {pe1_, pe1_};
+  std::vector<CoreSet> cores = no_cores();
+  cores[pe1_.index()].set_count(t_hw_, 2);
+  const ModeSchedule s = schedule(m, cores);
+  EXPECT_DOUBLE_EQ(s.makespan, 2e-3);  // parallel on two cores
+  EXPECT_NE(s.tasks[0].core_instance, s.tasks[1].core_instance);
+  expect_schedule_valid(mode_, m, system_.arch, s);
+}
+
+TEST_F(ListSchedulerTest, MissingCoreSetFallsBackToOneCore) {
+  mode_.graph.add_task("a", t_hw_);
+  mode_.graph.add_task("b", t_hw_);
+  ModeMapping m;
+  m.task_to_pe = {pe1_, pe1_};
+  const ModeSchedule s = schedule(m, no_cores());  // empty core sets
+  EXPECT_DOUBLE_EQ(s.makespan, 4e-3);              // implicit single core
+}
+
+TEST_F(ListSchedulerTest, BusContentionSerialisesTransfers) {
+  // Two independent producers on GPP feeding two HW consumers: the two
+  // transfers share one bus.
+  const TaskId a = mode_.graph.add_task("a", t_sw_);
+  const TaskId b = mode_.graph.add_task("b", t_sw_);
+  const TaskId c = mode_.graph.add_task("c", t_hw_);
+  const TaskId d = mode_.graph.add_task("d", t_hw_);
+  mode_.graph.add_edge(a, c, 5000.0);  // 5 ms transfer
+  mode_.graph.add_edge(b, d, 5000.0);
+  ModeMapping m;
+  m.task_to_pe = {pe0_, pe0_, pe1_, pe1_};
+  std::vector<CoreSet> cores = no_cores();
+  cores[pe1_.index()].set_count(t_hw_, 2);
+  const ModeSchedule s = schedule(m, cores);
+  const ScheduledComm& c0 = s.comms[0];
+  const ScheduledComm& c1 = s.comms[1];
+  const bool disjoint =
+      c0.finish <= c1.start + 1e-12 || c1.finish <= c0.start + 1e-12;
+  EXPECT_TRUE(disjoint);
+  expect_schedule_valid(mode_, m, system_.arch, s);
+}
+
+TEST_F(ListSchedulerTest, HigherPriorityChainGoesFirst) {
+  // A long chain (a->b) and a short independent task z all on the GPP:
+  // the chain head has the larger bottom level and is scheduled first.
+  const TaskId a = mode_.graph.add_task("a", t_sw_);
+  const TaskId b = mode_.graph.add_task("b", t_sw_);
+  const TaskId z = mode_.graph.add_task("z", t_sw_);
+  mode_.graph.add_edge(a, b, 0.0);
+  ModeMapping m;
+  m.task_to_pe = {pe0_, pe0_, pe0_};
+  const ModeSchedule s = schedule(m, no_cores());
+  EXPECT_LT(s.tasks[a.index()].start, s.tasks[z.index()].start);
+  EXPECT_DOUBLE_EQ(s.makespan, 30e-3);
+  (void)b;
+}
+
+TEST_F(ListSchedulerTest, TopoOrderPolicySchedulesByTaskId) {
+  // Independent tasks z (id 0) and a long chain (ids 1,2): FIFO picks z
+  // first even though the chain has the larger bottom level.
+  const TaskId z = mode_.graph.add_task("z", t_sw_);
+  const TaskId a = mode_.graph.add_task("a", t_sw_);
+  const TaskId b = mode_.graph.add_task("b", t_sw_);
+  mode_.graph.add_edge(a, b, 0.0);
+  ModeMapping m;
+  m.task_to_pe = {pe0_, pe0_, pe0_};
+  const ModeSchedule s = list_schedule({mode_, m, system_.arch, system_.tech,
+                                        no_cores(),
+                                        SchedulingPolicy::kTopoOrder});
+  EXPECT_LT(s.tasks[z.index()].start, s.tasks[a.index()].start);
+}
+
+TEST_F(ListSchedulerTest, LongestTaskPolicyPrefersLongTasks) {
+  // A short HW-typed task (id 0, 20 ms on GPP) vs a 10 ms SW task (id 1):
+  // longest-first schedules the 20 ms task first.
+  const TaskId big = mode_.graph.add_task("big", t_hw_);   // 20 ms on GPP
+  const TaskId small = mode_.graph.add_task("small", t_sw_);  // 10 ms
+  ModeMapping m;
+  m.task_to_pe = {pe0_, pe0_};
+  const ModeSchedule s = list_schedule({mode_, m, system_.arch, system_.tech,
+                                        no_cores(),
+                                        SchedulingPolicy::kLongestTask});
+  EXPECT_LT(s.tasks[big.index()].start, s.tasks[small.index()].start);
+}
+
+TEST_F(ListSchedulerTest, AllPoliciesProduceValidSchedules) {
+  const TaskId a = mode_.graph.add_task("a", t_sw_);
+  const TaskId b = mode_.graph.add_task("b", t_hw_);
+  const TaskId c = mode_.graph.add_task("c", t_hw_);
+  mode_.graph.add_edge(a, b, 2000.0);
+  mode_.graph.add_edge(a, c, 2000.0);
+  ModeMapping m;
+  m.task_to_pe = {pe0_, pe1_, pe1_};
+  std::vector<CoreSet> cores = no_cores();
+  cores[pe1_.index()].set_count(t_hw_, 1);
+  for (SchedulingPolicy policy :
+       {SchedulingPolicy::kBottomLevel, SchedulingPolicy::kTopoOrder,
+        SchedulingPolicy::kLongestTask}) {
+    const ModeSchedule s = list_schedule(
+        {mode_, m, system_.arch, system_.tech, cores, policy});
+    expect_schedule_valid(mode_, m, system_.arch, s);
+    EXPECT_TRUE(s.routable);
+  }
+}
+
+TEST_F(ListSchedulerTest, UnroutableMessageFlagsSchedule) {
+  // Second architecture island: a PE with no bus attachment.
+  System island;
+  Pe gpp;
+  gpp.name = "A";
+  const PeId p0 = island.arch.add_pe(gpp);
+  Pe gpp2;
+  gpp2.name = "B";
+  const PeId p1 = island.arch.add_pe(gpp2);
+  // No CLs at all.
+  const TaskTypeId t = island.tech.add_type("T");
+  island.tech.set_implementation(t, p0, {1e-3, 0.1, 0.0});
+  island.tech.set_implementation(t, p1, {1e-3, 0.1, 0.0});
+  Mode mode;
+  mode.period = 1.0;
+  const TaskId a = mode.graph.add_task("a", t);
+  const TaskId b = mode.graph.add_task("b", t);
+  mode.graph.add_edge(a, b, 100.0);
+  ModeMapping m;
+  m.task_to_pe = {p0, p1};
+  const ModeSchedule s = list_schedule(
+      {mode, m, island.arch, island.tech,
+       std::vector<CoreSet>(island.arch.pe_count())});
+  EXPECT_FALSE(s.routable);
+  EXPECT_GT(s.makespan, 1e3);  // penalty latency applied
+}
+
+TEST_F(ListSchedulerTest, EmptyModeProducesEmptySchedule) {
+  ModeMapping m;
+  const ModeSchedule s = schedule(m, no_cores());
+  EXPECT_TRUE(s.tasks.empty());
+  EXPECT_DOUBLE_EQ(s.makespan, 0.0);
+  EXPECT_TRUE(s.routable);
+}
+
+TEST_F(ListSchedulerTest, ChoosesFasterOfTwoBuses) {
+  System two;
+  Pe gpp;
+  gpp.name = "A";
+  const PeId p0 = two.arch.add_pe(gpp);
+  Pe asic;
+  asic.name = "B";
+  asic.kind = PeKind::kAsic;
+  asic.area_capacity = 500.0;
+  const PeId p1 = two.arch.add_pe(asic);
+  Cl slow;
+  slow.bandwidth = 1e5;
+  slow.attached = {p0, p1};
+  two.arch.add_cl(slow);
+  Cl fast;
+  fast.bandwidth = 1e7;
+  fast.attached = {p0, p1};
+  const ClId fast_id = two.arch.add_cl(fast);
+  const TaskTypeId t = two.tech.add_type("T");
+  two.tech.set_implementation(t, p0, {1e-3, 0.1, 0.0});
+  two.tech.set_implementation(t, p1, {1e-4, 0.01, 50.0});
+  Mode mode;
+  mode.period = 1.0;
+  const TaskId a = mode.graph.add_task("a", t);
+  const TaskId b = mode.graph.add_task("b", t);
+  mode.graph.add_edge(a, b, 1e4);
+  ModeMapping m;
+  m.task_to_pe = {p0, p1};
+  const ModeSchedule s = list_schedule(
+      {mode, m, two.arch, two.tech,
+       std::vector<CoreSet>(two.arch.pe_count())});
+  EXPECT_EQ(s.comms[0].cl, fast_id);
+}
+
+}  // namespace
+}  // namespace mmsyn

@@ -1,0 +1,89 @@
+#include "sched/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmsyn {
+namespace {
+
+TEST(Timeline, EmptyFitsAtReadyTime) {
+  Timeline t;
+  EXPECT_DOUBLE_EQ(t.earliest_fit(2.5, 1.0), 2.5);
+  EXPECT_DOUBLE_EQ(t.horizon(), 0.0);
+}
+
+TEST(Timeline, AppendsAfterBusyBlock) {
+  Timeline t;
+  t.reserve(0.0, 5.0);
+  EXPECT_DOUBLE_EQ(t.earliest_fit(0.0, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(t.horizon(), 5.0);
+}
+
+TEST(Timeline, FirstFitUsesGap) {
+  Timeline t;
+  t.reserve(0.0, 2.0);
+  t.reserve(5.0, 2.0);
+  // Gap [2,5) fits a 3-unit block exactly.
+  EXPECT_DOUBLE_EQ(t.earliest_fit(0.0, 3.0), 2.0);
+  // A 4-unit block must go after the second interval.
+  EXPECT_DOUBLE_EQ(t.earliest_fit(0.0, 4.0), 7.0);
+}
+
+TEST(Timeline, ReadyTimeInsideGap) {
+  Timeline t;
+  t.reserve(0.0, 2.0);
+  t.reserve(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(t.earliest_fit(4.0, 2.0), 4.0);
+  // Ready inside the first busy block: pushed to its end.
+  EXPECT_DOUBLE_EQ(t.earliest_fit(1.0, 2.0), 2.0);
+}
+
+TEST(Timeline, ReserveInGapKeepsOrder) {
+  Timeline t;
+  t.reserve(0.0, 1.0);
+  t.reserve(4.0, 1.0);
+  const double s = t.earliest_fit(0.0, 2.0);
+  t.reserve(s, 2.0);
+  EXPECT_EQ(t.interval_count(), 3u);
+  EXPECT_DOUBLE_EQ(t.busy_time(), 4.0);
+  // Remaining gap is [3,4): a 1-unit block still fits there.
+  EXPECT_DOUBLE_EQ(t.earliest_fit(0.0, 1.0), 3.0);
+}
+
+TEST(Timeline, ZeroDurationOccupiesNothing) {
+  Timeline t;
+  t.reserve(1.0, 0.0);
+  EXPECT_EQ(t.interval_count(), 0u);
+  EXPECT_DOUBLE_EQ(t.earliest_fit(0.0, 1.0), 0.0);
+}
+
+TEST(Timeline, ClearResets) {
+  Timeline t;
+  t.reserve(0.0, 3.0);
+  t.clear();
+  EXPECT_EQ(t.interval_count(), 0u);
+  EXPECT_DOUBLE_EQ(t.earliest_fit(0.0, 1.0), 0.0);
+}
+
+TEST(Timeline, AbuttingBlocksAllowed) {
+  Timeline t;
+  t.reserve(0.0, 1.0);
+  t.reserve(1.0, 1.0);  // exactly abuts, no overlap
+  EXPECT_EQ(t.interval_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.earliest_fit(0.0, 0.5), 2.0);
+}
+
+TEST(Timeline, ManyBlocksStressOrdering) {
+  Timeline t;
+  // Fill even slots [2k, 2k+1); odd gaps remain.
+  for (int k = 9; k >= 0; --k) {
+    const double s = t.earliest_fit(2.0 * k, 1.0);
+    t.reserve(s, 1.0);
+  }
+  EXPECT_EQ(t.interval_count(), 10u);
+  // All gaps of width 1 remain at odd offsets.
+  EXPECT_DOUBLE_EQ(t.earliest_fit(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.earliest_fit(2.2, 1.0), 3.0);
+}
+
+}  // namespace
+}  // namespace mmsyn

@@ -1,0 +1,143 @@
+#include "sched/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/system.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace mmsyn {
+namespace {
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  ValidateTest() {
+    Pe gpp;
+    gpp.name = "GPP";
+    sw_ = system_.arch.add_pe(gpp);
+    Pe asic;
+    asic.name = "HW";
+    asic.kind = PeKind::kAsic;
+    asic.area_capacity = 500.0;
+    hw_ = system_.arch.add_pe(asic);
+    Cl bus;
+    bus.name = "BUS";
+    bus.bandwidth = 1e6;
+    bus.attached = {sw_, hw_};
+    system_.arch.add_cl(bus);
+    type_ = system_.tech.add_type("T");
+    system_.tech.set_implementation(type_, sw_, {10e-3, 0.1, 0.0});
+    system_.tech.set_implementation(type_, hw_, {1e-3, 0.01, 100.0});
+
+    mode_.name = "m";
+    mode_.period = 0.1;
+    a_ = mode_.graph.add_task("a", type_);
+    b_ = mode_.graph.add_task("b", type_);
+    mode_.graph.add_edge(a_, b_, 2000.0);
+    mapping_.task_to_pe = {sw_, hw_};
+    cores_.resize(system_.arch.pe_count());
+    cores_[hw_.index()].set_count(type_, 1);
+  }
+
+  ModeSchedule make_schedule() {
+    return list_schedule({mode_, mapping_, system_.arch, system_.tech,
+                          cores_});
+  }
+
+  bool has(const std::vector<ScheduleViolation>& v,
+           ScheduleViolation::Kind kind) {
+    for (const auto& x : v)
+      if (x.kind == kind) return true;
+    return false;
+  }
+
+  System system_;
+  Mode mode_;
+  ModeMapping mapping_;
+  std::vector<CoreSet> cores_;
+  PeId sw_, hw_;
+  TaskTypeId type_;
+  TaskId a_, b_;
+};
+
+TEST_F(ValidateTest, GeneratedScheduleIsClean) {
+  const ModeSchedule s = make_schedule();
+  EXPECT_TRUE(validate_schedule(mode_, s, mapping_, system_.arch,
+                                system_.tech, cores_)
+                  .empty());
+}
+
+TEST_F(ValidateTest, PrecedenceViolationDetected) {
+  ModeSchedule s = make_schedule();
+  s.tasks[b_.index()].start = 0.0;  // before the transfer arrives
+  s.tasks[b_.index()].finish = 1e-3;
+  const auto v = validate_schedule(mode_, s, mapping_, system_.arch,
+                                   system_.tech, cores_);
+  EXPECT_TRUE(has(v, ScheduleViolation::Kind::kPrecedence));
+}
+
+TEST_F(ValidateTest, DurationViolationDetected) {
+  ModeSchedule s = make_schedule();
+  s.tasks[a_.index()].finish = s.tasks[a_.index()].start + 1e-3;  // too fast
+  const auto v = validate_schedule(mode_, s, mapping_, system_.arch,
+                                   system_.tech, cores_);
+  EXPECT_TRUE(has(v, ScheduleViolation::Kind::kDuration));
+}
+
+TEST_F(ValidateTest, ResourceOverlapDetected) {
+  // Put a second task on the GPP overlapping the first.
+  const TaskId c = mode_.graph.add_task("c", type_);
+  mapping_.task_to_pe.push_back(sw_);
+  cores_.clear();
+  cores_.resize(system_.arch.pe_count());
+  cores_[hw_.index()].set_count(type_, 1);
+  ModeSchedule s = make_schedule();
+  s.tasks[c.index()].start = s.tasks[a_.index()].start;
+  s.tasks[c.index()].finish = s.tasks[a_.index()].start + 10e-3;
+  const auto v = validate_schedule(mode_, s, mapping_, system_.arch,
+                                   system_.tech, cores_);
+  EXPECT_TRUE(has(v, ScheduleViolation::Kind::kResourceOverlap));
+}
+
+TEST_F(ValidateTest, RoutingViolationsDetected) {
+  ModeSchedule s = make_schedule();
+  s.comms[0].local = true;  // cross-PE edge mislabelled local
+  auto v = validate_schedule(mode_, s, mapping_, system_.arch, system_.tech,
+                             cores_);
+  EXPECT_TRUE(has(v, ScheduleViolation::Kind::kRouting));
+
+  s = make_schedule();
+  s.comms[0].cl = ClId::invalid();
+  v = validate_schedule(mode_, s, mapping_, system_.arch, system_.tech,
+                        cores_);
+  EXPECT_TRUE(has(v, ScheduleViolation::Kind::kRouting));
+}
+
+TEST_F(ValidateTest, CoreInstanceOutOfRangeDetected) {
+  ModeSchedule s = make_schedule();
+  s.tasks[b_.index()].core_instance = 5;  // only 1 core allocated
+  const auto v = validate_schedule(mode_, s, mapping_, system_.arch,
+                                   system_.tech, cores_);
+  EXPECT_TRUE(has(v, ScheduleViolation::Kind::kCoreMissing));
+}
+
+TEST_F(ValidateTest, DeadlineCheckIsOptIn) {
+  mode_.graph.set_deadline(b_, 1e-3);  // unachievable
+  const ModeSchedule s = make_schedule();
+  EXPECT_TRUE(validate_schedule(mode_, s, mapping_, system_.arch,
+                                system_.tech, cores_)
+                  .empty());
+  ValidateOptions options;
+  options.check_deadlines = true;
+  const auto v = validate_schedule(mode_, s, mapping_, system_.arch,
+                                   system_.tech, cores_, options);
+  EXPECT_TRUE(has(v, ScheduleViolation::Kind::kDeadline));
+}
+
+TEST_F(ValidateTest, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(ScheduleViolation::Kind::kPrecedence),
+               "precedence");
+  EXPECT_STREQ(to_string(ScheduleViolation::Kind::kDeadline), "deadline");
+}
+
+}  // namespace
+}  // namespace mmsyn

@@ -1,0 +1,153 @@
+#include "tgff/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/list_scheduler.hpp"
+
+namespace mmsyn {
+namespace {
+
+GeneratorConfig small_config(std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Generator, ProducesValidSystems) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const System s = generate_system(small_config(seed), "g");
+    const auto problems = s.validate();
+    EXPECT_TRUE(problems.empty())
+        << "seed " << seed << ": " << problems.front();
+  }
+}
+
+TEST(Generator, DeterministicInSeed) {
+  const System a = generate_system(small_config(77), "a");
+  const System b = generate_system(small_config(77), "b");
+  ASSERT_EQ(a.omsm.mode_count(), b.omsm.mode_count());
+  ASSERT_EQ(a.arch.pe_count(), b.arch.pe_count());
+  EXPECT_EQ(a.total_task_count(), b.total_task_count());
+  EXPECT_EQ(a.total_edge_count(), b.total_edge_count());
+  for (std::size_t m = 0; m < a.omsm.mode_count(); ++m) {
+    const ModeId id{static_cast<int>(m)};
+    EXPECT_DOUBLE_EQ(a.omsm.mode(id).probability, b.omsm.mode(id).probability);
+    EXPECT_DOUBLE_EQ(a.omsm.mode(id).period, b.omsm.mode(id).period);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const System a = generate_system(small_config(1), "a");
+  const System b = generate_system(small_config(2), "b");
+  const bool structurally_equal =
+      a.total_task_count() == b.total_task_count() &&
+      a.arch.pe_count() == b.arch.pe_count() &&
+      a.omsm.mode_count() == b.omsm.mode_count();
+  // With three independent dimensions a full collision is very unlikely.
+  EXPECT_FALSE(structurally_equal &&
+               a.omsm.mode(ModeId{0}).period == b.omsm.mode(ModeId{0}).period);
+}
+
+TEST(Generator, RespectsStructuralRanges) {
+  GeneratorConfig cfg = small_config(5);
+  cfg.mode_count_min = 4;
+  cfg.mode_count_max = 4;
+  cfg.tasks_per_mode_min = 10;
+  cfg.tasks_per_mode_max = 15;
+  cfg.pe_count_min = 3;
+  cfg.pe_count_max = 3;
+  cfg.cl_count_min = 2;
+  cfg.cl_count_max = 2;
+  const System s = generate_system(cfg, "ranges");
+  EXPECT_EQ(s.omsm.mode_count(), 4u);
+  EXPECT_EQ(s.arch.pe_count(), 3u);
+  EXPECT_EQ(s.arch.cl_count(), 2u);
+  for (const Mode& m : s.omsm.modes()) {
+    EXPECT_GE(m.graph.task_count(), 10u);
+    EXPECT_LE(m.graph.task_count(), 15u);
+  }
+}
+
+TEST(Generator, ProbabilitiesSumToOneWithDominantMode) {
+  const System s = generate_system(small_config(9), "p");
+  double total = 0.0;
+  for (const Mode& m : s.omsm.modes()) total += m.probability;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Mode 0 is the dominant one.
+  EXPECT_GE(s.omsm.mode(ModeId{0}).probability, 0.55);
+  for (std::size_t m = 1; m < s.omsm.mode_count(); ++m)
+    EXPECT_LT(s.omsm.mode(ModeId{static_cast<int>(m)}).probability,
+              s.omsm.mode(ModeId{0}).probability);
+}
+
+TEST(Generator, AllSoftwareMappingIsTimingFeasible) {
+  // The period calibration guarantees the everything-on-GPP probe fits.
+  const System s = generate_system(small_config(13), "feas");
+  const std::vector<CoreSet> no_cores(s.arch.pe_count());
+  for (std::size_t m = 0; m < s.omsm.mode_count(); ++m) {
+    const Mode& mode = s.omsm.mode(ModeId{static_cast<int>(m)});
+    ModeMapping probe;
+    probe.task_to_pe.assign(mode.graph.task_count(), PeId{0});
+    const ModeSchedule sched =
+        list_schedule({mode, probe, s.arch, s.tech, no_cores});
+    EXPECT_LE(sched.makespan, mode.period * (1 + 1e-9));
+  }
+}
+
+TEST(Generator, HardwareIsFasterThanSoftware) {
+  const System s = generate_system(small_config(17), "hw");
+  for (std::size_t t = 0; t < s.tech.type_count(); ++t) {
+    const TaskTypeId type{static_cast<int>(t)};
+    const auto sw = s.tech.implementation(type, PeId{0});
+    ASSERT_TRUE(sw.has_value());
+    for (PeId p : s.arch.pe_ids()) {
+      if (!is_hardware(s.arch.pe(p).kind)) continue;
+      const auto hw = s.tech.implementation(type, p);
+      if (!hw) continue;
+      EXPECT_LT(hw->exec_time, sw->exec_time);
+      EXPECT_LT(hw->energy(), sw->energy());
+      EXPECT_GT(hw->area, 0.0);
+    }
+  }
+}
+
+TEST(Generator, HardwareCapacityIsContested) {
+  // The capacity must be positive but below the total supported area —
+  // otherwise the area knapsack (and the probability effect) is trivial.
+  const System s = generate_system(small_config(21), "area");
+  for (PeId p : s.arch.pe_ids()) {
+    const Pe& pe = s.arch.pe(p);
+    if (!is_hardware(pe.kind)) continue;
+    double supported = 0.0;
+    for (std::size_t t = 0; t < s.tech.type_count(); ++t) {
+      const auto impl =
+          s.tech.implementation(TaskTypeId{static_cast<int>(t)}, p);
+      if (impl) supported += impl->area;
+    }
+    EXPECT_GT(pe.area_capacity, 0.0);
+    EXPECT_LT(pe.area_capacity, supported);
+  }
+}
+
+TEST(Generator, TransitionsFormAtLeastARing) {
+  const System s = generate_system(small_config(25), "ring");
+  EXPECT_GE(s.omsm.transition_count(), s.omsm.mode_count());
+  for (const ModeTransition& t : s.omsm.transitions()) {
+    EXPECT_TRUE(t.from.valid());
+    EXPECT_TRUE(t.to.valid());
+    EXPECT_GT(t.max_transition_time, 0.0);
+  }
+}
+
+TEST(Generator, AtLeastOneDvsPe) {
+  for (std::uint64_t seed = 30; seed < 40; ++seed) {
+    const System s = generate_system(small_config(seed), "dvs");
+    bool any = false;
+    for (PeId p : s.arch.pe_ids())
+      if (s.arch.pe(p).dvs_enabled) any = true;
+    EXPECT_TRUE(any) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mmsyn

@@ -1,0 +1,117 @@
+#include "tgff/motivational.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/allocation_builder.hpp"
+#include "core/cosynth.hpp"
+
+namespace mmsyn {
+namespace {
+
+double true_power_mw(const System& s, const MultiModeMapping& m) {
+  const Evaluator evaluator(s, EvaluationOptions{});
+  return evaluator.evaluate(m, build_core_allocation(s, m)).avg_power_true *
+         1e3;
+}
+
+TEST(Example1, SystemIsValid) {
+  const System s = make_motivational_example1();
+  EXPECT_TRUE(s.validate().empty());
+  EXPECT_EQ(s.omsm.mode_count(), 2u);
+  EXPECT_DOUBLE_EQ(s.omsm.mode(ModeId{0}).probability, 0.1);
+  EXPECT_DOUBLE_EQ(s.omsm.mode(ModeId{1}).probability, 0.9);
+}
+
+TEST(Example1, TypeTableMatchesPaper) {
+  const System s = make_motivational_example1();
+  // Type A: software 20 ms / 10 mWs; hardware 2 ms / 0.010 mWs / 240 cells.
+  const Implementation sw = s.tech.require(TaskTypeId{0}, PeId{0});
+  EXPECT_NEAR(sw.exec_time, 20e-3, 1e-12);
+  EXPECT_NEAR(sw.energy(), 10e-3, 1e-12);
+  const Implementation hw = s.tech.require(TaskTypeId{0}, PeId{1});
+  EXPECT_NEAR(hw.exec_time, 2e-3, 1e-12);
+  EXPECT_NEAR(hw.energy(), 0.010e-3, 1e-15);
+  EXPECT_DOUBLE_EQ(hw.area, 240.0);
+  EXPECT_DOUBLE_EQ(s.arch.pe(PeId{1}).area_capacity, 600.0);
+}
+
+TEST(Example1, PaperEnergiesExact) {
+  const System s = make_motivational_example1();
+  EXPECT_NEAR(true_power_mw(s, example1_mapping_without_probabilities()),
+              26.7158, 1e-4);
+  EXPECT_NEAR(true_power_mw(s, example1_mapping_with_probabilities()),
+              15.7423, 1e-4);
+}
+
+TEST(Example1, ReductionIs41Percent) {
+  const System s = make_motivational_example1();
+  const double b = true_power_mw(s, example1_mapping_without_probabilities());
+  const double c = true_power_mw(s, example1_mapping_with_probabilities());
+  EXPECT_NEAR(100.0 * (b - c) / b, 41.0, 0.5);
+}
+
+TEST(Example1, ExhaustiveOptimaMatchPaperMappings) {
+  const System s = make_motivational_example1();
+  SynthesisOptions options;
+  options.consider_probabilities = false;
+  const SynthesisResult base = exhaustive_search(s, options);
+  EXPECT_NEAR(base.evaluation.avg_power_true * 1e3, 26.7158, 1e-4);
+  options.consider_probabilities = true;
+  const SynthesisResult prop = exhaustive_search(s, options);
+  EXPECT_NEAR(prop.evaluation.avg_power_true * 1e3, 15.7423, 1e-4);
+}
+
+TEST(Example1, ThreeCoresNeverFit) {
+  // Property from the paper: at most 2 cores fit in 600 cells.
+  const System s = make_motivational_example1();
+  double smallest_three = 1e9;
+  const double areas[6] = {240, 300, 275, 245, 210, 280};
+  for (int i = 0; i < 6; ++i)
+    for (int j = i + 1; j < 6; ++j)
+      for (int k = j + 1; k < 6; ++k)
+        smallest_three = std::min(smallest_three,
+                                  areas[i] + areas[j] + areas[k]);
+  EXPECT_GT(smallest_three, s.arch.pe(PeId{1}).area_capacity);
+}
+
+TEST(Example2, SystemIsValid) {
+  const System s = make_motivational_example2();
+  EXPECT_TRUE(s.validate().empty());
+}
+
+TEST(Example2, SharedMappingKeepsEverythingPowered) {
+  const System s = make_motivational_example2();
+  const Evaluator evaluator(s, EvaluationOptions{});
+  const MultiModeMapping m = example2_mapping_shared();
+  const Evaluation e =
+      evaluator.evaluate(m, build_core_allocation(s, m));
+  // Both modes keep GPP + ASIC + bus active.
+  for (const ModeEvaluation& me : e.modes) {
+    EXPECT_TRUE(me.pe_active[0]);
+    EXPECT_TRUE(me.pe_active[1]);
+    EXPECT_TRUE(me.cl_active[0]);
+  }
+}
+
+TEST(Example2, MultipleImplementationsEnableShutdown) {
+  const System s = make_motivational_example2();
+  const Evaluator evaluator(s, EvaluationOptions{});
+  const MultiModeMapping m = example2_mapping_multiple_impl();
+  const Evaluation e =
+      evaluator.evaluate(m, build_core_allocation(s, m));
+  EXPECT_FALSE(e.modes[1].pe_active[1]);  // ASIC off in O2
+  EXPECT_FALSE(e.modes[1].cl_active[0]);  // bus off in O2
+  EXPECT_LT(true_power_mw(s, m),
+            true_power_mw(s, example2_mapping_shared()));
+}
+
+TEST(Example2, DuplicatedImplementationIsTheOptimum) {
+  const System s = make_motivational_example2();
+  SynthesisOptions options;
+  const SynthesisResult best = exhaustive_search(s, options);
+  EXPECT_NEAR(best.evaluation.avg_power_true * 1e3,
+              true_power_mw(s, example2_mapping_multiple_impl()), 1e-9);
+}
+
+}  // namespace
+}  // namespace mmsyn

@@ -1,0 +1,154 @@
+#include "tgff/smart_phone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/list_scheduler.hpp"
+
+namespace mmsyn {
+namespace {
+
+const System& phone() {
+  static const System system = make_smart_phone();
+  return system;
+}
+
+TEST(SmartPhone, IsValid) {
+  const auto problems = phone().validate();
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(SmartPhone, EightModesWithPaperProbabilities) {
+  const System& s = phone();
+  ASSERT_EQ(s.omsm.mode_count(), 8u);
+  auto psi = [&](PhoneMode m) {
+    return s.omsm.mode(ModeId{static_cast<int>(m)}).probability;
+  };
+  EXPECT_DOUBLE_EQ(psi(PhoneMode::kNetworkSearch), 0.01);
+  EXPECT_DOUBLE_EQ(psi(PhoneMode::kRadioLinkControl), 0.74);
+  EXPECT_DOUBLE_EQ(psi(PhoneMode::kGsmCodecRlc), 0.09);
+  EXPECT_DOUBLE_EQ(psi(PhoneMode::kMp3Rlc), 0.10);
+  double total = 0.0;
+  for (const Mode& m : s.omsm.modes()) total += m.probability;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SmartPhone, PublishedArchitecture) {
+  const System& s = phone();
+  ASSERT_EQ(s.arch.pe_count(), 3u);  // one DVS GPP + two ASICs
+  EXPECT_EQ(s.arch.pe(PeId{0}).kind, PeKind::kGpp);
+  EXPECT_TRUE(s.arch.pe(PeId{0}).dvs_enabled);
+  EXPECT_EQ(s.arch.pe(PeId{1}).kind, PeKind::kAsic);
+  EXPECT_EQ(s.arch.pe(PeId{2}).kind, PeKind::kAsic);
+  EXPECT_FALSE(s.arch.pe(PeId{1}).dvs_enabled);
+  EXPECT_EQ(s.arch.cl_count(), 1u);  // single bus
+}
+
+TEST(SmartPhone, TaskCountsInPublishedRange) {
+  // Paper: per-mode 5–88 nodes and 0–137 edges.
+  const System& s = phone();
+  for (const Mode& m : s.omsm.modes()) {
+    EXPECT_GE(m.graph.task_count(), 5u) << m.name;
+    EXPECT_LE(m.graph.task_count(), 88u) << m.name;
+    EXPECT_LE(m.graph.edge_count(), 137u) << m.name;
+  }
+  // The photo-decode modes are the big ones.
+  EXPECT_GT(s.omsm.mode(ModeId{static_cast<int>(PhoneMode::kPhotoRlc)})
+                .graph.task_count(),
+            60u);
+  // RLC alone is small.
+  EXPECT_EQ(s.omsm.mode(ModeId{static_cast<int>(PhoneMode::kRadioLinkControl)})
+                .graph.task_count(),
+            8u);
+}
+
+TEST(SmartPhone, SharedTypesAcrossApplications) {
+  // IDCT (Fig. 1c core C3) appears in both MP3 and photo-decode modes.
+  const System& s = phone();
+  auto uses_type = [&](PhoneMode pm, const std::string& name) {
+    const Mode& m = s.omsm.mode(ModeId{static_cast<int>(pm)});
+    for (const Task& t : m.graph.tasks())
+      if (s.tech.type_name(t.type) == name) return true;
+    return false;
+  };
+  EXPECT_TRUE(uses_type(PhoneMode::kMp3Rlc, "IDCT"));
+  EXPECT_TRUE(uses_type(PhoneMode::kPhotoRlc, "IDCT"));
+  EXPECT_TRUE(uses_type(PhoneMode::kMp3Rlc, "HD"));
+  EXPECT_TRUE(uses_type(PhoneMode::kPhotoRlc, "HD"));
+  EXPECT_TRUE(uses_type(PhoneMode::kGsmCodecRlc, "STP"));
+  EXPECT_TRUE(uses_type(PhoneMode::kGsmCodecRlc, "LTP"));
+}
+
+TEST(SmartPhone, HardwareSpeedupWithinPublishedBand) {
+  // Hardware 5–100x faster than software.
+  const System& s = phone();
+  for (std::size_t t = 0; t < s.tech.type_count(); ++t) {
+    const TaskTypeId type{static_cast<int>(t)};
+    const auto sw = s.tech.implementation(type, PeId{0});
+    ASSERT_TRUE(sw.has_value());
+    for (PeId p : {PeId{1}, PeId{2}}) {
+      const auto hw = s.tech.implementation(type, p);
+      if (!hw) continue;
+      const double speedup = sw->exec_time / hw->exec_time;
+      EXPECT_GE(speedup, 5.0 * 0.99);
+      EXPECT_LE(speedup, 100.0 * 1.01);
+    }
+  }
+}
+
+TEST(SmartPhone, RelaxedModesAreSoftwareFeasible) {
+  // All modes except the photo decoders fit on the GPP alone.
+  const System& s = phone();
+  const std::vector<CoreSet> no_cores(s.arch.pe_count());
+  for (std::size_t m = 0; m < s.omsm.mode_count(); ++m) {
+    if (m == static_cast<std::size_t>(PhoneMode::kPhotoRlc) ||
+        m == static_cast<std::size_t>(PhoneMode::kPhotoNetworkSearch))
+      continue;
+    const Mode& mode = s.omsm.mode(ModeId{static_cast<int>(m)});
+    ModeMapping probe;
+    probe.task_to_pe.assign(mode.graph.task_count(), PeId{0});
+    const ModeSchedule sched =
+        list_schedule({mode, probe, s.arch, s.tech, no_cores});
+    EXPECT_LE(sched.makespan, mode.period * (1 + 1e-9)) << mode.name;
+  }
+}
+
+TEST(SmartPhone, PhotoModesRequireHardwareAcceleration) {
+  // Period factor 0.8 < 1: the software-only probe misses the period, so
+  // the synthesis is forced to use the ASICs — as on the real device.
+  const System& s = phone();
+  const std::vector<CoreSet> no_cores(s.arch.pe_count());
+  const Mode& mode =
+      s.omsm.mode(ModeId{static_cast<int>(PhoneMode::kPhotoRlc)});
+  ModeMapping probe;
+  probe.task_to_pe.assign(mode.graph.task_count(), PeId{0});
+  const ModeSchedule sched =
+      list_schedule({mode, probe, s.arch, s.tech, no_cores});
+  EXPECT_GT(sched.makespan, mode.period);
+}
+
+TEST(SmartPhone, Reproducible) {
+  const System a = make_smart_phone();
+  const System b = make_smart_phone();
+  EXPECT_EQ(a.total_task_count(), b.total_task_count());
+  EXPECT_EQ(a.total_edge_count(), b.total_edge_count());
+  EXPECT_DOUBLE_EQ(a.omsm.mode(ModeId{5}).period, b.omsm.mode(ModeId{5}).period);
+}
+
+TEST(SmartPhone, TransitionGraphMatchesFig1a) {
+  const System& s = phone();
+  auto has = [&](PhoneMode from, PhoneMode to) {
+    for (const ModeTransition& t : s.omsm.transitions())
+      if (t.from.index() == static_cast<std::size_t>(from) &&
+          t.to.index() == static_cast<std::size_t>(to))
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(has(PhoneMode::kNetworkSearch, PhoneMode::kRadioLinkControl));
+  EXPECT_TRUE(has(PhoneMode::kRadioLinkControl, PhoneMode::kGsmCodecRlc));
+  EXPECT_TRUE(has(PhoneMode::kMp3Rlc, PhoneMode::kMp3NetworkSearch));
+  EXPECT_TRUE(has(PhoneMode::kTakeShowPhoto, PhoneMode::kPhotoRlc));
+  EXPECT_FALSE(has(PhoneMode::kGsmCodecRlc, PhoneMode::kMp3Rlc));
+}
+
+}  // namespace
+}  // namespace mmsyn

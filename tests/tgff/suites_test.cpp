@@ -1,0 +1,74 @@
+#include "tgff/suites.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmsyn {
+namespace {
+
+TEST(Suites, TwelveInstances) { EXPECT_EQ(mul_count(), 12); }
+
+TEST(Suites, OutOfRangeRejected) {
+  EXPECT_THROW((void)make_mul(0), std::out_of_range);
+  EXPECT_THROW((void)make_mul(13), std::out_of_range);
+  EXPECT_THROW((void)mul_mode_count(0), std::out_of_range);
+}
+
+TEST(Suites, ModeCountsMatchPaperTable) {
+  // Table 1: mul1(4) mul2(4) mul3(5) mul4(5) mul5(3) mul6(4) mul7(4)
+  //          mul8(4) mul9(4) mul10(5) mul11(3) mul12(4)
+  const int expected[12] = {4, 4, 5, 5, 3, 4, 4, 4, 4, 5, 3, 4};
+  for (int i = 1; i <= 12; ++i) {
+    EXPECT_EQ(mul_mode_count(i), expected[i - 1]) << "mul" << i;
+    const System s = make_mul(i);
+    EXPECT_EQ(static_cast<int>(s.omsm.mode_count()), expected[i - 1]);
+  }
+}
+
+/// Parameterised validation sweep over the whole suite.
+class SuiteInstanceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuiteInstanceTest, IsValid) {
+  const System s = make_mul(GetParam());
+  const auto problems = s.validate();
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST_P(SuiteInstanceTest, MatchesPublishedStructuralRanges) {
+  const System s = make_mul(GetParam());
+  EXPECT_GE(s.omsm.mode_count(), 3u);
+  EXPECT_LE(s.omsm.mode_count(), 5u);
+  for (const Mode& m : s.omsm.modes()) {
+    EXPECT_GE(m.graph.task_count(), 8u);
+    EXPECT_LE(m.graph.task_count(), 32u);
+  }
+  EXPECT_GE(s.arch.pe_count(), 2u);
+  EXPECT_LE(s.arch.pe_count(), 4u);
+  EXPECT_GE(s.arch.cl_count(), 1u);
+  EXPECT_LE(s.arch.cl_count(), 3u);
+}
+
+TEST_P(SuiteInstanceTest, HasHardwareAndSoftware) {
+  const System s = make_mul(GetParam());
+  bool sw = false, hw = false;
+  for (PeId p : s.arch.pe_ids()) {
+    if (is_software(s.arch.pe(p).kind)) sw = true;
+    if (is_hardware(s.arch.pe(p).kind)) hw = true;
+  }
+  EXPECT_TRUE(sw);
+  EXPECT_TRUE(hw);
+}
+
+TEST_P(SuiteInstanceTest, Reproducible) {
+  const System a = make_mul(GetParam());
+  const System b = make_mul(GetParam());
+  EXPECT_EQ(a.total_task_count(), b.total_task_count());
+  EXPECT_EQ(a.total_edge_count(), b.total_edge_count());
+  EXPECT_DOUBLE_EQ(a.omsm.mode(ModeId{0}).period,
+                   b.omsm.mode(ModeId{0}).period);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMuls, SuiteInstanceTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace mmsyn

@@ -1,0 +1,105 @@
+// Structural-tension tests: the generated suite must exhibit the
+// ingredients that make mode-execution probabilities matter (DESIGN.md
+// section 6). These guard the calibration against regressions in the
+// generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "tgff/generator.hpp"
+#include "tgff/suites.hpp"
+
+namespace mmsyn {
+namespace {
+
+class TensionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TensionTest, ModesHavePartiallyPrivateTypeSets) {
+  const System s = make_mul(GetParam());
+  std::vector<std::set<int>> used(s.omsm.mode_count());
+  for (std::size_t m = 0; m < s.omsm.mode_count(); ++m)
+    for (const Task& t : s.omsm.mode(ModeId{static_cast<int>(m)}).graph.tasks())
+      used[m].insert(t.type.value());
+  // Some sharing across modes (resource sharing, Fig. 3) ...
+  std::set<int> all;
+  std::size_t total = 0;
+  for (const auto& set : used) {
+    all.insert(set.begin(), set.end());
+    total += set.size();
+  }
+  EXPECT_LT(all.size(), total);  // overlap exists
+  // ... but each mode also owns types no other mode uses (the contested
+  // exclusive types the probability weighting arbitrates).
+  int modes_with_exclusive = 0;
+  for (std::size_t m = 0; m < used.size(); ++m) {
+    std::set<int> exclusive = used[m];
+    for (std::size_t k = 0; k < used.size(); ++k) {
+      if (k == m) continue;
+      for (int t : used[k]) exclusive.erase(t);
+    }
+    if (!exclusive.empty()) ++modes_with_exclusive;
+  }
+  EXPECT_GE(modes_with_exclusive,
+            static_cast<int>(s.omsm.mode_count()) - 1);
+}
+
+TEST_P(TensionTest, CoreAreaCorrelatesWithSoftwareEnergy) {
+  // Pearson correlation between per-type software energy and HW core area
+  // must be strongly positive (as in the paper's own type table).
+  const System s = make_mul(GetParam());
+  std::vector<double> xs, ys;
+  for (std::size_t t = 0; t < s.tech.type_count(); ++t) {
+    const TaskTypeId type{static_cast<int>(t)};
+    const auto sw = s.tech.implementation(type, PeId{0});
+    if (!sw) continue;
+    for (PeId p : s.arch.pe_ids()) {
+      if (!is_hardware(s.arch.pe(p).kind)) continue;
+      const auto hw = s.tech.implementation(type, p);
+      if (!hw) continue;
+      xs.push_back(sw->energy());
+      ys.push_back(hw->area);
+    }
+  }
+  ASSERT_GT(xs.size(), 5u);
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= xs.size();
+  my /= ys.size();
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  const double r = sxy / std::sqrt(sxx * syy);
+  EXPECT_GT(r, 0.8);
+}
+
+TEST_P(TensionTest, DominantModeIsRelaxedOthersAreBursty) {
+  // The dominant mode's period factor (period / serial software time is a
+  // proxy) must exceed the non-dominant modes' on average.
+  const System s = make_mul(GetParam());
+  auto slack_proxy = [&](std::size_t m) {
+    const Mode& mode = s.omsm.mode(ModeId{static_cast<int>(m)});
+    double serial = 0.0;
+    for (const Task& t : mode.graph.tasks())
+      serial += s.tech.require(t.type, PeId{0}).exec_time;
+    return mode.period / serial;
+  };
+  const double dominant = slack_proxy(0);
+  double rest = 0.0;
+  for (std::size_t m = 1; m < s.omsm.mode_count(); ++m)
+    rest += slack_proxy(m);
+  rest /= static_cast<double>(s.omsm.mode_count() - 1);
+  EXPECT_GT(dominant, rest);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, TensionTest,
+                         ::testing::Values(1, 4, 6, 9, 12));
+
+}  // namespace
+}  // namespace mmsyn
