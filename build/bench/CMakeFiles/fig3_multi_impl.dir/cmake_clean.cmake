@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_multi_impl.dir/fig3_multi_impl.cpp.o"
+  "CMakeFiles/fig3_multi_impl.dir/fig3_multi_impl.cpp.o.d"
+  "fig3_multi_impl"
+  "fig3_multi_impl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_multi_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_scan.dir/seed_scan.cpp.o"
+  "CMakeFiles/seed_scan.dir/seed_scan.cpp.o.d"
+  "seed_scan"
+  "seed_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

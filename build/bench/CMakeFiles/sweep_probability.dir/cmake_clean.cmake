@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_probability.dir/sweep_probability.cpp.o"
+  "CMakeFiles/sweep_probability.dir/sweep_probability.cpp.o.d"
+  "sweep_probability"
+  "sweep_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

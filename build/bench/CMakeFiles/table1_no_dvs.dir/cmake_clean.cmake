@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_no_dvs.dir/table1_no_dvs.cpp.o"
+  "CMakeFiles/table1_no_dvs.dir/table1_no_dvs.cpp.o.d"
+  "table1_no_dvs"
+  "table1_no_dvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_no_dvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

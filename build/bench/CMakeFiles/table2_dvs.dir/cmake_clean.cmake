@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dvs.dir/table2_dvs.cpp.o"
+  "CMakeFiles/table2_dvs.dir/table2_dvs.cpp.o.d"
+  "table2_dvs"
+  "table2_dvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_smartphone.dir/table3_smartphone.cpp.o"
+  "CMakeFiles/table3_smartphone.dir/table3_smartphone.cpp.o.d"
+  "table3_smartphone"
+  "table3_smartphone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_smartphone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

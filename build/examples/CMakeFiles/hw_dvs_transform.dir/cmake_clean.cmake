@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_dvs_transform.dir/hw_dvs_transform.cpp.o"
+  "CMakeFiles/hw_dvs_transform.dir/hw_dvs_transform.cpp.o.d"
+  "hw_dvs_transform"
+  "hw_dvs_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_dvs_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_fig2_fig3.dir/motivation_fig2_fig3.cpp.o"
+  "CMakeFiles/motivation_fig2_fig3.dir/motivation_fig2_fig3.cpp.o.d"
+  "motivation_fig2_fig3"
+  "motivation_fig2_fig3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_fig2_fig3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

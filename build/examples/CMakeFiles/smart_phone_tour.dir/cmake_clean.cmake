@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_phone_tour.dir/smart_phone_tour.cpp.o"
+  "CMakeFiles/smart_phone_tour.dir/smart_phone_tour.cpp.o.d"
+  "smart_phone_tour"
+  "smart_phone_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_phone_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesize_file.dir/synthesize_file.cpp.o"
+  "CMakeFiles/synthesize_file.dir/synthesize_file.cpp.o.d"
+  "synthesize_file"
+  "synthesize_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesize_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmsyn_common.dir/flags.cpp.o"
+  "CMakeFiles/mmsyn_common.dir/flags.cpp.o.d"
+  "CMakeFiles/mmsyn_common.dir/rng.cpp.o"
+  "CMakeFiles/mmsyn_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mmsyn_common.dir/table.cpp.o"
+  "CMakeFiles/mmsyn_common.dir/table.cpp.o.d"
+  "libmmsyn_common.a"
+  "libmmsyn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmsyn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

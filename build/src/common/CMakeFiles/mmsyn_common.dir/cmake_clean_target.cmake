@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmmsyn_common.a"
+)

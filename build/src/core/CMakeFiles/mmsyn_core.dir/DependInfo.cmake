@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation_builder.cpp" "src/core/CMakeFiles/mmsyn_core.dir/allocation_builder.cpp.o" "gcc" "src/core/CMakeFiles/mmsyn_core.dir/allocation_builder.cpp.o.d"
+  "/root/repo/src/core/cosynth.cpp" "src/core/CMakeFiles/mmsyn_core.dir/cosynth.cpp.o" "gcc" "src/core/CMakeFiles/mmsyn_core.dir/cosynth.cpp.o.d"
+  "/root/repo/src/core/fitness.cpp" "src/core/CMakeFiles/mmsyn_core.dir/fitness.cpp.o" "gcc" "src/core/CMakeFiles/mmsyn_core.dir/fitness.cpp.o.d"
+  "/root/repo/src/core/ga.cpp" "src/core/CMakeFiles/mmsyn_core.dir/ga.cpp.o" "gcc" "src/core/CMakeFiles/mmsyn_core.dir/ga.cpp.o.d"
+  "/root/repo/src/core/genome.cpp" "src/core/CMakeFiles/mmsyn_core.dir/genome.cpp.o" "gcc" "src/core/CMakeFiles/mmsyn_core.dir/genome.cpp.o.d"
+  "/root/repo/src/core/improvement.cpp" "src/core/CMakeFiles/mmsyn_core.dir/improvement.cpp.o" "gcc" "src/core/CMakeFiles/mmsyn_core.dir/improvement.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/mmsyn_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/mmsyn_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/energy/CMakeFiles/mmsyn_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvs/CMakeFiles/mmsyn_dvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mmsyn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mmsyn_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mmsyn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmsyn_core.dir/allocation_builder.cpp.o"
+  "CMakeFiles/mmsyn_core.dir/allocation_builder.cpp.o.d"
+  "CMakeFiles/mmsyn_core.dir/cosynth.cpp.o"
+  "CMakeFiles/mmsyn_core.dir/cosynth.cpp.o.d"
+  "CMakeFiles/mmsyn_core.dir/fitness.cpp.o"
+  "CMakeFiles/mmsyn_core.dir/fitness.cpp.o.d"
+  "CMakeFiles/mmsyn_core.dir/ga.cpp.o"
+  "CMakeFiles/mmsyn_core.dir/ga.cpp.o.d"
+  "CMakeFiles/mmsyn_core.dir/genome.cpp.o"
+  "CMakeFiles/mmsyn_core.dir/genome.cpp.o.d"
+  "CMakeFiles/mmsyn_core.dir/improvement.cpp.o"
+  "CMakeFiles/mmsyn_core.dir/improvement.cpp.o.d"
+  "CMakeFiles/mmsyn_core.dir/report.cpp.o"
+  "CMakeFiles/mmsyn_core.dir/report.cpp.o.d"
+  "libmmsyn_core.a"
+  "libmmsyn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmsyn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

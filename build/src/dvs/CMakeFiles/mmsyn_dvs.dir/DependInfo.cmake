@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvs/dvs_graph.cpp" "src/dvs/CMakeFiles/mmsyn_dvs.dir/dvs_graph.cpp.o" "gcc" "src/dvs/CMakeFiles/mmsyn_dvs.dir/dvs_graph.cpp.o.d"
+  "/root/repo/src/dvs/pv_dvs.cpp" "src/dvs/CMakeFiles/mmsyn_dvs.dir/pv_dvs.cpp.o" "gcc" "src/dvs/CMakeFiles/mmsyn_dvs.dir/pv_dvs.cpp.o.d"
+  "/root/repo/src/dvs/voltage_model.cpp" "src/dvs/CMakeFiles/mmsyn_dvs.dir/voltage_model.cpp.o" "gcc" "src/dvs/CMakeFiles/mmsyn_dvs.dir/voltage_model.cpp.o.d"
+  "/root/repo/src/dvs/voltage_schedule.cpp" "src/dvs/CMakeFiles/mmsyn_dvs.dir/voltage_schedule.cpp.o" "gcc" "src/dvs/CMakeFiles/mmsyn_dvs.dir/voltage_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/mmsyn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mmsyn_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mmsyn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmsyn_dvs.dir/dvs_graph.cpp.o"
+  "CMakeFiles/mmsyn_dvs.dir/dvs_graph.cpp.o.d"
+  "CMakeFiles/mmsyn_dvs.dir/pv_dvs.cpp.o"
+  "CMakeFiles/mmsyn_dvs.dir/pv_dvs.cpp.o.d"
+  "CMakeFiles/mmsyn_dvs.dir/voltage_model.cpp.o"
+  "CMakeFiles/mmsyn_dvs.dir/voltage_model.cpp.o.d"
+  "CMakeFiles/mmsyn_dvs.dir/voltage_schedule.cpp.o"
+  "CMakeFiles/mmsyn_dvs.dir/voltage_schedule.cpp.o.d"
+  "libmmsyn_dvs.a"
+  "libmmsyn_dvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmsyn_dvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

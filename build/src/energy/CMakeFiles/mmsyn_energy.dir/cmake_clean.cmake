@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmsyn_energy.dir/evaluator.cpp.o"
+  "CMakeFiles/mmsyn_energy.dir/evaluator.cpp.o.d"
+  "CMakeFiles/mmsyn_energy.dir/simulator.cpp.o"
+  "CMakeFiles/mmsyn_energy.dir/simulator.cpp.o.d"
+  "libmmsyn_energy.a"
+  "libmmsyn_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmsyn_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/architecture.cpp" "src/model/CMakeFiles/mmsyn_model.dir/architecture.cpp.o" "gcc" "src/model/CMakeFiles/mmsyn_model.dir/architecture.cpp.o.d"
+  "/root/repo/src/model/core_allocation.cpp" "src/model/CMakeFiles/mmsyn_model.dir/core_allocation.cpp.o" "gcc" "src/model/CMakeFiles/mmsyn_model.dir/core_allocation.cpp.o.d"
+  "/root/repo/src/model/io.cpp" "src/model/CMakeFiles/mmsyn_model.dir/io.cpp.o" "gcc" "src/model/CMakeFiles/mmsyn_model.dir/io.cpp.o.d"
+  "/root/repo/src/model/mapping.cpp" "src/model/CMakeFiles/mmsyn_model.dir/mapping.cpp.o" "gcc" "src/model/CMakeFiles/mmsyn_model.dir/mapping.cpp.o.d"
+  "/root/repo/src/model/mapping_io.cpp" "src/model/CMakeFiles/mmsyn_model.dir/mapping_io.cpp.o" "gcc" "src/model/CMakeFiles/mmsyn_model.dir/mapping_io.cpp.o.d"
+  "/root/repo/src/model/omsm.cpp" "src/model/CMakeFiles/mmsyn_model.dir/omsm.cpp.o" "gcc" "src/model/CMakeFiles/mmsyn_model.dir/omsm.cpp.o.d"
+  "/root/repo/src/model/system.cpp" "src/model/CMakeFiles/mmsyn_model.dir/system.cpp.o" "gcc" "src/model/CMakeFiles/mmsyn_model.dir/system.cpp.o.d"
+  "/root/repo/src/model/task_graph.cpp" "src/model/CMakeFiles/mmsyn_model.dir/task_graph.cpp.o" "gcc" "src/model/CMakeFiles/mmsyn_model.dir/task_graph.cpp.o.d"
+  "/root/repo/src/model/tech_library.cpp" "src/model/CMakeFiles/mmsyn_model.dir/tech_library.cpp.o" "gcc" "src/model/CMakeFiles/mmsyn_model.dir/tech_library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmsyn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

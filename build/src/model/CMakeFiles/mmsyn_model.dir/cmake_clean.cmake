@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmsyn_model.dir/architecture.cpp.o"
+  "CMakeFiles/mmsyn_model.dir/architecture.cpp.o.d"
+  "CMakeFiles/mmsyn_model.dir/core_allocation.cpp.o"
+  "CMakeFiles/mmsyn_model.dir/core_allocation.cpp.o.d"
+  "CMakeFiles/mmsyn_model.dir/io.cpp.o"
+  "CMakeFiles/mmsyn_model.dir/io.cpp.o.d"
+  "CMakeFiles/mmsyn_model.dir/mapping.cpp.o"
+  "CMakeFiles/mmsyn_model.dir/mapping.cpp.o.d"
+  "CMakeFiles/mmsyn_model.dir/mapping_io.cpp.o"
+  "CMakeFiles/mmsyn_model.dir/mapping_io.cpp.o.d"
+  "CMakeFiles/mmsyn_model.dir/omsm.cpp.o"
+  "CMakeFiles/mmsyn_model.dir/omsm.cpp.o.d"
+  "CMakeFiles/mmsyn_model.dir/system.cpp.o"
+  "CMakeFiles/mmsyn_model.dir/system.cpp.o.d"
+  "CMakeFiles/mmsyn_model.dir/task_graph.cpp.o"
+  "CMakeFiles/mmsyn_model.dir/task_graph.cpp.o.d"
+  "CMakeFiles/mmsyn_model.dir/tech_library.cpp.o"
+  "CMakeFiles/mmsyn_model.dir/tech_library.cpp.o.d"
+  "libmmsyn_model.a"
+  "libmmsyn_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmsyn_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

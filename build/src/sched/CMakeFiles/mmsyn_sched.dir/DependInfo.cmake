@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/gantt.cpp" "src/sched/CMakeFiles/mmsyn_sched.dir/gantt.cpp.o" "gcc" "src/sched/CMakeFiles/mmsyn_sched.dir/gantt.cpp.o.d"
+  "/root/repo/src/sched/list_scheduler.cpp" "src/sched/CMakeFiles/mmsyn_sched.dir/list_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/mmsyn_sched.dir/list_scheduler.cpp.o.d"
+  "/root/repo/src/sched/mobility.cpp" "src/sched/CMakeFiles/mmsyn_sched.dir/mobility.cpp.o" "gcc" "src/sched/CMakeFiles/mmsyn_sched.dir/mobility.cpp.o.d"
+  "/root/repo/src/sched/timeline.cpp" "src/sched/CMakeFiles/mmsyn_sched.dir/timeline.cpp.o" "gcc" "src/sched/CMakeFiles/mmsyn_sched.dir/timeline.cpp.o.d"
+  "/root/repo/src/sched/validate.cpp" "src/sched/CMakeFiles/mmsyn_sched.dir/validate.cpp.o" "gcc" "src/sched/CMakeFiles/mmsyn_sched.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mmsyn_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mmsyn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

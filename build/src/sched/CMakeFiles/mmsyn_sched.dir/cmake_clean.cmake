@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmsyn_sched.dir/gantt.cpp.o"
+  "CMakeFiles/mmsyn_sched.dir/gantt.cpp.o.d"
+  "CMakeFiles/mmsyn_sched.dir/list_scheduler.cpp.o"
+  "CMakeFiles/mmsyn_sched.dir/list_scheduler.cpp.o.d"
+  "CMakeFiles/mmsyn_sched.dir/mobility.cpp.o"
+  "CMakeFiles/mmsyn_sched.dir/mobility.cpp.o.d"
+  "CMakeFiles/mmsyn_sched.dir/timeline.cpp.o"
+  "CMakeFiles/mmsyn_sched.dir/timeline.cpp.o.d"
+  "CMakeFiles/mmsyn_sched.dir/validate.cpp.o"
+  "CMakeFiles/mmsyn_sched.dir/validate.cpp.o.d"
+  "libmmsyn_sched.a"
+  "libmmsyn_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmsyn_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tgff/generator.cpp" "src/tgff/CMakeFiles/mmsyn_tgff.dir/generator.cpp.o" "gcc" "src/tgff/CMakeFiles/mmsyn_tgff.dir/generator.cpp.o.d"
+  "/root/repo/src/tgff/motivational.cpp" "src/tgff/CMakeFiles/mmsyn_tgff.dir/motivational.cpp.o" "gcc" "src/tgff/CMakeFiles/mmsyn_tgff.dir/motivational.cpp.o.d"
+  "/root/repo/src/tgff/smart_phone.cpp" "src/tgff/CMakeFiles/mmsyn_tgff.dir/smart_phone.cpp.o" "gcc" "src/tgff/CMakeFiles/mmsyn_tgff.dir/smart_phone.cpp.o.d"
+  "/root/repo/src/tgff/suites.cpp" "src/tgff/CMakeFiles/mmsyn_tgff.dir/suites.cpp.o" "gcc" "src/tgff/CMakeFiles/mmsyn_tgff.dir/suites.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mmsyn_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mmsyn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mmsyn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmsyn_tgff.dir/generator.cpp.o"
+  "CMakeFiles/mmsyn_tgff.dir/generator.cpp.o.d"
+  "CMakeFiles/mmsyn_tgff.dir/motivational.cpp.o"
+  "CMakeFiles/mmsyn_tgff.dir/motivational.cpp.o.d"
+  "CMakeFiles/mmsyn_tgff.dir/smart_phone.cpp.o"
+  "CMakeFiles/mmsyn_tgff.dir/smart_phone.cpp.o.d"
+  "CMakeFiles/mmsyn_tgff.dir/suites.cpp.o"
+  "CMakeFiles/mmsyn_tgff.dir/suites.cpp.o.d"
+  "libmmsyn_tgff.a"
+  "libmmsyn_tgff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmsyn_tgff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

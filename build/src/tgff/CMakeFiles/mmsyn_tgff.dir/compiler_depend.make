@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mmsyn_tgff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/allocation_builder_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/allocation_builder_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/cosynth_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/cosynth_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/fitness_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/fitness_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/ga_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ga_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/genome_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/genome_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/improvement_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/improvement_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

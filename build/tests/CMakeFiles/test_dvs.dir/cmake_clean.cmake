@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dvs.dir/dvs/dvs_graph_test.cpp.o"
+  "CMakeFiles/test_dvs.dir/dvs/dvs_graph_test.cpp.o.d"
+  "CMakeFiles/test_dvs.dir/dvs/pv_dvs_test.cpp.o"
+  "CMakeFiles/test_dvs.dir/dvs/pv_dvs_test.cpp.o.d"
+  "CMakeFiles/test_dvs.dir/dvs/voltage_model_param_test.cpp.o"
+  "CMakeFiles/test_dvs.dir/dvs/voltage_model_param_test.cpp.o.d"
+  "CMakeFiles/test_dvs.dir/dvs/voltage_model_test.cpp.o"
+  "CMakeFiles/test_dvs.dir/dvs/voltage_model_test.cpp.o.d"
+  "CMakeFiles/test_dvs.dir/dvs/voltage_schedule_test.cpp.o"
+  "CMakeFiles/test_dvs.dir/dvs/voltage_schedule_test.cpp.o.d"
+  "test_dvs"
+  "test_dvs.pdb"
+  "test_dvs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/model/architecture_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/architecture_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/core_allocation_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/core_allocation_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/io_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/io_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/mapping_io_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/mapping_io_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/omsm_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/omsm_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/system_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/system_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/task_graph_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/task_graph_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/tech_library_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/tech_library_test.cpp.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

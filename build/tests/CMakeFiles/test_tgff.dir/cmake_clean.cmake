@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tgff.dir/tgff/generator_test.cpp.o"
+  "CMakeFiles/test_tgff.dir/tgff/generator_test.cpp.o.d"
+  "CMakeFiles/test_tgff.dir/tgff/motivational_test.cpp.o"
+  "CMakeFiles/test_tgff.dir/tgff/motivational_test.cpp.o.d"
+  "CMakeFiles/test_tgff.dir/tgff/smart_phone_test.cpp.o"
+  "CMakeFiles/test_tgff.dir/tgff/smart_phone_test.cpp.o.d"
+  "CMakeFiles/test_tgff.dir/tgff/suites_test.cpp.o"
+  "CMakeFiles/test_tgff.dir/tgff/suites_test.cpp.o.d"
+  "CMakeFiles/test_tgff.dir/tgff/tension_test.cpp.o"
+  "CMakeFiles/test_tgff.dir/tgff/tension_test.cpp.o.d"
+  "test_tgff"
+  "test_tgff.pdb"
+  "test_tgff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tgff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
