@@ -96,6 +96,9 @@ inline Flags make_standard_flags(int default_repeats) {
   flags.define_int("generations", 600, "GA generation cap");
   flags.define_int("stagnation", 70, "GA convergence stagnation limit");
   flags.define_int("seed", 1, "base seed");
+  flags.define_int("threads", 1,
+                   "fitness-evaluation threads (0 = all cores); results are "
+                   "bit-identical for any value");
   return flags;
 }
 
@@ -105,6 +108,7 @@ inline void apply_standard_flags(const Flags& flags,
   options.ga.population_size = static_cast<int>(flags.get_int("population"));
   options.ga.max_generations = static_cast<int>(flags.get_int("generations"));
   options.ga.stagnation_limit = static_cast<int>(flags.get_int("stagnation"));
+  options.ga.num_threads = static_cast<int>(flags.get_int("threads"));
 }
 
 }  // namespace mmsyn::bench

@@ -1,0 +1,104 @@
+// Parallel-scaling benchmark: evaluations/sec of the co-synthesis GA on
+// the smart-phone benchmark at 1/2/4/N fitness-evaluation threads, plus a
+// determinism check (every thread count must produce the identical
+// result for the same seed).
+//
+//   parallel_scaling [--population 64] [--generations 60] [--seed 1]
+//                    [--dvs] [--repeats 1]
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/cosynth.hpp"
+#include "tgff/smart_phone.hpp"
+
+using namespace mmsyn;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_int("population", 64, "GA population size");
+  flags.define_int("generations", 60, "GA generations (fixed, no early stop)");
+  flags.define_int("seed", 1, "GA seed");
+  flags.define_bool("dvs", false, "apply PV-DVS inside the loop");
+  flags.define_int("repeats", 1, "timing repetitions per thread count");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const System system = make_smart_phone();
+
+  SynthesisOptions options;
+  options.use_dvs = flags.get_bool("dvs");
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.ga.population_size = static_cast<int>(flags.get_int("population"));
+  options.ga.max_generations = static_cast<int>(flags.get_int("generations"));
+  // Fixed workload for the rate comparison: never stop on stagnation.
+  options.ga.stagnation_limit = options.ga.max_generations + 1;
+
+  const int hw =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  std::vector<int> thread_counts{1, 2, 4, hw};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  const int repeats = static_cast<int>(flags.get_int("repeats"));
+  struct Row {
+    int threads;
+    double evals_per_sec;
+    double speedup;
+    SynthesisResult result;
+  };
+  std::vector<Row> rows;
+  for (const int threads : thread_counts) {
+    options.ga.num_threads = threads;
+    double best_rate = 0.0;
+    SynthesisResult kept;
+    for (int r = 0; r < std::max(1, repeats); ++r) {
+      SynthesisResult result = synthesize(system, options);
+      const double rate = result.elapsed_seconds > 0.0
+                              ? static_cast<double>(result.evaluations) /
+                                    result.elapsed_seconds
+                              : 0.0;
+      if (rate >= best_rate) {
+        best_rate = rate;
+        kept = std::move(result);
+      }
+    }
+    rows.push_back({threads, best_rate, 0.0, std::move(kept)});
+  }
+  for (Row& row : rows) row.speedup = row.evals_per_sec / rows[0].evals_per_sec;
+
+  TextTable table;
+  table.set_header({"threads", "evals/s", "speedup", "fitness", "P(mW)",
+                    "evaluations"});
+  for (const Row& row : rows)
+    table.add_row({std::to_string(row.threads),
+                   TextTable::num(row.evals_per_sec, 0),
+                   TextTable::num(row.speedup, 2),
+                   TextTable::num(row.result.fitness, 6),
+                   TextTable::num(row.result.evaluation.avg_power_true * 1e3),
+                   std::to_string(row.result.evaluations)});
+  table.print(std::cout, "parallel fitness-evaluation scaling (smart phone)");
+
+  // Determinism contract: bit-identical results for every thread count.
+  bool deterministic = true;
+  for (const Row& row : rows) {
+    if (row.result.fitness != rows[0].result.fitness ||
+        row.result.evaluations != rows[0].result.evaluations ||
+        row.result.generations != rows[0].result.generations ||
+        row.result.evaluation.avg_power_true !=
+            rows[0].result.evaluation.avg_power_true)
+      deterministic = false;
+    for (std::size_t m = 0; m < row.result.mapping.modes.size(); ++m)
+      if (row.result.mapping.modes[m].task_to_pe !=
+          rows[0].result.mapping.modes[m].task_to_pe)
+        deterministic = false;
+  }
+  std::printf("deterministic across thread counts: %s\n",
+              deterministic ? "yes" : "NO");
+  return deterministic ? 0 : 1;
+}

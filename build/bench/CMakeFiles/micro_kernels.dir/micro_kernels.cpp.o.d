@@ -209,7 +209,21 @@ bench/CMakeFiles/micro_kernels.dir/micro_kernels.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /root/repo/src/common/../model/mapping.hpp \
  /root/repo/src/common/../core/cosynth.hpp \
- /root/repo/src/common/../core/ga.hpp \
+ /root/repo/src/common/../core/ga.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/ext/concurrence.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
+ /usr/include/c++/12/backward/auto_ptr.h \
+ /usr/include/c++/12/bits/ranges_uninitialized.h \
+ /usr/include/c++/12/bits/uses_allocator_args.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/common/../core/fitness.hpp \
  /root/repo/src/common/../energy/evaluator.hpp \
  /usr/include/c++/12/optional /root/repo/src/common/../dvs/pv_dvs.hpp \

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/parallel_scaling.cpp" "bench/CMakeFiles/parallel_scaling.dir/parallel_scaling.cpp.o" "gcc" "bench/CMakeFiles/parallel_scaling.dir/parallel_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mmsyn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tgff/CMakeFiles/mmsyn_tgff.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/mmsyn_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvs/CMakeFiles/mmsyn_dvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mmsyn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mmsyn_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mmsyn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

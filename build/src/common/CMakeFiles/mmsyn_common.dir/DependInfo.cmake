@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/flags.cpp" "src/common/CMakeFiles/mmsyn_common.dir/flags.cpp.o" "gcc" "src/common/CMakeFiles/mmsyn_common.dir/flags.cpp.o.d"
   "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/mmsyn_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/mmsyn_common.dir/rng.cpp.o.d"
   "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/mmsyn_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/mmsyn_common.dir/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/mmsyn_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/mmsyn_common.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

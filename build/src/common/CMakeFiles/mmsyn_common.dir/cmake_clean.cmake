@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/mmsyn_common.dir/rng.cpp.o.d"
   "CMakeFiles/mmsyn_common.dir/table.cpp.o"
   "CMakeFiles/mmsyn_common.dir/table.cpp.o.d"
+  "CMakeFiles/mmsyn_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/mmsyn_common.dir/thread_pool.cpp.o.d"
   "libmmsyn_common.a"
   "libmmsyn_common.pdb"
 )

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_common.dir/common/stats_test.cpp.o.d"
   "CMakeFiles/test_common.dir/common/table_test.cpp.o"
   "CMakeFiles/test_common.dir/common/table_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o.d"
   "test_common"
   "test_common.pdb"
   "test_common[1]_tests.cmake"

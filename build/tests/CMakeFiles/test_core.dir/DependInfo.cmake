@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/ga_test.cpp" "tests/CMakeFiles/test_core.dir/core/ga_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/ga_test.cpp.o.d"
   "/root/repo/tests/core/genome_test.cpp" "tests/CMakeFiles/test_core.dir/core/genome_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/genome_test.cpp.o.d"
   "/root/repo/tests/core/improvement_test.cpp" "tests/CMakeFiles/test_core.dir/core/improvement_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/improvement_test.cpp.o.d"
+  "/root/repo/tests/core/parallel_eval_test.cpp" "tests/CMakeFiles/test_core.dir/core/parallel_eval_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/parallel_eval_test.cpp.o.d"
   "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/test_core.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
   )
 

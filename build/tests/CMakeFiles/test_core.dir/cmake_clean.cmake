@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_core.dir/core/genome_test.cpp.o.d"
   "CMakeFiles/test_core.dir/core/improvement_test.cpp.o"
   "CMakeFiles/test_core.dir/core/improvement_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/parallel_eval_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/parallel_eval_test.cpp.o.d"
   "CMakeFiles/test_core.dir/core/report_test.cpp.o"
   "CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
   "test_core"

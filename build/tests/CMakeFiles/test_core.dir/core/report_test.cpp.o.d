@@ -119,8 +119,11 @@ tests/CMakeFiles/test_core.dir/core/report_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/common/../core/ga.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
+ /root/repo/src/common/../core/ga.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -130,7 +133,6 @@ tests/CMakeFiles/test_core.dir/core/report_test.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/array \
@@ -138,11 +140,10 @@ tests/CMakeFiles/test_core.dir/core/report_test.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/common/../core/allocation_builder.hpp \
- /root/repo/src/common/../model/core_allocation.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/common/../common/ids.hpp \
- /usr/include/c++/12/limits /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
  /usr/include/c++/12/ios /usr/include/c++/12/exception \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
@@ -178,24 +179,6 @@ tests/CMakeFiles/test_core.dir/core/report_test.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc \
- /root/repo/src/common/../model/mapping.hpp \
- /root/repo/src/common/../core/fitness.hpp \
- /root/repo/src/common/../energy/evaluator.hpp \
- /usr/include/c++/12/optional /root/repo/src/common/../dvs/pv_dvs.hpp \
- /root/repo/src/common/../dvs/dvs_graph.hpp \
- /root/repo/src/common/../sched/schedule.hpp \
- /root/repo/src/common/../model/system.hpp \
- /root/repo/src/common/../model/architecture.hpp \
- /root/repo/src/common/../model/omsm.hpp \
- /root/repo/src/common/../model/task_graph.hpp \
- /root/repo/src/common/../model/tech_library.hpp \
- /root/repo/src/common/../sched/list_scheduler.hpp \
- /root/repo/src/common/../core/genome.hpp \
- /root/repo/src/common/../common/rng.hpp /usr/include/c++/12/span \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
@@ -230,6 +213,24 @@ tests/CMakeFiles/test_core.dir/core/report_test.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/common/../core/allocation_builder.hpp \
+ /root/repo/src/common/../model/core_allocation.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/common/../common/ids.hpp \
+ /usr/include/c++/12/limits /root/repo/src/common/../model/mapping.hpp \
+ /root/repo/src/common/../core/fitness.hpp \
+ /root/repo/src/common/../energy/evaluator.hpp \
+ /usr/include/c++/12/optional /root/repo/src/common/../dvs/pv_dvs.hpp \
+ /root/repo/src/common/../dvs/dvs_graph.hpp \
+ /root/repo/src/common/../sched/schedule.hpp \
+ /root/repo/src/common/../model/system.hpp \
+ /root/repo/src/common/../model/architecture.hpp \
+ /root/repo/src/common/../model/omsm.hpp \
+ /root/repo/src/common/../model/task_graph.hpp \
+ /root/repo/src/common/../model/tech_library.hpp \
+ /root/repo/src/common/../sched/list_scheduler.hpp \
+ /root/repo/src/common/../core/genome.hpp \
+ /root/repo/src/common/../common/rng.hpp /usr/include/c++/12/span \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

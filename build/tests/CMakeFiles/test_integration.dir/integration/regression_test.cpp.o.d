@@ -295,7 +295,8 @@ tests/CMakeFiles/test_integration.dir/integration/regression_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/common/../core/cosynth.hpp \
- /root/repo/src/common/../core/ga.hpp \
+ /root/repo/src/common/../core/ga.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/common/../core/allocation_builder.hpp \
  /root/repo/src/common/../model/core_allocation.hpp \
  /root/repo/src/common/../common/ids.hpp \

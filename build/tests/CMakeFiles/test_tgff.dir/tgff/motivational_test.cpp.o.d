@@ -304,7 +304,8 @@ tests/CMakeFiles/test_tgff.dir/tgff/motivational_test.cpp.o: \
  /root/repo/src/common/../core/allocation_builder.hpp \
  /root/repo/src/common/../model/core_allocation.hpp \
  /root/repo/src/common/../core/cosynth.hpp \
- /root/repo/src/common/../core/ga.hpp \
+ /root/repo/src/common/../core/ga.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/common/../core/fitness.hpp \
  /root/repo/src/common/../energy/evaluator.hpp \
  /root/repo/src/common/../dvs/pv_dvs.hpp \

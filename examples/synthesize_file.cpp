@@ -41,6 +41,9 @@ int main(int argc, char** argv) {
   flags.define_int("seed", 1, "GA seed");
   flags.define_int("population", 64, "GA population size");
   flags.define_int("generations", 600, "GA generation cap");
+  flags.define_int("threads", 1,
+                   "fitness-evaluation threads (0 = all cores); the result "
+                   "is identical for any value");
   if (!flags.parse(argc, argv)) return 1;
 
   if (flags.get_bool("export-smartphone") || flags.get_int("export-mul") > 0) {
@@ -83,6 +86,7 @@ int main(int argc, char** argv) {
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   options.ga.population_size = static_cast<int>(flags.get_int("population"));
   options.ga.max_generations = static_cast<int>(flags.get_int("generations"));
+  options.ga.num_threads = static_cast<int>(flags.get_int("threads"));
 
   SynthesisResult result;
   if (!flags.get_string("evaluate-mapping").empty()) {

@@ -1,0 +1,64 @@
+// Reusable worker pool for deterministic fork-join parallelism.
+//
+// The pool owns `threads - 1` persistent workers; `parallel_for` fans a
+// half-open index range out over the workers plus the calling thread and
+// blocks until every index has run. Work items must not touch shared
+// mutable state (the GA batches pure fitness evaluations) — the pool
+// itself adds no ordering guarantees beyond "all items complete before
+// parallel_for returns". The first exception thrown by an item is
+// captured and rethrown on the calling thread after the join.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mmsyn {
+
+class ThreadPool {
+public:
+  /// `threads` is the total concurrency including the calling thread;
+  /// values <= 1 create no workers (parallel_for then runs inline).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the calling thread).
+  [[nodiscard]] int thread_count() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Runs fn(0) .. fn(n-1), each exactly once, and returns when all are
+  /// done. Items are claimed dynamically; do not rely on execution order.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Maps a requested thread count onto an effective one: 0 means "all
+  /// hardware threads", anything else is returned clamped to >= 1.
+  [[nodiscard]] static int resolve_thread_count(int requested);
+
+private:
+  void worker_loop();
+  void run_items(const std::function<void(std::size_t)>& fn, std::size_t n);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // new job published / shutdown
+  std::condition_variable done_cv_;   // all workers finished the job
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_size_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t active_workers_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace mmsyn

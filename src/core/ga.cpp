@@ -6,10 +6,31 @@
 #include <limits>
 #include <numeric>
 
+#include "common/thread_pool.hpp"
 #include "core/improvement.hpp"
 #include "model/system.hpp"
 
 namespace mmsyn {
+
+namespace ga_detail {
+
+int clamped_offspring_count(double replacement_fraction, int population_size,
+                            int elite_count) {
+  const int n = population_size;
+  const int count =
+      std::max(2, static_cast<int>(replacement_fraction * n) & ~1);
+  // Offspring fill the ranked-worst slots upwards; without the clamp a
+  // high replacement fraction overwrites the elite (and the incumbent
+  // best at slot 0).
+  return std::min(count, std::max(0, n - elite_count));
+}
+
+int immigrant_slot(int population_size, int offspring_count,
+                   int immigrant_index) {
+  return population_size - 1 - offspring_count - immigrant_index;
+}
+
+}  // namespace ga_detail
 
 MappingGa::MappingGa(const System& system, const Evaluator& evaluator,
                      FitnessParams fitness_params,
@@ -21,39 +42,100 @@ MappingGa::MappingGa(const System& system, const Evaluator& evaluator,
       alloc_options_(alloc_options),
       options_(options),
       codec_(system),
-      rng_(seed) {}
+      rng_(seed) {
+  const int threads = ThreadPool::resolve_thread_count(options_.num_threads);
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
 
-void MappingGa::evaluate(Individual& ind) {
-  if (options_.memoize_evaluations) {
-    if (auto it = cache_.find(ind.genome); it != cache_.end()) {
-      const CachedFitness& c = it->second;
-      ind.fitness = c.fitness;
-      ind.violation = c.violation;
-      ind.area_infeasible = c.area_infeasible;
-      ind.timing_infeasible = c.timing_infeasible;
-      ind.transition_infeasible = c.transition_infeasible;
-      ind.power_true = c.power_true;
-      ind.evaluated = true;
-      return;
-    }
-  }
-  const MultiModeMapping mapping = codec_.decode(ind.genome);
+MappingGa::~MappingGa() = default;
+
+MappingGa::CachedFitness MappingGa::compute_fitness(
+    const Genome& genome) const {
+  const MultiModeMapping mapping = codec_.decode(genome);
   const CoreAllocation cores =
       build_core_allocation(system_, mapping, alloc_options_);
   const Evaluation eval = evaluator_.evaluate(mapping, cores);
-  ind.fitness = mapping_fitness(eval, evaluator_, fitness_params_);
-  ind.violation = constraint_violation(eval, evaluator_);
-  ind.area_infeasible = !eval.area_feasible();
-  ind.timing_infeasible = !eval.timing_feasible();
-  ind.transition_infeasible = !eval.transitions_feasible();
-  ind.power_true = eval.avg_power_true;
-  ind.evaluated = true;
-  ++evaluations_;
+  CachedFitness c;
+  c.fitness = mapping_fitness(eval, evaluator_, fitness_params_);
+  c.violation = constraint_violation(eval, evaluator_);
+  c.area_infeasible = !eval.area_feasible();
+  c.timing_infeasible = !eval.timing_feasible();
+  c.transition_infeasible = !eval.transitions_feasible();
+  c.power_true = eval.avg_power_true;
+  return c;
+}
+
+void MappingGa::cache_insert(const Genome& genome, const CachedFitness& value) {
+  const std::size_t cap = options_.memoize_cache_capacity;
+  if (cap > 0) {
+    while (cache_.size() >= cap && !cache_order_.empty()) {
+      cache_.erase(cache_order_.front());
+      cache_order_.pop_front();
+    }
+  }
+  if (cache_.emplace(genome, value).second) cache_order_.push_back(genome);
+}
+
+void MappingGa::evaluate_batch(const std::vector<Individual*>& batch) {
+  constexpr std::size_t kNoJob = static_cast<std::size_t>(-1);
+
+  auto apply = [](Individual& ind, const CachedFitness& c) {
+    ind.fitness = c.fitness;
+    ind.violation = c.violation;
+    ind.area_infeasible = c.area_infeasible;
+    ind.timing_infeasible = c.timing_infeasible;
+    ind.transition_infeasible = c.transition_infeasible;
+    ind.power_true = c.power_true;
+    ind.evaluated = true;
+  };
+
+  // Phase 1 (serial, batch order): cache lookups plus in-batch dedup.
+  // A genome that repeats inside the batch would, one-at-a-time, hit the
+  // cache on its second occurrence — mirror that accounting exactly.
+  std::vector<const Genome*> jobs;
+  std::vector<std::size_t> job_of(batch.size(), kNoJob);
+  std::unordered_map<Genome, std::size_t, GenomeHash> in_flight;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Individual& ind = *batch[i];
+    if (options_.memoize_evaluations) {
+      ++cache_lookups_;
+      if (auto it = cache_.find(ind.genome); it != cache_.end()) {
+        ++cache_hits_;
+        apply(ind, it->second);
+        continue;
+      }
+      if (auto it = in_flight.find(ind.genome); it != in_flight.end()) {
+        ++cache_hits_;
+        job_of[i] = it->second;
+        continue;
+      }
+      in_flight.emplace(ind.genome, jobs.size());
+    }
+    job_of[i] = jobs.size();
+    jobs.push_back(&ind.genome);
+  }
+
+  // Phase 2 (parallel): pure evaluations, one slot per unique genome.
+  std::vector<CachedFitness> results(jobs.size());
+  auto run_job = [&](std::size_t j) { results[j] = compute_fitness(*jobs[j]); };
+  if (pool_ && jobs.size() > 1) {
+    pool_->parallel_for(jobs.size(), run_job);
+  } else {
+    for (std::size_t j = 0; j < jobs.size(); ++j) run_job(j);
+  }
+
+  // Phase 3 (serial, job then batch order): counters, cache, results.
+  evaluations_ += static_cast<long>(jobs.size());
   if (options_.memoize_evaluations)
-    cache_.emplace(ind.genome,
-                   CachedFitness{ind.fitness, ind.violation,
-                                 ind.area_infeasible, ind.timing_infeasible,
-                                 ind.transition_infeasible, ind.power_true});
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+      cache_insert(*jobs[j], results[j]);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    if (job_of[i] != kNoJob) apply(*batch[i], results[job_of[i]]);
+}
+
+void MappingGa::evaluate(Individual& ind) {
+  const std::vector<Individual*> batch{&ind};
+  evaluate_batch(batch);
 }
 
 double MappingGa::population_diversity() const {
@@ -277,9 +359,13 @@ SynthesisResult MappingGa::run(
   const int elite = std::min(options_.elite_count, n);
 
   for (generation = 0; generation < options_.max_generations; ++generation) {
-    // Lines 03–14: estimate objectives and assign fitness.
+    // Lines 03–14: estimate objectives and assign fitness. The whole
+    // unevaluated cohort is batched so cache misses fan out across the
+    // worker pool (bit-identical to the serial path, see evaluate_batch).
+    std::vector<Individual*> unevaluated;
     for (Individual& ind : population_)
-      if (!ind.evaluated) evaluate(ind);
+      if (!ind.evaluated) unevaluated.push_back(&ind);
+    evaluate_batch(unevaluated);
 
     // Line 15: rank individuals (best first), feasibility-first.
     std::sort(population_.begin(), population_.end(),
@@ -300,7 +386,8 @@ SynthesisResult MappingGa::run(
     const double diversity = population_diversity();
     if (observer)
       observer(GaProgress{generation, best.fitness, best.power_true,
-                          diversity, evaluations_});
+                          diversity, evaluations_, cache_hits_,
+                          cache_lookups_});
 
     // Line 02: convergence criterion — stagnation, optionally accelerated
     // by a collapsed population.
@@ -329,8 +416,10 @@ SynthesisResult MappingGa::run(
     };
 
     // Lines 16–18: mating, two-point crossover, offspring insertion.
-    const int offspring_count = std::max(
-        2, static_cast<int>(options_.replacement_fraction * n) & ~1);
+    // Clamped to the non-elite range so replacement can never clobber the
+    // elite slots (including the incumbent best at slot 0).
+    const int offspring_count = ga_detail::clamped_offspring_count(
+        options_.replacement_fraction, n, elite);
     std::vector<Individual> offspring;
     offspring.reserve(static_cast<std::size_t>(offspring_count));
     const std::size_t genes = codec_.genome_length();
@@ -369,10 +458,13 @@ SynthesisResult MappingGa::run(
     // concentrates around the incumbent.
     const int immigrants = static_cast<int>(options_.immigrant_fraction * n);
     for (int i = 0; i < immigrants; ++i) {
-      const std::size_t slot = static_cast<std::size_t>(
-          n - 1 - offspring_count - i);
-      if (static_cast<int>(slot) <= elite) break;
-      population_[slot] = Individual{codec_.random_genome(rng_)};
+      // Signed on purpose: with offspring_count close to n the slot can
+      // go below the elite boundary (or negative) — stop cleanly instead
+      // of round-tripping through a huge std::size_t.
+      const int slot = ga_detail::immigrant_slot(n, offspring_count, i);
+      if (slot <= elite) break;
+      population_[static_cast<std::size_t>(slot)] =
+          Individual{codec_.random_genome(rng_)};
     }
 
     // Lines 19–22: improvement mutations (never touching the elite).
@@ -438,6 +530,25 @@ SynthesisResult MappingGa::run(
     }
   }
 
+  // Sequential acceptance over a pre-evaluated trial batch. All trials
+  // differ from `best` only at the probed gene(s), so accepting an
+  // earlier trial never changes what a later trial's genome would have
+  // been — evaluating the whole batch up front (in parallel) and merging
+  // in order is exactly the one-at-a-time algorithm.
+  auto merge_trials = [&](std::vector<Individual>& trials, bool& improved) {
+    std::vector<Individual*> batch;
+    batch.reserve(trials.size());
+    for (Individual& trial : trials) batch.push_back(&trial);
+    evaluate_batch(batch);
+    for (Individual& trial : trials) {
+      if (candidate_better(trial.violation, trial.fitness, best.violation,
+                           best.fitness * (1.0 - 1e-12))) {
+        best = trial;
+        improved = true;
+      }
+    }
+  };
+
   // Memetic polish: single-gene hill climbing on the best individual.
   if (options_.final_hill_climb_passes > 0 && best.evaluated) {
     std::vector<std::size_t> order(codec_.genome_length());
@@ -449,17 +560,16 @@ SynthesisResult MappingGa::run(
         const std::size_t cands = codec_.candidates(g).size();
         if (cands < 2) continue;
         const std::uint16_t original = best.genome[g];
+        std::vector<Individual> trials;
+        trials.reserve(cands - 1);
         for (std::uint16_t c = 0; c < cands; ++c) {
           if (c == original) continue;
           Individual trial = best;
           trial.genome[g] = c;
-          evaluate(trial);
-          if (candidate_better(trial.violation, trial.fitness, best.violation,
-                               best.fitness * (1.0 - 1e-12))) {
-            best = trial;
-            improved = true;
-          }
+          trial.evaluated = false;
+          trials.push_back(std::move(trial));
         }
+        merge_trials(trials, improved);
       }
       if (!improved) break;
     }
@@ -467,6 +577,7 @@ SynthesisResult MappingGa::run(
 
   // 2-opt polish on small genomes: coordinated two-gene moves (e.g. swap
   // one core allocation for another that only fits after freeing area).
+  // One gene pair's candidate grid forms one parallel batch.
   if (best.evaluated &&
       static_cast<int>(codec_.genome_length()) <=
           options_.final_two_opt_max_genes) {
@@ -477,21 +588,19 @@ SynthesisResult MappingGa::run(
         for (std::size_t g2 = g1 + 1; g2 < codec_.genome_length(); ++g2) {
           const std::size_t c1n = codec_.candidates(g1).size();
           const std::size_t c2n = codec_.candidates(g2).size();
+          std::vector<Individual> trials;
+          trials.reserve(c1n * c2n - 1);
           for (std::uint16_t c1 = 0; c1 < c1n; ++c1) {
             for (std::uint16_t c2 = 0; c2 < c2n; ++c2) {
               if (c1 == best.genome[g1] && c2 == best.genome[g2]) continue;
               Individual trial = best;
               trial.genome[g1] = c1;
               trial.genome[g2] = c2;
-              evaluate(trial);
-              if (candidate_better(trial.violation, trial.fitness,
-                                   best.violation,
-                                   best.fitness * (1.0 - 1e-12))) {
-                best = trial;
-                improved = true;
-              }
+              trial.evaluated = false;
+              trials.push_back(std::move(trial));
             }
           }
+          merge_trials(trials, improved);
         }
       }
     }
@@ -505,6 +614,8 @@ SynthesisResult MappingGa::run(
   result.fitness = best.fitness;
   result.generations = generation;
   result.evaluations = evaluations_;
+  result.cache_hits = cache_hits_;
+  result.cache_lookups = cache_lookups_;
   result.elapsed_seconds =
       std::chrono::duration<double>(Clock::now() - t_begin).count();
   return result;

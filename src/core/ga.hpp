@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -15,6 +17,24 @@
 #include "model/core_allocation.hpp"
 
 namespace mmsyn {
+
+class ThreadPool;
+
+namespace ga_detail {
+
+/// Offspring count per generation: an even number derived from
+/// `replacement_fraction`, clamped so offspring can never spill into the
+/// elite slots (replacement fills the ranked-worst positions upwards).
+[[nodiscard]] int clamped_offspring_count(double replacement_fraction,
+                                          int population_size,
+                                          int elite_count);
+
+/// Population slot taken by immigrant `immigrant_index` (signed: negative
+/// or elite-overlapping results mean "no free slot left, stop").
+[[nodiscard]] int immigrant_slot(int population_size, int offspring_count,
+                                 int immigrant_index);
+
+}  // namespace ga_detail
 
 /// GA tuning parameters.
 struct GaOptions {
@@ -58,6 +78,16 @@ struct GaOptions {
   /// same mapping strings constantly; caching skips the (scheduling + DVS)
   /// inner loop for repeats. Disable to measure raw evaluation counts.
   bool memoize_evaluations = true;
+  /// Upper bound on memoised genomes; the oldest entries are evicted
+  /// first (FIFO). 0 = unbounded (pre-existing behaviour, grows without
+  /// limit on long runs).
+  std::size_t memoize_cache_capacity = 1 << 16;
+
+  /// Fitness-evaluation concurrency: 1 = serial (default), 0 = all
+  /// hardware threads, otherwise the exact thread count. Results are
+  /// bit-identical for every value — evaluation is pure and the GA's RNG
+  /// never runs inside the parallel region (see DESIGN.md §8).
+  int num_threads = 1;
 
   /// Shut-down improvement probability per individual per generation.
   double shutdown_improvement_rate = 0.02;
@@ -76,6 +106,9 @@ struct GaProgress {
   double best_power_true = 0.0;
   double diversity = 0.0;
   long evaluations = 0;
+  /// Memoisation-cache hits / lookups so far (hits == 0 when disabled).
+  long cache_hits = 0;
+  long cache_lookups = 0;
 };
 
 /// Synthesis outcome.
@@ -87,6 +120,9 @@ struct SynthesisResult {
   double fitness = 0.0;
   int generations = 0;
   long evaluations = 0;
+  /// Memoisation-cache hits / lookups over the whole run.
+  long cache_hits = 0;
+  long cache_lookups = 0;
   double elapsed_seconds = 0.0;
 };
 
@@ -97,6 +133,7 @@ public:
   MappingGa(const System& system, const Evaluator& evaluator,
             FitnessParams fitness_params, AllocationOptions alloc_options,
             GaOptions options, std::uint64_t seed);
+  ~MappingGa();
 
   /// Runs to convergence. `observer` (optional) is invoked once per
   /// generation.
@@ -132,7 +169,29 @@ private:
     double power_true = 0.0;
   };
 
+  /// Fitness memo entry / result of one pure evaluation.
+  struct CachedFitness {
+    double fitness;
+    double violation;
+    bool area_infeasible;
+    bool timing_infeasible;
+    bool transition_infeasible;
+    double power_true;
+  };
+
+  /// The pure (thread-safe) part of an evaluation: decode, allocate
+  /// cores, schedule + DVS, fitness. Touches no GA state.
+  [[nodiscard]] CachedFitness compute_fitness(const Genome& genome) const;
+
+  /// Evaluates every individual in `batch`, fanning cache misses out over
+  /// the worker pool. Deterministic contract: cache lookups, insertions
+  /// and counter updates happen serially in batch order, only the pure
+  /// per-genome computation runs concurrently — results are bit-identical
+  /// to the serial path for any thread count.
+  void evaluate_batch(const std::vector<Individual*>& batch);
+
   void evaluate(Individual& ind);
+  void cache_insert(const Genome& genome, const CachedFitness& value);
   [[nodiscard]] double population_diversity() const;
 
   const System& system_;
@@ -144,17 +203,17 @@ private:
   Rng rng_;
   std::vector<Individual> population_;
   long evaluations_ = 0;
+  long cache_hits_ = 0;
+  long cache_lookups_ = 0;
 
-  /// Fitness memo keyed by genome (see GaOptions::memoize_evaluations).
-  struct CachedFitness {
-    double fitness;
-    double violation;
-    bool area_infeasible;
-    bool timing_infeasible;
-    bool transition_infeasible;
-    double power_true;
-  };
+  /// Worker pool for evaluate_batch; null when num_threads resolves to 1.
+  std::unique_ptr<ThreadPool> pool_;
+
+  /// Fitness memo keyed by genome (see GaOptions::memoize_evaluations),
+  /// bounded by memoize_cache_capacity with FIFO eviction (cache_order_
+  /// tracks insertion order).
   std::unordered_map<Genome, CachedFitness, GenomeHash> cache_;
+  std::deque<Genome> cache_order_;
 };
 
 }  // namespace mmsyn

@@ -36,6 +36,11 @@ std::string implementation_report(const System& system,
               "evaluations, %.2f s",
               eval.avg_power_true * 1e3, eval.feasible() ? "yes" : "NO",
               result.generations, result.evaluations, result.elapsed_seconds);
+  if (result.cache_lookups > 0)
+    append_line(os, "  fitness memo: %ld/%ld hits (%.1f%% hit rate)",
+                result.cache_hits, result.cache_lookups,
+                100.0 * static_cast<double>(result.cache_hits) /
+                    static_cast<double>(result.cache_lookups));
 
   for (std::size_t m = 0; m < system.omsm.mode_count(); ++m) {
     const ModeId mode_id{static_cast<ModeId::value_type>(m)};

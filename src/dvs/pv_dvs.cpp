@@ -43,6 +43,10 @@ double discrete_energy(double e_nom, double tmin, double target_time,
     const double t_hi = time_at(v_hi);
     const double t_lo = time_at(v_lo);
     if (t_hi <= target_time && target_time <= t_lo) {
+      // Duplicate levels (normalised away by Architecture::add_pe, but
+      // guarded here for direct callers) give a zero-width pair; the
+      // whole activity then runs at that single level.
+      if (t_lo - t_hi <= 0.0) return energy_at(v_hi);
       const double w = (t_lo - target_time) / (t_lo - t_hi);
       return w * energy_at(v_hi) + (1.0 - w) * energy_at(v_lo);
     }

@@ -105,11 +105,19 @@ struct Evaluation {
 
 /// Evaluates candidates against one system. The system reference must
 /// outlive the evaluator.
+///
+/// Thread safety: `evaluate` is pure — it reads only the immutable
+/// system/options/weights state and touches no caches or globals (the
+/// whole inner loop: list scheduler, DVS-graph construction and PV-DVS
+/// keep their state on the stack). One Evaluator instance may therefore
+/// be shared by concurrent callers; the GA's parallel fitness evaluation
+/// relies on this contract.
 class Evaluator {
 public:
   Evaluator(const System& system, EvaluationOptions options);
 
-  /// Full evaluation of (mapping, core allocation).
+  /// Full evaluation of (mapping, core allocation). Const and
+  /// reentrant: safe to call concurrently from multiple threads.
   [[nodiscard]] Evaluation evaluate(const MultiModeMapping& mapping,
                                     const CoreAllocation& cores) const;
 

@@ -21,6 +21,11 @@ PeId Architecture::add_pe(Pe pe) {
     throw std::invalid_argument("Pe must have at least one voltage level");
   if (!std::is_sorted(pe.voltage_levels.begin(), pe.voltage_levels.end()))
     throw std::invalid_argument("Pe voltage levels must be ascending");
+  // Normalise away duplicate levels: discrete_energy splits workloads
+  // across adjacent levels and a zero-width pair would divide by zero.
+  pe.voltage_levels.erase(
+      std::unique(pe.voltage_levels.begin(), pe.voltage_levels.end()),
+      pe.voltage_levels.end());
   if (pe.threshold_voltage >= pe.voltage_levels.front())
     throw std::invalid_argument(
         "Pe threshold voltage must be below the lowest supply level");

@@ -1,0 +1,79 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mmsyn {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.parallel_for(counts.size(),
+                    [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.parallel_for(10, [&](std::size_t i) {
+      total.fetch_add(static_cast<long>(i));
+    });
+  EXPECT_EQ(total.load(), 50 * 45);
+}
+
+TEST(ThreadPool, EmptyAndSingleItemJobs) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+  int runs = 0;
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++runs;
+  });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(8, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 17)
+                                     throw std::runtime_error("item 17");
+                                   completed.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(completed.load(), 99);  // the other items still ran
+
+  // The pool stays usable after an exception.
+  std::atomic<int> second{0};
+  pool.parallel_for(10, [&](std::size_t) { second.fetch_add(1); });
+  EXPECT_EQ(second.load(), 10);
+}
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_GE(ThreadPool::resolve_thread_count(0), 1);  // hardware threads
+  EXPECT_EQ(ThreadPool::resolve_thread_count(1), 1);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(6), 6);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(-4), 1);
+}
+
+}  // namespace
+}  // namespace mmsyn

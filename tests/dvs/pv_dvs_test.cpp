@@ -144,6 +144,40 @@ TEST_F(PvDvsTest, ContinuousBeatsDiscrete) {
   EXPECT_LT(e_disc, 1e-3);  // still saves vs nominal
 }
 
+TEST_F(PvDvsTest, SlowdownCapRespectedWhenProbeCrossesIt) {
+  // A tight max_slowdown (1.05) with ample deadline slack: the greedy
+  // walks the node's time towards the cap, and the finite-difference
+  // descent probe at t + 0.01*tmin then lands *beyond* the cap. The
+  // algorithm must neither crash nor scale past the cap.
+  DvsGraph g;
+  const int u = add_node(g, 10e-3, 1e-3, true, 1.0, pe_);
+  g.nodes[static_cast<std::size_t>(u)].max_slowdown = 1.05;
+  PvDvsOptions options;
+  options.discrete_voltages = false;
+  const PvDvsResult r = run_pv_dvs(g, arch_, options);
+  EXPECT_TRUE(r.deadlines_met);
+  EXPECT_TRUE(std::isfinite(r.total_energy));
+  EXPECT_LE(r.scaled_time[0], 10e-3 * 1.05 * (1 + 1e-9));
+  EXPECT_GE(r.scaled_time[0], 10e-3);
+  // Energy stays within [energy at the cap voltage, nominal].
+  const VoltageModel m(3.3, 0.8);
+  const double cap_energy =
+      1e-3 * m.energy_factor(m.voltage_for_slowdown(1.05));
+  EXPECT_LE(r.total_energy, 1e-3 + 1e-15);
+  EXPECT_GE(r.total_energy, cap_energy - 1e-12);
+}
+
+TEST_F(PvDvsTest, SlowdownCapOneNeverScales) {
+  // Degenerate cap: max_slowdown == 1 leaves no scaling head-room at all;
+  // the probe crosses the cap on the very first refresh.
+  DvsGraph g;
+  const int u = add_node(g, 10e-3, 1e-3, true, 1.0, pe_);
+  g.nodes[static_cast<std::size_t>(u)].max_slowdown = 1.0;
+  const PvDvsResult r = run_pv_dvs(g, arch_);
+  EXPECT_DOUBLE_EQ(r.scaled_time[0], 10e-3);
+  EXPECT_NEAR(r.total_energy, 1e-3, 1e-12);
+}
+
 TEST(DiscreteEnergy, ExactLevelNeedsNoSplit) {
   const std::vector<double> levels{1.2, 1.9, 2.6, 3.3};
   const VoltageModel m(3.3, 0.8);
@@ -167,6 +201,37 @@ TEST(DiscreteEnergy, SplitInterpolatesBetweenLevels) {
   const double expected =
       w * 1e-3 * m.energy_factor(2.6) + (1 - w) * 1e-3 * m.energy_factor(1.9);
   EXPECT_NEAR(e, expected, 1e-12);
+}
+
+TEST(DiscreteEnergy, TargetExactlyAtLevelBoundary) {
+  // target_time landing exactly on a level's execution time must resolve
+  // to that single level (split weight 0 or 1, no interpolation error).
+  const std::vector<double> levels{1.2, 1.9, 2.6, 3.3};
+  const VoltageModel m(3.3, 0.8);
+  for (const double v : {1.9, 2.6}) {
+    const double target = 10e-3 * m.slowdown(v);
+    EXPECT_DOUBLE_EQ(discrete_energy(1e-3, 10e-3, target, levels, 0.8),
+                     1e-3 * m.energy_factor(v))
+        << "level " << v;
+  }
+  // Boundary of the lowest level: the early-completion clamp fires.
+  const double t_lowest = 10e-3 * m.slowdown(1.2);
+  EXPECT_DOUBLE_EQ(discrete_energy(1e-3, 10e-3, t_lowest, levels, 0.8),
+                   1e-3 * m.energy_factor(1.2));
+  // Boundary of vmax: target == tmin means no slack, nominal energy.
+  EXPECT_DOUBLE_EQ(discrete_energy(1e-3, 10e-3, 10e-3, levels, 0.8), 1e-3);
+}
+
+TEST(DiscreteEnergy, DuplicateAdjacentLevelsDoNotDivideByZero) {
+  // Architecture::add_pe normalises duplicates away; direct callers with
+  // a duplicated level must still get a finite single-level answer (the
+  // zero-width pair guard), never a 0/0 split weight.
+  const std::vector<double> levels{1.9, 1.9, 3.3};
+  const VoltageModel m(3.3, 0.8);
+  const double target = 10e-3 * m.slowdown(1.9);
+  const double e = discrete_energy(1e-3, 10e-3, target, levels, 0.8);
+  EXPECT_TRUE(std::isfinite(e));
+  EXPECT_DOUBLE_EQ(e, 1e-3 * m.energy_factor(1.9));
 }
 
 TEST(DiscreteEnergy, BeyondLowestLevelClamps) {

@@ -44,6 +44,22 @@ TEST(Architecture, VoltageLevelValidation) {
   EXPECT_NO_THROW(arch.add_pe(pe));
 }
 
+TEST(Architecture, DuplicateVoltageLevelsAreNormalised) {
+  // discrete_energy splits workloads across adjacent level pairs; a
+  // duplicated level would create a zero-width pair, so construction
+  // dedupes while preserving vmin/vmax.
+  Architecture arch;
+  Pe pe = make_gpp("dup");
+  pe.dvs_enabled = true;
+  pe.voltage_levels = {1.2, 1.2, 1.9, 3.3, 3.3};
+  pe.threshold_voltage = 0.8;
+  const PeId id = arch.add_pe(pe);
+  const std::vector<double> expected{1.2, 1.9, 3.3};
+  EXPECT_EQ(arch.pe(id).voltage_levels, expected);
+  EXPECT_DOUBLE_EQ(arch.pe(id).vmin(), 1.2);
+  EXPECT_DOUBLE_EQ(arch.pe(id).vmax(), 3.3);
+}
+
 TEST(Architecture, VminVmax) {
   Pe pe = make_gpp("x");
   pe.voltage_levels = {1.2, 2.0, 3.3};
