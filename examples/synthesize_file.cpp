@@ -7,12 +7,21 @@
 //   synthesize_file --input phone.mmsyn --evaluate-mapping phone.mmsyn-map
 //   synthesize_file --export-smartphone phone.mmsyn
 //   synthesize_file --export-mul 6 --output mul6.mmsyn
+//
+// Crash safety: --checkpoint writes a resumable snapshot of the GA every
+// --checkpoint-every generations (and on Ctrl-C / --time-budget expiry);
+// --resume continues a checkpointed run bit-identically to an
+// uninterrupted one with the same flags. An early stop still reports the
+// best implementation found so far (exit code 3).
 #include <cstdio>
 
+#include "audit/auditor.hpp"
 #include "common/flags.hpp"
+#include "common/interrupt.hpp"
 #include "core/allocation_builder.hpp"
 #include "core/cosynth.hpp"
 #include "core/report.hpp"
+#include "core/run_control.hpp"
 #include "model/io.hpp"
 #include "model/mapping_io.hpp"
 #include "tgff/smart_phone.hpp"
@@ -44,6 +53,27 @@ int main(int argc, char** argv) {
   flags.define_int("threads", 1,
                    "fitness-evaluation threads (0 = all cores); the result "
                    "is identical for any value");
+  flags.define_double("time-budget", 0.0,
+                      "wall-clock budget in seconds (0 = unlimited); on "
+                      "expiry the best-so-far result is reported");
+  flags.define_string("checkpoint", "",
+                      "write resumable GA checkpoints to this file");
+  flags.define_int("checkpoint-every", 25,
+                   "generations between periodic checkpoints");
+  flags.define_string("resume", "",
+                      "resume from this checkpoint file (same system, seed "
+                      "and GA options required)");
+  flags.define_bool("audit", false,
+                    "replay the result through the invariant auditor and "
+                    "fail on any violation");
+  flags.define_bool("report-timing", true,
+                    "include wall-clock timing in the report (disable for "
+                    "byte-identical reports across runs)");
+  flags.define_bool("exhaustive", false,
+                    "enumerate every candidate instead of running the GA "
+                    "(tiny systems only)");
+  flags.define_int("exhaustive-budget", 2'000'000,
+                   "candidate-count cap of --exhaustive");
   if (!flags.parse(argc, argv)) return 1;
 
   if (flags.get_bool("export-smartphone") || flags.get_int("export-mul") > 0) {
@@ -104,8 +134,44 @@ int main(int argc, char** argv) {
     eval_options.keep_schedules = true;
     const Evaluator evaluator(system, eval_options);
     result.evaluation = evaluator.evaluate(result.mapping, result.cores);
+  } else if (flags.get_bool("exhaustive")) {
+    try {
+      result = exhaustive_search(
+          system, options,
+          static_cast<std::uint64_t>(flags.get_int("exhaustive-budget")));
+    } catch (const ExhaustiveOverflow& e) {
+      std::fprintf(stderr,
+                   "exhaustive enumeration is infeasible: the mapping space "
+                   "has at least %llu candidates but the budget is %llu.\n"
+                   "Raise --exhaustive-budget, or drop --exhaustive to use "
+                   "the genetic algorithm instead.\n",
+                   static_cast<unsigned long long>(e.space_at_least()),
+                   static_cast<unsigned long long>(e.budget()));
+      return 1;
+    }
   } else {
-    result = synthesize(system, options);
+    RunControl control;
+    control.time_budget_seconds = flags.get_double("time-budget");
+    control.checkpoint_path = flags.get_string("checkpoint");
+    control.checkpoint_every_generations =
+        static_cast<int>(flags.get_int("checkpoint-every"));
+    control.resume_path = flags.get_string("resume");
+    install_interrupt_flag();
+    control.listen_for_interrupt();
+    try {
+      result = synthesize(system, options, &control);
+    } catch (const CheckpointError& e) {
+      std::fprintf(stderr, "cannot resume: %s\n", e.what());
+      std::fprintf(stderr,
+                   "The checkpoint must come from the same system file, "
+                   "--seed and GA options as this invocation.\n");
+      return 1;
+    }
+    if (result.partial)
+      std::fprintf(stderr,
+                   "run stopped early (%s); reporting the best "
+                   "implementation found so far\n",
+                   control.cancel_requested() ? "cancelled" : "time budget");
   }
 
   if (!flags.get_string("save-mapping").empty()) {
@@ -117,6 +183,15 @@ int main(int argc, char** argv) {
   ReportOptions report;
   report.include_gantt = flags.get_bool("gantt");
   report.include_voltage_schedules = flags.get_bool("report-voltages");
+  report.include_timing = flags.get_bool("report-timing");
   std::printf("%s", implementation_report(system, result, report).c_str());
+
+  if (flags.get_bool("audit")) {
+    AuditOptions audit_options = audit_options_for(options);
+    const AuditReport audit = audit_result(system, result, audit_options);
+    std::printf("%s", audit.to_string().c_str());
+    if (!audit.passed()) return 4;
+  }
+  if (result.partial) return 3;
   return result.evaluation.feasible() ? 0 : 2;
 }

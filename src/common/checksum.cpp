@@ -1,0 +1,45 @@
+#include "common/checksum.hpp"
+
+#include <array>
+
+namespace mmsyn {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
+
+Fnv1a64& Fnv1a64::add_bytes(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash_ ^= bytes[i];
+    hash_ *= 0x100000001b3ull;
+  }
+  return *this;
+}
+
+Fnv1a64& Fnv1a64::add(std::uint64_t v) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  return add_bytes(bytes, sizeof bytes);
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,35 @@
+#include "common/interrupt.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace mmsyn {
+namespace {
+
+// std::atomic<bool> with lock-free guarantee is async-signal-safe to
+// store into; sig_atomic_t would do but loses the explicit memory order.
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void sigint_handler(int signum) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+  // One graceful chance: a second Ctrl-C kills the process normally.
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void install_interrupt_flag() { std::signal(SIGINT, sigint_handler); }
+
+bool interrupt_requested() {
+  return g_interrupted.load(std::memory_order_relaxed);
+}
+
+void raise_interrupt_flag() {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+void clear_interrupt_flag() {
+  g_interrupted.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,27 @@
+// Cooperative SIGINT handling for long-running command-line tools.
+//
+// A process-wide, async-signal-safe interrupt flag: the tool installs the
+// handler once, the synthesis loop polls `interrupt_requested()` at
+// generation boundaries (via core/run_control) and winds down gracefully.
+// A second Ctrl-C restores the default disposition, so an unresponsive
+// run can still be killed the ordinary way.
+#pragma once
+
+namespace mmsyn {
+
+/// Installs a SIGINT handler that records the interrupt in a process-wide
+/// flag. The first SIGINT only sets the flag; the handler then restores
+/// the default disposition so a second SIGINT terminates the process.
+/// Idempotent; safe to call from tests.
+void install_interrupt_flag();
+
+/// True once SIGINT was received after install_interrupt_flag() (or after
+/// raise_interrupt_flag()).
+[[nodiscard]] bool interrupt_requested();
+
+/// Sets / clears the flag directly — for tests and for components that
+/// want the same cooperative-stop path without a real signal.
+void raise_interrupt_flag();
+void clear_interrupt_flag();
+
+}  // namespace mmsyn

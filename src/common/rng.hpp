@@ -76,6 +76,13 @@ public:
   /// draws from this one (seeded via splitmix of a fresh draw).
   [[nodiscard]] Rng fork();
 
+  /// Raw engine state, for checkpointing. Restoring a saved state resumes
+  /// the stream exactly where it left off.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const {
+    return state_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) { state_ = state; }
+
 private:
   std::array<std::uint64_t, 4> state_{};
 };

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "core/run_control.hpp"
 #include "model/system.hpp"
 
 namespace mmsyn {
@@ -24,12 +25,15 @@ EvaluationOptions make_eval_options(const System& system,
 }  // namespace
 
 SynthesisResult synthesize(const System& system,
-                           const SynthesisOptions& options) {
+                           const SynthesisOptions& options,
+                           RunControl* control) {
   const Evaluator loop_evaluator(system,
                                  make_eval_options(system, options, false));
   MappingGa ga(system, loop_evaluator, options.fitness, options.allocation,
                options.ga, options.seed);
-  SynthesisResult result = ga.run();
+  if (control && !control->resume_path.empty())
+    ga.restore(load_checkpoint(control->resume_path));
+  SynthesisResult result = ga.run({}, control);
 
   // Final (reported) evaluation: fine DVS, schedules kept, true Ψ power.
   const Evaluator final_evaluator(system,
@@ -48,9 +52,7 @@ SynthesisResult exhaustive_search(const System& system,
   std::uint64_t space = 1;
   for (std::size_t g = 0; g < codec.genome_length(); ++g) {
     space *= codec.candidates(g).size();
-    if (space > max_candidates)
-      throw std::invalid_argument(
-          "exhaustive_search: search space exceeds max_candidates");
+    if (space > max_candidates) throw ExhaustiveOverflow(space, max_candidates);
   }
 
   const Evaluator evaluator(system, make_eval_options(system, options, false));

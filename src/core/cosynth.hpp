@@ -9,10 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "core/ga.hpp"
 
 namespace mmsyn {
+
+class RunControl;
 
 struct SynthesisOptions {
   /// true: weight the objective with the OMSM's Ψ (the proposed method);
@@ -44,13 +48,44 @@ struct SynthesisOptions {
 
 /// Runs the co-synthesis. The returned evaluation is a *final* evaluation:
 /// fine DVS settings, schedules retained, powers reported with true Ψ.
+///
+/// `control` (optional) makes the run crash-safe: wall-clock budget,
+/// cooperative cancellation, periodic checkpoints, and resume from
+/// `RunControl::resume_path` (see core/run_control.hpp). A budget/cancel
+/// stop still returns a final fine-DVS evaluation of the best individual
+/// found so far, flagged `partial = true`.
 [[nodiscard]] SynthesisResult synthesize(const System& system,
-                                         const SynthesisOptions& options);
+                                         const SynthesisOptions& options,
+                                         RunControl* control = nullptr);
+
+/// Raised by exhaustive_search when the candidate space exceeds the
+/// enumeration budget. Derives from std::invalid_argument so callers that
+/// caught the previous generic exception keep working; new callers should
+/// catch the typed error and read the bound that was exceeded.
+class ExhaustiveOverflow : public std::invalid_argument {
+public:
+  ExhaustiveOverflow(std::uint64_t space_at_least, std::uint64_t budget)
+      : std::invalid_argument(
+            "exhaustive_search: search space (>= " +
+            std::to_string(space_at_least) + " candidates) exceeds budget " +
+            std::to_string(budget)),
+        space_at_least_(space_at_least),
+        budget_(budget) {}
+
+  /// Lower bound on the candidate count (the running product at the gene
+  /// where enumeration was abandoned).
+  [[nodiscard]] std::uint64_t space_at_least() const { return space_at_least_; }
+  [[nodiscard]] std::uint64_t budget() const { return budget_; }
+
+private:
+  std::uint64_t space_at_least_;
+  std::uint64_t budget_;
+};
 
 /// Exhaustively enumerates every well-formed mapping of a (tiny) system
 /// and returns the candidate with the lowest fitness. Intended for the
 /// motivational examples and for cross-checking the GA on small instances;
-/// throws when the search space exceeds `max_candidates`.
+/// throws ExhaustiveOverflow when the space exceeds `max_candidates`.
 [[nodiscard]] SynthesisResult exhaustive_search(
     const System& system, const SynthesisOptions& options,
     std::uint64_t max_candidates = 2'000'000);

@@ -6,8 +6,10 @@
 #include <limits>
 #include <numeric>
 
+#include "common/checksum.hpp"
 #include "common/thread_pool.hpp"
 #include "core/improvement.hpp"
+#include "core/run_control.hpp"
 #include "model/system.hpp"
 
 namespace mmsyn {
@@ -42,6 +44,7 @@ MappingGa::MappingGa(const System& system, const Evaluator& evaluator,
       alloc_options_(alloc_options),
       options_(options),
       codec_(system),
+      seed_(seed),
       rng_(seed) {
   const int threads = ThreadPool::resolve_thread_count(options_.num_threads);
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
@@ -151,6 +154,120 @@ double MappingGa::population_diversity() const {
     ++samples;
   }
   return samples ? total / samples : 0.0;
+}
+
+namespace {
+
+SnapshotIndividual snapshot_individual(double fitness, double violation,
+                                       double power_true, bool evaluated,
+                                       bool area_inf, bool timing_inf,
+                                       bool transition_inf,
+                                       const Genome& genome) {
+  SnapshotIndividual s;
+  s.genome = genome;
+  s.fitness = fitness;
+  s.violation = violation;
+  s.power_true = power_true;
+  s.evaluated = evaluated;
+  s.area_infeasible = area_inf;
+  s.timing_infeasible = timing_inf;
+  s.transition_infeasible = transition_inf;
+  return s;
+}
+
+}  // namespace
+
+std::uint64_t MappingGa::state_fingerprint() const {
+  // Everything that shapes the trajectory; num_threads is deliberately
+  // excluded (evaluation is bit-identical for any thread count).
+  Fnv1a64 h;
+  h.add(seed_);
+  h.add(options_.population_size)
+      .add(options_.max_generations)
+      .add(options_.stagnation_limit)
+      .add(options_.diversity_floor)
+      .add(options_.immigrant_fraction)
+      .add(options_.replacement_fraction)
+      .add(options_.gene_mutation_rate)
+      .add(options_.tournament_size)
+      .add(options_.ranking_pressure)
+      .add(options_.elite_count)
+      .add(options_.seed_heuristic_individuals)
+      .add(options_.final_hill_climb_passes)
+      .add(options_.final_two_opt_max_genes)
+      .add(options_.memoize_evaluations)
+      .add(options_.memoize_cache_capacity)
+      .add(options_.shutdown_improvement_rate)
+      .add(options_.infeasibility_trigger)
+      .add(options_.improvement_sweep_fraction);
+  h.add(fitness_params_.area_weight)
+      .add(fitness_params_.transition_weight)
+      .add(fitness_params_.timing_weight);
+  h.add(alloc_options_.allocate_parallel_cores)
+      .add(alloc_options_.mobility_threshold);
+  const EvaluationOptions& eval = evaluator_.options();
+  h.add(eval.use_dvs)
+      .add(static_cast<int>(eval.scheduling_policy))
+      .add(eval.dvs.max_iterations_per_node)
+      .add(eval.dvs.step_fraction)
+      .add(eval.dvs.min_relative_gain)
+      .add(eval.dvs.discrete_voltages)
+      .add(eval.dvs.scale_hardware);
+  for (double w : evaluator_.optimisation_weights()) h.add(w);
+  h.add(codec_.genome_length());
+  for (std::size_t g = 0; g < codec_.genome_length(); ++g)
+    h.add(codec_.candidates(g).size());
+  return h.digest();
+}
+
+GaSnapshot MappingGa::make_snapshot(int next_generation, double elapsed,
+                                    const Individual& best, int stagnation,
+                                    int area_streak, int timing_streak,
+                                    int transition_streak) const {
+  GaSnapshot s;
+  s.fingerprint = state_fingerprint();
+  s.next_generation = next_generation;
+  s.stagnation = stagnation;
+  s.area_infeasible_streak = area_streak;
+  s.timing_infeasible_streak = timing_streak;
+  s.transition_infeasible_streak = transition_streak;
+  s.evaluations = evaluations_;
+  s.cache_hits = cache_hits_;
+  s.cache_lookups = cache_lookups_;
+  s.elapsed_seconds = elapsed;
+  s.rng_state = rng_.state();
+  s.has_best = best.evaluated;
+  s.best = snapshot_individual(best.fitness, best.violation, best.power_true,
+                               best.evaluated, best.area_infeasible,
+                               best.timing_infeasible,
+                               best.transition_infeasible, best.genome);
+  s.population.reserve(population_.size());
+  for (const Individual& ind : population_)
+    s.population.push_back(snapshot_individual(
+        ind.fitness, ind.violation, ind.power_true, ind.evaluated,
+        ind.area_infeasible, ind.timing_infeasible, ind.transition_infeasible,
+        ind.genome));
+  // Cache entries in insertion order so FIFO eviction replays identically.
+  s.cache.reserve(cache_order_.size());
+  for (const Genome& genome : cache_order_) {
+    const CachedFitness& c = cache_.at(genome);
+    s.cache.push_back(snapshot_individual(
+        c.fitness, c.violation, c.power_true, /*evaluated=*/true,
+        c.area_infeasible, c.timing_infeasible, c.transition_infeasible,
+        genome));
+  }
+  return s;
+}
+
+void MappingGa::restore(const GaSnapshot& snapshot) {
+  if (snapshot.fingerprint != state_fingerprint())
+    throw CheckpointError(
+        "fingerprint mismatch: the checkpoint was written by a run with a "
+        "different seed, options, or system");
+  if (snapshot.population.size() !=
+      static_cast<std::size_t>(options_.population_size))
+    throw CheckpointError("population size mismatch");
+  restored_ = std::make_unique<GaSnapshot>(snapshot);
 }
 
 Genome MappingGa::software_seed_genome() const {
@@ -325,26 +442,17 @@ Genome MappingGa::knapsack_seed_genome(std::vector<double> mode_weights) const {
 }
 
 SynthesisResult MappingGa::run(
-    const std::function<void(const GaProgress&)>& observer) {
+    const std::function<void(const GaProgress&)>& observer,
+    RunControl* control) {
   using Clock = std::chrono::steady_clock;
   const auto t_begin = Clock::now();
-
-  // Line 01: random initial population, optionally with two deterministic
-  // heuristic seeds that give both comparison approaches the same footing.
-  population_.clear();
-  population_.reserve(static_cast<std::size_t>(options_.population_size));
-  for (int i = 0; i < options_.population_size; ++i)
-    population_.push_back(Individual{codec_.random_genome(rng_)});
-  if (options_.seed_heuristic_individuals && options_.population_size >= 4) {
-    // Greedy seeds of the GA's own objective and of the uniform objective,
-    // plus the all-software mapping. The uniform seed carries no mode-
-    // probability information, so the probability-neglecting baseline
-    // stays honest while both runs get equally strong starting points.
-    population_[0].genome = knapsack_seed_genome();
-    population_[1].genome = knapsack_seed_genome(
-        std::vector<double>(system_.omsm.mode_count(), 1.0));
-    population_[2].genome = software_seed_genome();
-  }
+  // Wall-clock seconds spent before a resumed checkpoint; budgets and the
+  // reported elapsed time span interruptions.
+  double elapsed_base = 0.0;
+  auto total_elapsed = [&] {
+    return elapsed_base +
+           std::chrono::duration<double>(Clock::now() - t_begin).count();
+  };
 
   Individual best;
   best.fitness = std::numeric_limits<double>::infinity();
@@ -354,11 +462,93 @@ SynthesisResult MappingGa::run(
   int timing_infeasible_streak = 0;
   int transition_infeasible_streak = 0;
   int generation = 0;
+  int start_generation = 0;
+  bool partial = false;
+
+  auto individual_from_snapshot = [](const SnapshotIndividual& s) {
+    Individual ind;
+    ind.genome = s.genome;
+    ind.fitness = s.fitness;
+    ind.violation = s.violation;
+    ind.power_true = s.power_true;
+    ind.evaluated = s.evaluated;
+    ind.area_infeasible = s.area_infeasible;
+    ind.timing_infeasible = s.timing_infeasible;
+    ind.transition_infeasible = s.transition_infeasible;
+    return ind;
+  };
+
+  if (restored_) {
+    // Resume: replay the exact state entering `next_generation` — the
+    // population, the best-so-far, the RNG stream, every counter, and the
+    // memo cache in insertion order (so FIFO eviction continues where it
+    // left off). From here the run is bit-identical to one that was never
+    // interrupted.
+    const GaSnapshot& s = *restored_;
+    population_.clear();
+    population_.reserve(s.population.size());
+    for (const SnapshotIndividual& ind : s.population)
+      population_.push_back(individual_from_snapshot(ind));
+    if (s.has_best) best = individual_from_snapshot(s.best);
+    stagnation = s.stagnation;
+    area_infeasible_streak = s.area_infeasible_streak;
+    timing_infeasible_streak = s.timing_infeasible_streak;
+    transition_infeasible_streak = s.transition_infeasible_streak;
+    evaluations_ = s.evaluations;
+    cache_hits_ = s.cache_hits;
+    cache_lookups_ = s.cache_lookups;
+    elapsed_base = s.elapsed_seconds;
+    rng_.set_state(s.rng_state);
+    cache_.clear();
+    cache_order_.clear();
+    for (const SnapshotIndividual& entry : s.cache)
+      cache_insert(entry.genome,
+                   CachedFitness{entry.fitness, entry.violation,
+                                 entry.area_infeasible, entry.timing_infeasible,
+                                 entry.transition_infeasible,
+                                 entry.power_true});
+    start_generation = s.next_generation;
+    restored_.reset();
+  } else {
+    // Line 01: random initial population, optionally with two deterministic
+    // heuristic seeds that give both comparison approaches the same footing.
+    population_.clear();
+    population_.reserve(static_cast<std::size_t>(options_.population_size));
+    for (int i = 0; i < options_.population_size; ++i)
+      population_.push_back(Individual{codec_.random_genome(rng_)});
+    if (options_.seed_heuristic_individuals && options_.population_size >= 4) {
+      // Greedy seeds of the GA's own objective and of the uniform objective,
+      // plus the all-software mapping. The uniform seed carries no mode-
+      // probability information, so the probability-neglecting baseline
+      // stays honest while both runs get equally strong starting points.
+      population_[0].genome = knapsack_seed_genome();
+      population_[1].genome = knapsack_seed_genome(
+          std::vector<double>(system_.omsm.mode_count(), 1.0));
+      population_[2].genome = software_seed_genome();
+    }
+  }
 
   const int n = options_.population_size;
   const int elite = std::min(options_.elite_count, n);
 
-  for (generation = 0; generation < options_.max_generations; ++generation) {
+  auto boundary_snapshot = [&](int next_generation) {
+    return make_snapshot(next_generation, total_elapsed(), best, stagnation,
+                         area_infeasible_streak, timing_infeasible_streak,
+                         transition_infeasible_streak);
+  };
+
+  for (generation = start_generation; generation < options_.max_generations;
+       ++generation) {
+    // Generation boundary: the state right here is exactly what a
+    // checkpoint captures, so a cooperative stop both persists it (when
+    // checkpointing is on) and degrades gracefully to the best-so-far.
+    if (control && control->should_stop(total_elapsed())) {
+      if (control->checkpointing_enabled())
+        control->write_checkpoint(boundary_snapshot(generation));
+      partial = true;
+      break;
+    }
+
     // Lines 03–14: estimate objectives and assign fitness. The whole
     // unevaluated cohort is batched so cache misses fan out across the
     // worker pool (bit-identical to the serial path, see evaluate_batch).
@@ -528,6 +718,12 @@ SynthesisResult MappingGa::run(
       }
       transition_infeasible_streak = 0;
     }
+
+    // Periodic checkpoint at the end of the generation body — the state
+    // here is "entering generation + 1", the same shape the cooperative
+    // stop above persists.
+    if (control && control->checkpoint_due(generation))
+      control->write_checkpoint(boundary_snapshot(generation + 1));
   }
 
   // Sequential acceptance over a pre-evaluated trial batch. All trials
@@ -549,14 +745,37 @@ SynthesisResult MappingGa::run(
     }
   };
 
+  // A stop before the first evaluation still owes the caller a result:
+  // price the strongest seed (slot 0 holds the objective-aware greedy
+  // when heuristic seeding is on) so even a zero-budget run returns a
+  // well-formed, fully evaluated candidate.
+  if (!best.evaluated && !population_.empty()) {
+    Individual fallback{population_.front().genome};
+    evaluate(fallback);
+    best = fallback;
+  }
+
+  // The polish phases honour cancellation between trial batches: a
+  // partial run skips them entirely, a cancel arriving mid-polish keeps
+  // the best individual accepted so far.
+  auto polish_interrupted = [&] {
+    if (partial) return true;
+    if (control && control->should_stop(total_elapsed())) partial = true;
+    return partial;
+  };
+
   // Memetic polish: single-gene hill climbing on the best individual.
-  if (options_.final_hill_climb_passes > 0 && best.evaluated) {
+  if (options_.final_hill_climb_passes > 0 && best.evaluated &&
+      !polish_interrupted()) {
     std::vector<std::size_t> order(codec_.genome_length());
     for (std::size_t g = 0; g < order.size(); ++g) order[g] = g;
-    for (int pass = 0; pass < options_.final_hill_climb_passes; ++pass) {
+    for (int pass = 0;
+         pass < options_.final_hill_climb_passes && !polish_interrupted();
+         ++pass) {
       bool improved = false;
       rng_.shuffle(order);
       for (std::size_t g : order) {
+        if (polish_interrupted()) break;
         const std::size_t cands = codec_.candidates(g).size();
         if (cands < 2) continue;
         const std::uint16_t original = best.genome[g];
@@ -580,11 +799,14 @@ SynthesisResult MappingGa::run(
   // One gene pair's candidate grid forms one parallel batch.
   if (best.evaluated &&
       static_cast<int>(codec_.genome_length()) <=
-          options_.final_two_opt_max_genes) {
+          options_.final_two_opt_max_genes &&
+      !polish_interrupted()) {
     bool improved = true;
-    for (int round = 0; improved && round < 3; ++round) {
+    for (int round = 0; improved && round < 3 && !polish_interrupted();
+         ++round) {
       improved = false;
       for (std::size_t g1 = 0; g1 < codec_.genome_length(); ++g1) {
+        if (polish_interrupted()) break;
         for (std::size_t g2 = g1 + 1; g2 < codec_.genome_length(); ++g2) {
           const std::size_t c1n = codec_.candidates(g1).size();
           const std::size_t c2n = codec_.candidates(g2).size();
@@ -616,8 +838,8 @@ SynthesisResult MappingGa::run(
   result.evaluations = evaluations_;
   result.cache_hits = cache_hits_;
   result.cache_lookups = cache_lookups_;
-  result.elapsed_seconds =
-      std::chrono::duration<double>(Clock::now() - t_begin).count();
+  result.elapsed_seconds = total_elapsed();
+  result.partial = partial;
   return result;
 }
 

@@ -19,6 +19,8 @@
 namespace mmsyn {
 
 class ThreadPool;
+class RunControl;
+struct GaSnapshot;
 
 namespace ga_detail {
 
@@ -124,6 +126,10 @@ struct SynthesisResult {
   long cache_hits = 0;
   long cache_lookups = 0;
   double elapsed_seconds = 0.0;
+  /// True when the run was stopped early (cancellation or time budget)
+  /// rather than running to convergence; the evaluation still prices the
+  /// best individual found so far.
+  bool partial = false;
 };
 
 /// The multi-mode mapping GA. The evaluator decides whether DVS is applied
@@ -136,9 +142,24 @@ public:
   ~MappingGa();
 
   /// Runs to convergence. `observer` (optional) is invoked once per
-  /// generation.
+  /// generation. `control` (optional) adds time-budget / cancellation
+  /// checks and periodic checkpoints at generation boundaries (see
+  /// core/run_control.hpp); a controlled stop returns the best individual
+  /// found so far with `SynthesisResult::partial` set.
   [[nodiscard]] SynthesisResult run(
-      const std::function<void(const GaProgress&)>& observer = {});
+      const std::function<void(const GaProgress&)>& observer = {},
+      RunControl* control = nullptr);
+
+  /// Restores the state captured by a checkpoint so the next run()
+  /// continues bit-identically to the uninterrupted run. Throws
+  /// CheckpointError when the snapshot's fingerprint does not match this
+  /// GA's configuration (different seed, options, or system).
+  void restore(const GaSnapshot& snapshot);
+
+  /// Fingerprint of everything that shapes the GA trajectory: seed,
+  /// options, genome structure, fitness params, and evaluator weights.
+  /// Stored in checkpoints; resume refuses a mismatch.
+  [[nodiscard]] std::uint64_t state_fingerprint() const;
 
   /// Objective-aware greedy seed: for each hardware PE, selects the task
   /// types with the best weighted-energy-saving per area (a knapsack on
@@ -194,17 +215,30 @@ private:
   void cache_insert(const Genome& genome, const CachedFitness& value);
   [[nodiscard]] double population_diversity() const;
 
+  /// Captures the complete resumable state *entering* `next_generation`
+  /// (see run_control.hpp); `elapsed` is the accumulated wall-clock time.
+  [[nodiscard]] GaSnapshot make_snapshot(int next_generation, double elapsed,
+                                         const Individual& best,
+                                         int stagnation, int area_streak,
+                                         int timing_streak,
+                                         int transition_streak) const;
+
   const System& system_;
   const Evaluator& evaluator_;
   FitnessParams fitness_params_;
   AllocationOptions alloc_options_;
   GaOptions options_;
   GenomeCodec codec_;
+  std::uint64_t seed_;
   Rng rng_;
   std::vector<Individual> population_;
   long evaluations_ = 0;
   long cache_hits_ = 0;
   long cache_lookups_ = 0;
+
+  /// Restored checkpoint state consumed by the next run(); null when
+  /// starting fresh (see restore()).
+  std::unique_ptr<GaSnapshot> restored_;
 
   /// Worker pool for evaluate_batch; null when num_threads resolves to 1.
   std::unique_ptr<ThreadPool> pool_;

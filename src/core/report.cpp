@@ -31,11 +31,23 @@ std::string implementation_report(const System& system,
   const Evaluation& eval = result.evaluation;
 
   append_line(os, "Implementation report: %s", system.name.c_str());
-  append_line(os,
-              "  average power %.4f mW | feasible=%s | %d generations, %ld "
-              "evaluations, %.2f s",
-              eval.avg_power_true * 1e3, eval.feasible() ? "yes" : "NO",
-              result.generations, result.evaluations, result.elapsed_seconds);
+  if (options.include_timing)
+    append_line(os,
+                "  average power %.4f mW | feasible=%s | %d generations, %ld "
+                "evaluations, %.2f s",
+                eval.avg_power_true * 1e3, eval.feasible() ? "yes" : "NO",
+                result.generations, result.evaluations,
+                result.elapsed_seconds);
+  else
+    append_line(os,
+                "  average power %.4f mW | feasible=%s | %d generations, %ld "
+                "evaluations",
+                eval.avg_power_true * 1e3, eval.feasible() ? "yes" : "NO",
+                result.generations, result.evaluations);
+  if (result.partial)
+    append_line(os,
+                "  PARTIAL RESULT: the run was stopped early (cancellation "
+                "or time budget) before convergence");
   if (result.cache_lookups > 0)
     append_line(os, "  fitness memo: %ld/%ld hits (%.1f%% hit rate)",
                 result.cache_hits, result.cache_lookups,

@@ -21,6 +21,10 @@ struct ReportOptions {
   bool include_voltage_schedules = false;
   /// Chart width passed to the Gantt renderer.
   int gantt_width = 72;
+  /// Include the wall-clock elapsed time in the header. Disable to render
+  /// reports that are byte-identical across runs of the same seed (the
+  /// checkpoint/resume determinism checks rely on this).
+  bool include_timing = true;
 };
 
 /// Formats the complete implementation report of `result` for `system`.

@@ -1,0 +1,232 @@
+#include "core/run_control.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/checksum.hpp"
+#include "common/interrupt.hpp"
+
+namespace mmsyn {
+namespace {
+
+// Checkpoint file layout (all integers little-endian):
+//   8 bytes  magic "MMSYNCKP"
+//   u32      format version (kVersion)
+//   u64      payload size in bytes
+//   payload  serialized GaSnapshot
+//   u32      CRC-32 of the payload
+// The trailing CRC plus the explicit size reject truncation and bit rot;
+// the version gates format evolution.
+constexpr char kMagic[8] = {'M', 'M', 'S', 'Y', 'N', 'C', 'K', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+class Writer {
+public:
+  void u8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  [[nodiscard]] const std::string& bytes() const { return bytes_; }
+
+private:
+  std::string bytes_;
+};
+
+class Reader {
+public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    if (pos_ >= bytes_.size())
+      throw CheckpointError("payload truncated");
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{u8()} << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{u8()} << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean() { return u8() != 0; }
+
+  [[nodiscard]] bool done() const { return pos_ == bytes_.size(); }
+
+private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+void write_individual(Writer& w, const SnapshotIndividual& ind,
+                      std::size_t genome_length) {
+  if (ind.genome.size() != genome_length)
+    throw CheckpointError("inconsistent genome length in snapshot");
+  for (std::uint16_t gene : ind.genome) {
+    w.u8(static_cast<std::uint8_t>(gene & 0xff));
+    w.u8(static_cast<std::uint8_t>(gene >> 8));
+  }
+  w.f64(ind.fitness);
+  w.f64(ind.violation);
+  w.f64(ind.power_true);
+  w.boolean(ind.evaluated);
+  w.boolean(ind.area_infeasible);
+  w.boolean(ind.timing_infeasible);
+  w.boolean(ind.transition_infeasible);
+}
+
+SnapshotIndividual read_individual(Reader& r, std::size_t genome_length) {
+  SnapshotIndividual ind;
+  ind.genome.resize(genome_length);
+  for (std::uint16_t& gene : ind.genome) {
+    const std::uint16_t lo = r.u8();
+    const std::uint16_t hi = r.u8();
+    gene = static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+  ind.fitness = r.f64();
+  ind.violation = r.f64();
+  ind.power_true = r.f64();
+  ind.evaluated = r.boolean();
+  ind.area_infeasible = r.boolean();
+  ind.timing_infeasible = r.boolean();
+  ind.transition_infeasible = r.boolean();
+  return ind;
+}
+
+std::string serialize(const GaSnapshot& snapshot) {
+  // Genomes are fixed-length per run; store the length once.
+  const std::size_t genome_length =
+      snapshot.population.empty() ? snapshot.best.genome.size()
+                                  : snapshot.population.front().genome.size();
+  Writer w;
+  w.u64(snapshot.fingerprint);
+  w.u64(genome_length);
+  w.i32(snapshot.next_generation);
+  w.i32(snapshot.stagnation);
+  w.i32(snapshot.area_infeasible_streak);
+  w.i32(snapshot.timing_infeasible_streak);
+  w.i32(snapshot.transition_infeasible_streak);
+  w.i64(snapshot.evaluations);
+  w.i64(snapshot.cache_hits);
+  w.i64(snapshot.cache_lookups);
+  w.f64(snapshot.elapsed_seconds);
+  for (std::uint64_t word : snapshot.rng_state) w.u64(word);
+  w.boolean(snapshot.has_best);
+  write_individual(w, snapshot.best, snapshot.best.genome.size());
+  w.u64(snapshot.population.size());
+  for (const SnapshotIndividual& ind : snapshot.population)
+    write_individual(w, ind, genome_length);
+  w.u64(snapshot.cache.size());
+  for (const SnapshotIndividual& ind : snapshot.cache)
+    write_individual(w, ind, genome_length);
+  return w.bytes();
+}
+
+GaSnapshot deserialize(std::string_view payload) {
+  Reader r(payload);
+  GaSnapshot s;
+  s.fingerprint = r.u64();
+  const std::size_t genome_length = r.u64();
+  s.next_generation = r.i32();
+  s.stagnation = r.i32();
+  s.area_infeasible_streak = r.i32();
+  s.timing_infeasible_streak = r.i32();
+  s.transition_infeasible_streak = r.i32();
+  s.evaluations = r.i64();
+  s.cache_hits = r.i64();
+  s.cache_lookups = r.i64();
+  s.elapsed_seconds = r.f64();
+  for (std::uint64_t& word : s.rng_state) word = r.u64();
+  s.has_best = r.boolean();
+  s.best = read_individual(r, genome_length);
+  const std::uint64_t population_count = r.u64();
+  s.population.reserve(population_count);
+  for (std::uint64_t i = 0; i < population_count; ++i)
+    s.population.push_back(read_individual(r, genome_length));
+  const std::uint64_t cache_count = r.u64();
+  s.cache.reserve(cache_count);
+  for (std::uint64_t i = 0; i < cache_count; ++i)
+    s.cache.push_back(read_individual(r, genome_length));
+  if (!r.done()) throw CheckpointError("trailing bytes in payload");
+  return s;
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const GaSnapshot& snapshot) {
+  const std::string payload = serialize(snapshot);
+
+  std::string file;
+  file.reserve(payload.size() + 24);
+  file.append(kMagic, sizeof kMagic);
+  Writer header;
+  header.u32(kVersion);
+  header.u64(payload.size());
+  file += header.bytes();
+  file += payload;
+  Writer trailer;
+  trailer.u32(crc32(payload));
+  file += trailer.bytes();
+
+  // Atomic replace: a crash mid-write leaves the previous checkpoint (or
+  // nothing) in place, never a half-written file under the final name.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw CheckpointError("cannot open for writing: " + tmp);
+    os.write(file.data(), static_cast<std::streamsize>(file.size()));
+    os.flush();
+    if (!os) throw CheckpointError("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw CheckpointError("cannot rename " + tmp + " to " + path);
+}
+
+GaSnapshot load_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw CheckpointError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string file = buffer.str();
+
+  if (file.size() < sizeof kMagic + 12 ||
+      file.compare(0, sizeof kMagic, kMagic, sizeof kMagic) != 0)
+    throw CheckpointError("not a mmsyn checkpoint: " + path);
+  Reader header(std::string_view(file).substr(sizeof kMagic, 12));
+  const std::uint32_t version = header.u32();
+  if (version != kVersion)
+    throw CheckpointError("unsupported checkpoint version " +
+                          std::to_string(version));
+  const std::uint64_t payload_size = header.u64();
+  const std::size_t payload_offset = sizeof kMagic + 12;
+  if (file.size() != payload_offset + payload_size + 4)
+    throw CheckpointError("truncated checkpoint: " + path);
+  const std::string_view payload =
+      std::string_view(file).substr(payload_offset, payload_size);
+  Reader trailer(std::string_view(file).substr(payload_offset + payload_size));
+  if (trailer.u32() != crc32(payload))
+    throw CheckpointError("CRC mismatch (corrupted file): " + path);
+  return deserialize(payload);
+}
+
+bool RunControl::cancel_requested() const {
+  return cancelled_.load(std::memory_order_relaxed) ||
+         (poll_interrupt_flag_ && interrupt_requested());
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,149 @@
+// Crash-safe run control for long synthesis runs.
+//
+// A `RunControl` handle threaded through `synthesize()` / `MappingGa::run`
+// adds three behaviours to an otherwise all-or-nothing GA run:
+//
+//  * a wall-clock budget — the run stops at the next generation boundary
+//    once the budget is exhausted;
+//  * a cooperative cancellation token — `request_cancel()` (or a SIGINT
+//    when `listen_for_interrupt()` is on) stops the run at the next
+//    generation boundary;
+//  * periodic checkpoints — the complete GA state (generation, population,
+//    RNG state, best-so-far, memo cache, counters) is serialized to a
+//    versioned, CRC-protected file every N generations and on every
+//    cooperative stop, so `resume_path` can continue the run later
+//    **bit-identically** to an uninterrupted run with the same seed.
+//
+// A budget/cancel stop is graceful: the GA still returns the best
+// individual found so far and the result is flagged `partial = true`.
+// See DESIGN.md §9 for the full robustness contract.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/genome.hpp"
+
+namespace mmsyn {
+
+/// Raised when a checkpoint file cannot be read, fails its CRC, carries an
+/// unknown version, or does not match the run it is resumed into.
+class CheckpointError : public std::runtime_error {
+public:
+  explicit CheckpointError(const std::string& message)
+      : std::runtime_error("checkpoint: " + message) {}
+};
+
+/// Serialized state of one individual (population slot, best-so-far, or
+/// memo-cache entry; the flags mirror MappingGa's internal bookkeeping).
+struct SnapshotIndividual {
+  Genome genome;
+  double fitness = 0.0;
+  double violation = 0.0;
+  double power_true = 0.0;
+  bool evaluated = false;
+  bool area_infeasible = false;
+  bool timing_infeasible = false;
+  bool transition_infeasible = false;
+
+  friend bool operator==(const SnapshotIndividual&,
+                         const SnapshotIndividual&) = default;
+};
+
+/// Complete resumable GA state, captured at a generation boundary (the
+/// state *entering* `next_generation`). Restoring it and running on is
+/// bit-identical to never having stopped: the RNG stream, the memo cache
+/// (in insertion order, so FIFO eviction replays), and every counter
+/// continue exactly where they left off.
+struct GaSnapshot {
+  /// Configuration fingerprint (seed, GA options, genome structure,
+  /// evaluator weights); resume refuses a mismatch.
+  std::uint64_t fingerprint = 0;
+  int next_generation = 0;
+  int stagnation = 0;
+  int area_infeasible_streak = 0;
+  int timing_infeasible_streak = 0;
+  int transition_infeasible_streak = 0;
+  long evaluations = 0;
+  long cache_hits = 0;
+  long cache_lookups = 0;
+  /// Wall-clock seconds already spent before the checkpoint; resumed runs
+  /// accumulate on top so time budgets span interruptions.
+  double elapsed_seconds = 0.0;
+  std::array<std::uint64_t, 4> rng_state{};
+  bool has_best = false;
+  SnapshotIndividual best;
+  std::vector<SnapshotIndividual> population;
+  /// Fitness-memo entries in insertion (FIFO) order.
+  std::vector<SnapshotIndividual> cache;
+};
+
+/// Writes `snapshot` atomically (temp file + rename) in the versioned,
+/// CRC-protected binary format. Throws CheckpointError on I/O failure.
+void save_checkpoint(const std::string& path, const GaSnapshot& snapshot);
+
+/// Reads a checkpoint written by save_checkpoint. Throws CheckpointError
+/// on I/O failure, bad magic/version, or CRC mismatch.
+[[nodiscard]] GaSnapshot load_checkpoint(const std::string& path);
+
+/// The run-control handle. Plain-struct configuration plus a thread-safe
+/// cancellation token; one instance drives one `synthesize()` call.
+class RunControl {
+public:
+  /// Wall-clock budget in seconds; <= 0 means unlimited. Measured over
+  /// the *total* run including time before a resumed checkpoint.
+  double time_budget_seconds = 0.0;
+
+  /// Checkpoint file path; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Write a checkpoint every N completed generations (and always on a
+  /// cooperative stop when checkpointing is enabled).
+  int checkpoint_every_generations = 25;
+
+  /// Resume from this checkpoint file before the first generation; empty
+  /// starts fresh.
+  std::string resume_path;
+
+  /// Requests a graceful stop at the next generation boundary. Safe to
+  /// call from any thread (e.g. a GA progress observer or a watchdog).
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Also honour the process-wide SIGINT flag (common/interrupt.hpp).
+  /// The caller installs the handler; this only opts into polling it.
+  void listen_for_interrupt() { poll_interrupt_flag_ = true; }
+
+  [[nodiscard]] bool cancel_requested() const;
+
+  /// True when the run should stop at this generation boundary, given the
+  /// total elapsed wall-clock seconds so far.
+  [[nodiscard]] bool should_stop(double elapsed_seconds) const {
+    return cancel_requested() ||
+           (time_budget_seconds > 0.0 &&
+            elapsed_seconds >= time_budget_seconds);
+  }
+
+  /// True when a periodic checkpoint is due after completing `generation`.
+  [[nodiscard]] bool checkpoint_due(int generation) const {
+    return !checkpoint_path.empty() && checkpoint_every_generations > 0 &&
+           (generation + 1) % checkpoint_every_generations == 0;
+  }
+
+  [[nodiscard]] bool checkpointing_enabled() const {
+    return !checkpoint_path.empty();
+  }
+
+  /// Writes `snapshot` to checkpoint_path (no-op when disabled).
+  void write_checkpoint(const GaSnapshot& snapshot) const {
+    if (!checkpoint_path.empty()) save_checkpoint(checkpoint_path, snapshot);
+  }
+
+private:
+  std::atomic<bool> cancelled_{false};
+  bool poll_interrupt_flag_ = false;
+};
+
+}  // namespace mmsyn

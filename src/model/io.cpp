@@ -164,6 +164,11 @@ public:
       if (!item.empty()) out.push_back(item);
     return out;
   }
+  [[nodiscard]] std::vector<double> num_list(const std::string& key) const {
+    std::vector<double> out;
+    for (const std::string& item : list(key)) out.push_back(parse_double(item));
+    return out;
+  }
 
 private:
   [[nodiscard]] double parse_double(const std::string& text) const {
@@ -228,11 +233,7 @@ System read_system(std::istream& is) {
         throw ParseError(line.number(), "duplicate PE '" + pe.name + "'");
       pe.kind = parse_kind(line, line.str("kind", "GPP"));
       pe.dvs_enabled = line.num("dvs", 0.0) != 0.0;
-      if (line.has("levels")) {
-        pe.voltage_levels.clear();
-        for (const std::string& v : line.list("levels"))
-          pe.voltage_levels.push_back(std::stod(v));
-      }
+      if (line.has("levels")) pe.voltage_levels = line.num_list("levels");
       pe.threshold_voltage = line.num("vt", 0.8);
       pe.area_capacity = line.num("area", 0.0);
       pe.static_power = line.num("static", 0.0);
@@ -333,15 +334,21 @@ System system_from_string(const std::string& text) {
 
 void save_system(const std::string& path, const System& system) {
   std::ofstream os(path);
-  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  if (!os) throw ParseError(path, 0, "cannot open for writing");
   write_system(os, system);
-  if (!os) throw std::runtime_error("write failed: " + path);
+  os.flush();
+  if (!os) throw ParseError(path, 0, "write failed");
 }
 
 System load_system(const std::string& path) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("cannot open for reading: " + path);
-  return read_system(is);
+  if (!is) throw ParseError(path, 0, "cannot open for reading");
+  try {
+    return read_system(is);
+  } catch (const ParseError& e) {
+    // Re-raise with the path attached so diagnostics are actionable.
+    throw ParseError(path, e.line(), e.message());
+  }
 }
 
 }  // namespace mmsyn

@@ -30,16 +30,38 @@
 
 namespace mmsyn {
 
-/// Parse failure with a 1-based line number and an explanation.
+/// Parse / file-I/O failure with a 1-based line number, the originating
+/// file path (empty when parsing a stream or string), and an explanation.
+/// Line 0 means the problem is with the file itself (missing, unreadable,
+/// write failure) rather than any particular line.
 class ParseError : public std::runtime_error {
 public:
   ParseError(int line, const std::string& message)
-      : std::runtime_error("line " + std::to_string(line) + ": " + message),
-        line_(line) {}
+      : ParseError(std::string(), line, message) {}
+  ParseError(std::string file, int line, std::string message)
+      : std::runtime_error(format(file, line, message)),
+        file_(std::move(file)),
+        line_(line),
+        message_(std::move(message)) {}
+
   [[nodiscard]] int line() const { return line_; }
+  /// Path of the file being read/written; empty for stream/string input.
+  [[nodiscard]] const std::string& file() const { return file_; }
+  /// The explanation without the location prefix.
+  [[nodiscard]] const std::string& message() const { return message_; }
 
 private:
+  [[nodiscard]] static std::string format(const std::string& file, int line,
+                                          const std::string& message) {
+    if (file.empty())
+      return "line " + std::to_string(line) + ": " + message;
+    if (line <= 0) return file + ": " + message;
+    return file + ":" + std::to_string(line) + ": " + message;
+  }
+
+  std::string file_;
   int line_;
+  std::string message_;
 };
 
 /// Serialises `system` in the .mmsyn text format. Infinite transition
@@ -57,7 +79,9 @@ void write_system(std::ostream& os, const System& system);
 /// Convenience: parse from a string.
 [[nodiscard]] System system_from_string(const std::string& text);
 
-/// File helpers; throw std::runtime_error on I/O failure.
+/// File helpers. Both parse failures *and* I/O failures (missing file,
+/// permission denied, write error) surface as ParseError carrying the
+/// path, so callers get one structured diagnostic channel.
 void save_system(const std::string& path, const System& system);
 [[nodiscard]] System load_system(const std::string& path);
 

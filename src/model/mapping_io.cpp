@@ -117,15 +117,20 @@ MultiModeMapping mapping_from_string(const std::string& text,
 void save_mapping(const std::string& path, const System& system,
                   const MultiModeMapping& mapping) {
   std::ofstream os(path);
-  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  if (!os) throw ParseError(path, 0, "cannot open for writing");
   write_mapping(os, system, mapping);
-  if (!os) throw std::runtime_error("write failed: " + path);
+  os.flush();
+  if (!os) throw ParseError(path, 0, "write failed");
 }
 
 MultiModeMapping load_mapping(const std::string& path, const System& system) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("cannot open for reading: " + path);
-  return read_mapping(is, system);
+  if (!is) throw ParseError(path, 0, "cannot open for reading");
+  try {
+    return read_mapping(is, system);
+  } catch (const ParseError& e) {
+    throw ParseError(path, e.line(), e.message());
+  }
 }
 
 }  // namespace mmsyn

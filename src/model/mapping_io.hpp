@@ -38,7 +38,8 @@ void write_mapping(std::ostream& os, const System& system,
 [[nodiscard]] MultiModeMapping mapping_from_string(const std::string& text,
                                                    const System& system);
 
-/// File helpers; throw std::runtime_error on I/O failure.
+/// File helpers; parse and I/O failures both raise ParseError with the
+/// path attached (ParseError derives std::runtime_error).
 void save_mapping(const std::string& path, const System& system,
                   const MultiModeMapping& mapping);
 [[nodiscard]] MultiModeMapping load_mapping(const std::string& path,

@@ -1,0 +1,65 @@
+#include "common/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mmsyn {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // The classic IEEE CRC-32 check value.
+  EXPECT_EQ(crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xe8b7be43u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::string payload(256, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<char>(i * 7);
+  const std::uint32_t reference = crc32(payload);
+  for (std::size_t byte : {std::size_t{0}, payload.size() / 2,
+                           payload.size() - 1}) {
+    std::string corrupted = payload;
+    corrupted[byte] ^= 0x10;
+    EXPECT_NE(crc32(corrupted), reference) << "flip at byte " << byte;
+  }
+}
+
+TEST(Fnv1a64, EmptyDigestIsOffsetBasis) {
+  EXPECT_EQ(Fnv1a64().digest(), 0xcbf29ce484222325ull);
+}
+
+TEST(Fnv1a64, OrderAndValueSensitive) {
+  const auto digest = [](auto... vs) {
+    Fnv1a64 h;
+    (h.add(vs), ...);
+    return h.digest();
+  };
+  EXPECT_NE(digest(1, 2), digest(2, 1));
+  EXPECT_NE(digest(1, 2), digest(1, 3));
+  EXPECT_EQ(digest(1, 2), digest(1, 2));
+}
+
+TEST(Fnv1a64, DoubleHashedByBitPattern) {
+  Fnv1a64 a, b;
+  a.add(0.0);
+  b.add(-0.0);
+  // +0.0 == -0.0 numerically but their bit patterns differ; the
+  // fingerprint must distinguish them to stay an exact configuration key.
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Fnv1a64, MixedFieldSequenceIsDeterministic) {
+  const auto run = [] {
+    Fnv1a64 h;
+    h.add(std::uint64_t{42}).add(true).add(-1).add(3.25);
+    h.add_bytes("xy", 2);
+    return h.digest();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace mmsyn

@@ -140,8 +140,18 @@ TEST(ExhaustiveSearch, MatchesGaOnTinySystem) {
 TEST(ExhaustiveSearch, RejectsHugeSpaces) {
   const System system = make_mul(1);
   SynthesisOptions options;
+  // Still catchable as the old generic type...
   EXPECT_THROW((void)exhaustive_search(system, options, 1000),
                std::invalid_argument);
+  // ...but the typed error carries the bound that was exceeded.
+  try {
+    (void)exhaustive_search(system, options, 1000);
+    FAIL() << "expected ExhaustiveOverflow";
+  } catch (const ExhaustiveOverflow& e) {
+    EXPECT_EQ(e.budget(), 1000u);
+    EXPECT_GT(e.space_at_least(), e.budget());
+    EXPECT_NE(std::string(e.what()).find("1000"), std::string::npos);
+  }
 }
 
 }  // namespace

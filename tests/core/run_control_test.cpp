@@ -1,0 +1,278 @@
+// Crash-safety tests: checkpoint serialization, corruption rejection, and
+// the bit-identical cancel → checkpoint → resume contract.
+#include "core/run_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/cosynth.hpp"
+#include "core/report.hpp"
+#include "tgff/suites.hpp"
+
+namespace mmsyn {
+namespace {
+
+/// Unique-ish scratch path under the build tree's cwd.
+std::string scratch_path(const char* name) {
+  return std::string(::testing::TempDir()) + "mmsyn_" + name + ".ckpt";
+}
+
+GaSnapshot sample_snapshot() {
+  GaSnapshot snap;
+  snap.fingerprint = 0x1122334455667788ull;
+  snap.next_generation = 17;
+  snap.stagnation = 3;
+  snap.area_infeasible_streak = 1;
+  snap.timing_infeasible_streak = 2;
+  snap.transition_infeasible_streak = 0;
+  snap.evaluations = 1234;
+  snap.cache_hits = 56;
+  snap.cache_lookups = 78;
+  snap.elapsed_seconds = 9.25;
+  snap.rng_state = {1, 2, 3, 0xffffffffffffffffull};
+  snap.has_best = true;
+  snap.best = SnapshotIndividual{{0, 1, 2}, -1.5, 0.0, 0.004,
+                                 true, false, false, false};
+  snap.population = {
+      SnapshotIndividual{{0, 1, 2}, -1.5, 0.0, 0.004, true, false, false,
+                         false},
+      SnapshotIndividual{{2, 1, 0}, 3.0, 0.5, 0.009, true, true, false,
+                         true},
+      SnapshotIndividual{{1, 1, 1}, 0.0, 0.0, 0.0, false, false, false,
+                         false},
+  };
+  snap.cache = {snap.population[0], snap.population[1]};
+  return snap;
+}
+
+void expect_snapshots_equal(const GaSnapshot& a, const GaSnapshot& b) {
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.next_generation, b.next_generation);
+  EXPECT_EQ(a.stagnation, b.stagnation);
+  EXPECT_EQ(a.area_infeasible_streak, b.area_infeasible_streak);
+  EXPECT_EQ(a.timing_infeasible_streak, b.timing_infeasible_streak);
+  EXPECT_EQ(a.transition_infeasible_streak, b.transition_infeasible_streak);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_lookups, b.cache_lookups);
+  EXPECT_EQ(a.elapsed_seconds, b.elapsed_seconds);
+  EXPECT_EQ(a.rng_state, b.rng_state);
+  EXPECT_EQ(a.has_best, b.has_best);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.population, b.population);
+  EXPECT_EQ(a.cache, b.cache);
+}
+
+TEST(Checkpoint, RoundTripsExactly) {
+  const std::string path = scratch_path("roundtrip");
+  const GaSnapshot original = sample_snapshot();
+  save_checkpoint(path, original);
+  expect_snapshots_equal(load_checkpoint(path), original);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileIsTypedError) {
+  EXPECT_THROW(load_checkpoint("/nonexistent/dir/nope.ckpt"), CheckpointError);
+}
+
+TEST(Checkpoint, RejectsBadMagic) {
+  const std::string path = scratch_path("magic");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "NOTMMSYNgarbage that is long enough to read a header from....";
+  }
+  EXPECT_THROW(load_checkpoint(path), CheckpointError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsTruncation) {
+  const std::string path = scratch_path("trunc");
+  save_checkpoint(path, sample_snapshot());
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  ASSERT_GT(bytes.size(), 30u);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 13));
+  }
+  EXPECT_THROW(load_checkpoint(path), CheckpointError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsBitFlip) {
+  const std::string path = scratch_path("flip");
+  save_checkpoint(path, sample_snapshot());
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  bytes[bytes.size() / 2] ^= 0x01;  // flip one payload bit
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(load_checkpoint(path), CheckpointError);
+  std::remove(path.c_str());
+}
+
+TEST(RunControl, StopConditions) {
+  RunControl control;
+  EXPECT_FALSE(control.should_stop(1e9));  // no budget, no cancel
+  control.time_budget_seconds = 5.0;
+  EXPECT_FALSE(control.should_stop(4.9));
+  EXPECT_TRUE(control.should_stop(5.0));
+  control.time_budget_seconds = 0.0;
+  control.request_cancel();
+  EXPECT_TRUE(control.should_stop(0.0));
+}
+
+TEST(RunControl, CheckpointCadence) {
+  RunControl control;
+  control.checkpoint_path = "x.ckpt";
+  control.checkpoint_every_generations = 10;
+  EXPECT_FALSE(control.checkpoint_due(0));
+  EXPECT_TRUE(control.checkpoint_due(9));    // after completing gen 9
+  EXPECT_FALSE(control.checkpoint_due(10));
+  EXPECT_TRUE(control.checkpoint_due(19));
+  control.checkpoint_path.clear();
+  EXPECT_FALSE(control.checkpoint_due(9));
+}
+
+// ---------------------------------------------------------------------
+// The acceptance criterion: run → checkpoint → stop → resume must be
+// bit-identical to an uninterrupted run with the same seed.
+
+SynthesisOptions small_options(std::uint64_t seed) {
+  SynthesisOptions options;
+  options.seed = seed;
+  options.ga.population_size = 16;
+  options.ga.max_generations = 30;
+  options.ga.stagnation_limit = 30;
+  return options;
+}
+
+TEST(Resume, CancelledRunResumesBitIdentically) {
+  const System system = make_mul(5);
+  const std::string path = scratch_path("resume_cancel");
+  const SynthesisOptions options = small_options(7);
+
+  const SynthesisResult full = synthesize(system, options);
+
+  // Cancel after generation 4 via the progress observer; the cooperative
+  // stop writes a final checkpoint.
+  RunControl stopper;
+  stopper.checkpoint_path = path;
+  stopper.checkpoint_every_generations = 0;  // only the stop checkpoint
+  {
+    const Evaluator evaluator(system, [&] {
+      EvaluationOptions eval;
+      eval.scheduling_policy = options.scheduling_policy;
+      eval.dvs = options.dvs_in_loop;
+      return eval;
+    }());
+    MappingGa ga(system, evaluator, options.fitness, options.allocation,
+                 options.ga, options.seed);
+    const SynthesisResult partial = ga.run(
+        [&](const GaProgress& progress) {
+          if (progress.generation >= 4) stopper.request_cancel();
+        },
+        &stopper);
+    EXPECT_TRUE(partial.partial);
+    EXPECT_LT(partial.generations, full.generations);
+  }
+
+  RunControl resumer;
+  resumer.resume_path = path;
+  const SynthesisResult resumed = synthesize(system, options, &resumer);
+
+  EXPECT_FALSE(resumed.partial);
+  EXPECT_EQ(resumed.generations, full.generations);
+  EXPECT_EQ(resumed.evaluations, full.evaluations);
+  EXPECT_EQ(resumed.cache_hits, full.cache_hits);
+  EXPECT_EQ(resumed.cache_lookups, full.cache_lookups);
+  EXPECT_EQ(resumed.fitness, full.fitness);  // exact, not approximate
+  EXPECT_EQ(resumed.mapping.modes.size(), full.mapping.modes.size());
+  for (std::size_t m = 0; m < full.mapping.modes.size(); ++m)
+    EXPECT_EQ(resumed.mapping.modes[m].task_to_pe,
+              full.mapping.modes[m].task_to_pe);
+
+  // The rendered reports (minus wall-clock timing) are byte-identical.
+  ReportOptions report;
+  report.include_timing = false;
+  EXPECT_EQ(implementation_report(system, resumed, report),
+            implementation_report(system, full, report));
+  std::remove(path.c_str());
+}
+
+TEST(Resume, PeriodicCheckpointResumesBitIdentically) {
+  const System system = make_mul(2);
+  const std::string path = scratch_path("resume_periodic");
+  const SynthesisOptions options = small_options(11);
+
+  const SynthesisResult full = synthesize(system, options);
+
+  // Run to completion while checkpointing every 5 generations, then throw
+  // the finished result away and resume from the *last periodic*
+  // checkpoint — simulating a crash after it was written.
+  RunControl writer;
+  writer.checkpoint_path = path;
+  writer.checkpoint_every_generations = 5;
+  (void)synthesize(system, options, &writer);
+  const GaSnapshot snap = load_checkpoint(path);
+  EXPECT_GT(snap.next_generation, 0);
+
+  RunControl resumer;
+  resumer.resume_path = path;
+  const SynthesisResult resumed = synthesize(system, options, &resumer);
+
+  EXPECT_EQ(resumed.generations, full.generations);
+  EXPECT_EQ(resumed.evaluations, full.evaluations);
+  EXPECT_EQ(resumed.fitness, full.fitness);
+  for (std::size_t m = 0; m < full.mapping.modes.size(); ++m)
+    EXPECT_EQ(resumed.mapping.modes[m].task_to_pe,
+              full.mapping.modes[m].task_to_pe);
+  std::remove(path.c_str());
+}
+
+TEST(Resume, FingerprintMismatchRefused) {
+  const System system = make_mul(5);
+  const std::string path = scratch_path("resume_mismatch");
+  const SynthesisOptions options = small_options(7);
+
+  RunControl writer;
+  writer.checkpoint_path = path;
+  writer.checkpoint_every_generations = 2;
+  (void)synthesize(system, options, &writer);
+
+  RunControl resumer;
+  resumer.resume_path = path;
+  SynthesisOptions other = small_options(8);  // different seed
+  EXPECT_THROW((void)synthesize(system, other, &resumer), CheckpointError);
+
+  other = small_options(7);
+  other.ga.gene_mutation_rate *= 2;  // different GA options
+  EXPECT_THROW((void)synthesize(system, other, &resumer), CheckpointError);
+  std::remove(path.c_str());
+}
+
+TEST(Budget, ZeroBudgetStillReturnsEvaluatedResult) {
+  const System system = make_mul(5);
+  RunControl control;
+  control.time_budget_seconds = 1e-9;  // expires before generation 0
+  const SynthesisResult result =
+      synthesize(system, small_options(3), &control);
+  EXPECT_TRUE(result.partial);
+  // Graceful degradation: a final fine evaluation of *some* individual.
+  EXPECT_EQ(result.evaluation.modes.size(), system.omsm.mode_count());
+  EXPECT_GT(result.evaluation.avg_power_true, 0.0);
+}
+
+}  // namespace
+}  // namespace mmsyn

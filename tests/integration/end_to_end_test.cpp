@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "core/cosynth.hpp"
+
+#include "../support/audit_every_result.hpp"
 #include "tgff/smart_phone.hpp"
 #include "tgff/suites.hpp"
 
@@ -66,7 +68,7 @@ TEST_P(EndToEndTest, SynthesisProducesConsistentFeasibleResults) {
   SynthesisOptions options;
   options.ga = test_ga();
   options.seed = 11;
-  const SynthesisResult result = synthesize(system, options);
+  const SynthesisResult result = audited_synthesize(system, options);
   expect_result_consistent(system, result);
   EXPECT_TRUE(result.evaluation.feasible()) << system.name;
 }
@@ -79,9 +81,9 @@ TEST(EndToEndDvs, DvsSynthesisFeasibleAndCheaper) {
   SynthesisOptions options;
   options.ga = test_ga();
   options.seed = 4;
-  const SynthesisResult nominal = synthesize(system, options);
+  const SynthesisResult nominal = audited_synthesize(system, options);
   options.use_dvs = true;
-  const SynthesisResult dvs = synthesize(system, options);
+  const SynthesisResult dvs = audited_synthesize(system, options);
   expect_result_consistent(system, dvs);
   EXPECT_TRUE(dvs.evaluation.feasible());
   EXPECT_LT(dvs.evaluation.avg_power_true,
@@ -93,7 +95,7 @@ TEST(EndToEndPhone, SmartPhoneSynthesisIsFeasible) {
   SynthesisOptions options;
   options.ga = test_ga();
   options.seed = 8;
-  const SynthesisResult result = synthesize(system, options);
+  const SynthesisResult result = audited_synthesize(system, options);
   expect_result_consistent(system, result);
   EXPECT_TRUE(result.evaluation.feasible());
   // The dominant RLC mode must end up cheaper than the naive all-software
@@ -117,7 +119,7 @@ TEST(EndToEndSeeds, DifferentSeedsGiveValidResults) {
   options.ga = test_ga();
   for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
     options.seed = seed;
-    const SynthesisResult result = synthesize(system, options);
+    const SynthesisResult result = audited_synthesize(system, options);
     expect_result_consistent(system, result);
   }
 }

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "core/cosynth.hpp"
+
+#include "../support/audit_every_result.hpp"
 #include "tgff/motivational.hpp"
 #include "tgff/smart_phone.hpp"
 #include "tgff/suites.hpp"
@@ -26,7 +28,7 @@ SynthesisOptions test_options(bool probabilities, bool dvs,
 
 double power_mw(const System& system, bool probabilities, bool dvs,
                 std::uint64_t seed = 21) {
-  return synthesize(system, test_options(probabilities, dvs, seed))
+  return audited_synthesize(system, test_options(probabilities, dvs, seed))
              .evaluation.avg_power_true *
          1e3;
 }
@@ -93,8 +95,8 @@ TEST(PaperClaims, HardwareDvsExtensionHelps) {
   sw_only.dvs_in_loop.scale_hardware = false;
   sw_only.dvs_final.scale_hardware = false;
   SynthesisOptions sw_hw = test_options(true, true, 9);
-  const double p_sw = synthesize(system, sw_only).evaluation.avg_power_true;
-  const double p_hw = synthesize(system, sw_hw).evaluation.avg_power_true;
+  const double p_sw = audited_synthesize(system, sw_only).evaluation.avg_power_true;
+  const double p_hw = audited_synthesize(system, sw_hw).evaluation.avg_power_true;
   EXPECT_LE(p_hw, p_sw * 1.05);
 }
 

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include "core/cosynth.hpp"
+
+#include "../support/audit_every_result.hpp"
 #include "tgff/smart_phone.hpp"
 #include "tgff/suites.hpp"
 
@@ -20,10 +22,10 @@ double reduction_pct(const System& system, bool dvs, std::uint64_t seed) {
   options.seed = seed;
   options.consider_probabilities = false;
   const double base =
-      synthesize(system, options).evaluation.avg_power_true;
+      audited_synthesize(system, options).evaluation.avg_power_true;
   options.consider_probabilities = true;
   const double prop =
-      synthesize(system, options).evaluation.avg_power_true;
+      audited_synthesize(system, options).evaluation.avg_power_true;
   return 100.0 * (base - prop) / base;
 }
 
@@ -59,9 +61,9 @@ TEST(Regression, DvsAlwaysBeatsNominalOnSuiteSample) {
     options.seed = 2;
     options.use_dvs = false;
     const double nominal =
-        synthesize(system, options).evaluation.avg_power_true;
+        audited_synthesize(system, options).evaluation.avg_power_true;
     options.use_dvs = true;
-    const double dvs = synthesize(system, options).evaluation.avg_power_true;
+    const double dvs = audited_synthesize(system, options).evaluation.avg_power_true;
     EXPECT_LT(dvs, nominal * 0.8) << "mul" << idx;
   }
 }

@@ -1,0 +1,121 @@
+// Randomized mutation fuzzing of the .mmsyn parser: 10k byte-level
+// mutations of real example systems must either parse or raise ParseError
+// — never crash, hang, or leak any other exception type. This is the smoke
+// test backing the "structured errors only" contract of model/io.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "model/io.hpp"
+#include "tgff/smart_phone.hpp"
+#include "tgff/suites.hpp"
+
+namespace mmsyn {
+namespace {
+
+/// Uniform draw from [0, n).
+std::size_t below(Rng& rng, std::size_t n) {
+  return static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+/// Applies one random byte-level mutation: flip, insert, delete, or
+/// duplicate-a-chunk. Printable-ASCII biased so mutations tend to stay
+/// within the tokenizer's normal alphabet (the interesting territory).
+std::string mutate(std::string text, Rng& rng) {
+  if (text.empty()) return text;
+  const std::size_t op = below(rng, 4);
+  const std::size_t pos = below(rng, text.size());
+  switch (op) {
+    case 0:  // overwrite with a random printable byte (or newline)
+      text[pos] = static_cast<char>(
+          below(rng, 2) ? '\n' : 32 + below(rng, 95));
+      break;
+    case 1:  // insert
+      text.insert(pos, 1, static_cast<char>(32 + below(rng, 95)));
+      break;
+    case 2:  // delete a short span
+      text.erase(pos, 1 + below(rng, 8));
+      break;
+    default: {  // duplicate a chunk elsewhere (re-ordered/repeated lines)
+      const std::size_t len =
+          std::min<std::size_t>(1 + below(rng, 40), text.size() - pos);
+      text.insert(below(rng, text.size()), text.substr(pos, len));
+      break;
+    }
+  }
+  return text;
+}
+
+void fuzz_text(const std::string& base, int iterations, std::uint64_t seed) {
+  Rng rng(seed);
+  int parsed = 0, rejected = 0;
+  for (int i = 0; i < iterations; ++i) {
+    // Stack 1-4 mutations so multi-error inputs are exercised too.
+    std::string text = base;
+    const int stack = 1 + static_cast<int>(below(rng, 4));
+    for (int s = 0; s < stack; ++s) text = mutate(std::move(text), rng);
+    try {
+      (void)system_from_string(text);
+      ++parsed;
+    } catch (const ParseError&) {
+      ++rejected;
+    }
+    // Anything else (std::bad_alloc, std::out_of_range, segfault...)
+    // escapes and fails the test.
+  }
+  // Sanity: the fuzzer actually explored both outcomes.
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(IoFuzz, SmartPhoneSystemSurvives10kMutations) {
+  const std::string base = system_to_string(make_smart_phone());
+  fuzz_text(base, 5000, 0xf00d);
+}
+
+TEST(IoFuzz, SuiteInstanceSurvivesMutations) {
+  const std::string base = system_to_string(make_mul(5));
+  fuzz_text(base, 5000, 0xbeef);
+}
+
+TEST(IoFuzz, ShippedExampleFileSurvivesMutations) {
+  // Fuzz the example file as shipped on disk rather than a re-serialized
+  // form, so hand-written formatting (comments, blank lines, spacing)
+  // is part of the mutated corpus.
+  std::ifstream is(std::string(MMSYN_SOURCE_DIR) +
+                   "/examples/data/sensor_node.mmsyn");
+  ASSERT_TRUE(is) << "example file missing";
+  const std::string base((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+  fuzz_text(base, 3000, 0xcafe);
+}
+
+TEST(IoFuzz, MutatedRoundTripStaysStable) {
+  // Whatever a mutated text parses into must itself round-trip: write →
+  // read → write is a fixpoint (idempotent serialization).
+  const std::string base = system_to_string(make_mul(2));
+  Rng rng(7);
+  int round_tripped = 0;
+  for (int i = 0; i < 300 && round_tripped < 25; ++i) {
+    const std::string text = mutate(base, rng);
+    System parsed;
+    try {
+      parsed = system_from_string(text);
+    } catch (const ParseError&) {
+      continue;
+    }
+    const std::string once = system_to_string(parsed);
+    const std::string twice = system_to_string(system_from_string(once));
+    EXPECT_EQ(once, twice);
+    ++round_tripped;
+  }
+  EXPECT_GT(round_tripped, 0);
+}
+
+}  // namespace
+}  // namespace mmsyn

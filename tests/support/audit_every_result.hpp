@@ -1,0 +1,26 @@
+// Test hook: synthesize + mandatory invariant audit.
+//
+// Integration tests call audited_synthesize() instead of synthesize(), so
+// every result they assert on is first replayed through the cross-layer
+// auditor (src/audit). A scheduler, allocator, DVS, or evaluator
+// regression then fails with the auditor's structured violation list
+// instead of (or in addition to) a numeric assertion somewhere downstream.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "audit/auditor.hpp"
+
+namespace mmsyn {
+
+inline SynthesisResult audited_synthesize(const System& system,
+                                          const SynthesisOptions& options,
+                                          RunControl* control = nullptr) {
+  SynthesisResult result = synthesize(system, options, control);
+  const AuditReport audit =
+      audit_result(system, result, audit_options_for(options));
+  EXPECT_TRUE(audit.passed()) << audit.to_string();
+  return result;
+}
+
+}  // namespace mmsyn

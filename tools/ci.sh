@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full CI pass: plain build + tests, an AddressSanitizer(+UBSan) build +
+# tests, and the kill-and-resume smoke. Run from the repository root:
+#
+#   tools/ci.sh            # everything
+#   tools/ci.sh --fast     # plain build + tests only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc)
+FAST=${1:-}
+
+echo "== plain build =="
+cmake -B build -S . > /dev/null
+cmake --build build -j "$JOBS"
+echo "== plain ctest =="
+(cd build && ctest --output-on-failure -j 2)
+
+if [ "$FAST" = "--fast" ]; then
+  echo "ci: PASS (fast mode: sanitizer stage skipped)"
+  exit 0
+fi
+
+echo "== address-sanitizer build =="
+cmake -B build-asan -S . -DMMSYN_SANITIZE=address > /dev/null
+cmake --build build-asan -j "$JOBS"
+echo "== address-sanitizer ctest =="
+(cd build-asan && ctest --output-on-failure -j 2)
+
+echo "ci: PASS"
