@@ -1,0 +1,117 @@
+// Incremental-evaluation benchmark: wall-clock speedup and hit rate of
+// the per-mode evaluation cache (GaOptions::memoize_mode_evaluations) on
+// the mul suite, with an in-bench bitwise-identity check — the cached and
+// the cache-disabled run must produce byte-identical reports, or the
+// bench exits nonzero.
+//
+//   incremental_eval [--muls 4,8,12] [--population 64] [--generations 80]
+//                    [--seed 1] [--threads 1] [--dvs] [--min-speedup 0]
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/cosynth.hpp"
+#include "core/report.hpp"
+#include "tgff/suites.hpp"
+
+using namespace mmsyn;
+
+namespace {
+
+std::vector<int> parse_muls(const std::string& csv) {
+  std::vector<int> muls;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) muls.push_back(std::stoi(item));
+  return muls;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_string("muls", "4,8,12", "comma-separated mul suite sizes");
+  flags.define_int("population", 64, "GA population size");
+  flags.define_int("generations", 80, "GA generations (fixed, no early stop)");
+  flags.define_int("seed", 1, "GA seed");
+  flags.define_int("threads", 1, "fitness-evaluation threads");
+  flags.define_bool("dvs", false, "apply PV-DVS inside the loop");
+  flags.define_double("min-speedup", 0.0,
+                      "fail unless at least one instance reaches this "
+                      "cached/cold speedup (0 disables)");
+  if (!flags.parse(argc, argv)) return 1;
+
+  SynthesisOptions base;
+  base.use_dvs = flags.get_bool("dvs");
+  base.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  base.ga.population_size = static_cast<int>(flags.get_int("population"));
+  base.ga.max_generations = static_cast<int>(flags.get_int("generations"));
+  // Fixed workload so cold and cached runs time the same search.
+  base.ga.stagnation_limit = base.ga.max_generations + 1;
+  base.ga.num_threads = static_cast<int>(flags.get_int("threads"));
+
+  ReportOptions report;
+  report.include_timing = false;
+
+  TextTable table;
+  table.set_header({"instance", "cold(s)", "cached(s)", "speedup",
+                    "hit rate", "identical"});
+  bool all_identical = true;
+  double best_speedup = 0.0;
+  for (const int mul : parse_muls(flags.get_string("muls"))) {
+    const System system = make_mul(mul);
+
+    SynthesisOptions options = base;
+    options.ga.memoize_mode_evaluations = false;
+    const SynthesisResult cold = synthesize(system, options);
+    options.ga.memoize_mode_evaluations = true;
+    const SynthesisResult cached = synthesize(system, options);
+
+    // Bitwise identity: the cache may only change the wall clock. The
+    // rendered report covers the mapping, allocation, powers and fitness.
+    const bool identical =
+        implementation_report(system, cold, report) ==
+            implementation_report(system, cached, report) &&
+        cold.fitness == cached.fitness &&
+        cold.evaluations == cached.evaluations &&
+        cold.evaluation.avg_power_true == cached.evaluation.avg_power_true;
+    all_identical = all_identical && identical;
+
+    const double speedup = cached.elapsed_seconds > 0.0
+                               ? cold.elapsed_seconds / cached.elapsed_seconds
+                               : 0.0;
+    best_speedup = std::max(best_speedup, speedup);
+    const double hit_rate =
+        cached.mode_cache_lookups > 0
+            ? static_cast<double>(cached.mode_cache_hits) /
+                  static_cast<double>(cached.mode_cache_lookups)
+            : 0.0;
+    table.add_row({"mul" + std::to_string(mul),
+                   TextTable::num(cold.elapsed_seconds, 2),
+                   TextTable::num(cached.elapsed_seconds, 2),
+                   TextTable::num(speedup, 2),
+                   TextTable::num(100.0 * hit_rate, 1) + "%",
+                   identical ? "yes" : "NO"});
+  }
+  table.print(std::cout,
+              "per-mode incremental evaluation (cold vs cached GA run)");
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: cached run differs from the cache-disabled run\n");
+    return 1;
+  }
+  const double min_speedup = flags.get_double("min-speedup");
+  if (min_speedup > 0.0 && best_speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: best speedup %.2fx below required %.2fx\n",
+                 best_speedup, min_speedup);
+    return 1;
+  }
+  std::printf("best speedup: %.2fx; results identical: yes\n", best_speedup);
+  return 0;
+}

@@ -158,6 +158,7 @@ const char* to_string(AuditViolation::Kind kind) {
     case AuditViolation::Kind::kSerialization: return "serialization";
     case AuditViolation::Kind::kEnergyMismatch: return "energy-mismatch";
     case AuditViolation::Kind::kAreaMismatch: return "area-mismatch";
+    case AuditViolation::Kind::kModeCacheMismatch: return "mode-cache-mismatch";
   }
   return "unknown";
 }
@@ -438,6 +439,51 @@ AuditReport audit_result(const System& system, const SynthesisResult& result,
          << fresh.modes[m].static_power << " W != claimed "
          << eval.modes[m].static_power << " W";
       push(out, AuditViolation::Kind::kEnergyMismatch, os.str());
+    }
+  }
+
+  // ---- Incremental-evaluation invariant. --------------------------------
+  // A cached evaluation must be indistinguishable from a cache-disabled
+  // one (DESIGN.md §10). Evaluate twice through a fresh per-mode memo —
+  // the first pass fills it, the second is served entirely from it — and
+  // demand *exact* equality with the cold recompute above.
+  {
+    auto equal_modes = [](const ModeEvaluation& a, const ModeEvaluation& b) {
+      return a.dyn_energy == b.dyn_energy && a.dyn_power == b.dyn_power &&
+             a.static_power == b.static_power &&
+             a.timing_violation == b.timing_violation &&
+             a.makespan == b.makespan && a.pe_active == b.pe_active &&
+             a.cl_active == b.cl_active && a.routable == b.routable;
+    };
+    auto equal_eval = [&](const Evaluation& a, const Evaluation& b) {
+      if (a.modes.size() != b.modes.size()) return false;
+      for (std::size_t m = 0; m < a.modes.size(); ++m)
+        if (!equal_modes(a.modes[m], b.modes[m])) return false;
+      return a.avg_power_true == b.avg_power_true &&
+             a.avg_power_weighted == b.avg_power_weighted &&
+             a.pe_used_area == b.pe_used_area &&
+             a.pe_area_violation == b.pe_area_violation &&
+             a.total_area_violation == b.total_area_violation &&
+             a.transition_times == b.transition_times &&
+             a.transition_violations == b.transition_violations &&
+             a.weighted_timing_violation == b.weighted_timing_violation;
+    };
+    ModeEvalCache cache;
+    const Evaluation filled =
+        evaluator.evaluate(result.mapping, result.cores, &cache);
+    const Evaluation replayed =
+        evaluator.evaluate(result.mapping, result.cores, &cache);
+    if (!equal_eval(filled, fresh)) {
+      push(out, AuditViolation::Kind::kModeCacheMismatch,
+           "cache-filling evaluation differs from the cache-disabled one");
+    } else if (!equal_eval(replayed, fresh)) {
+      push(out, AuditViolation::Kind::kModeCacheMismatch,
+           "cache-served evaluation differs from the cache-disabled one");
+    } else if (cache.hits() != static_cast<long>(num_modes)) {
+      std::ostringstream os;
+      os << "cache replay hit " << cache.hits() << " of " << num_modes
+         << " modes";
+      push(out, AuditViolation::Kind::kModeCacheMismatch, os.str());
     }
   }
 

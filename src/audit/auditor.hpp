@@ -62,6 +62,7 @@ struct AuditViolation {
     kSerialization,           ///< Fig. 5 segment chain inconsistent
     kEnergyMismatch,          ///< recomputed power disagrees with claimed
     kAreaMismatch,            ///< recomputed area/violation != claimed
+    kModeCacheMismatch,       ///< cached evaluation != cache-disabled one
   };
   Kind kind;
   std::string detail;

@@ -17,20 +17,27 @@ double mapping_fitness(const Evaluation& eval, const Evaluator& evaluator,
     const double violation = eval.pe_area_violation[p.index()];
     if (violation <= 0.0) continue;
     const double capacity = system.arch.pe(p).area_capacity;
-    area_factor += params.area_weight * violation / (capacity * 0.01);
+    // Zero-capacity PEs (software PEs carry none at all) have no "percent
+    // of capacity" scale; penalise in absolute area units instead of
+    // dividing by zero and destroying the ranking with inf/NaN.
+    const double percent = capacity > 0.0 ? capacity * 0.01 : 1.0;
+    area_factor += params.area_weight * violation / percent;
   }
 
+  // Π_{T∈Θ_v} (w_R · t_T/t_T^max): every violating transition contributes
+  // one w_R-weighted overshoot ratio; an empty Θ_v leaves the factor at 1.
   double transition_factor = 1.0;
-  bool any_transition_violation = false;
   for (std::size_t t = 0; t < eval.transition_violations.size(); ++t) {
     if (eval.transition_violations[t] <= 0.0) continue;
-    any_transition_violation = true;
     const ModeTransition& tr = system.omsm.transition(
         TransitionId{static_cast<TransitionId::value_type>(t)});
-    transition_factor *= eval.transition_times[t] / tr.max_transition_time;
+    // A zero-time limit makes the overshoot ratio unbounded; fall back to
+    // 1 + t_T (> 1, grows with the overshoot) to stay finite and ranked.
+    const double ratio = tr.max_transition_time > 0.0
+                             ? eval.transition_times[t] / tr.max_transition_time
+                             : 1.0 + eval.transition_times[t];
+    transition_factor *= params.transition_weight * ratio;
   }
-  if (any_transition_violation)
-    transition_factor *= params.transition_weight;
 
   return power * tp * area_factor * transition_factor;
 }
@@ -41,7 +48,10 @@ double constraint_violation(const Evaluation& eval,
   double total = 0.0;
   for (PeId p : system.arch.pe_ids()) {
     const double v = eval.pe_area_violation[p.index()];
-    if (v > 0.0) total += v / system.arch.pe(p).area_capacity;
+    // Same zero-capacity guard as the fitness: absolute units when the PE
+    // has no capacity to express the violation as a fraction of.
+    const double capacity = system.arch.pe(p).area_capacity;
+    if (v > 0.0) total += capacity > 0.0 ? v / capacity : v;
   }
   total += eval.weighted_timing_violation;
   for (const ModeEvaluation& m : eval.modes)
@@ -50,7 +60,9 @@ double constraint_violation(const Evaluation& eval,
     if (eval.transition_violations[t] <= 0.0) continue;
     const ModeTransition& tr = system.omsm.transition(
         TransitionId{static_cast<TransitionId::value_type>(t)});
-    total += eval.transition_violations[t] / tr.max_transition_time;
+    total += tr.max_transition_time > 0.0
+                 ? eval.transition_violations[t] / tr.max_transition_time
+                 : eval.transition_violations[t];
   }
   return total;
 }

@@ -1,13 +1,16 @@
 // Mapping fitness F_M (Fig. 4, line 14).
 //
 //   F_M = p̄ · tp · (1 + w_A · Σ_{π∈P_v} (a_π^U − a_π^max)/(a_π^max · 0.01))
-//             · (w_R · Π_{T∈Θ_v} t_T / t_T^max)
+//             · Π_{T∈Θ_v} (w_R · t_T / t_T^max)
 //
 // where p̄ is the weighted average power (Eq. 1), tp a timing-penalty
 // factor, the third factor penalises PEs with area violations (P_v) in
-// units of violation percent, and the last factor penalises transitions
-// whose reconfiguration time exceeds its limit (Θ_v; factor 1 when the set
-// is empty). Lower is better.
+// units of violation percent, and the last factor penalises *each*
+// transition whose reconfiguration time exceeds its limit (Θ_v) — an
+// empty product is 1, so a transition-feasible candidate pays no w_R.
+// All factors are finite and strictly positive (zero-capacity PEs and
+// zero transition-time limits are guarded), so F_M always ranks. Lower
+// is better.
 #pragma once
 
 #include "energy/evaluator.hpp"
@@ -17,10 +20,14 @@ namespace mmsyn {
 struct FitnessParams {
   /// Area-penalty weight w_A (per percent of violation).
   double area_weight = 0.05;
-  /// Transition-penalty weight w_R (applied once when any violation).
+  /// Transition-penalty weight w_R (applied per violating transition, as
+  /// the paper's Π_{T∈Θ_v} form demands; 2.0 keeps the Fig. 4 regression
+  /// behaviour of the previous apply-once variant on single-violation
+  /// candidates, which is the common case on the mul suite).
   double transition_weight = 2.0;
   /// Timing-penalty weight: tp = 1 + w_T · weighted timing violation
-  /// (violations expressed in fractions of the mode period).
+  /// (violations expressed in fractions of the mode period, matching
+  /// Evaluation::weighted_timing_violation).
   double timing_weight = 20.0;
 };
 

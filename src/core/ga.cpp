@@ -45,19 +45,16 @@ MappingGa::MappingGa(const System& system, const Evaluator& evaluator,
       options_(options),
       codec_(system),
       seed_(seed),
-      rng_(seed) {
+      rng_(seed),
+      mode_cache_(options.mode_cache_capacity) {
   const int threads = ThreadPool::resolve_thread_count(options_.num_threads);
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
 }
 
 MappingGa::~MappingGa() = default;
 
-MappingGa::CachedFitness MappingGa::compute_fitness(
-    const Genome& genome) const {
-  const MultiModeMapping mapping = codec_.decode(genome);
-  const CoreAllocation cores =
-      build_core_allocation(system_, mapping, alloc_options_);
-  const Evaluation eval = evaluator_.evaluate(mapping, cores);
+MappingGa::CachedFitness MappingGa::finish_fitness(
+    const Evaluation& eval) const {
   CachedFitness c;
   c.fitness = mapping_fitness(eval, evaluator_, fitness_params_);
   c.violation = constraint_violation(eval, evaluator_);
@@ -66,6 +63,21 @@ MappingGa::CachedFitness MappingGa::compute_fitness(
   c.transition_infeasible = !eval.transitions_feasible();
   c.power_true = eval.avg_power_true;
   return c;
+}
+
+MappingGa::CachedFitness MappingGa::compute_fitness(
+    const Genome& genome) const {
+  const MultiModeMapping mapping = codec_.decode(genome);
+  const CoreAllocation cores =
+      build_core_allocation(system_, mapping, alloc_options_);
+  return finish_fitness(evaluator_.evaluate(mapping, cores));
+}
+
+bool MappingGa::mode_cache_active() const {
+  // keep_schedules results cannot be cached (the memo stores no
+  // schedules); the GA hot loop never keeps them.
+  return options_.memoize_mode_evaluations &&
+         !evaluator_.options().keep_schedules;
 }
 
 void MappingGa::cache_insert(const Genome& genome, const CachedFitness& value) {
@@ -118,13 +130,21 @@ void MappingGa::evaluate_batch(const std::vector<Individual*>& batch) {
     jobs.push_back(&ind.genome);
   }
 
-  // Phase 2 (parallel): pure evaluations, one slot per unique genome.
+  // Phase 2: pure evaluations, one slot per unique genome — through the
+  // per-mode memo when it is active (see evaluate_jobs_incremental), as
+  // plain whole-genome evaluations otherwise.
   std::vector<CachedFitness> results(jobs.size());
-  auto run_job = [&](std::size_t j) { results[j] = compute_fitness(*jobs[j]); };
-  if (pool_ && jobs.size() > 1) {
-    pool_->parallel_for(jobs.size(), run_job);
+  if (mode_cache_active()) {
+    evaluate_jobs_incremental(jobs, results);
   } else {
-    for (std::size_t j = 0; j < jobs.size(); ++j) run_job(j);
+    auto run_job = [&](std::size_t j) {
+      results[j] = compute_fitness(*jobs[j]);
+    };
+    if (pool_ && jobs.size() > 1) {
+      pool_->parallel_for(jobs.size(), run_job);
+    } else {
+      for (std::size_t j = 0; j < jobs.size(); ++j) run_job(j);
+    }
   }
 
   // Phase 3 (serial, job then batch order): counters, cache, results.
@@ -134,6 +154,98 @@ void MappingGa::evaluate_batch(const std::vector<Individual*>& batch) {
       cache_insert(*jobs[j], results[j]);
   for (std::size_t i = 0; i < batch.size(); ++i)
     if (job_of[i] != kNoJob) apply(*batch[i], results[job_of[i]]);
+}
+
+void MappingGa::evaluate_jobs_incremental(
+    const std::vector<const Genome*>& jobs,
+    std::vector<CachedFitness>& results) {
+  constexpr std::size_t kNoJob = static_cast<std::size_t>(-1);
+  const std::size_t n_modes = system_.omsm.mode_count();
+
+  // Phase 2a (parallel): decode, allocate cores, and build every mode's
+  // cache key. Pure per job, no shared state touched.
+  struct JobState {
+    MultiModeMapping mapping;
+    CoreAllocation cores;
+    std::vector<ModeEvalKey> keys;
+    std::vector<ModeEvaluation> modes;
+    /// Per mode: index into `mode_jobs` when the inner loop still has to
+    /// run, kNoJob when the cache served it.
+    std::vector<std::size_t> pending;
+  };
+  std::vector<JobState> states(jobs.size());
+  auto prepare = [&](std::size_t j) {
+    JobState& st = states[j];
+    st.mapping = codec_.decode(*jobs[j]);
+    st.cores = build_core_allocation(system_, st.mapping, alloc_options_);
+    st.keys.reserve(n_modes);
+    for (std::size_t m = 0; m < n_modes; ++m)
+      st.keys.push_back(evaluator_.mode_key(m, st.mapping, st.cores));
+    st.modes.resize(n_modes);
+    st.pending.assign(n_modes, kNoJob);
+  };
+  if (pool_ && jobs.size() > 1) {
+    pool_->parallel_for(jobs.size(), prepare);
+  } else {
+    for (std::size_t j = 0; j < jobs.size(); ++j) prepare(j);
+  }
+
+  // Phase 2b (serial, job then mode order): memo lookups with in-flight
+  // dedup — two jobs sharing a mode slice schedule its inner loop once;
+  // the alias is credited as the hit a one-at-a-time run would have seen
+  // on the entry its predecessor inserted.
+  struct ModeJob {
+    std::size_t job;  // owning job: runs the inner loop, inserts the result
+    std::size_t mode;
+  };
+  std::vector<ModeJob> mode_jobs;
+  std::unordered_map<ModeEvalKey, std::size_t, ModeEvalKeyHash> in_flight;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    JobState& st = states[j];
+    for (std::size_t m = 0; m < n_modes; ++m) {
+      if (const ModeEvaluation* cached = mode_cache_.find(st.keys[m])) {
+        st.modes[m] = *cached;  // copy: the pointer dies on the next insert
+        continue;
+      }
+      if (auto it = in_flight.find(st.keys[m]); it != in_flight.end()) {
+        mode_cache_.credit_hit();
+        st.pending[m] = it->second;
+        continue;
+      }
+      in_flight.emplace(st.keys[m], mode_jobs.size());
+      st.pending[m] = mode_jobs.size();
+      mode_jobs.push_back({j, m});
+    }
+  }
+
+  // Phase 2c (parallel): the missing inner loops, one disjoint slot each.
+  std::vector<ModeEvaluation> fresh(mode_jobs.size());
+  auto run_mode = [&](std::size_t k) {
+    const JobState& st = states[mode_jobs[k].job];
+    fresh[k] =
+        evaluator_.evaluate_mode(mode_jobs[k].mode, st.mapping, st.cores);
+  };
+  if (pool_ && mode_jobs.size() > 1) {
+    pool_->parallel_for(mode_jobs.size(), run_mode);
+  } else {
+    for (std::size_t k = 0; k < mode_jobs.size(); ++k) run_mode(k);
+  }
+
+  // Phase 2d (serial, job then mode order): collect the fresh results,
+  // insert each exactly once — by its owning job, so FIFO order matches
+  // the order a one-at-a-time run would have inserted — then assemble
+  // the cross-mode aggregations and price the fitness.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    JobState& st = states[j];
+    for (std::size_t m = 0; m < n_modes; ++m) {
+      const std::size_t k = st.pending[m];
+      if (k == kNoJob) continue;
+      st.modes[m] = fresh[k];
+      if (mode_jobs[k].job == j) mode_cache_.insert(st.keys[m], fresh[k]);
+    }
+    results[j] = finish_fitness(
+        evaluator_.assemble(st.mapping, st.cores, std::move(st.modes)));
+  }
 }
 
 void MappingGa::evaluate(Individual& ind) {
@@ -197,6 +309,8 @@ std::uint64_t MappingGa::state_fingerprint() const {
       .add(options_.final_two_opt_max_genes)
       .add(options_.memoize_evaluations)
       .add(options_.memoize_cache_capacity)
+      .add(options_.memoize_mode_evaluations)
+      .add(options_.mode_cache_capacity)
       .add(options_.shutdown_improvement_rate)
       .add(options_.infeasibility_trigger)
       .add(options_.improvement_sweep_fraction);
@@ -256,6 +370,13 @@ GaSnapshot MappingGa::make_snapshot(int next_generation, double elapsed,
         c.area_infeasible, c.timing_infeasible, c.transition_infeasible,
         genome));
   }
+  // The per-mode memo travels too (insertion order again): its hit/lookup
+  // counters are part of the reported statistics, and replaying the warm
+  // cache keeps a resumed run's wall clock — not just its results — close
+  // to the uninterrupted run's.
+  s.mode_cache = mode_cache_.entries();
+  s.mode_cache_hits = mode_cache_.hits();
+  s.mode_cache_lookups = mode_cache_.lookups();
   return s;
 }
 
@@ -507,6 +628,8 @@ SynthesisResult MappingGa::run(
                                  entry.area_infeasible, entry.timing_infeasible,
                                  entry.transition_infeasible,
                                  entry.power_true});
+    mode_cache_.restore(s.mode_cache, s.mode_cache_hits,
+                        s.mode_cache_lookups);
     start_generation = s.next_generation;
     restored_.reset();
   } else {
@@ -577,7 +700,8 @@ SynthesisResult MappingGa::run(
     if (observer)
       observer(GaProgress{generation, best.fitness, best.power_true,
                           diversity, evaluations_, cache_hits_,
-                          cache_lookups_});
+                          cache_lookups_, mode_cache_.hits(),
+                          mode_cache_.lookups()});
 
     // Line 02: convergence criterion — stagnation, optionally accelerated
     // by a collapsed population.
@@ -838,6 +962,8 @@ SynthesisResult MappingGa::run(
   result.evaluations = evaluations_;
   result.cache_hits = cache_hits_;
   result.cache_lookups = cache_lookups_;
+  result.mode_cache_hits = mode_cache_.hits();
+  result.mode_cache_lookups = mode_cache_.lookups();
   result.elapsed_seconds = total_elapsed();
   result.partial = partial;
   return result;

@@ -85,6 +85,17 @@ struct GaOptions {
   /// limit on long runs).
   std::size_t memoize_cache_capacity = 1 << 16;
 
+  /// Memoise the inner loop *per mode* (see energy/evaluator.hpp's
+  /// ModeEvalCache): crossover and mutation usually change only a few
+  /// modes' gene slices, so most of an offspring's modes can skip
+  /// scheduling + DVS even when the whole genome is new. Results are
+  /// bitwise-identical with the cache on or off; only the wall clock and
+  /// the hit-rate counters differ.
+  bool memoize_mode_evaluations = true;
+  /// Upper bound on memoised (mode, slice, allocation) entries, FIFO
+  /// eviction. 0 = unbounded.
+  std::size_t mode_cache_capacity = 1 << 16;
+
   /// Fitness-evaluation concurrency: 1 = serial (default), 0 = all
   /// hardware threads, otherwise the exact thread count. Results are
   /// bit-identical for every value — evaluation is pure and the GA's RNG
@@ -111,6 +122,10 @@ struct GaProgress {
   /// Memoisation-cache hits / lookups so far (hits == 0 when disabled).
   long cache_hits = 0;
   long cache_lookups = 0;
+  /// Per-mode incremental-evaluation cache counters (see GaOptions::
+  /// memoize_mode_evaluations); lookups stay 0 when the cache is off.
+  long mode_cache_hits = 0;
+  long mode_cache_lookups = 0;
 };
 
 /// Synthesis outcome.
@@ -125,6 +140,10 @@ struct SynthesisResult {
   /// Memoisation-cache hits / lookups over the whole run.
   long cache_hits = 0;
   long cache_lookups = 0;
+  /// Per-mode incremental-evaluation cache hits / lookups over the run
+  /// (both 0 when GaOptions::memoize_mode_evaluations is off).
+  long mode_cache_hits = 0;
+  long mode_cache_lookups = 0;
   double elapsed_seconds = 0.0;
   /// True when the run was stopped early (cancellation or time budget)
   /// rather than running to convergence; the evaluation still prices the
@@ -204,12 +223,29 @@ private:
   /// cores, schedule + DVS, fitness. Touches no GA state.
   [[nodiscard]] CachedFitness compute_fitness(const Genome& genome) const;
 
+  /// Fitness/violation/feasibility bookkeeping from a finished evaluation.
+  [[nodiscard]] CachedFitness finish_fitness(const Evaluation& eval) const;
+
+  /// True when evaluations should run through the per-mode cache (the
+  /// option is on and the evaluator keeps no schedules, which the cache
+  /// cannot store).
+  [[nodiscard]] bool mode_cache_active() const;
+
   /// Evaluates every individual in `batch`, fanning cache misses out over
   /// the worker pool. Deterministic contract: cache lookups, insertions
   /// and counter updates happen serially in batch order, only the pure
-  /// per-genome computation runs concurrently — results are bit-identical
-  /// to the serial path for any thread count.
+  /// per-genome (or, with the mode cache, per-mode) computation runs
+  /// concurrently — results are bit-identical to the serial path for any
+  /// thread count.
   void evaluate_batch(const std::vector<Individual*>& batch);
+
+  /// Mode-cache-aware evaluation of the unique-genome jobs of one batch:
+  /// decode/allocate/key in parallel, look the per-mode memo up serially
+  /// (with in-flight dedup so two jobs sharing a slice schedule it once),
+  /// run the missing inner loops in parallel, then assemble + insert
+  /// serially in job order. Fills `results[j]` for every job.
+  void evaluate_jobs_incremental(const std::vector<const Genome*>& jobs,
+                                 std::vector<CachedFitness>& results);
 
   void evaluate(Individual& ind);
   void cache_insert(const Genome& genome, const CachedFitness& value);
@@ -248,6 +284,12 @@ private:
   /// tracks insertion order).
   std::unordered_map<Genome, CachedFitness, GenomeHash> cache_;
   std::deque<Genome> cache_order_;
+
+  /// Per-mode inner-loop memo (see GaOptions::memoize_mode_evaluations).
+  /// Touched only in the serial phases of evaluate_batch; checkpointed in
+  /// insertion order so a resumed run replays hits and FIFO eviction
+  /// bit-identically.
+  ModeEvalCache mode_cache_;
 };
 
 }  // namespace mmsyn

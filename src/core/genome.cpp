@@ -86,6 +86,23 @@ TaskId GenomeCodec::task_of_gene(std::size_t g) const {
       static_cast<TaskId::value_type>(g - mode_offset_[mode.index()])};
 }
 
+std::vector<ModeId> GenomeCodec::changed_modes(const Genome& a,
+                                               const Genome& b) const {
+  assert(a.size() == gene_count_ && b.size() == gene_count_);
+  std::vector<ModeId> changed;
+  for (std::size_t m = 0; m < mode_offset_.size(); ++m) {
+    const std::size_t begin = mode_offset_[m];
+    const std::size_t end = begin + mode_size_[m];
+    for (std::size_t g = begin; g < end; ++g) {
+      if (a[g] != b[g]) {
+        changed.push_back(ModeId{static_cast<ModeId::value_type>(m)});
+        break;
+      }
+    }
+  }
+  return changed;
+}
+
 std::size_t GenomeHash::operator()(const Genome& genome) const {
   // FNV-1a over the gene bytes; genomes are short, collisions harmless
   // (the cache only skips work, never changes results... provided the full

@@ -70,6 +70,12 @@ public:
     return mode_size_[mode.index()];
   }
 
+  /// Modes whose gene slice differs between `a` and `b` (ascending) — the
+  /// only modes an incremental re-evaluation can be forced to reschedule
+  /// (ASIC area coupling may invalidate more; see energy/evaluator.hpp).
+  [[nodiscard]] std::vector<ModeId> changed_modes(const Genome& a,
+                                                  const Genome& b) const;
+
 private:
   std::size_t gene_count_ = 0;
   std::vector<std::size_t> mode_offset_;

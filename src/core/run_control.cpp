@@ -20,7 +20,10 @@ namespace {
 // The trailing CRC plus the explicit size reject truncation and bit rot;
 // the version gates format evolution.
 constexpr char kMagic[8] = {'M', 'M', 'S', 'Y', 'N', 'C', 'K', 'P'};
-constexpr std::uint32_t kVersion = 1;
+// v2: appended the per-mode evaluation memo (keys + results + counters).
+// Pre-mode-cache v1 files are rejected up front — their counters could not
+// reproduce a v2 run bit-identically.
+constexpr std::uint32_t kVersion = 2;
 
 class Writer {
 public:
@@ -108,6 +111,76 @@ SnapshotIndividual read_individual(Reader& r, std::size_t genome_length) {
   return ind;
 }
 
+void write_mode_key(Writer& w, const ModeEvalKey& key) {
+  w.u32(key.mode);
+  w.u64(key.options_fingerprint);
+  w.u64(key.task_to_pe.size());
+  for (PeId p : key.task_to_pe) w.i32(p.value());
+  w.u64(key.cores.size());
+  for (const CoreSet& set : key.cores) {
+    w.u64(set.entries().size());
+    for (const auto& [type, count] : set.entries()) {
+      w.i32(type.value());
+      w.i32(count);
+    }
+  }
+}
+
+ModeEvalKey read_mode_key(Reader& r) {
+  ModeEvalKey key;
+  key.mode = r.u32();
+  key.options_fingerprint = r.u64();
+  const std::uint64_t n_tasks = r.u64();
+  key.task_to_pe.reserve(n_tasks);
+  for (std::uint64_t i = 0; i < n_tasks; ++i)
+    key.task_to_pe.push_back(PeId{static_cast<PeId::value_type>(r.i32())});
+  const std::uint64_t n_sets = r.u64();
+  key.cores.resize(n_sets);
+  for (CoreSet& set : key.cores) {
+    const std::uint64_t n_entries = r.u64();
+    for (std::uint64_t e = 0; e < n_entries; ++e) {
+      const TaskTypeId type{static_cast<TaskTypeId::value_type>(r.i32())};
+      set.set_count(type, r.i32());
+    }
+  }
+  return key;
+}
+
+void write_mode_evaluation(Writer& w, const ModeEvaluation& m) {
+  // The memo never holds schedules (the GA hot loop drops them); a
+  // schedule here means the snapshot was built from the wrong evaluator
+  // configuration, which resume could not reproduce.
+  if (m.schedule.has_value())
+    throw CheckpointError("mode-cache entry carries a schedule");
+  w.f64(m.dyn_energy);
+  w.f64(m.dyn_power);
+  w.f64(m.static_power);
+  w.f64(m.timing_violation);
+  w.f64(m.makespan);
+  w.u64(m.pe_active.size());
+  for (bool b : m.pe_active) w.boolean(b);
+  w.u64(m.cl_active.size());
+  for (bool b : m.cl_active) w.boolean(b);
+  w.boolean(m.routable);
+}
+
+ModeEvaluation read_mode_evaluation(Reader& r) {
+  ModeEvaluation m;
+  m.dyn_energy = r.f64();
+  m.dyn_power = r.f64();
+  m.static_power = r.f64();
+  m.timing_violation = r.f64();
+  m.makespan = r.f64();
+  m.pe_active.resize(r.u64());
+  for (std::size_t i = 0; i < m.pe_active.size(); ++i)
+    m.pe_active[i] = r.boolean();
+  m.cl_active.resize(r.u64());
+  for (std::size_t i = 0; i < m.cl_active.size(); ++i)
+    m.cl_active[i] = r.boolean();
+  m.routable = r.boolean();
+  return m;
+}
+
 std::string serialize(const GaSnapshot& snapshot) {
   // Genomes are fixed-length per run; store the length once.
   const std::size_t genome_length =
@@ -134,6 +207,13 @@ std::string serialize(const GaSnapshot& snapshot) {
   w.u64(snapshot.cache.size());
   for (const SnapshotIndividual& ind : snapshot.cache)
     write_individual(w, ind, genome_length);
+  w.i64(snapshot.mode_cache_hits);
+  w.i64(snapshot.mode_cache_lookups);
+  w.u64(snapshot.mode_cache.size());
+  for (const auto& [key, value] : snapshot.mode_cache) {
+    write_mode_key(w, key);
+    write_mode_evaluation(w, value);
+  }
   return w.bytes();
 }
 
@@ -162,6 +242,15 @@ GaSnapshot deserialize(std::string_view payload) {
   s.cache.reserve(cache_count);
   for (std::uint64_t i = 0; i < cache_count; ++i)
     s.cache.push_back(read_individual(r, genome_length));
+  s.mode_cache_hits = r.i64();
+  s.mode_cache_lookups = r.i64();
+  const std::uint64_t mode_cache_count = r.u64();
+  s.mode_cache.reserve(mode_cache_count);
+  for (std::uint64_t i = 0; i < mode_cache_count; ++i) {
+    ModeEvalKey key = read_mode_key(r);
+    ModeEvaluation value = read_mode_evaluation(r);
+    s.mode_cache.emplace_back(std::move(key), std::move(value));
+  }
   if (!r.done()) throw CheckpointError("trailing bytes in payload");
   return s;
 }

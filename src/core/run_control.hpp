@@ -24,9 +24,11 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/genome.hpp"
+#include "energy/evaluator.hpp"
 
 namespace mmsyn {
 
@@ -80,6 +82,12 @@ struct GaSnapshot {
   std::vector<SnapshotIndividual> population;
   /// Fitness-memo entries in insertion (FIFO) order.
   std::vector<SnapshotIndividual> cache;
+  /// Per-mode inner-loop memo entries, also in insertion order, plus its
+  /// hit/lookup counters (see ModeEvalCache). Cached entries never carry
+  /// schedules; serialization rejects one that does.
+  std::vector<std::pair<ModeEvalKey, ModeEvaluation>> mode_cache;
+  long mode_cache_hits = 0;
+  long mode_cache_lookups = 0;
 };
 
 /// Writes `snapshot` atomically (temp file + rename) in the versioned,

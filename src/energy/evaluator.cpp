@@ -4,10 +4,72 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "common/checksum.hpp"
 #include "dvs/dvs_graph.hpp"
 #include "sched/list_scheduler.hpp"
 
 namespace mmsyn {
+
+std::size_t ModeEvalKeyHash::operator()(const ModeEvalKey& key) const {
+  Fnv1a64 h;
+  h.add(static_cast<std::uint64_t>(key.mode));
+  h.add(key.options_fingerprint);
+  for (PeId pe : key.task_to_pe)
+    h.add(static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(pe.value())));
+  for (const CoreSet& set : key.cores) {
+    h.add(static_cast<std::uint64_t>(set.entries().size()));
+    for (const auto& [type, count] : set.entries()) {
+      h.add(static_cast<std::uint64_t>(
+          static_cast<std::uint32_t>(type.value())));
+      h.add(static_cast<std::uint64_t>(count));
+    }
+  }
+  return static_cast<std::size_t>(h.digest());
+}
+
+const ModeEvaluation* ModeEvalCache::find(const ModeEvalKey& key) {
+  ++lookups_;
+  const auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  ++hits_;
+  return &it->second;
+}
+
+void ModeEvalCache::insert(const ModeEvalKey& key,
+                           const ModeEvaluation& value) {
+  if (capacity_ > 0) {
+    while (map_.size() >= capacity_ && !order_.empty()) {
+      map_.erase(order_.front());
+      order_.pop_front();
+    }
+  }
+  if (map_.emplace(key, value).second) order_.push_back(key);
+}
+
+std::vector<std::pair<ModeEvalKey, ModeEvaluation>> ModeEvalCache::entries()
+    const {
+  std::vector<std::pair<ModeEvalKey, ModeEvaluation>> out;
+  out.reserve(order_.size());
+  for (const ModeEvalKey& key : order_) out.emplace_back(key, map_.at(key));
+  return out;
+}
+
+void ModeEvalCache::restore(
+    std::vector<std::pair<ModeEvalKey, ModeEvaluation>> entries, long hits,
+    long lookups) {
+  clear();
+  for (auto& [key, value] : entries) insert(key, value);
+  hits_ = hits;
+  lookups_ = lookups;
+}
+
+void ModeEvalCache::clear() {
+  map_.clear();
+  order_.clear();
+  hits_ = 0;
+  lookups_ = 0;
+}
 
 Evaluator::Evaluator(const System& system, EvaluationOptions options)
     : system_(system), options_(std::move(options)) {
@@ -25,82 +87,123 @@ Evaluator::Evaluator(const System& system, EvaluationOptions options)
   if (total <= 0.0)
     throw std::invalid_argument("optimisation weights must sum > 0");
   for (double& w : weights_) w /= total;
+
+  // Everything that shapes a *per-mode* inner-loop result. The weights are
+  // deliberately excluded: they only enter the cross-mode aggregations,
+  // so cached mode results are shared between objectives.
+  Fnv1a64 h;
+  h.add(options_.use_dvs)
+      .add(static_cast<int>(options_.scheduling_policy))
+      .add(options_.dvs.max_iterations_per_node)
+      .add(options_.dvs.step_fraction)
+      .add(options_.dvs.min_relative_gain)
+      .add(options_.dvs.discrete_voltages)
+      .add(options_.dvs.scale_hardware);
+  options_fingerprint_ = h.digest();
 }
 
-Evaluation Evaluator::evaluate(const MultiModeMapping& mapping,
-                               const CoreAllocation& cores) const {
+ModeEvaluation Evaluator::evaluate_mode(std::size_t m,
+                                        const MultiModeMapping& mapping,
+                                        const CoreAllocation& cores) const {
   const Omsm& omsm = system_.omsm;
   const Architecture& arch = system_.arch;
   const TechLibrary& tech = system_.tech;
 
-  Evaluation eval;
-  eval.modes.resize(omsm.mode_count());
+  const ModeId mode_id{static_cast<ModeId::value_type>(m)};
+  const Mode& mode = omsm.mode(mode_id);
+  const ModeMapping& mm = mapping.modes[m];
+  ModeEvaluation me;
 
-  for (std::size_t m = 0; m < omsm.mode_count(); ++m) {
-    const ModeId mode_id{static_cast<ModeId::value_type>(m)};
-    const Mode& mode = omsm.mode(mode_id);
-    const ModeMapping& mm = mapping.modes[m];
-    ModeEvaluation& me = eval.modes[m];
+  // ---- Inner loop: communication mapping + scheduling. ---------------
+  const ListSchedulerInput input{mode,
+                                 mm,
+                                 arch,
+                                 tech,
+                                 cores.per_mode[m],
+                                 options_.scheduling_policy};
+  ModeSchedule schedule = list_schedule(input);
+  me.makespan = schedule.makespan;
+  me.routable = schedule.routable;
 
-    // ---- Inner loop: communication mapping + scheduling. ---------------
-    const ListSchedulerInput input{mode,
-                                   mm,
-                                   arch,
-                                   tech,
-                                   cores.per_mode[m],
-                                   options_.scheduling_policy};
-    ModeSchedule schedule = list_schedule(input);
-    me.makespan = schedule.makespan;
-    me.routable = schedule.routable;
+  // ---- Timing penalty: finish within min(deadline, period). ----------
+  for (std::size_t t = 0; t < mode.graph.task_count(); ++t) {
+    const TaskId id{static_cast<TaskId::value_type>(t)};
+    double limit = mode.period;
+    if (const auto& dl = mode.graph.task(id).deadline)
+      limit = std::min(limit, *dl);
+    me.timing_violation +=
+        std::max(0.0, schedule.tasks[t].finish - limit);
+  }
 
-    // ---- Timing penalty: finish within min(deadline, period). ----------
+  // ---- Dynamic energy (Fig. 4 line 12), with DVS when enabled. -------
+  if (options_.use_dvs) {
+    const DvsGraph dvs_graph = build_dvs_graph(
+        mode, schedule, mm, arch, tech, options_.dvs.scale_hardware);
+    const PvDvsResult dvs = run_pv_dvs(dvs_graph, arch, options_.dvs);
+    me.dyn_energy = dvs.total_energy;
+  } else {
     for (std::size_t t = 0; t < mode.graph.task_count(); ++t) {
       const TaskId id{static_cast<TaskId::value_type>(t)};
-      double limit = mode.period;
-      if (const auto& dl = mode.graph.task(id).deadline)
-        limit = std::min(limit, *dl);
-      me.timing_violation +=
-          std::max(0.0, schedule.tasks[t].finish - limit);
+      me.dyn_energy +=
+          tech.require(mode.graph.task(id).type, mm.task_to_pe[t]).energy();
     }
-
-    // ---- Dynamic energy (Fig. 4 line 12), with DVS when enabled. -------
-    if (options_.use_dvs) {
-      const DvsGraph dvs_graph = build_dvs_graph(
-          mode, schedule, mm, arch, tech, options_.dvs.scale_hardware);
-      const PvDvsResult dvs = run_pv_dvs(dvs_graph, arch, options_.dvs);
-      me.dyn_energy = dvs.total_energy;
-    } else {
-      for (std::size_t t = 0; t < mode.graph.task_count(); ++t) {
-        const TaskId id{static_cast<TaskId::value_type>(t)};
-        me.dyn_energy +=
-            tech.require(mode.graph.task(id).type, mm.task_to_pe[t]).energy();
-      }
-      for (const ScheduledComm& c : schedule.comms)
-        if (!c.local && c.cl.valid())
-          me.dyn_energy += arch.cl(c.cl).transfer_power * c.duration();
-    }
-    me.dyn_power = me.dyn_energy / mode.period;
-
-    // ---- Shut-down analysis and static power (lines 07/13). ------------
-    me.pe_active.assign(arch.pe_count(), false);
-    me.cl_active.assign(arch.cl_count(), false);
-    for (PeId pe : mm.task_to_pe) me.pe_active[pe.index()] = true;
     for (const ScheduledComm& c : schedule.comms)
-      if (!c.local && c.cl.valid()) me.cl_active[c.cl.index()] = true;
-    for (std::size_t p = 0; p < arch.pe_count(); ++p)
-      if (me.pe_active[p])
-        me.static_power +=
-            arch.pe(PeId{static_cast<PeId::value_type>(p)}).static_power;
-    for (std::size_t c = 0; c < arch.cl_count(); ++c)
-      if (me.cl_active[c])
-        me.static_power +=
-            arch.cl(ClId{static_cast<ClId::value_type>(c)}).static_power;
+      if (!c.local && c.cl.valid())
+        me.dyn_energy += arch.cl(c.cl).transfer_power * c.duration();
+  }
+  me.dyn_power = me.dyn_energy / mode.period;
 
-    if (options_.keep_schedules) me.schedule = std::move(schedule);
+  // ---- Shut-down analysis and static power (lines 07/13). ------------
+  me.pe_active.assign(arch.pe_count(), false);
+  me.cl_active.assign(arch.cl_count(), false);
+  for (PeId pe : mm.task_to_pe) me.pe_active[pe.index()] = true;
+  for (const ScheduledComm& c : schedule.comms)
+    if (!c.local && c.cl.valid()) me.cl_active[c.cl.index()] = true;
+  for (std::size_t p = 0; p < arch.pe_count(); ++p)
+    if (me.pe_active[p])
+      me.static_power +=
+          arch.pe(PeId{static_cast<PeId::value_type>(p)}).static_power;
+  for (std::size_t c = 0; c < arch.cl_count(); ++c)
+    if (me.cl_active[c])
+      me.static_power +=
+          arch.cl(ClId{static_cast<ClId::value_type>(c)}).static_power;
 
+  if (options_.keep_schedules) me.schedule = std::move(schedule);
+  return me;
+}
+
+ModeEvalKey Evaluator::mode_key(std::size_t m, const MultiModeMapping& mapping,
+                                const CoreAllocation& cores) const {
+  ModeEvalKey key;
+  key.mode = static_cast<std::uint32_t>(m);
+  key.options_fingerprint = options_fingerprint_;
+  key.task_to_pe = mapping.modes[m].task_to_pe;
+  key.cores = cores.per_mode[m];
+  return key;
+}
+
+Evaluation Evaluator::assemble(const MultiModeMapping& mapping,
+                               const CoreAllocation& cores,
+                               std::vector<ModeEvaluation> modes) const {
+  (void)mapping;
+  const Omsm& omsm = system_.omsm;
+  const Architecture& arch = system_.arch;
+  const TechLibrary& tech = system_.tech;
+  assert(modes.size() == omsm.mode_count());
+
+  Evaluation eval;
+  eval.modes = std::move(modes);
+
+  // Accumulated in ascending mode order so the floating-point sums are
+  // bitwise-identical to the pre-decomposition evaluator.
+  for (std::size_t m = 0; m < omsm.mode_count(); ++m) {
+    const Mode& mode = omsm.mode(ModeId{static_cast<ModeId::value_type>(m)});
+    const ModeEvaluation& me = eval.modes[m];
     const double mode_power = me.dyn_power + me.static_power;
     eval.avg_power_true += mode_power * true_probs_[m];
     eval.avg_power_weighted += mode_power * weights_[m];
+    // Normalised by the mode period: the timing penalty is expressed in
+    // fractions of the period, never raw seconds (scale-independent).
     eval.weighted_timing_violation +=
         weights_[m] * me.timing_violation / mode.period;
   }
@@ -139,6 +242,36 @@ Evaluation Evaluator::evaluate(const MultiModeMapping& mapping,
   }
 
   return eval;
+}
+
+Evaluation Evaluator::evaluate(const MultiModeMapping& mapping,
+                               const CoreAllocation& cores) const {
+  std::vector<ModeEvaluation> modes;
+  modes.reserve(system_.omsm.mode_count());
+  for (std::size_t m = 0; m < system_.omsm.mode_count(); ++m)
+    modes.push_back(evaluate_mode(m, mapping, cores));
+  return assemble(mapping, cores, std::move(modes));
+}
+
+Evaluation Evaluator::evaluate(const MultiModeMapping& mapping,
+                               const CoreAllocation& cores,
+                               ModeEvalCache* cache) const {
+  // Cached entries carry no schedule, so a keep_schedules evaluation must
+  // take (and leave the cache untouched by) the cold path.
+  if (cache == nullptr || options_.keep_schedules)
+    return evaluate(mapping, cores);
+  std::vector<ModeEvaluation> modes;
+  modes.reserve(system_.omsm.mode_count());
+  for (std::size_t m = 0; m < system_.omsm.mode_count(); ++m) {
+    const ModeEvalKey key = mode_key(m, mapping, cores);
+    if (const ModeEvaluation* hit = cache->find(key)) {
+      modes.push_back(*hit);
+      continue;
+    }
+    modes.push_back(evaluate_mode(m, mapping, cores));
+    cache->insert(key, modes.back());
+  }
+  return assemble(mapping, cores, std::move(modes));
 }
 
 }  // namespace mmsyn

@@ -11,9 +11,19 @@
 // that the GA fitness combines. The probability-neglecting baseline is
 // obtained by overriding the Ψ weights used during optimisation while the
 // reported power always uses the true Ψ.
+//
+// Incremental evaluation: the expensive part of an evaluation is the
+// per-mode inner loop, and crossover/mutation usually change only a few
+// modes' gene slices. `evaluate_mode` therefore exposes one mode's inner
+// loop as a pure function of that mode's exact inputs, `mode_key` captures
+// those inputs as a hashable key, and `ModeEvalCache` memoises the result
+// so an unchanged mode is never rescheduled (see DESIGN.md §10).
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "dvs/pv_dvs.hpp"
@@ -81,8 +91,10 @@ struct Evaluation {
   /// Per-transition max(0, t_T − t_T^max).
   std::vector<double> transition_violations;
 
-  /// Σ over modes of weighted timing violations (seconds, weighted by the
-  /// optimisation weights).
+  /// Σ over modes of weighted timing violations, each mode's violation
+  /// expressed as a fraction of that mode's period (dimensionless, so the
+  /// timing penalty is invariant under rescaling the time base), weighted
+  /// by the optimisation weights.
   double weighted_timing_violation = 0.0;
 
   [[nodiscard]] bool timing_feasible() const {
@@ -103,15 +115,85 @@ struct Evaluation {
   }
 };
 
+/// Cache key of one mode's inner-loop result: exactly the inputs the
+/// scheduler + DVS pipeline reads for that mode — its task→PE gene slice,
+/// the core sets loaded in that mode (the allocation slice; for ASICs
+/// this folds in demand from *other* modes, which is why it must be part
+/// of the key), and a fingerprint of the evaluation options. Everything
+/// else (architecture, technology library, task graphs) is fixed per
+/// system. Equality is exact, so a hash collision can never change a
+/// result — the unordered_map resolves it through full key comparison.
+struct ModeEvalKey {
+  std::uint32_t mode = 0;
+  std::uint64_t options_fingerprint = 0;
+  std::vector<PeId> task_to_pe;
+  std::vector<CoreSet> cores;
+
+  friend bool operator==(const ModeEvalKey&, const ModeEvalKey&) = default;
+};
+
+struct ModeEvalKeyHash {
+  std::size_t operator()(const ModeEvalKey& key) const;
+};
+
+/// Bounded FIFO memo of per-mode inner-loop results. Not thread-safe:
+/// callers that evaluate concurrently must confine lookups/insertions to
+/// a serial phase (see MappingGa::evaluate_batch). A cached value is
+/// bitwise-identical to a cold evaluation — the cache stores the complete
+/// `ModeEvaluation` the inner loop produced, and `Evaluator::evaluate`
+/// recomputes only the cheap cross-mode aggregations from it.
+class ModeEvalCache {
+public:
+  explicit ModeEvalCache(std::size_t capacity = 1 << 16)
+      : capacity_(capacity) {}
+
+  /// Looks `key` up, counting one lookup (and a hit when found). The
+  /// returned pointer is invalidated by the next insert().
+  [[nodiscard]] const ModeEvaluation* find(const ModeEvalKey& key);
+
+  /// Inserts (FIFO-evicting at capacity); duplicate keys are ignored.
+  void insert(const ModeEvalKey& key, const ModeEvaluation& value);
+
+  /// Accounts one extra hit. Batch evaluators that dedup in-flight keys
+  /// call this for an aliased lookup — the one-at-a-time execution they
+  /// mirror would have found the entry its preceding job inserted.
+  void credit_hit() { ++hits_; }
+
+  [[nodiscard]] long hits() const { return hits_; }
+  [[nodiscard]] long lookups() const { return lookups_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Entries in insertion (FIFO) order, for checkpoint snapshots.
+  [[nodiscard]] std::vector<std::pair<ModeEvalKey, ModeEvaluation>>
+  entries() const;
+
+  /// Restores a snapshot: contents in insertion order plus the counters,
+  /// so a resumed run's statistics continue exactly where they left off.
+  void restore(std::vector<std::pair<ModeEvalKey, ModeEvaluation>> entries,
+               long hits, long lookups);
+
+  void clear();
+
+private:
+  std::size_t capacity_;
+  long hits_ = 0;
+  long lookups_ = 0;
+  std::unordered_map<ModeEvalKey, ModeEvaluation, ModeEvalKeyHash> map_;
+  std::deque<ModeEvalKey> order_;  // insertion order for FIFO eviction
+};
+
 /// Evaluates candidates against one system. The system reference must
 /// outlive the evaluator.
 ///
-/// Thread safety: `evaluate` is pure — it reads only the immutable
-/// system/options/weights state and touches no caches or globals (the
+/// Thread safety: `evaluate(mapping, cores)`, `evaluate_mode`, `mode_key`
+/// and `assemble` are pure — they read only the immutable
+/// system/options/weights state and touch no caches or globals (the
 /// whole inner loop: list scheduler, DVS-graph construction and PV-DVS
 /// keep their state on the stack). One Evaluator instance may therefore
 /// be shared by concurrent callers; the GA's parallel fitness evaluation
-/// relies on this contract.
+/// relies on this contract. The cache-taking `evaluate` overload mutates
+/// the caller-owned cache and is not reentrant on the same cache.
 class Evaluator {
 public:
   Evaluator(const System& system, EvaluationOptions options);
@@ -121,8 +203,44 @@ public:
   [[nodiscard]] Evaluation evaluate(const MultiModeMapping& mapping,
                                     const CoreAllocation& cores) const;
 
+  /// Full evaluation through a per-mode memo: modes whose key is cached
+  /// skip scheduling + DVS entirely; only the cross-mode aggregations are
+  /// recomputed. Bitwise-identical to the cache-less overload. A null
+  /// cache — or options().keep_schedules, whose schedules the cache does
+  /// not store — falls back to the cold path.
+  [[nodiscard]] Evaluation evaluate(const MultiModeMapping& mapping,
+                                    const CoreAllocation& cores,
+                                    ModeEvalCache* cache) const;
+
+  /// Inner loop (communication mapping + list scheduling + optional
+  /// PV-DVS + shut-down analysis) for mode `m` alone. Pure.
+  [[nodiscard]] ModeEvaluation evaluate_mode(
+      std::size_t m, const MultiModeMapping& mapping,
+      const CoreAllocation& cores) const;
+
+  /// Cache key of mode `m`'s inner-loop inputs under this evaluator's
+  /// options. Two equal keys are guaranteed identical inner-loop results.
+  [[nodiscard]] ModeEvalKey mode_key(std::size_t m,
+                                     const MultiModeMapping& mapping,
+                                     const CoreAllocation& cores) const;
+
+  /// Cross-mode aggregation: Eq. 1 weighted powers, the per-period
+  /// timing penalty, area usage/violations (max-over-modes for FPGAs) and
+  /// the mode-transition reconfiguration times. Cheap relative to the
+  /// inner loop; `modes` must hold one entry per OMSM mode.
+  [[nodiscard]] Evaluation assemble(const MultiModeMapping& mapping,
+                                    const CoreAllocation& cores,
+                                    std::vector<ModeEvaluation> modes) const;
+
   [[nodiscard]] const EvaluationOptions& options() const { return options_; }
   [[nodiscard]] const System& system() const { return system_; }
+
+  /// FNV-1a fingerprint of the options that shape a per-mode result
+  /// (DVS settings, scheduling policy); baked into every ModeEvalKey so a
+  /// cache snapshot can never be replayed under different options.
+  [[nodiscard]] std::uint64_t options_fingerprint() const {
+    return options_fingerprint_;
+  }
 
   /// The weights entering the optimisation objective (true Ψ or override),
   /// normalised to sum 1.
@@ -135,6 +253,7 @@ private:
   EvaluationOptions options_;
   std::vector<double> weights_;      // optimisation weights (normalised)
   std::vector<double> true_probs_;   // Ψ from the OMSM
+  std::uint64_t options_fingerprint_ = 0;
 };
 
 }  // namespace mmsyn

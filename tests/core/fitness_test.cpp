@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/allocation_builder.hpp"
 #include "tgff/motivational.hpp"
 
@@ -72,6 +74,72 @@ TEST_F(FitnessTest, TimingViolationInflatesFitness) {
   EXPECT_GT(mapping_fitness(e, evaluator, FitnessParams{}),
             e.avg_power_weighted);
   EXPECT_GT(constraint_violation(e, evaluator), 0.0);
+}
+
+TEST_F(FitnessTest, ZeroCapacityAreaViolationStaysFinite) {
+  // Regression: a spurious area violation attributed to a zero-capacity
+  // PE (software PEs carry no area at all) used to divide by zero and
+  // turn the fitness into inf, destroying the ranking. It must stay a
+  // finite, strictly positive penalty in absolute area units.
+  const MultiModeMapping m = example1_mapping_with_probabilities();
+  Evaluation e = evaluate(m);
+  const PeId gpp{0};
+  ASSERT_EQ(system_.arch.pe(gpp).area_capacity, 0.0);
+  e.pe_area_violation[gpp.index()] = 5.0;
+  e.total_area_violation += 5.0;
+  const double f = mapping_fitness(e, evaluator_, FitnessParams{});
+  EXPECT_TRUE(std::isfinite(f));
+  EXPECT_GT(f, e.avg_power_weighted);  // penalised, not destroyed
+  const double v = constraint_violation(e, evaluator_);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 0.0);
+}
+
+TEST_F(FitnessTest, TransitionPenaltyAppliesPerViolatingTransition) {
+  // Paper form Π_{T∈Θ_v} (w_R · t_T/t_T^max): every violating transition
+  // contributes its own w_R-weighted overshoot ratio; with no violation
+  // the empty product leaves the fitness untouched.
+  // Fig. 2 leaves both transitions unconstrained (t_T^max = inf); give
+  // them finite limits generous enough that the mapping itself violates
+  // neither, then inject overshoots by hand.
+  ASSERT_GE(system_.omsm.transition_count(), 2u);
+  std::vector<std::size_t> usable;
+  for (std::size_t t = 0; t < system_.omsm.transition_count(); ++t) {
+    system_.omsm
+        .transition(TransitionId{static_cast<TransitionId::value_type>(t)})
+        .max_transition_time = 1.0;
+    usable.push_back(t);
+  }
+  const MultiModeMapping m = example1_mapping_with_probabilities();
+  Evaluation e = evaluate(m);
+  for (const double v : e.transition_violations) ASSERT_EQ(v, 0.0);
+
+  FitnessParams params;
+  const double base = mapping_fitness(e, evaluator_, params);
+
+  auto overshoot = [&](std::size_t t) {
+    // Twice the limit: ratio exactly 2, violation = one limit.
+    const double limit =
+        system_.omsm
+            .transition(TransitionId{static_cast<TransitionId::value_type>(t)})
+            .max_transition_time;
+    e.transition_times[t] = 2.0 * limit;
+    e.transition_violations[t] = limit;
+  };
+
+  overshoot(usable[0]);
+  const double one = mapping_fitness(e, evaluator_, params);
+  EXPECT_DOUBLE_EQ(one, base * (params.transition_weight * 2.0));
+
+  overshoot(usable[1]);
+  const double two = mapping_fitness(e, evaluator_, params);
+  // Pre-fix, w_R was applied once no matter how many transitions violated;
+  // the product form squares it here.
+  EXPECT_DOUBLE_EQ(
+      two, base * (params.transition_weight * 2.0) *
+               (params.transition_weight * 2.0));
+  EXPECT_TRUE(std::isfinite(two));
+  EXPECT_GT(two, one);
 }
 
 TEST(CandidateBetter, FeasibleBeatsInfeasible) {

@@ -24,6 +24,8 @@ void expect_identical(const SynthesisResult& a, const SynthesisResult& b) {
   EXPECT_EQ(a.evaluations, b.evaluations);
   EXPECT_EQ(a.cache_hits, b.cache_hits);
   EXPECT_EQ(a.cache_lookups, b.cache_lookups);
+  EXPECT_EQ(a.mode_cache_hits, b.mode_cache_hits);
+  EXPECT_EQ(a.mode_cache_lookups, b.mode_cache_lookups);
   EXPECT_EQ(a.evaluation.avg_power_true, b.evaluation.avg_power_true);
   EXPECT_EQ(a.evaluation.avg_power_weighted, b.evaluation.avg_power_weighted);
   ASSERT_EQ(a.mapping.modes.size(), b.mapping.modes.size());

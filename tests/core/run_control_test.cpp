@@ -45,7 +45,58 @@ GaSnapshot sample_snapshot() {
                          false},
   };
   snap.cache = {snap.population[0], snap.population[1]};
+
+  // Two per-mode memo entries of different shapes (v2 format section).
+  ModeEvalKey key0;
+  key0.mode = 0;
+  key0.options_fingerprint = 0xfeedfacecafebeefull;
+  key0.task_to_pe = {PeId{0}, PeId{2}, PeId{1}};
+  key0.cores.resize(2);
+  key0.cores[1].set_count(TaskTypeId{4}, 2);
+  ModeEvaluation val0;
+  val0.dyn_energy = 1.5e-3;
+  val0.dyn_power = 0.3;
+  val0.static_power = 0.01;
+  val0.timing_violation = 0.0;
+  val0.makespan = 4.5e-3;
+  val0.pe_active = {true, false, true};
+  val0.cl_active = {true};
+  val0.routable = true;
+  ModeEvalKey key1;
+  key1.mode = 1;
+  key1.options_fingerprint = 0xfeedfacecafebeefull;
+  key1.task_to_pe = {PeId{1}};
+  key1.cores.resize(2);
+  ModeEvaluation val1;
+  val1.dyn_power = 0.125;
+  val1.makespan = 2.0e-3;
+  val1.pe_active = {false, true, false};
+  val1.cl_active = {false};
+  val1.routable = false;
+  snap.mode_cache = {{key0, val0}, {key1, val1}};
+  snap.mode_cache_hits = 21;
+  snap.mode_cache_lookups = 34;
   return snap;
+}
+
+void expect_mode_entries_equal(
+    const std::vector<std::pair<ModeEvalKey, ModeEvaluation>>& a,
+    const std::vector<std::pair<ModeEvalKey, ModeEvaluation>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);  // ModeEvalKey has operator==
+    const ModeEvaluation& x = a[i].second;
+    const ModeEvaluation& y = b[i].second;
+    EXPECT_EQ(x.dyn_energy, y.dyn_energy);
+    EXPECT_EQ(x.dyn_power, y.dyn_power);
+    EXPECT_EQ(x.static_power, y.static_power);
+    EXPECT_EQ(x.timing_violation, y.timing_violation);
+    EXPECT_EQ(x.makespan, y.makespan);
+    EXPECT_EQ(x.pe_active, y.pe_active);
+    EXPECT_EQ(x.cl_active, y.cl_active);
+    EXPECT_EQ(x.routable, y.routable);
+    EXPECT_FALSE(y.schedule.has_value());
+  }
 }
 
 void expect_snapshots_equal(const GaSnapshot& a, const GaSnapshot& b) {
@@ -64,6 +115,18 @@ void expect_snapshots_equal(const GaSnapshot& a, const GaSnapshot& b) {
   EXPECT_EQ(a.best, b.best);
   EXPECT_EQ(a.population, b.population);
   EXPECT_EQ(a.cache, b.cache);
+  EXPECT_EQ(a.mode_cache_hits, b.mode_cache_hits);
+  EXPECT_EQ(a.mode_cache_lookups, b.mode_cache_lookups);
+  expect_mode_entries_equal(a.mode_cache, b.mode_cache);
+}
+
+TEST(Checkpoint, RejectsModeCacheEntryWithSchedule) {
+  // The per-mode memo never holds schedules; a snapshot carrying one was
+  // built from the wrong evaluator configuration and must not be written.
+  GaSnapshot snap = sample_snapshot();
+  snap.mode_cache[0].second.schedule.emplace();
+  EXPECT_THROW(save_checkpoint(scratch_path("sched_entry"), snap),
+               CheckpointError);
 }
 
 TEST(Checkpoint, RoundTripsExactly) {
@@ -197,6 +260,8 @@ TEST(Resume, CancelledRunResumesBitIdentically) {
   EXPECT_EQ(resumed.evaluations, full.evaluations);
   EXPECT_EQ(resumed.cache_hits, full.cache_hits);
   EXPECT_EQ(resumed.cache_lookups, full.cache_lookups);
+  EXPECT_EQ(resumed.mode_cache_hits, full.mode_cache_hits);
+  EXPECT_EQ(resumed.mode_cache_lookups, full.mode_cache_lookups);
   EXPECT_EQ(resumed.fitness, full.fitness);  // exact, not approximate
   EXPECT_EQ(resumed.mapping.modes.size(), full.mapping.modes.size());
   for (std::size_t m = 0; m < full.mapping.modes.size(); ++m)

@@ -128,6 +128,51 @@ TEST_F(EvaluatorTest, TimingViolationMeasured) {
   EXPECT_FALSE(e.feasible());
 }
 
+TEST_F(EvaluatorTest, WeightedTimingViolationIsPeriodNormalised) {
+  // 10 ms execution in a 5 ms period: the per-mode violation is 5 ms of
+  // raw time, but the aggregated penalty expresses it as a *fraction of
+  // the mode period* — Σ_m w_m · violation_m / period_m = 0.8 · 1.0 —
+  // so the timing penalty is invariant under rescaling the time base.
+  system_.omsm.mode(ModeId{0}).period = 5e-3;
+  const Evaluation e = evaluate(map_to(sw_, sw_));
+  EXPECT_NEAR(e.modes[0].timing_violation, 5e-3, 1e-9);  // raw seconds
+  EXPECT_NEAR(e.weighted_timing_violation, 0.8, 1e-9);   // dimensionless
+}
+
+TEST_F(EvaluatorTest, CachedEvaluateBitIdenticalAndCounted) {
+  const Evaluator evaluator(system_, EvaluationOptions{});
+  const MultiModeMapping m = map_to(fpga_, sw_);
+  const CoreAllocation cores = build_core_allocation(system_, m);
+  const Evaluation cold = evaluator.evaluate(m, cores);
+  ModeEvalCache cache;
+  (void)evaluator.evaluate(m, cores, &cache);  // fills the memo
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.lookups(), 2);
+  EXPECT_EQ(cache.size(), 2u);
+  const Evaluation warm = evaluator.evaluate(m, cores, &cache);
+  EXPECT_EQ(cache.hits(), 2);  // every mode served from the memo
+  EXPECT_EQ(warm.avg_power_true, cold.avg_power_true);
+  EXPECT_EQ(warm.avg_power_weighted, cold.avg_power_weighted);
+  EXPECT_EQ(warm.weighted_timing_violation, cold.weighted_timing_violation);
+  EXPECT_EQ(warm.transition_times, cold.transition_times);
+  EXPECT_EQ(warm.pe_used_area, cold.pe_used_area);
+}
+
+TEST_F(EvaluatorTest, KeepSchedulesBypassesModeCache) {
+  // The memo stores no schedules, so a keep_schedules evaluation takes
+  // the cold path and leaves the cache untouched.
+  EvaluationOptions opts;
+  opts.keep_schedules = true;
+  const Evaluator evaluator(system_, opts);
+  const MultiModeMapping m = map_to(sw_, sw_);
+  const CoreAllocation cores = build_core_allocation(system_, m);
+  ModeEvalCache cache;
+  const Evaluation e = evaluator.evaluate(m, cores, &cache);
+  EXPECT_TRUE(e.modes[0].schedule.has_value());
+  EXPECT_EQ(cache.lookups(), 0);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 TEST_F(EvaluatorTest, DeadlineTighterThanPeriodApplies) {
   system_.omsm.mode(ModeId{0}).graph.set_deadline(TaskId{0}, 4e-3);
   const Evaluation e = evaluate(map_to(sw_, sw_));

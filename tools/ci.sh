@@ -16,6 +16,9 @@ cmake --build build -j "$JOBS"
 echo "== plain ctest =="
 (cd build && ctest --output-on-failure -j 2)
 
+echo "== mode-cache hit-rate summary =="
+./build/bench/incremental_eval --muls 3,6 --population 24 --generations 20 --dvs
+
 if [ "$FAST" = "--fast" ]; then
   echo "ci: PASS (fast mode: sanitizer stage skipped)"
   exit 0
