@@ -6,6 +6,7 @@
 //
 //   incremental_eval [--muls 4,8,12] [--population 64] [--generations 80]
 //                    [--seed 1] [--threads 1] [--dvs] [--min-speedup 0]
+//                    [--scheduler bottom-level] [--profile]
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -17,6 +18,8 @@
 #include "common/table.hpp"
 #include "core/cosynth.hpp"
 #include "core/report.hpp"
+#include "pipeline/backends.hpp"
+#include "pipeline/profile.hpp"
 #include "tgff/suites.hpp"
 
 using namespace mmsyn;
@@ -31,6 +34,18 @@ std::vector<int> parse_muls(const std::string& csv) {
   return muls;
 }
 
+std::vector<std::string> choice_names(std::vector<SchedulerBackendInfo> v) {
+  std::vector<std::string> names;
+  for (const auto& b : v) names.emplace_back(b.name);
+  return names;
+}
+
+std::vector<std::string> choice_names(std::vector<DvsBackendInfo> v) {
+  std::vector<std::string> names;
+  for (const auto& b : v) names.emplace_back(b.name);
+  return names;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -40,14 +55,32 @@ int main(int argc, char** argv) {
   flags.define_int("generations", 80, "GA generations (fixed, no early stop)");
   flags.define_int("seed", 1, "GA seed");
   flags.define_int("threads", 1, "fitness-evaluation threads");
-  flags.define_bool("dvs", false, "apply PV-DVS inside the loop");
+  flags.define_choice("dvs", choice_names(dvs_backends()),
+                      /*default_value=*/dvs_backend_name(false),
+                      /*implicit_value=*/dvs_backend_name(true),
+                      "voltage-scaling backend (bare --dvs = " +
+                          std::string(dvs_backend_name(true)) + ")");
+  flags.define_choice("scheduler", choice_names(scheduler_backends()),
+                      /*default_value=*/scheduler_backends().front().name,
+                      /*implicit_value=*/scheduler_backends().front().name,
+                      "list-scheduler priority backend");
+  flags.define_bool("profile", false,
+                    "print per-stage pipeline timings for the cached runs");
   flags.define_double("min-speedup", 0.0,
                       "fail unless at least one instance reaches this "
                       "cached/cold speedup (0 disables)");
   if (!flags.parse(argc, argv)) return 1;
 
   SynthesisOptions base;
-  base.use_dvs = flags.get_bool("dvs");
+  PipelineProfiler profiler;
+  try {
+    base.use_dvs = resolve_dvs_backend(flags.get_string("dvs"));
+    base.scheduling_policy =
+        resolve_scheduler_backend(flags.get_string("scheduler"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
   base.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   base.ga.population_size = static_cast<int>(flags.get_int("population"));
   base.ga.max_generations = static_cast<int>(flags.get_int("generations"));
@@ -60,9 +93,11 @@ int main(int argc, char** argv) {
 
   TextTable table;
   table.set_header({"instance", "cold(s)", "cached(s)", "speedup",
-                    "hit rate", "identical"});
+                    "hit rate", "stage rate", "identical"});
   bool all_identical = true;
   double best_speedup = 0.0;
+  long total_eval_hits = 0, total_eval_lookups = 0;
+  long total_sched_hits = 0, total_sched_lookups = 0;
   for (const int mul : parse_muls(flags.get_string("muls"))) {
     const System system = make_mul(mul);
 
@@ -70,7 +105,12 @@ int main(int argc, char** argv) {
     options.ga.memoize_mode_evaluations = false;
     const SynthesisResult cold = synthesize(system, options);
     options.ga.memoize_mode_evaluations = true;
+    // Only the cached runs are profiled: the cold leg would double every
+    // stage count without adding information (profiling never changes
+    // results, so attaching it here cannot break the identity check).
+    if (flags.get_bool("profile")) options.profiler = &profiler;
     const SynthesisResult cached = synthesize(system, options);
+    options.profiler = nullptr;
 
     // Bitwise identity: the cache may only change the wall clock. The
     // rendered report covers the mapping, allocation, powers and fitness.
@@ -91,15 +131,33 @@ int main(int argc, char** argv) {
             ? static_cast<double>(cached.mode_cache_hits) /
                   static_cast<double>(cached.mode_cache_lookups)
             : 0.0;
+    // Stage-level reuse: mode evaluations that skipped at least the
+    // scheduling stages (whole-mode hits reuse everything; schedule-store
+    // hits reuse stages 1-2 and re-run DVS). Never below the whole-mode
+    // hit rate, since schedule hits only add on top of it.
+    const double stage_rate =
+        cached.mode_cache_lookups > 0
+            ? static_cast<double>(cached.mode_cache_hits +
+                                  cached.schedule_cache_hits) /
+                  static_cast<double>(cached.mode_cache_lookups)
+            : 0.0;
+    total_eval_hits += cached.mode_cache_hits;
+    total_eval_lookups += cached.mode_cache_lookups;
+    total_sched_hits += cached.schedule_cache_hits;
+    total_sched_lookups += cached.schedule_cache_lookups;
     table.add_row({"mul" + std::to_string(mul),
                    TextTable::num(cold.elapsed_seconds, 2),
                    TextTable::num(cached.elapsed_seconds, 2),
                    TextTable::num(speedup, 2),
                    TextTable::num(100.0 * hit_rate, 1) + "%",
+                   TextTable::num(100.0 * stage_rate, 1) + "%",
                    identical ? "yes" : "NO"});
   }
   table.print(std::cout,
               "per-mode incremental evaluation (cold vs cached GA run)");
+  if (flags.get_bool("profile"))
+    std::cout << profiler.table(total_eval_hits, total_eval_lookups,
+                                total_sched_hits, total_sched_lookups);
 
   if (!all_identical) {
     std::fprintf(stderr,

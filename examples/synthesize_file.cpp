@@ -24,10 +24,30 @@
 #include "core/run_control.hpp"
 #include "model/io.hpp"
 #include "model/mapping_io.hpp"
+#include "pipeline/backends.hpp"
+#include "pipeline/profile.hpp"
 #include "tgff/smart_phone.hpp"
 #include "tgff/suites.hpp"
 
 using namespace mmsyn;
+
+namespace {
+
+std::vector<std::string> backend_names(
+    const std::vector<SchedulerBackendInfo>& backends) {
+  std::vector<std::string> names;
+  for (const auto& b : backends) names.emplace_back(b.name);
+  return names;
+}
+
+std::vector<std::string> backend_names(
+    const std::vector<DvsBackendInfo>& backends) {
+  std::vector<std::string> names;
+  for (const auto& b : backends) names.emplace_back(b.name);
+  return names;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Flags flags;
@@ -37,7 +57,17 @@ int main(int argc, char** argv) {
                     "write the smart-phone benchmark to --output and exit");
   flags.define_int("export-mul", 0,
                    "write suite instance mulN to --output and exit");
-  flags.define_bool("dvs", false, "apply dynamic voltage scaling");
+  flags.define_choice("dvs", backend_names(dvs_backends()),
+                      /*default_value=*/dvs_backend_name(false),
+                      /*implicit_value=*/dvs_backend_name(true),
+                      "voltage-scaling backend (bare --dvs = " +
+                          std::string(dvs_backend_name(true)) + ")");
+  flags.define_choice("scheduler", backend_names(scheduler_backends()),
+                      /*default_value=*/scheduler_backends().front().name,
+                      /*implicit_value=*/scheduler_backends().front().name,
+                      "list-scheduler priority backend");
+  flags.define_bool("profile", false,
+                    "print per-stage pipeline timings and cache hit rates");
   flags.define_bool("uniform", false,
                     "neglect mode probabilities (baseline behaviour)");
   flags.define_bool("report-voltages", false,
@@ -111,7 +141,19 @@ int main(int argc, char** argv) {
   std::printf("%s\n", describe(system).c_str());
 
   SynthesisOptions options;
-  options.use_dvs = flags.get_bool("dvs");
+  PipelineProfiler profiler;
+  try {
+    // The flag layer already restricts the values to the registered
+    // choices; resolving through the registry keeps the name -> backend
+    // mapping in one place (pipeline/backends.cpp).
+    options.use_dvs = resolve_dvs_backend(flags.get_string("dvs"));
+    options.scheduling_policy =
+        resolve_scheduler_backend(flags.get_string("scheduler"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  if (flags.get_bool("profile")) options.profiler = &profiler;
   options.consider_probabilities = !flags.get_bool("uniform");
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   options.ga.population_size = static_cast<int>(flags.get_int("population"));
@@ -132,6 +174,8 @@ int main(int argc, char** argv) {
     EvaluationOptions eval_options;
     eval_options.use_dvs = options.use_dvs;
     eval_options.keep_schedules = true;
+    eval_options.scheduling_policy = options.scheduling_policy;
+    eval_options.profiler = options.profiler;
     const Evaluator evaluator(system, eval_options);
     result.evaluation = evaluator.evaluate(result.mapping, result.cores);
   } else if (flags.get_bool("exhaustive")) {
@@ -185,6 +229,19 @@ int main(int argc, char** argv) {
   report.include_voltage_schedules = flags.get_bool("report-voltages");
   report.include_timing = flags.get_bool("report-timing");
   std::printf("%s", implementation_report(system, result, report).c_str());
+
+  if (flags.get_bool("profile")) {
+    // Cache counters exist only for the GA path; the evaluate-mapping and
+    // exhaustive paths never consult the mode cache (-1 omits the rows).
+    const bool cached = flags.get_string("evaluate-mapping").empty() &&
+                        !flags.get_bool("exhaustive");
+    std::printf("%s", profiler
+                          .table(cached ? result.mode_cache_hits : -1,
+                                 cached ? result.mode_cache_lookups : -1,
+                                 cached ? result.schedule_cache_hits : -1,
+                                 cached ? result.schedule_cache_lookups : -1)
+                          .c_str());
+  }
 
   if (flags.get_bool("audit")) {
     AuditOptions audit_options = audit_options_for(options);

@@ -10,6 +10,7 @@
 #include "dvs/pv_dvs.hpp"
 #include "energy/evaluator.hpp"
 #include "model/mapping.hpp"
+#include "pipeline/mode_pipeline.hpp"
 #include "model/system.hpp"
 #include "sched/validate.hpp"
 
@@ -66,17 +67,28 @@ void push(std::vector<AuditViolation>& out, AuditViolation::Kind kind,
   return total;
 }
 
-/// Recomputed Σ_τ max(0, finish − min(θ_τ, φ)) for one scheduled mode.
-[[nodiscard]] double recompute_timing_violation(const Mode& mode,
-                                                const ModeSchedule& schedule) {
-  double total = 0.0;
-  for (const ScheduledTask& st : schedule.tasks) {
-    const Task& task = mode.graph.task(st.task);
-    const double limit =
-        std::min(task.deadline.value_or(mode.period), mode.period);
-    total += std::max(0.0, st.finish - limit);
+/// Exact (bitwise) schedule-artifact equality for the stage replay.
+[[nodiscard]] bool equal_schedules(const ModeSchedule& a,
+                                   const ModeSchedule& b) {
+  if (a.tasks.size() != b.tasks.size() || a.comms.size() != b.comms.size() ||
+      a.makespan != b.makespan || a.routable != b.routable)
+    return false;
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    const ScheduledTask& x = a.tasks[i];
+    const ScheduledTask& y = b.tasks[i];
+    if (x.task != y.task || x.pe != y.pe ||
+        x.core_instance != y.core_instance || x.start != y.start ||
+        x.finish != y.finish)
+      return false;
   }
-  return total;
+  for (std::size_t i = 0; i < a.comms.size(); ++i) {
+    const ScheduledComm& x = a.comms[i];
+    const ScheduledComm& y = b.comms[i];
+    if (x.edge != y.edge || x.cl != y.cl || x.local != y.local ||
+        x.start != y.start || x.finish != y.finish)
+      return false;
+  }
+  return true;
 }
 
 /// Fig. 5 consistency for one DVS hardware PE: the segment chain must
@@ -159,6 +171,8 @@ const char* to_string(AuditViolation::Kind kind) {
     case AuditViolation::Kind::kEnergyMismatch: return "energy-mismatch";
     case AuditViolation::Kind::kAreaMismatch: return "area-mismatch";
     case AuditViolation::Kind::kModeCacheMismatch: return "mode-cache-mismatch";
+    case AuditViolation::Kind::kStageReplayMismatch:
+      return "stage-replay-mismatch";
   }
   return "unknown";
 }
@@ -270,6 +284,17 @@ AuditReport audit_result(const System& system, const SynthesisResult& result,
     }
   }
 
+  // Staged pipeline mirroring the configuration the result claims: used
+  // by the per-mode stage replay below, which re-runs every stage
+  // explicitly and demands *exact* equality with the carried artifacts —
+  // the pipeline contract (DESIGN.md §11) says cold, cached, and staged
+  // execution all share the same stage code, so any drift is a bug.
+  PipelineOptions popts;
+  popts.scheduling_policy = options.scheduling_policy;
+  popts.use_dvs = options.use_dvs;
+  popts.dvs = options.dvs;
+  const ModePipeline pipeline(system, popts);
+
   // ---- Per-mode replay. -------------------------------------------------
   for (std::size_t m = 0; m < num_modes; ++m) {
     const ModeId mode_id{static_cast<ModeId::value_type>(m)};
@@ -298,8 +323,9 @@ AuditReport audit_result(const System& system, const SynthesisResult& result,
       push(out, from_schedule_kind(v.kind),
            "mode '" + mode.name + "': " + v.detail);
 
-    // Deadline / hyper-period bound: recompute the claimed violation sum.
-    const double timing = recompute_timing_violation(mode, schedule);
+    // Deadline / hyper-period bound: recompute the claimed violation sum
+    // (one shared definition with the evaluator — sched/validate.hpp).
+    const double timing = schedule_timing_violation(mode, schedule);
     if (!close_rel(timing, me.timing_violation,
                    options.relative_tolerance) &&
         std::abs(timing - me.timing_violation) > options.time_tolerance) {
@@ -308,11 +334,7 @@ AuditReport audit_result(const System& system, const SynthesisResult& result,
          << timing << " s != claimed " << me.timing_violation << " s";
       push(out, AuditViolation::Kind::kTimingMismatch, os.str());
     }
-    double makespan = 0.0;
-    for (const ScheduledTask& st : schedule.tasks)
-      makespan = std::max(makespan, st.finish);
-    for (const ScheduledComm& sc : schedule.comms)
-      makespan = std::max(makespan, sc.finish);
+    const double makespan = schedule_makespan(schedule);
     if (std::abs(makespan - me.makespan) > options.time_tolerance &&
         !close_rel(makespan, me.makespan, options.relative_tolerance)) {
       std::ostringstream os;
@@ -336,6 +358,39 @@ AuditReport audit_result(const System& system, const SynthesisResult& result,
             check_serialization(mode, schedule, mapping, graph, tech, p,
                                 pe.name, options, out);
         }
+    }
+
+    // Stage replay: re-run the explicit pipeline stages and hold the
+    // result to exact equality with what the evaluation carries. Stage
+    // 1–2 must reproduce the kept schedule bit-for-bit, stages 3–5 the
+    // claimed per-mode quantities.
+    {
+      const std::vector<CoreSet>& hw_cores = result.cores.per_mode[m];
+      const CommMapping comm = pipeline.comm_mapping(m, mapping, hw_cores);
+      const ModeSchedule rebuilt =
+          pipeline.schedule(m, mapping, hw_cores, comm);
+      if (!equal_schedules(rebuilt, schedule)) {
+        push(out, AuditViolation::Kind::kStageReplayMismatch,
+             "mode '" + mode.name +
+                 "': stages 1-2 (comm mapping + scheduling) do not "
+                 "reproduce the carried schedule exactly");
+      } else {
+        const ModeEvaluation staged =
+            pipeline.evaluate_scheduled(m, mapping, rebuilt);
+        if (staged.dyn_energy != me.dyn_energy ||
+            staged.dyn_power != me.dyn_power ||
+            staged.static_power != me.static_power ||
+            staged.timing_violation != me.timing_violation ||
+            staged.makespan != me.makespan ||
+            staged.pe_active != me.pe_active ||
+            staged.cl_active != me.cl_active ||
+            staged.routable != me.routable) {
+          push(out, AuditViolation::Kind::kStageReplayMismatch,
+               "mode '" + mode.name +
+                   "': stages 3-5 (serialize/scale/finalize) do not "
+                   "reproduce the claimed mode evaluation exactly");
+        }
+      }
     }
   }
 
@@ -483,6 +538,26 @@ AuditReport audit_result(const System& system, const SynthesisResult& result,
       std::ostringstream os;
       os << "cache replay hit " << cache.hits() << " of " << num_modes
          << " modes";
+      push(out, AuditViolation::Kind::kModeCacheMismatch, os.str());
+    }
+
+    // Stage-granular resume: seed a fresh memo with only the schedule
+    // artifacts (no whole-mode entries) and demand the evaluation still
+    // reproduces the cold one exactly, with every mode resuming from the
+    // stage store — the path the synthesis driver uses when the final
+    // fine-DVS evaluation reuses the GA's schedules.
+    ModeEvalCache stage_only;
+    stage_only.restore_schedules(cache.schedule_entries(), 0, 0);
+    const Evaluation staged =
+        evaluator.evaluate(result.mapping, result.cores, &stage_only);
+    if (!equal_eval(staged, fresh)) {
+      push(out, AuditViolation::Kind::kModeCacheMismatch,
+           "schedule-stage-served evaluation differs from the "
+           "cache-disabled one");
+    } else if (stage_only.schedule_hits() != static_cast<long>(num_modes)) {
+      std::ostringstream os;
+      os << "schedule-stage replay hit " << stage_only.schedule_hits()
+         << " of " << num_modes << " modes";
       push(out, AuditViolation::Kind::kModeCacheMismatch, os.str());
     }
   }

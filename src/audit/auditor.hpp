@@ -7,9 +7,10 @@
 // (precedence, resource exclusiveness, routing), per-mode deadline and
 // hyper-period bounds, FPGA reconfiguration time against each OMSM edge's
 // t_T^max, voltage levels within each PE's validated set, the Fig. 5
-// serialization transform for DVS hardware cores, and a full
-// re-computation of the energy/power numbers — and reports structured
-// violations instead of asserting. The integration tests run every result
+// serialization transform for DVS hardware cores, a full re-computation
+// of the energy/power numbers, and a stage-by-stage replay of the
+// evaluation pipeline (DESIGN.md §11) demanding exact artifact equality —
+// and reports structured violations instead of asserting. The integration tests run every result
 // through the auditor (tests/support/audit_every_result.hpp), so a
 // scheduler or evaluator regression surfaces as a typed violation rather
 // than a silently wrong power figure.
@@ -63,6 +64,7 @@ struct AuditViolation {
     kEnergyMismatch,          ///< recomputed power disagrees with claimed
     kAreaMismatch,            ///< recomputed area/violation != claimed
     kModeCacheMismatch,       ///< cached evaluation != cache-disabled one
+    kStageReplayMismatch,     ///< staged pipeline replay != claimed artifacts
   };
   Kind kind;
   std::string detail;

@@ -1,5 +1,6 @@
 #include "common/flags.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -12,8 +13,18 @@ std::string kind_name(int kind) {
     case 0: return "int";
     case 1: return "double";
     case 2: return "bool";
-    default: return "string";
+    case 3: return "string";
+    default: return "choice";
   }
+}
+
+std::string join_choices(const std::vector<std::string>& choices) {
+  std::string out;
+  for (const auto& c : choices) {
+    if (!out.empty()) out += ", ";
+    out += c;
+  }
+  return out;
 }
 
 }  // namespace
@@ -43,11 +54,31 @@ void Flags::define_string(const std::string& name,
   order_.push_back(name);
 }
 
+void Flags::define_choice(const std::string& name,
+                          const std::vector<std::string>& choices,
+                          const std::string& default_value,
+                          const std::string& implicit_value,
+                          const std::string& help) {
+  entries_[name] =
+      Entry{Kind::kChoice, default_value, help, choices, implicit_value};
+  order_.push_back(name);
+}
+
 bool Flags::set_value(const std::string& name, const std::string& text) {
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
     return false;
+  }
+  if (it->second.kind == Kind::kChoice) {
+    const auto& choices = it->second.choices;
+    if (std::find(choices.begin(), choices.end(), text) == choices.end()) {
+      std::fprintf(stderr,
+                   "unknown value '%s' for --%s: registered choices are %s\n",
+                   text.c_str(), name.c_str(),
+                   join_choices(choices).c_str());
+      return false;
+    }
   }
   it->second.value = text;
   return true;
@@ -82,6 +113,17 @@ bool Flags::parse(int argc, char** argv) {
     if (!have_value) {
       if (it->second.kind == Kind::kBool) {
         value = "true";
+      } else if (it->second.kind == Kind::kChoice) {
+        // Consume the next argument only when it names a registered
+        // choice; otherwise the bare flag selects the implicit value
+        // (so a script ending in `--dvs` keeps working).
+        const auto& choices = it->second.choices;
+        if (i + 1 < argc && std::find(choices.begin(), choices.end(),
+                                      argv[i + 1]) != choices.end()) {
+          value = argv[++i];
+        } else {
+          value = it->second.implicit;
+        }
       } else if (i + 1 < argc) {
         value = argv[++i];
       } else {
@@ -98,7 +140,10 @@ const Flags::Entry& Flags::entry(const std::string& name, Kind kind) const {
   auto it = entries_.find(name);
   if (it == entries_.end())
     throw std::out_of_range("flag not defined: " + name);
-  if (it->second.kind != kind)
+  // Choice flags read back as strings.
+  const bool ok = it->second.kind == kind ||
+                  (kind == Kind::kString && it->second.kind == Kind::kChoice);
+  if (!ok)
     throw std::logic_error("flag " + name + " is not of type " +
                            kind_name(static_cast<int>(kind)));
   return it->second;
@@ -125,8 +170,14 @@ void Flags::print_usage(const std::string& program) const {
   std::fprintf(stderr, "usage: %s [flags]\n", program.c_str());
   for (const auto& name : order_) {
     const Entry& e = entries_.at(name);
-    std::fprintf(stderr, "  --%-20s %s (default: %s)\n", name.c_str(),
-                 e.help.c_str(), e.value.c_str());
+    if (e.kind == Kind::kChoice) {
+      std::fprintf(stderr, "  --%-20s %s (one of: %s; default: %s)\n",
+                   name.c_str(), e.help.c_str(),
+                   join_choices(e.choices).c_str(), e.value.c_str());
+    } else {
+      std::fprintf(stderr, "  --%-20s %s (default: %s)\n", name.c_str(),
+                   e.help.c_str(), e.value.c_str());
+    }
   }
 }
 

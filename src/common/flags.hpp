@@ -27,6 +27,17 @@ public:
   /// Registers a string flag.
   void define_string(const std::string& name, const std::string& default_value,
                      const std::string& help);
+  /// Registers a choice flag: the value must be one of `choices` (an
+  /// unknown value is an actionable error listing them). Bare `--name`
+  /// selects `implicit_value` — so a flag that historically was boolean
+  /// (e.g. `--dvs`) can grow named backends without breaking scripts;
+  /// `--name value` consumes the next argument only when it is a
+  /// registered choice. Read with get_string().
+  void define_choice(const std::string& name,
+                     const std::vector<std::string>& choices,
+                     const std::string& default_value,
+                     const std::string& implicit_value,
+                     const std::string& help);
 
   /// Parses argv (excluding argv[0]); returns false and prints usage on
   /// error or when `--help` is present.
@@ -41,11 +52,13 @@ public:
   void print_usage(const std::string& program) const;
 
 private:
-  enum class Kind { kInt, kDouble, kBool, kString };
+  enum class Kind { kInt, kDouble, kBool, kString, kChoice };
   struct Entry {
     Kind kind;
     std::string value;  // textual representation
     std::string help;
+    std::vector<std::string> choices;  // kChoice: allowed values
+    std::string implicit;              // kChoice: value for bare `--name`
   };
   bool set_value(const std::string& name, const std::string& text);
   const Entry& entry(const std::string& name, Kind kind) const;

@@ -44,6 +44,11 @@ struct SynthesisOptions {
   PvDvsOptions dvs_final{};
 
   std::uint64_t seed = 1;
+
+  /// Optional per-stage pipeline instrumentation shared by the loop and
+  /// final evaluators (see pipeline/profile.hpp). Not fingerprinted;
+  /// enabling it never changes any result.
+  PipelineProfiler* profiler = nullptr;
 };
 
 /// Runs the co-synthesis. The returned evaluation is a *final* evaluation:

@@ -144,6 +144,12 @@ struct SynthesisResult {
   /// (both 0 when GaOptions::memoize_mode_evaluations is off).
   long mode_cache_hits = 0;
   long mode_cache_lookups = 0;
+  /// Schedule-stage cache hits / lookups (the stage-granular tier of the
+  /// same memo: a hit reuses the list-scheduling artifact and re-runs
+  /// only serialization/DVS/aggregation). Probed only on whole-mode
+  /// misses, so lookups <= mode_cache_lookups - mode_cache_hits.
+  long schedule_cache_hits = 0;
+  long schedule_cache_lookups = 0;
   double elapsed_seconds = 0.0;
   /// True when the run was stopped early (cancellation or time budget)
   /// rather than running to convergence; the evaluation still prices the
@@ -194,6 +200,12 @@ public:
   [[nodiscard]] Genome software_seed_genome() const;
 
   [[nodiscard]] const GenomeCodec& codec() const { return codec_; }
+
+  /// The per-mode memo this GA fills during its run. Exposed so the
+  /// synthesis driver can hand the warm cache to the final (fine-DVS)
+  /// evaluation, whose schedule-stage keys match the GA's — the final
+  /// evaluation then skips list scheduling entirely.
+  [[nodiscard]] ModeEvalCache& mode_cache() { return mode_cache_; }
 
 private:
   struct Individual {

@@ -3,10 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 #include "common/checksum.hpp"
-#include "dvs/dvs_graph.hpp"
-#include "sched/list_scheduler.hpp"
 
 namespace mmsyn {
 
@@ -47,6 +46,26 @@ void ModeEvalCache::insert(const ModeEvalKey& key,
   if (map_.emplace(key, value).second) order_.push_back(key);
 }
 
+const ModeSchedule* ModeEvalCache::find_schedule(const ModeEvalKey& key) {
+  ++schedule_lookups_;
+  const auto it = schedule_map_.find(key);
+  if (it == schedule_map_.end()) return nullptr;
+  ++schedule_hits_;
+  return &it->second;
+}
+
+void ModeEvalCache::insert_schedule(const ModeEvalKey& key,
+                                    const ModeSchedule& value) {
+  if (capacity_ > 0) {
+    while (schedule_map_.size() >= capacity_ && !schedule_order_.empty()) {
+      schedule_map_.erase(schedule_order_.front());
+      schedule_order_.pop_front();
+    }
+  }
+  if (schedule_map_.emplace(key, value).second)
+    schedule_order_.push_back(key);
+}
+
 std::vector<std::pair<ModeEvalKey, ModeEvaluation>> ModeEvalCache::entries()
     const {
   std::vector<std::pair<ModeEvalKey, ModeEvaluation>> out;
@@ -55,24 +74,53 @@ std::vector<std::pair<ModeEvalKey, ModeEvaluation>> ModeEvalCache::entries()
   return out;
 }
 
+std::vector<std::pair<ModeEvalKey, ModeSchedule>>
+ModeEvalCache::schedule_entries() const {
+  std::vector<std::pair<ModeEvalKey, ModeSchedule>> out;
+  out.reserve(schedule_order_.size());
+  for (const ModeEvalKey& key : schedule_order_)
+    out.emplace_back(key, schedule_map_.at(key));
+  return out;
+}
+
 void ModeEvalCache::restore(
     std::vector<std::pair<ModeEvalKey, ModeEvaluation>> entries, long hits,
     long lookups) {
-  clear();
+  map_.clear();
+  order_.clear();
   for (auto& [key, value] : entries) insert(key, value);
   hits_ = hits;
   lookups_ = lookups;
 }
 
+void ModeEvalCache::restore_schedules(
+    std::vector<std::pair<ModeEvalKey, ModeSchedule>> entries, long hits,
+    long lookups) {
+  schedule_map_.clear();
+  schedule_order_.clear();
+  for (auto& [key, value] : entries) insert_schedule(key, value);
+  schedule_hits_ = hits;
+  schedule_lookups_ = lookups;
+}
+
 void ModeEvalCache::clear() {
   map_.clear();
   order_.clear();
+  schedule_map_.clear();
+  schedule_order_.clear();
   hits_ = 0;
   lookups_ = 0;
+  schedule_hits_ = 0;
+  schedule_lookups_ = 0;
 }
 
 Evaluator::Evaluator(const System& system, EvaluationOptions options)
-    : system_(system), options_(std::move(options)) {
+    : system_(system),
+      options_(std::move(options)),
+      pipeline_(system, PipelineOptions{options_.scheduling_policy,
+                                        options_.use_dvs, options_.dvs,
+                                        options_.keep_schedules,
+                                        options_.profiler}) {
   true_probs_ = system.omsm.probabilities();
   if (options_.weight_override.empty()) {
     weights_ = true_probs_;
@@ -87,96 +135,30 @@ Evaluator::Evaluator(const System& system, EvaluationOptions options)
   if (total <= 0.0)
     throw std::invalid_argument("optimisation weights must sum > 0");
   for (double& w : weights_) w /= total;
-
-  // Everything that shapes a *per-mode* inner-loop result. The weights are
-  // deliberately excluded: they only enter the cross-mode aggregations,
-  // so cached mode results are shared between objectives.
-  Fnv1a64 h;
-  h.add(options_.use_dvs)
-      .add(static_cast<int>(options_.scheduling_policy))
-      .add(options_.dvs.max_iterations_per_node)
-      .add(options_.dvs.step_fraction)
-      .add(options_.dvs.min_relative_gain)
-      .add(options_.dvs.discrete_voltages)
-      .add(options_.dvs.scale_hardware);
-  options_fingerprint_ = h.digest();
 }
 
 ModeEvaluation Evaluator::evaluate_mode(std::size_t m,
                                         const MultiModeMapping& mapping,
                                         const CoreAllocation& cores) const {
-  const Omsm& omsm = system_.omsm;
-  const Architecture& arch = system_.arch;
-  const TechLibrary& tech = system_.tech;
-
-  const ModeId mode_id{static_cast<ModeId::value_type>(m)};
-  const Mode& mode = omsm.mode(mode_id);
-  const ModeMapping& mm = mapping.modes[m];
-  ModeEvaluation me;
-
-  // ---- Inner loop: communication mapping + scheduling. ---------------
-  const ListSchedulerInput input{mode,
-                                 mm,
-                                 arch,
-                                 tech,
-                                 cores.per_mode[m],
-                                 options_.scheduling_policy};
-  ModeSchedule schedule = list_schedule(input);
-  me.makespan = schedule.makespan;
-  me.routable = schedule.routable;
-
-  // ---- Timing penalty: finish within min(deadline, period). ----------
-  for (std::size_t t = 0; t < mode.graph.task_count(); ++t) {
-    const TaskId id{static_cast<TaskId::value_type>(t)};
-    double limit = mode.period;
-    if (const auto& dl = mode.graph.task(id).deadline)
-      limit = std::min(limit, *dl);
-    me.timing_violation +=
-        std::max(0.0, schedule.tasks[t].finish - limit);
-  }
-
-  // ---- Dynamic energy (Fig. 4 line 12), with DVS when enabled. -------
-  if (options_.use_dvs) {
-    const DvsGraph dvs_graph = build_dvs_graph(
-        mode, schedule, mm, arch, tech, options_.dvs.scale_hardware);
-    const PvDvsResult dvs = run_pv_dvs(dvs_graph, arch, options_.dvs);
-    me.dyn_energy = dvs.total_energy;
-  } else {
-    for (std::size_t t = 0; t < mode.graph.task_count(); ++t) {
-      const TaskId id{static_cast<TaskId::value_type>(t)};
-      me.dyn_energy +=
-          tech.require(mode.graph.task(id).type, mm.task_to_pe[t]).energy();
-    }
-    for (const ScheduledComm& c : schedule.comms)
-      if (!c.local && c.cl.valid())
-        me.dyn_energy += arch.cl(c.cl).transfer_power * c.duration();
-  }
-  me.dyn_power = me.dyn_energy / mode.period;
-
-  // ---- Shut-down analysis and static power (lines 07/13). ------------
-  me.pe_active.assign(arch.pe_count(), false);
-  me.cl_active.assign(arch.cl_count(), false);
-  for (PeId pe : mm.task_to_pe) me.pe_active[pe.index()] = true;
-  for (const ScheduledComm& c : schedule.comms)
-    if (!c.local && c.cl.valid()) me.cl_active[c.cl.index()] = true;
-  for (std::size_t p = 0; p < arch.pe_count(); ++p)
-    if (me.pe_active[p])
-      me.static_power +=
-          arch.pe(PeId{static_cast<PeId::value_type>(p)}).static_power;
-  for (std::size_t c = 0; c < arch.cl_count(); ++c)
-    if (me.cl_active[c])
-      me.static_power +=
-          arch.cl(ClId{static_cast<ClId::value_type>(c)}).static_power;
-
-  if (options_.keep_schedules) me.schedule = std::move(schedule);
-  return me;
+  return pipeline_.run(m, mapping.modes[m], cores.per_mode[m]);
 }
 
 ModeEvalKey Evaluator::mode_key(std::size_t m, const MultiModeMapping& mapping,
                                 const CoreAllocation& cores) const {
   ModeEvalKey key;
   key.mode = static_cast<std::uint32_t>(m);
-  key.options_fingerprint = options_fingerprint_;
+  key.options_fingerprint = pipeline_.evaluation_fingerprint();
+  key.task_to_pe = mapping.modes[m].task_to_pe;
+  key.cores = cores.per_mode[m];
+  return key;
+}
+
+ModeEvalKey Evaluator::schedule_key(std::size_t m,
+                                    const MultiModeMapping& mapping,
+                                    const CoreAllocation& cores) const {
+  ModeEvalKey key;
+  key.mode = static_cast<std::uint32_t>(m);
+  key.options_fingerprint = pipeline_.schedule_fingerprint();
   key.task_to_pe = mapping.modes[m].task_to_pe;
   key.cores = cores.per_mode[m];
   return key;
@@ -256,20 +238,47 @@ Evaluation Evaluator::evaluate(const MultiModeMapping& mapping,
 Evaluation Evaluator::evaluate(const MultiModeMapping& mapping,
                                const CoreAllocation& cores,
                                ModeEvalCache* cache) const {
-  // Cached entries carry no schedule, so a keep_schedules evaluation must
-  // take (and leave the cache untouched by) the cold path.
-  if (cache == nullptr || options_.keep_schedules)
-    return evaluate(mapping, cores);
+  if (cache == nullptr) return evaluate(mapping, cores);
   std::vector<ModeEvaluation> modes;
   modes.reserve(system_.omsm.mode_count());
   for (std::size_t m = 0; m < system_.omsm.mode_count(); ++m) {
-    const ModeEvalKey key = mode_key(m, mapping, cores);
-    if (const ModeEvaluation* hit = cache->find(key)) {
-      modes.push_back(*hit);
+    // Whole-mode store first — but only when the result needs no schedule:
+    // cached ModeEvaluations carry none, so keep_schedules skips this tier.
+    const bool use_eval_store = !options_.keep_schedules;
+    if (use_eval_store) {
+      const ModeEvalKey key = mode_key(m, mapping, cores);
+      if (const ModeEvaluation* hit = cache->find(key)) {
+        modes.push_back(*hit);
+        continue;
+      }
+      // Whole-mode miss: resume from the schedule artifact when stages
+      // 1–2 already ran for this key (e.g. under different DVS knobs).
+      const ModeEvalKey skey = schedule_key(m, mapping, cores);
+      if (const ModeSchedule* sched = cache->find_schedule(skey)) {
+        modes.push_back(
+            pipeline_.evaluate_scheduled(m, mapping.modes[m], *sched));
+      } else {
+        ModeSchedule fresh = pipeline_.build_schedule(m, mapping.modes[m],
+                                                      cores.per_mode[m]);
+        cache->insert_schedule(skey, fresh);
+        modes.push_back(pipeline_.evaluate_scheduled(m, mapping.modes[m],
+                                                     std::move(fresh)));
+      }
+      cache->insert(key, modes.back());
       continue;
     }
-    modes.push_back(evaluate_mode(m, mapping, cores));
-    cache->insert(key, modes.back());
+    // keep_schedules: only the schedule store applies.
+    const ModeEvalKey skey = schedule_key(m, mapping, cores);
+    if (const ModeSchedule* sched = cache->find_schedule(skey)) {
+      modes.push_back(
+          pipeline_.evaluate_scheduled(m, mapping.modes[m], *sched));
+    } else {
+      ModeSchedule fresh = pipeline_.build_schedule(m, mapping.modes[m],
+                                                    cores.per_mode[m]);
+      cache->insert_schedule(skey, fresh);
+      modes.push_back(pipeline_.evaluate_scheduled(m, mapping.modes[m],
+                                                   std::move(fresh)));
+    }
   }
   return assemble(mapping, cores, std::move(modes));
 }

@@ -1,9 +1,10 @@
 // Implementation-candidate evaluation: Eq. (1) of the paper.
 //
 // Given a multi-mode task mapping and a hardware core allocation, this
-// module runs the inner loop for every mode (communication mapping + list
-// scheduling, optionally PV-DVS voltage scaling), performs the component
-// shut-down analysis, and aggregates
+// module runs the per-mode pipeline for every mode (communication mapping
+// + list scheduling, optionally PV-DVS voltage scaling — see
+// pipeline/mode_pipeline.hpp), performs the component shut-down analysis,
+// and aggregates
 //
 //   p̄ = Σ_O ( p̄_dyn(O) + p̄_stat(O) ) · Ψ_O
 //
@@ -13,11 +14,14 @@
 // reported power always uses the true Ψ.
 //
 // Incremental evaluation: the expensive part of an evaluation is the
-// per-mode inner loop, and crossover/mutation usually change only a few
-// modes' gene slices. `evaluate_mode` therefore exposes one mode's inner
-// loop as a pure function of that mode's exact inputs, `mode_key` captures
-// those inputs as a hashable key, and `ModeEvalCache` memoises the result
-// so an unchanged mode is never rescheduled (see DESIGN.md §10).
+// per-mode pipeline, and crossover/mutation usually change only a few
+// modes' gene slices. `evaluate_mode` exposes one mode's pipeline as a
+// pure function of that mode's exact inputs, `mode_key` captures those
+// inputs as a hashable key, and `ModeEvalCache` memoises results at two
+// granularities: whole-mode evaluations, and the intermediate schedule
+// artifact keyed by only the stage-1/2 inputs — so a change that merely
+// perturbs voltage-relevant state reuses the schedule and re-runs only
+// serialization/DVS/aggregation (see DESIGN.md §10–§11).
 #pragma once
 
 #include <cstdint>
@@ -30,6 +34,8 @@
 #include "model/core_allocation.hpp"
 #include "model/mapping.hpp"
 #include "model/system.hpp"
+#include "pipeline/artifacts.hpp"
+#include "pipeline/mode_pipeline.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/schedule.hpp"
 
@@ -37,7 +43,8 @@ namespace mmsyn {
 
 /// Evaluation controls.
 struct EvaluationOptions {
-  /// Apply PV-DVS voltage scaling to DVS-enabled PEs.
+  /// Apply PV-DVS voltage scaling to DVS-enabled PEs (the "pv-dvs"
+  /// backend; false selects the nominal-voltage "none" backend).
   bool use_dvs = false;
   /// Voltage-scaling knobs (used when use_dvs).
   PvDvsOptions dvs;
@@ -49,25 +56,9 @@ struct EvaluationOptions {
   bool keep_schedules = false;
   /// Task-selection priority of the inner-loop list scheduler.
   SchedulingPolicy scheduling_policy = SchedulingPolicy::kBottomLevel;
-};
-
-/// Per-mode evaluation detail.
-struct ModeEvaluation {
-  /// Dynamic energy per hyper-period (after DVS when enabled), joules.
-  double dyn_energy = 0.0;
-  /// dyn_energy / period, watts.
-  double dyn_power = 0.0;
-  /// Static power of the components active in this mode, watts.
-  double static_power = 0.0;
-  /// Σ_τ max(0, finish(τ) − min(θ_τ, φ)), seconds.
-  double timing_violation = 0.0;
-  double makespan = 0.0;
-  /// Shut-down analysis: component powered during this mode?
-  std::vector<bool> pe_active;
-  std::vector<bool> cl_active;
-  bool routable = true;
-  /// Schedule retained when EvaluationOptions::keep_schedules.
-  std::optional<ModeSchedule> schedule;
+  /// Optional per-stage instrumentation (not fingerprinted; never alters
+  /// any result).
+  PipelineProfiler* profiler = nullptr;
 };
 
 /// Whole-candidate evaluation.
@@ -115,14 +106,17 @@ struct Evaluation {
   }
 };
 
-/// Cache key of one mode's inner-loop result: exactly the inputs the
-/// scheduler + DVS pipeline reads for that mode — its task→PE gene slice,
-/// the core sets loaded in that mode (the allocation slice; for ASICs
-/// this folds in demand from *other* modes, which is why it must be part
-/// of the key), and a fingerprint of the evaluation options. Everything
-/// else (architecture, technology library, task graphs) is fixed per
-/// system. Equality is exact, so a hash collision can never change a
-/// result — the unordered_map resolves it through full key comparison.
+/// Cache key of one mode's pipeline result: exactly the inputs the
+/// stages read for that mode — its task→PE gene slice, the core sets
+/// loaded in that mode (the allocation slice; for ASICs this folds in
+/// demand from *other* modes, which is why it must be part of the key),
+/// and a fingerprint of the options the keyed stages read. Whole-mode
+/// entries use the evaluation fingerprint (scheduler + DVS backend +
+/// knobs); schedule-stage entries use the schedule fingerprint (scheduler
+/// backend only). Everything else (architecture, technology library, task
+/// graphs) is fixed per system. Equality is exact, so a hash collision
+/// can never change a result — the unordered_map resolves it through full
+/// key comparison.
 struct ModeEvalKey {
   std::uint32_t mode = 0;
   std::uint64_t options_fingerprint = 0;
@@ -136,12 +130,15 @@ struct ModeEvalKeyHash {
   std::size_t operator()(const ModeEvalKey& key) const;
 };
 
-/// Bounded FIFO memo of per-mode inner-loop results. Not thread-safe:
-/// callers that evaluate concurrently must confine lookups/insertions to
-/// a serial phase (see MappingGa::evaluate_batch). A cached value is
-/// bitwise-identical to a cold evaluation — the cache stores the complete
-/// `ModeEvaluation` the inner loop produced, and `Evaluator::evaluate`
-/// recomputes only the cheap cross-mode aggregations from it.
+/// Bounded FIFO memo of per-mode pipeline results at two granularities:
+/// whole-mode evaluations (find/insert) and stage-2 schedule artifacts
+/// (find_schedule/insert_schedule), each with its own FIFO, counters and
+/// the shared capacity bound. Not thread-safe: callers that evaluate
+/// concurrently must confine lookups/insertions to a serial phase (see
+/// MappingGa::evaluate_batch). A cached value is bitwise-identical to a
+/// cold evaluation — whole-mode entries store the complete ModeEvaluation
+/// the pipeline produced, schedule entries the exact ModeSchedule, and
+/// replays run the same downstream stage code a cold evaluation runs.
 class ModeEvalCache {
 public:
   explicit ModeEvalCache(std::size_t capacity = 1 << 16)
@@ -154,6 +151,13 @@ public:
   /// Inserts (FIFO-evicting at capacity); duplicate keys are ignored.
   void insert(const ModeEvalKey& key, const ModeEvaluation& value);
 
+  /// Schedule-stage lookup (separate store and counters); the returned
+  /// pointer is invalidated by the next insert_schedule().
+  [[nodiscard]] const ModeSchedule* find_schedule(const ModeEvalKey& key);
+
+  /// Inserts a schedule artifact (FIFO-evicting at capacity).
+  void insert_schedule(const ModeEvalKey& key, const ModeSchedule& value);
+
   /// Accounts one extra hit. Batch evaluators that dedup in-flight keys
   /// call this for an aliased lookup — the one-at-a-time execution they
   /// mirror would have found the entry its preceding job inserted.
@@ -161,17 +165,33 @@ public:
 
   [[nodiscard]] long hits() const { return hits_; }
   [[nodiscard]] long lookups() const { return lookups_; }
+  [[nodiscard]] long schedule_hits() const { return schedule_hits_; }
+  [[nodiscard]] long schedule_lookups() const { return schedule_lookups_; }
   [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t schedule_size() const {
+    return schedule_map_.size();
+  }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
-  /// Entries in insertion (FIFO) order, for checkpoint snapshots.
+  /// Whole-mode entries in insertion (FIFO) order, for checkpoints.
   [[nodiscard]] std::vector<std::pair<ModeEvalKey, ModeEvaluation>>
   entries() const;
 
-  /// Restores a snapshot: contents in insertion order plus the counters,
-  /// so a resumed run's statistics continue exactly where they left off.
+  /// Schedule-stage entries in insertion (FIFO) order, for checkpoints.
+  [[nodiscard]] std::vector<std::pair<ModeEvalKey, ModeSchedule>>
+  schedule_entries() const;
+
+  /// Restores the whole-mode store: contents in insertion order plus the
+  /// counters, so a resumed run's statistics continue exactly where they
+  /// left off. The schedule store is untouched.
   void restore(std::vector<std::pair<ModeEvalKey, ModeEvaluation>> entries,
                long hits, long lookups);
+
+  /// Restores the schedule-stage store and its counters; the whole-mode
+  /// store is untouched.
+  void restore_schedules(
+      std::vector<std::pair<ModeEvalKey, ModeSchedule>> entries, long hits,
+      long lookups);
 
   void clear();
 
@@ -179,8 +199,13 @@ private:
   std::size_t capacity_;
   long hits_ = 0;
   long lookups_ = 0;
+  long schedule_hits_ = 0;
+  long schedule_lookups_ = 0;
   std::unordered_map<ModeEvalKey, ModeEvaluation, ModeEvalKeyHash> map_;
   std::deque<ModeEvalKey> order_;  // insertion order for FIFO eviction
+  std::unordered_map<ModeEvalKey, ModeSchedule, ModeEvalKeyHash>
+      schedule_map_;
+  std::deque<ModeEvalKey> schedule_order_;
 };
 
 /// Evaluates candidates against one system. The system reference must
@@ -189,7 +214,7 @@ private:
 /// Thread safety: `evaluate(mapping, cores)`, `evaluate_mode`, `mode_key`
 /// and `assemble` are pure — they read only the immutable
 /// system/options/weights state and touch no caches or globals (the
-/// whole inner loop: list scheduler, DVS-graph construction and PV-DVS
+/// whole pipeline: list scheduler, DVS-graph construction and PV-DVS
 /// keep their state on the stack). One Evaluator instance may therefore
 /// be shared by concurrent callers; the GA's parallel fitness evaluation
 /// relies on this contract. The cache-taking `evaluate` overload mutates
@@ -203,31 +228,42 @@ public:
   [[nodiscard]] Evaluation evaluate(const MultiModeMapping& mapping,
                                     const CoreAllocation& cores) const;
 
-  /// Full evaluation through a per-mode memo: modes whose key is cached
-  /// skip scheduling + DVS entirely; only the cross-mode aggregations are
-  /// recomputed. Bitwise-identical to the cache-less overload. A null
-  /// cache — or options().keep_schedules, whose schedules the cache does
-  /// not store — falls back to the cold path.
+  /// Full evaluation through the per-mode memo: modes whose whole-mode
+  /// key is cached skip the pipeline entirely; on a whole-mode miss a
+  /// cached schedule artifact skips stages 1–2 and re-runs only
+  /// serialization/DVS/aggregation. Bitwise-identical to the cache-less
+  /// overload. A null cache falls back to the cold path. Under
+  /// options().keep_schedules the whole-mode store is bypassed (its
+  /// entries carry no schedules) but the schedule store is still used —
+  /// this is how the final fine-DVS evaluation reuses the GA's schedule
+  /// artifacts across DVS-option boundaries.
   [[nodiscard]] Evaluation evaluate(const MultiModeMapping& mapping,
                                     const CoreAllocation& cores,
                                     ModeEvalCache* cache) const;
 
-  /// Inner loop (communication mapping + list scheduling + optional
-  /// PV-DVS + shut-down analysis) for mode `m` alone. Pure.
+  /// The per-mode pipeline (communication mapping + list scheduling +
+  /// optional PV-DVS + shut-down analysis) for mode `m` alone. Pure.
   [[nodiscard]] ModeEvaluation evaluate_mode(
       std::size_t m, const MultiModeMapping& mapping,
       const CoreAllocation& cores) const;
 
-  /// Cache key of mode `m`'s inner-loop inputs under this evaluator's
-  /// options. Two equal keys are guaranteed identical inner-loop results.
+  /// Whole-mode cache key of mode `m` under this evaluator's options.
+  /// Two equal keys are guaranteed identical pipeline results.
   [[nodiscard]] ModeEvalKey mode_key(std::size_t m,
                                      const MultiModeMapping& mapping,
                                      const CoreAllocation& cores) const;
 
+  /// Schedule-stage cache key of mode `m`: same slice inputs, but
+  /// fingerprinting only the options stages 1–2 read — equal keys across
+  /// evaluators with different DVS settings name the same schedule.
+  [[nodiscard]] ModeEvalKey schedule_key(std::size_t m,
+                                         const MultiModeMapping& mapping,
+                                         const CoreAllocation& cores) const;
+
   /// Cross-mode aggregation: Eq. 1 weighted powers, the per-period
   /// timing penalty, area usage/violations (max-over-modes for FPGAs) and
   /// the mode-transition reconfiguration times. Cheap relative to the
-  /// inner loop; `modes` must hold one entry per OMSM mode.
+  /// per-mode pipeline; `modes` must hold one entry per OMSM mode.
   [[nodiscard]] Evaluation assemble(const MultiModeMapping& mapping,
                                     const CoreAllocation& cores,
                                     std::vector<ModeEvaluation> modes) const;
@@ -235,11 +271,20 @@ public:
   [[nodiscard]] const EvaluationOptions& options() const { return options_; }
   [[nodiscard]] const System& system() const { return system_; }
 
+  /// The staged pipeline this evaluator drives (for audit replay/tests).
+  [[nodiscard]] const ModePipeline& pipeline() const { return pipeline_; }
+
   /// FNV-1a fingerprint of the options that shape a per-mode result
-  /// (DVS settings, scheduling policy); baked into every ModeEvalKey so a
-  /// cache snapshot can never be replayed under different options.
+  /// (DVS settings, scheduling policy); baked into every whole-mode
+  /// ModeEvalKey so a cache snapshot can never be replayed under
+  /// different options.
   [[nodiscard]] std::uint64_t options_fingerprint() const {
-    return options_fingerprint_;
+    return pipeline_.evaluation_fingerprint();
+  }
+
+  /// Fingerprint of the schedule-stage inputs (scheduler backend only).
+  [[nodiscard]] std::uint64_t schedule_fingerprint() const {
+    return pipeline_.schedule_fingerprint();
   }
 
   /// The weights entering the optimisation objective (true Ψ or override),
@@ -251,9 +296,9 @@ public:
 private:
   const System& system_;
   EvaluationOptions options_;
+  ModePipeline pipeline_;
   std::vector<double> weights_;      // optimisation weights (normalised)
   std::vector<double> true_probs_;   // Ψ from the OMSM
-  std::uint64_t options_fingerprint_ = 0;
 };
 
 }  // namespace mmsyn

@@ -1,0 +1,78 @@
+#include "pipeline/backends.hpp"
+
+#include <stdexcept>
+
+namespace mmsyn {
+namespace {
+
+template <typename Info>
+std::string name_list(const std::vector<Info>& infos) {
+  std::string out;
+  for (const Info& info : infos) {
+    if (!out.empty()) out += ", ";
+    out += info.name;
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<SchedulerBackendInfo>& scheduler_backends() {
+  static const std::vector<SchedulerBackendInfo> kBackends = {
+      {"bottom-level", SchedulingPolicy::kBottomLevel,
+       "critical-path list scheduling (the paper's reference behaviour)"},
+      {"topo-order", SchedulingPolicy::kTopoOrder,
+       "ready tasks in task-id order (FIFO ablation strawman)"},
+      {"longest-task", SchedulingPolicy::kLongestTask,
+       "longest mapped execution time first (LPT-style)"},
+  };
+  return kBackends;
+}
+
+const std::vector<DvsBackendInfo>& dvs_backends() {
+  static const std::vector<DvsBackendInfo> kBackends = {
+      {"none", false,
+       "nominal-voltage baseline: no scaling, energies at V_max"},
+      {"pv-dvs", true,
+       "PV-DVS slack distribution (ref [10], Fig. 5 hardware extension)"},
+  };
+  return kBackends;
+}
+
+SchedulingPolicy resolve_scheduler_backend(const std::string& name) {
+  for (const SchedulerBackendInfo& info : scheduler_backends())
+    if (name == info.name) return info.policy;
+  throw std::invalid_argument(
+      "unknown scheduler backend '" + name + "': registered backends are " +
+      scheduler_backend_list() + ". Pick one with --scheduler=<name>, or "
+      "omit the flag for the default '" +
+      scheduler_backends().front().name + "'");
+}
+
+bool resolve_dvs_backend(const std::string& name) {
+  for (const DvsBackendInfo& info : dvs_backends())
+    if (name == info.name) return info.use_dvs;
+  throw std::invalid_argument(
+      "unknown DVS backend '" + name + "': registered backends are " +
+      dvs_backend_list() + ". Pick one with --dvs=<name>, or omit the flag "
+      "for the default '" +
+      dvs_backends().front().name + "'");
+}
+
+const char* scheduler_backend_name(SchedulingPolicy policy) {
+  for (const SchedulerBackendInfo& info : scheduler_backends())
+    if (policy == info.policy) return info.name;
+  return "?";
+}
+
+const char* dvs_backend_name(bool use_dvs) {
+  for (const DvsBackendInfo& info : dvs_backends())
+    if (use_dvs == info.use_dvs) return info.name;
+  return "?";
+}
+
+std::string scheduler_backend_list() { return name_list(scheduler_backends()); }
+
+std::string dvs_backend_list() { return name_list(dvs_backends()); }
+
+}  // namespace mmsyn

@@ -1,0 +1,153 @@
+#include "pipeline/mode_pipeline.hpp"
+
+#include <utility>
+
+#include "common/checksum.hpp"
+#include "dvs/dvs_graph.hpp"
+#include "model/architecture.hpp"
+#include "model/omsm.hpp"
+#include "model/system.hpp"
+#include "model/tech_library.hpp"
+#include "sched/validate.hpp"
+
+namespace mmsyn {
+
+ModePipeline::ModePipeline(const System& system, PipelineOptions options)
+    : system_(system), options_(options) {
+  // Stage 1–2 inputs: the scheduler backend alone.
+  schedule_fingerprint_ =
+      Fnv1a64().add(static_cast<int>(options_.scheduling_policy)).digest();
+  // Full per-mode inputs. The field sequence is the pre-pipeline
+  // evaluator's options fingerprint, kept stable so cache keys and GA
+  // state fingerprints carry over unchanged.
+  Fnv1a64 h;
+  h.add(options_.use_dvs)
+      .add(static_cast<int>(options_.scheduling_policy))
+      .add(options_.dvs.max_iterations_per_node)
+      .add(options_.dvs.step_fraction)
+      .add(options_.dvs.min_relative_gain)
+      .add(options_.dvs.discrete_voltages)
+      .add(options_.dvs.scale_hardware);
+  evaluation_fingerprint_ = h.digest();
+}
+
+CommMapping ModePipeline::comm_mapping(
+    std::size_t m, const ModeMapping& mapping,
+    const std::vector<CoreSet>& hw_cores) const {
+  const StageTimer timer(options_.profiler, PipelineStage::kCommMapping);
+  const Mode& mode = system_.omsm.mode(ModeId{static_cast<ModeId::value_type>(m)});
+  const ListSchedulerInput input{mode,          mapping,
+                                 system_.arch,  system_.tech,
+                                 hw_cores,      options_.scheduling_policy};
+  return CommMapping{scheduling_priorities(input)};
+}
+
+ModeSchedule ModePipeline::schedule(std::size_t m, const ModeMapping& mapping,
+                                    const std::vector<CoreSet>& hw_cores,
+                                    const CommMapping& comm) const {
+  const StageTimer timer(options_.profiler, PipelineStage::kSchedule);
+  const Mode& mode = system_.omsm.mode(ModeId{static_cast<ModeId::value_type>(m)});
+  const ListSchedulerInput input{mode,          mapping,
+                                 system_.arch,  system_.tech,
+                                 hw_cores,      options_.scheduling_policy};
+  return list_schedule(input, comm.priority);
+}
+
+SerializedSchedule ModePipeline::serialize(std::size_t m,
+                                           const ModeMapping& mapping,
+                                           const ModeSchedule& schedule) const {
+  const StageTimer timer(options_.profiler, PipelineStage::kSerialize);
+  SerializedSchedule out;
+  if (!options_.use_dvs) return out;  // nominal backend: no graph needed
+  const Mode& mode = system_.omsm.mode(ModeId{static_cast<ModeId::value_type>(m)});
+  out.graph = build_dvs_graph(mode, schedule, mapping, system_.arch,
+                              system_.tech, options_.dvs.scale_hardware);
+  out.has_graph = true;
+  return out;
+}
+
+ScaledSchedule ModePipeline::scale(std::size_t m, const ModeMapping& mapping,
+                                   const ModeSchedule& schedule,
+                                   const SerializedSchedule& serialized) const {
+  const StageTimer timer(options_.profiler, PipelineStage::kScale);
+  const Mode& mode = system_.omsm.mode(ModeId{static_cast<ModeId::value_type>(m)});
+  ScaledSchedule out;
+  if (options_.use_dvs) {
+    PvDvsResult dvs = run_pv_dvs(serialized.graph, system_.arch, options_.dvs);
+    out.dyn_energy = dvs.total_energy;
+    out.dvs = std::move(dvs);
+    return out;
+  }
+  // Nominal-voltage baseline: task energies in task order, then transfer
+  // energies in comm order (the accumulation order is part of the
+  // bit-identity contract).
+  for (std::size_t t = 0; t < mode.graph.task_count(); ++t) {
+    const TaskId id{static_cast<TaskId::value_type>(t)};
+    out.dyn_energy += system_.tech
+                          .require(mode.graph.task(id).type,
+                                   mapping.task_to_pe[t])
+                          .energy();
+  }
+  for (const ScheduledComm& c : schedule.comms)
+    if (!c.local && c.cl.valid())
+      out.dyn_energy += system_.arch.cl(c.cl).transfer_power * c.duration();
+  return out;
+}
+
+ModeEvaluation ModePipeline::finalize(std::size_t m, const ModeMapping& mapping,
+                                      const ScaledSchedule& scaled,
+                                      ModeSchedule schedule) const {
+  const StageTimer timer(options_.profiler, PipelineStage::kFinalize);
+  const Mode& mode = system_.omsm.mode(ModeId{static_cast<ModeId::value_type>(m)});
+  const Architecture& arch = system_.arch;
+
+  ModeEvaluation me;
+  me.makespan = schedule.makespan;
+  me.routable = schedule.routable;
+
+  // Timing penalty: finish within min(deadline, period). One shared
+  // definition with the validator and the auditor (sched/validate.hpp).
+  me.timing_violation = schedule_timing_violation(mode, schedule);
+
+  me.dyn_energy = scaled.dyn_energy;
+  me.dyn_power = me.dyn_energy / mode.period;
+
+  // Shut-down analysis and static power (Fig. 4 lines 07/13).
+  me.pe_active.assign(arch.pe_count(), false);
+  me.cl_active.assign(arch.cl_count(), false);
+  for (PeId pe : mapping.task_to_pe) me.pe_active[pe.index()] = true;
+  for (const ScheduledComm& c : schedule.comms)
+    if (!c.local && c.cl.valid()) me.cl_active[c.cl.index()] = true;
+  for (std::size_t p = 0; p < arch.pe_count(); ++p)
+    if (me.pe_active[p])
+      me.static_power +=
+          arch.pe(PeId{static_cast<PeId::value_type>(p)}).static_power;
+  for (std::size_t c = 0; c < arch.cl_count(); ++c)
+    if (me.cl_active[c])
+      me.static_power +=
+          arch.cl(ClId{static_cast<ClId::value_type>(c)}).static_power;
+
+  if (options_.keep_schedules) me.schedule = std::move(schedule);
+  return me;
+}
+
+ModeSchedule ModePipeline::build_schedule(
+    std::size_t m, const ModeMapping& mapping,
+    const std::vector<CoreSet>& hw_cores) const {
+  return schedule(m, mapping, hw_cores, comm_mapping(m, mapping, hw_cores));
+}
+
+ModeEvaluation ModePipeline::evaluate_scheduled(std::size_t m,
+                                                const ModeMapping& mapping,
+                                                ModeSchedule schedule) const {
+  const SerializedSchedule serialized = serialize(m, mapping, schedule);
+  const ScaledSchedule scaled = scale(m, mapping, schedule, serialized);
+  return finalize(m, mapping, scaled, std::move(schedule));
+}
+
+ModeEvaluation ModePipeline::run(std::size_t m, const ModeMapping& mapping,
+                                 const std::vector<CoreSet>& hw_cores) const {
+  return evaluate_scheduled(m, mapping, build_schedule(m, mapping, hw_cores));
+}
+
+}  // namespace mmsyn

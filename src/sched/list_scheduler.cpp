@@ -4,7 +4,6 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <map>
 #include <vector>
 
 #include "model/architecture.hpp"
@@ -59,16 +58,21 @@ std::vector<double> bottom_levels(const TaskGraph& graph,
 
 /// Identifies the sequential execution resources of one PE: the PE itself
 /// for software, or one timeline per allocated core instance for hardware.
+/// Core groups are indexed by the dense task-type id (flat vectors rather
+/// than maps: every lookup is on the scheduler's hot path).
 class PeResources {
 public:
-  PeResources(const Pe& pe, const CoreSet& cores) : pe_(pe) {
+  PeResources(const Pe& pe, const CoreSet& cores, std::size_t type_count)
+      : pe_(pe),
+        group_offset_(type_count, kNoGroup),
+        group_size_(type_count, 0) {
     if (is_software(pe.kind)) {
       timelines_.resize(1);
       return;
     }
     for (const auto& [type, count] : cores.entries()) {
-      group_offset_[type] = timelines_.size();
-      group_size_[type] = count;
+      group_offset_[type.index()] = timelines_.size();
+      group_size_[type.index()] = count;
       timelines_.resize(timelines_.size() + static_cast<std::size_t>(count));
     }
   }
@@ -79,22 +83,21 @@ public:
     if (is_software(pe_.kind)) {
       return {timelines_[0].earliest_fit(ready, duration), 0};
     }
-    auto off = group_offset_.find(type);
-    if (off == group_offset_.end()) {
+    if (group_offset_[type.index()] == kNoGroup) {
       // Type not in the allocated core set: behave as one implicit core so
       // the schedule stays well-defined; the fitness layer charges the
       // area for it via the allocation builder.
-      group_offset_[type] = timelines_.size();
-      group_size_[type] = 1;
+      group_offset_[type.index()] = timelines_.size();
+      group_size_[type.index()] = 1;
       timelines_.emplace_back();
-      off = group_offset_.find(type);
     }
+    const std::size_t offset = group_offset_[type.index()];
     double best_start = std::numeric_limits<double>::infinity();
     int best_instance = 0;
-    const int count = group_size_[type];
+    const int count = group_size_[type.index()];
     for (int i = 0; i < count; ++i) {
       const double s =
-          timelines_[off->second + static_cast<std::size_t>(i)].earliest_fit(
+          timelines_[offset + static_cast<std::size_t>(i)].earliest_fit(
               ready, duration);
       if (s < best_start) {
         best_start = s;
@@ -110,27 +113,25 @@ public:
       return;
     }
     const std::size_t idx =
-        group_offset_.at(type) + static_cast<std::size_t>(instance);
+        group_offset_[type.index()] + static_cast<std::size_t>(instance);
     timelines_[idx].reserve(start, duration);
   }
 
 private:
+  static constexpr std::size_t kNoGroup =
+      std::numeric_limits<std::size_t>::max();
+
   const Pe& pe_;
   std::vector<Timeline> timelines_;
-  std::map<TaskTypeId, std::size_t> group_offset_;
-  std::map<TaskTypeId, int> group_size_;
+  std::vector<std::size_t> group_offset_;  // index == task-type id
+  std::vector<int> group_size_;            // index == task-type id
 };
 
 }  // namespace
 
-ModeSchedule list_schedule(const ListSchedulerInput& input) {
+std::vector<double> scheduling_priorities(const ListSchedulerInput& input) {
   const TaskGraph& graph = input.mode.graph;
   const std::size_t n = graph.task_count();
-
-  ModeSchedule result;
-  result.tasks.resize(n);
-  result.comms.resize(graph.edge_count());
-
   std::vector<double> priority;
   switch (input.policy) {
     case SchedulingPolicy::kBottomLevel:
@@ -151,11 +152,28 @@ ModeSchedule list_schedule(const ListSchedulerInput& input) {
       }
       break;
   }
+  return priority;
+}
+
+ModeSchedule list_schedule(const ListSchedulerInput& input) {
+  return list_schedule(input, scheduling_priorities(input));
+}
+
+ModeSchedule list_schedule(const ListSchedulerInput& input,
+                           const std::vector<double>& priority) {
+  const TaskGraph& graph = input.mode.graph;
+  const std::size_t n = graph.task_count();
+  assert(priority.size() == n);
+
+  ModeSchedule result;
+  result.tasks.resize(n);
+  result.comms.resize(graph.edge_count());
 
   std::vector<PeResources> pe_resources;
   pe_resources.reserve(input.arch.pe_count());
   for (PeId p : input.arch.pe_ids())
-    pe_resources.emplace_back(input.arch.pe(p), input.hw_cores[p.index()]);
+    pe_resources.emplace_back(input.arch.pe(p), input.hw_cores[p.index()],
+                              input.tech.type_count());
   std::vector<Timeline> cl_timelines(input.arch.cl_count());
 
   std::vector<std::size_t> unscheduled_preds(n, 0);

@@ -44,8 +44,24 @@ struct ListSchedulerInput {
   SchedulingPolicy policy = SchedulingPolicy::kBottomLevel;
 };
 
+/// Task-selection priorities for one mode under `input.policy` (larger ==
+/// more urgent). This is the communication-aware half of the scheduler:
+/// bottom levels fold best-case inter-PE communication delays into the
+/// priority, so the stage depends on the task mapping and the architecture
+/// but not on core counts or timelines. Exposed separately so the mode
+/// pipeline can treat it as its first stage artifact.
+[[nodiscard]] std::vector<double> scheduling_priorities(
+    const ListSchedulerInput& input);
+
 /// Schedules one mode. Never fails structurally: unroutable messages are
 /// assigned a large penalty latency and flagged via `routable == false`.
 [[nodiscard]] ModeSchedule list_schedule(const ListSchedulerInput& input);
+
+/// As above, but with the priority vector precomputed by
+/// `scheduling_priorities`. `list_schedule(input)` is exactly
+/// `list_schedule(input, scheduling_priorities(input))` — the single-arg
+/// form delegates here, so staged and fused callers share one code path.
+[[nodiscard]] ModeSchedule list_schedule(const ListSchedulerInput& input,
+                                         const std::vector<double>& priority);
 
 }  // namespace mmsyn

@@ -18,6 +18,33 @@ std::string task_label(const Mode& mode, TaskId id) {
 
 }  // namespace
 
+double task_time_limit(const Mode& mode, TaskId id) {
+  double limit = mode.period;
+  if (const auto& dl = mode.graph.task(id).deadline)
+    limit = std::min(limit, *dl);
+  return limit;
+}
+
+double schedule_timing_violation(const Mode& mode,
+                                 const ModeSchedule& schedule) {
+  double total = 0.0;
+  for (std::size_t t = 0; t < mode.graph.task_count(); ++t) {
+    const TaskId id{static_cast<TaskId::value_type>(t)};
+    total +=
+        std::max(0.0, schedule.tasks[t].finish - task_time_limit(mode, id));
+  }
+  return total;
+}
+
+double schedule_makespan(const ModeSchedule& schedule) {
+  double makespan = 0.0;
+  for (const ScheduledTask& st : schedule.tasks)
+    makespan = std::max(makespan, st.finish);
+  for (const ScheduledComm& sc : schedule.comms)
+    makespan = std::max(makespan, sc.finish);
+  return makespan;
+}
+
 const char* to_string(ScheduleViolation::Kind kind) {
   switch (kind) {
     case ScheduleViolation::Kind::kPrecedence: return "precedence";
@@ -166,9 +193,7 @@ std::vector<ScheduleViolation> validate_schedule(
   if (options.check_deadlines) {
     for (std::size_t t = 0; t < graph.task_count(); ++t) {
       const TaskId id{static_cast<TaskId::value_type>(t)};
-      double limit = mode.period;
-      if (const auto& dl = graph.task(id).deadline)
-        limit = std::min(limit, *dl);
+      const double limit = task_time_limit(mode, id);
       if (schedule.tasks[t].finish > limit + eps)
         report(ScheduleViolation::Kind::kDeadline,
                "task " + task_label(mode, id) + " finishes at " +

@@ -52,6 +52,25 @@ struct ValidateOptions {
     const TechLibrary& tech, const std::vector<CoreSet>& hw_cores,
     const ValidateOptions& options = {});
 
+// ---- Shared timing semantics -------------------------------------------
+// One definition of "when must a task finish" and "how late is this
+// schedule", used by the deadline check above, the evaluator/pipeline
+// (to price candidates) and the audit layer (to replay the pricing), so
+// the three can never drift apart.
+
+/// Timing limit of one task: min(its deadline, the mode's period φ).
+[[nodiscard]] double task_time_limit(const Mode& mode, TaskId id);
+
+/// Σ_τ max(0, finish − min(θ_τ, φ)) accumulated in ascending task-id
+/// order — the exact floating-point order the evaluator uses, so audit
+/// replays reproduce its sums bitwise.
+[[nodiscard]] double schedule_timing_violation(const Mode& mode,
+                                               const ModeSchedule& schedule);
+
+/// Latest finish over all scheduled tasks and communications (0 when the
+/// schedule is empty): tasks in id order first, then comms in edge order.
+[[nodiscard]] double schedule_makespan(const ModeSchedule& schedule);
+
 /// Human-readable rendering of a violation kind.
 [[nodiscard]] const char* to_string(ScheduleViolation::Kind kind);
 

@@ -96,5 +96,57 @@ TEST(Flags, TypeMismatchThrows) {
   EXPECT_THROW((void)flags.get_int("nonexistent"), std::out_of_range);
 }
 
+TEST(Flags, ChoiceDefaultsAndExplicitValues) {
+  Flags flags;
+  flags.define_choice("dvs", {"none", "pv-dvs"}, "none", "pv-dvs", "backend");
+  Argv none({});
+  ASSERT_TRUE(flags.parse(none.argc(), none.argv()));
+  EXPECT_EQ(flags.get_string("dvs"), "none");
+
+  Argv eq({"--dvs=pv-dvs"});
+  ASSERT_TRUE(flags.parse(eq.argc(), eq.argv()));
+  EXPECT_EQ(flags.get_string("dvs"), "pv-dvs");
+}
+
+TEST(Flags, BareChoiceSelectsImplicitValue) {
+  Flags flags;
+  flags.define_choice("dvs", {"none", "pv-dvs"}, "none", "pv-dvs", "backend");
+  flags.define_bool("audit", false, "audit");
+  // `--dvs` as the last argument and followed by another flag both take
+  // the implicit value; a trailing registered choice is consumed.
+  Argv last({"--dvs"});
+  ASSERT_TRUE(flags.parse(last.argc(), last.argv()));
+  EXPECT_EQ(flags.get_string("dvs"), "pv-dvs");
+
+  Flags flags2;
+  flags2.define_choice("dvs", {"none", "pv-dvs"}, "none", "pv-dvs", "backend");
+  flags2.define_bool("audit", false, "audit");
+  Argv before({"--dvs", "--audit"});
+  ASSERT_TRUE(flags2.parse(before.argc(), before.argv()));
+  EXPECT_EQ(flags2.get_string("dvs"), "pv-dvs");
+  EXPECT_TRUE(flags2.get_bool("audit"));
+
+  Flags flags3;
+  flags3.define_choice("dvs", {"none", "pv-dvs"}, "none", "pv-dvs", "backend");
+  Argv spaced({"--dvs", "none"});
+  ASSERT_TRUE(flags3.parse(spaced.argc(), spaced.argv()));
+  EXPECT_EQ(flags3.get_string("dvs"), "none");
+}
+
+TEST(Flags, UnknownChoiceValueFails) {
+  Flags flags;
+  flags.define_choice("scheduler", {"bottom-level", "topo-order"},
+                      "bottom-level", "bottom-level", "backend");
+  Argv argv({"--scheduler=simulated-annealing"});
+  EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Flags, ChoiceReadsBackAsStringOnly) {
+  Flags flags;
+  flags.define_choice("scheduler", {"a", "b"}, "a", "a", "backend");
+  EXPECT_EQ(flags.get_string("scheduler"), "a");
+  EXPECT_THROW((void)flags.get_int("scheduler"), std::logic_error);
+}
+
 }  // namespace
 }  // namespace mmsyn

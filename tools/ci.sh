@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Full CI pass: plain build + tests, an AddressSanitizer(+UBSan) build +
+# Full CI pass: plain build + tests, a staged-pipeline divergence gate,
+# an AddressSanitizer(+UBSan) build + tests, a standalone UBSan build +
 # tests, and the kill-and-resume smoke. Run from the repository root:
 #
 #   tools/ci.sh            # everything
-#   tools/ci.sh --fast     # plain build + tests only
+#   tools/ci.sh --fast     # plain build + tests + divergence gate only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,11 +17,30 @@ cmake --build build -j "$JOBS"
 echo "== plain ctest =="
 (cd build && ctest --output-on-failure -j 2)
 
-echo "== mode-cache hit-rate summary =="
-./build/bench/incremental_eval --muls 3,6 --population 24 --generations 20 --dvs
+echo "== stage-cache hit rates + pipeline stage profile =="
+# incremental_eval exits nonzero when the cached (staged) run diverges
+# bytewise from the cache-disabled one, so this doubles as the
+# pipeline-vs-legacy divergence gate; --profile adds the per-stage table
+# to the CI summary.
+./build/bench/incremental_eval --muls 3,6 --population 24 --generations 20 \
+  --profile --dvs
+
+echo "== staged-vs-default report identity (audited) =="
+# The explicit default backends must reproduce the implicit defaults
+# byte-for-byte, and the audited stage replay must pass on the result.
+SF=./build/examples/synthesize_file
+IN=examples/data/sensor_node.mmsyn
+ARGS="--population 24 --generations 20 --report-timing=false --audit"
+$SF --input "$IN" $ARGS > /tmp/mmsyn-ci-default.out
+$SF --input "$IN" $ARGS --scheduler=bottom-level --dvs=none \
+  > /tmp/mmsyn-ci-staged.out
+if ! diff -q /tmp/mmsyn-ci-default.out /tmp/mmsyn-ci-staged.out; then
+  echo "ci: FAIL (explicit pipeline backends diverge from the defaults)"
+  exit 1
+fi
 
 if [ "$FAST" = "--fast" ]; then
-  echo "ci: PASS (fast mode: sanitizer stage skipped)"
+  echo "ci: PASS (fast mode: sanitizer stages skipped)"
   exit 0
 fi
 
@@ -29,5 +49,11 @@ cmake -B build-asan -S . -DMMSYN_SANITIZE=address > /dev/null
 cmake --build build-asan -j "$JOBS"
 echo "== address-sanitizer ctest =="
 (cd build-asan && ctest --output-on-failure -j 2)
+
+echo "== undefined-behaviour-sanitizer build =="
+cmake -B build-ubsan -S . -DMMSYN_SANITIZE=undefined > /dev/null
+cmake --build build-ubsan -j "$JOBS"
+echo "== undefined-behaviour-sanitizer ctest =="
+(cd build-ubsan && ctest --output-on-failure -j 2)
 
 echo "ci: PASS"
