@@ -6,9 +6,10 @@
 //
 //   incremental_eval [--muls 4,8,12] [--population 64] [--generations 80]
 //                    [--seed 1] [--threads 1] [--dvs] [--min-speedup 0]
-//                    [--scheduler bottom-level] [--profile]
+//                    [--scheduler bottom-level] [--profile] [--json PATH]
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -69,6 +70,8 @@ int main(int argc, char** argv) {
   flags.define_double("min-speedup", 0.0,
                       "fail unless at least one instance reaches this "
                       "cached/cold speedup (0 disables)");
+  flags.define_string("json", "",
+                      "write machine-readable results to this file");
   if (!flags.parse(argc, argv)) return 1;
 
   SynthesisOptions base;
@@ -98,6 +101,12 @@ int main(int argc, char** argv) {
   double best_speedup = 0.0;
   long total_eval_hits = 0, total_eval_lookups = 0;
   long total_sched_hits = 0, total_sched_lookups = 0;
+  struct InstanceRow {
+    int mul;
+    double cold_s, cached_s, speedup, hit_rate, stage_rate;
+    bool identical;
+  };
+  std::vector<InstanceRow> rows;
   for (const int mul : parse_muls(flags.get_string("muls"))) {
     const System system = make_mul(mul);
 
@@ -145,6 +154,8 @@ int main(int argc, char** argv) {
     total_eval_lookups += cached.mode_cache_lookups;
     total_sched_hits += cached.schedule_cache_hits;
     total_sched_lookups += cached.schedule_cache_lookups;
+    rows.push_back({mul, cold.elapsed_seconds, cached.elapsed_seconds,
+                    speedup, hit_rate, stage_rate, identical});
     table.add_row({"mul" + std::to_string(mul),
                    TextTable::num(cold.elapsed_seconds, 2),
                    TextTable::num(cached.elapsed_seconds, 2),
@@ -158,6 +169,29 @@ int main(int argc, char** argv) {
   if (flags.get_bool("profile"))
     std::cout << profiler.table(total_eval_hits, total_eval_lookups,
                                 total_sched_hits, total_sched_lookups);
+
+  if (!flags.get_string("json").empty()) {
+    std::ofstream out(flags.get_string("json"));
+    out << "{\n"
+        << "  \"bench\": \"incremental_eval\",\n"
+        << "  \"population\": " << flags.get_int("population") << ",\n"
+        << "  \"generations\": " << flags.get_int("generations") << ",\n"
+        << "  \"instances\": {\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const InstanceRow& r = rows[i];
+      out << "    \"mul" << r.mul << "\": {\"cold_s\": " << r.cold_s
+          << ", \"cached_s\": " << r.cached_s
+          << ", \"speedup\": " << r.speedup
+          << ", \"hit_rate\": " << r.hit_rate
+          << ", \"stage_rate\": " << r.stage_rate << ", \"identical\": "
+          << (r.identical ? "true" : "false") << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  },\n"
+        << "  \"best_speedup\": " << best_speedup << ",\n"
+        << "  \"identical\": " << (all_identical ? "true" : "false") << "\n"
+        << "}\n";
+  }
 
   if (!all_identical) {
     std::fprintf(stderr,

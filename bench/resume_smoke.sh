@@ -53,3 +53,38 @@ else
   echo "resume_smoke: FAIL — resumed report differs from uninterrupted run" >&2
   exit 1
 fi
+
+# Second leg: the same contract under constant mode-cache eviction. A tiny
+# --mode-cache-capacity keeps both FIFO tiers saturated, so the checkpoint
+# must round-trip the eviction *order* (not just the entries) for the
+# resumed run to stay byte-identical — the exact regression fixed in
+# ModeEvalCache::insert (duplicate insert at capacity evicting the head).
+EVICT_FLAGS=("${FLAGS[@]}" --mode-cache-capacity 4)
+
+"$BIN" --input "$WORK/sys.mmsyn" "${EVICT_FLAGS[@]}" > "$WORK/full_evict.txt"
+
+"$BIN" --input "$WORK/sys.mmsyn" "${EVICT_FLAGS[@]}" \
+  --checkpoint "$WORK/evict.ckpt" --checkpoint-every 2 \
+  > /dev/null 2>&1 &
+PID=$!
+for _ in $(seq 1 400); do
+  [ -s "$WORK/evict.ckpt" ] && break
+  sleep 0.025
+done
+kill -9 "$PID" 2> /dev/null || true
+wait "$PID" 2> /dev/null || true
+
+if [ ! -s "$WORK/evict.ckpt" ]; then
+  echo "resume_smoke: FAIL — no eviction-pressure checkpoint written" >&2
+  exit 1
+fi
+
+"$BIN" --input "$WORK/sys.mmsyn" "${EVICT_FLAGS[@]}" \
+  --resume "$WORK/evict.ckpt" > "$WORK/resumed_evict.txt"
+
+if diff -u "$WORK/full_evict.txt" "$WORK/resumed_evict.txt"; then
+  echo "resume_smoke: PASS — resume under cache eviction is byte-identical"
+else
+  echo "resume_smoke: FAIL — resume under cache eviction diverged" >&2
+  exit 1
+fi

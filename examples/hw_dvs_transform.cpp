@@ -71,10 +71,10 @@ int main() {
   const DvsGraph graph =
       build_dvs_graph(m, schedule, mapping, system.arch, system.tech);
   std::printf("\nFig. 5 transformation -> %zu virtual segments:\n",
-              graph.nodes.size());
+              graph.node_count());
   const PvDvsResult dvs = run_pv_dvs(graph, system.arch);
-  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
-    const DvsNode& node = graph.nodes[i];
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    const DvsNode node = graph.node(i);
     std::printf("  segment %d: t_min %5.2f ms -> t %5.2f ms, Vdd %.2f V, "
                 "E %7.2f uJ (nominal %7.2f uJ)\n",
                 node.ref, node.tmin * 1e3, dvs.scaled_time[i] * 1e3,

@@ -83,6 +83,15 @@ int main(int argc, char** argv) {
   flags.define_int("threads", 1,
                    "fitness-evaluation threads (0 = all cores); the result "
                    "is identical for any value");
+  flags.define_choice("rng", {"threefry", "legacy"},
+                      /*default_value=*/"threefry",
+                      /*implicit_value=*/"threefry",
+                      "GA random-stream engine: counter-based threefry "
+                      "(default) or legacy xoshiro256++ for reproducing "
+                      "pre-v6 runs bit-for-bit");
+  flags.define_int("mode-cache-capacity", 1 << 16,
+                   "per-mode evaluation cache entry cap, FIFO eviction "
+                   "(0 = unbounded)");
   flags.define_double("time-budget", 0.0,
                       "wall-clock budget in seconds (0 = unlimited); on "
                       "expiry the best-so-far result is reported");
@@ -159,6 +168,10 @@ int main(int argc, char** argv) {
   options.ga.population_size = static_cast<int>(flags.get_int("population"));
   options.ga.max_generations = static_cast<int>(flags.get_int("generations"));
   options.ga.num_threads = static_cast<int>(flags.get_int("threads"));
+  options.ga.rng = flags.get_string("rng") == "legacy" ? RngKind::kXoshiro
+                                                       : RngKind::kThreefry;
+  options.ga.mode_cache_capacity =
+      static_cast<std::size_t>(flags.get_int("mode-cache-capacity"));
 
   SynthesisResult result;
   if (!flags.get_string("evaluate-mapping").empty()) {

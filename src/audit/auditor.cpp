@@ -102,10 +102,12 @@ void check_serialization(const Mode& mode, const ModeSchedule& schedule,
   double segment_time = 0.0;
   double segment_energy = 0.0;
   bool any_segment = false;
-  for (const DvsNode& node : graph.nodes) {
-    if (node.kind != DvsNodeKind::kSegment || node.pe != p) continue;
-    segment_time += node.tmin;
-    segment_energy += node.e_nom;
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    if (static_cast<DvsNodeKind>(graph.kind[i]) != DvsNodeKind::kSegment ||
+        graph.pe[i] != static_cast<std::int32_t>(p.index()))
+      continue;
+    segment_time += graph.tmin[i];
+    segment_energy += graph.e_nom[i];
     any_segment = true;
   }
 

@@ -1,0 +1,88 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+// ASan interface: poison arena memory between reset() and re-allocation
+// so stale-scratch reads across candidate boundaries fault under the
+// sanitizer builds (tools/ci.sh).
+#if defined(__SANITIZE_ADDRESS__)
+#define MMSYN_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MMSYN_ARENA_ASAN 1
+#endif
+#endif
+
+#ifdef MMSYN_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#define MMSYN_ARENA_POISON(addr, size) __asan_poison_memory_region(addr, size)
+#define MMSYN_ARENA_UNPOISON(addr, size) \
+  __asan_unpoison_memory_region(addr, size)
+#else
+#define MMSYN_ARENA_POISON(addr, size) ((void)0)
+#define MMSYN_ARENA_UNPOISON(addr, size) ((void)0)
+#endif
+
+namespace mmsyn {
+
+void Arena::add_block(std::size_t at_least) {
+  // Geometric growth from the largest existing block keeps the number
+  // of blocks O(log total); reset() collapses back to one block.
+  std::size_t size = blocks_.empty() ? initial_capacity_
+                                     : 2 * blocks_.back().size;
+  size = std::max(size, at_least);
+  Block block;
+  block.data = std::make_unique<std::byte[]>(size);
+  block.size = size;
+  MMSYN_ARENA_POISON(block.data.get(), block.size);
+  blocks_.push_back(std::move(block));
+  block_index_ = blocks_.size() - 1;
+  offset_ = 0;
+}
+
+void* Arena::alloc_raw(std::size_t bytes, std::size_t align) {
+  assert(align > 0 && (align & (align - 1)) == 0);
+  if (blocks_.empty()) add_block(bytes + align);
+  std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+  if (aligned + bytes > blocks_[block_index_].size) {
+    if (block_index_ + 1 < blocks_.size()) {
+      // A later (larger) block survived an earlier growth; bump into it.
+      ++block_index_;
+      offset_ = 0;
+      aligned = 0;
+      if (bytes > blocks_[block_index_].size) add_block(bytes + align);
+    } else {
+      add_block(bytes + align);
+    }
+    aligned = (offset_ + align - 1) & ~(align - 1);
+  }
+  std::byte* p = blocks_[block_index_].data.get() + aligned;
+  offset_ = aligned + bytes;
+  used_ += bytes;
+  MMSYN_ARENA_UNPOISON(p, bytes);
+  return p;
+}
+
+void Arena::reset() {
+  if (blocks_.size() > 1) {
+    // Consolidate: one block at the high-water total, so the next run
+    // bump-allocates without ever chaining blocks again.
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    blocks_.clear();
+    add_block(total);
+  }
+  for (Block& b : blocks_) MMSYN_ARENA_POISON(b.data.get(), b.size);
+  block_index_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+std::size_t Arena::capacity() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,90 @@
+// Bump (arena) allocator for per-candidate scratch memory.
+//
+// The synthesis inner loop (list scheduling, DVS-graph construction,
+// PV-DVS) runs once per candidate per mode — millions of times per GA
+// run — and every run needs the same family of scratch arrays. Heap
+// round trips for those arrays dominate allocator time, so each worker
+// thread keeps one Arena in its kernel workspace: `reset()` at the start
+// of a pipeline run, bump-allocate scratch during it, and after the
+// first few candidates no call path touches malloc at all (the arena
+// retains its high-water capacity).
+//
+// Lifetime contract (see DESIGN.md §12): an allocation is valid until
+// the next reset(); nothing outliving a pipeline stage may live in the
+// arena — stage artifacts (ModeSchedule, DvsGraph, PvDvsResult) are
+// ordinary heap values.
+//
+// Under AddressSanitizer the arena poisons its blocks on reset() and
+// unpoisons bytes as they are handed out, so stale-scratch reads across
+// candidate boundaries fault exactly like heap use-after-free would
+// (tools/ci.sh runs the test suite over this path in its ASan stage).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace mmsyn {
+
+class Arena {
+ public:
+  /// `initial_capacity` is the byte size of the first block, allocated
+  /// lazily on first use.
+  explicit Arena(std::size_t initial_capacity = 1 << 16)
+      : initial_capacity_(initial_capacity < kMinBlock ? kMinBlock
+                                                       : initial_capacity) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialised storage for `count` objects of trivially destructible
+  /// type T (the arena never runs destructors). Alignment follows T.
+  template <typename T>
+  [[nodiscard]] T* alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    return static_cast<T*>(alloc_raw(count * sizeof(T), alignof(T)));
+  }
+
+  /// Storage for `count` objects, value-filled with `fill`.
+  template <typename T>
+  [[nodiscard]] T* alloc_filled(std::size_t count, T fill) {
+    T* p = alloc<T>(count);
+    for (std::size_t i = 0; i < count; ++i) p[i] = fill;
+    return p;
+  }
+
+  /// Reclaims every allocation at once. Memory is retained (the arena
+  /// keeps one block sized at the high-water mark) and, under ASan,
+  /// poisoned until re-allocated.
+  void reset();
+
+  /// Bytes handed out since the last reset().
+  [[nodiscard]] std::size_t bytes_used() const { return used_; }
+  /// Total block capacity currently held.
+  [[nodiscard]] std::size_t capacity() const;
+  /// Number of backing blocks (collapses to 1 after a reset() following
+  /// growth).
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  static constexpr std::size_t kMinBlock = 256;
+
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  [[nodiscard]] void* alloc_raw(std::size_t bytes, std::size_t align);
+  void add_block(std::size_t at_least);
+
+  std::size_t initial_capacity_;
+  std::vector<Block> blocks_;
+  std::size_t block_index_ = 0;  // block currently bumped
+  std::size_t offset_ = 0;       // bump cursor within that block
+  std::size_t used_ = 0;         // bytes handed out since reset
+};
+
+}  // namespace mmsyn

@@ -20,7 +20,45 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& word : state_) word = splitmix64(sm);
 }
 
-Rng::result_type Rng::operator()() {
+Rng::Rng(RngKind kind, std::uint64_t seed) : kind_(kind) {
+  if (kind_ == RngKind::kXoshiro) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    return;
+  }
+  // Counter engine: state = {key0, key1, block counter, phase}. The key
+  // is seed-expanded the same way as the xoshiro state so low-entropy
+  // seeds still key well-separated streams.
+  std::uint64_t sm = seed;
+  state_[0] = splitmix64(sm);
+  state_[1] = splitmix64(sm);
+  state_[2] = 0;  // block counter
+  state_[3] = 0;  // phase within the 2-word block
+}
+
+std::array<std::uint64_t, 2> Rng::threefry2x64(
+    std::array<std::uint64_t, 2> counter, std::array<std::uint64_t, 2> key) {
+  // Threefry2x64, 20 rounds (the Random123 default). The key schedule
+  // parity constant is from Skein/Threefish.
+  constexpr std::uint64_t kParity = 0x1BD11BDAA9FC1A22ull;
+  constexpr int kRot[8] = {16, 42, 12, 31, 16, 32, 24, 21};
+  const std::uint64_t ks[3] = {key[0], key[1], kParity ^ key[0] ^ key[1]};
+  std::uint64_t x0 = counter[0] + ks[0];
+  std::uint64_t x1 = counter[1] + ks[1];
+  for (int r = 0; r < 20; ++r) {
+    x0 += x1;
+    x1 = std::rotl(x1, kRot[r % 8]);
+    x1 ^= x0;
+    if ((r + 1) % 4 == 0) {
+      const std::uint64_t s = static_cast<std::uint64_t>((r + 1) / 4);
+      x0 += ks[s % 3];
+      x1 += ks[(s + 1) % 3] + s;
+    }
+  }
+  return {x0, x1};
+}
+
+std::uint64_t Rng::next_xoshiro() {
   const std::uint64_t result =
       std::rotl(state_[0] + state_[3], 23) + state_[0];
   const std::uint64_t t = state_[1] << 17;
@@ -31,6 +69,25 @@ Rng::result_type Rng::operator()() {
   state_[2] ^= t;
   state_[3] = std::rotl(state_[3], 45);
   return result;
+}
+
+std::uint64_t Rng::next_threefry() {
+  if (!block_valid_) {
+    block_ = threefry2x64({state_[2], 0}, {state_[0], state_[1]});
+    block_valid_ = true;
+  }
+  const std::uint64_t out = block_[state_[3]];
+  if (++state_[3] == 2) {
+    state_[3] = 0;
+    ++state_[2];
+    block_valid_ = false;
+  }
+  return out;
+}
+
+Rng::result_type Rng::operator()() {
+  if (kind_ == RngKind::kXoshiro) return next_xoshiro();
+  return next_threefry();
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
@@ -84,7 +141,7 @@ std::size_t Rng::pick_weighted(std::span<const double> weights) {
 
 Rng Rng::fork() {
   std::uint64_t s = (*this)();
-  return Rng{splitmix64(s)};
+  return Rng{kind_, splitmix64(s)};
 }
 
 }  // namespace mmsyn

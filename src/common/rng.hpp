@@ -2,9 +2,24 @@
 //
 // All stochastic components of mmsyn (benchmark generator, GA, improvement
 // operators) draw from this generator so that a 64-bit seed fully determines
-// every experiment. We implement xoshiro256++ (public-domain algorithm by
-// Blackman & Vigna) rather than rely on std::mt19937 so the stream is
-// bit-identical across standard libraries.
+// every experiment. Two bit-portable engines are provided (see DESIGN.md
+// §12):
+//
+//  - kXoshiro: xoshiro256++ (public-domain algorithm by Blackman & Vigna),
+//    the original *stateful* engine. Still the default constructor so the
+//    benchmark generator and every historic stream stay byte-identical,
+//    and selectable in the GA via the `--rng=legacy` compatibility flag.
+//  - kThreefry: a Threefry2x64-style *counter-based* engine (Salmon et
+//    al., "Parallel random numbers: as easy as 1, 2, 3"). The n-th draw
+//    is a pure function of (seed, n), so streams can be split, replayed
+//    or leapfrogged across any thread count or future island
+//    decomposition without serialising a hidden state evolution. The GA
+//    defaults to this engine.
+//
+// Both engines expose their state as the same 4-word array, so the GA
+// checkpoint format (run_control.hpp, `rng_state`) carries either
+// without a version bump; the engine choice itself is part of the GA's
+// state fingerprint.
 #pragma once
 
 #include <array>
@@ -15,11 +30,17 @@
 
 namespace mmsyn {
 
-/// SplitMix64 — used to expand a single seed into xoshiro state and to
-/// derive independent child seeds.
+/// SplitMix64 — used to expand a single seed into engine keys/state and
+/// to derive independent child seeds.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
 
-/// xoshiro256++ engine with convenience sampling helpers.
+/// Random-engine selector (see file comment).
+enum class RngKind : std::uint8_t {
+  kXoshiro = 0,   ///< stateful xoshiro256++ (the legacy streams)
+  kThreefry = 1,  ///< counter-based Threefry2x64 (depends only on seed+counter)
+};
+
+/// Pseudo-random engine with convenience sampling helpers.
 ///
 /// Satisfies UniformRandomBitGenerator so it can feed <random>
 /// distributions, but the helpers below are preferred: they are portable
@@ -28,7 +49,16 @@ class Rng {
 public:
   using result_type = std::uint64_t;
 
+  /// Legacy xoshiro256++ engine — the historic default, kept so existing
+  /// call sites (the tgff generator in particular) produce unchanged
+  /// streams.
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Engine-selecting constructor. `Rng(RngKind::kXoshiro, s)` is exactly
+  /// `Rng(s)`.
+  Rng(RngKind kind, std::uint64_t seed);
+
+  [[nodiscard]] RngKind kind() const { return kind_; }
 
   [[nodiscard]] static constexpr result_type min() { return 0; }
   [[nodiscard]] static constexpr result_type max() {
@@ -72,19 +102,38 @@ public:
     }
   }
 
-  /// Derives a child generator whose stream is independent of subsequent
-  /// draws from this one (seeded via splitmix of a fresh draw).
+  /// Derives a child generator (same engine kind) whose stream is
+  /// independent of subsequent draws from this one (seeded via splitmix
+  /// of a fresh draw).
   [[nodiscard]] Rng fork();
 
   /// Raw engine state, for checkpointing. Restoring a saved state resumes
-  /// the stream exactly where it left off.
+  /// the stream exactly where it left off. Layout: the xoshiro words for
+  /// kXoshiro; {key0, key1, block counter, phase} for kThreefry. The
+  /// engine kind is *not* part of the words — callers restore into an
+  /// Rng of the matching kind (the GA guards this via its fingerprint).
   [[nodiscard]] const std::array<std::uint64_t, 4>& state() const {
     return state_;
   }
-  void set_state(const std::array<std::uint64_t, 4>& state) { state_ = state; }
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    state_ = state;
+    block_valid_ = false;
+  }
+
+  /// One Threefry2x64 block: the pure function behind kThreefry, exposed
+  /// for stream-stability tests and future leapfrog decompositions.
+  [[nodiscard]] static std::array<std::uint64_t, 2> threefry2x64(
+      std::array<std::uint64_t, 2> counter, std::array<std::uint64_t, 2> key);
 
 private:
+  [[nodiscard]] std::uint64_t next_xoshiro();
+  [[nodiscard]] std::uint64_t next_threefry();
+
+  RngKind kind_ = RngKind::kXoshiro;
   std::array<std::uint64_t, 4> state_{};
+  // kThreefry block cache (derived from state_, never checkpointed).
+  std::array<std::uint64_t, 2> block_{};
+  bool block_valid_ = false;
 };
 
 }  // namespace mmsyn

@@ -45,7 +45,7 @@ MappingGa::MappingGa(const System& system, const Evaluator& evaluator,
       options_(options),
       codec_(system),
       seed_(seed),
-      rng_(seed),
+      rng_(options.rng, seed),
       mode_cache_(options.mode_cache_capacity) {
   const int threads = ThreadPool::resolve_thread_count(options_.num_threads);
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
@@ -344,7 +344,8 @@ std::uint64_t MappingGa::state_fingerprint() const {
       .add(options_.mode_cache_capacity)
       .add(options_.shutdown_improvement_rate)
       .add(options_.infeasibility_trigger)
-      .add(options_.improvement_sweep_fraction);
+      .add(options_.improvement_sweep_fraction)
+      .add(static_cast<int>(options_.rng));
   h.add(fitness_params_.area_weight)
       .add(fitness_params_.transition_weight)
       .add(fitness_params_.timing_weight);

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/allocation_builder.hpp"
 #include "core/fitness.hpp"
 #include "core/genome.hpp"
@@ -101,6 +102,15 @@ struct GaOptions {
   /// bit-identical for every value — evaluation is pure and the GA's RNG
   /// never runs inside the parallel region (see DESIGN.md §8).
   int num_threads = 1;
+
+  /// Random-stream engine. The default counter-based generator (Threefry)
+  /// derives every draw from (seed, counter) alone, so streams are
+  /// reproducible across checkpoint/resume and any `num_threads` by
+  /// construction. Set to RngKind::kXoshiro to reproduce the historic
+  /// xoshiro256** streams of earlier releases bit-for-bit (see DESIGN.md
+  /// §12). Part of the checkpoint fingerprint: resuming a run under a
+  /// different engine is rejected.
+  RngKind rng = RngKind::kThreefry;
 
   /// Shut-down improvement probability per individual per generation.
   double shutdown_improvement_rate = 0.02;

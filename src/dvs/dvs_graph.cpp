@@ -5,6 +5,7 @@
 #include <cmath>
 #include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "dvs/voltage_model.hpp"
 #include "model/architecture.hpp"
@@ -25,15 +26,16 @@ double pe_max_slowdown(const Pe& pe) {
 }
 
 /// Per-PE segment bookkeeping produced by the Fig. 5 transformation.
+/// Columnar (start/end/node) so the arrival lookup can lower_bound the
+/// starts directly.
 struct PeSegments {
-  struct Segment {
-    double start;
-    double end;
-    int node = -1;  // DvsGraph node index
-  };
-  std::vector<Segment> segments;          // time-ordered
-  std::vector<int> task_first;            // per task id on this PE, or -1
-  std::vector<int> task_last;
+  std::vector<double> start;   // time-ordered, ascending
+  std::vector<double> end;
+  std::vector<std::int32_t> node;  // DvsGraph node index
+  std::vector<std::int32_t> task_first;  // per task id on this PE, or -1
+  std::vector<std::int32_t> task_last;
+
+  [[nodiscard]] std::size_t count() const { return start.size(); }
 };
 
 }  // namespace
@@ -45,6 +47,7 @@ DvsGraph build_dvs_graph(const Mode& mode, const ModeSchedule& schedule,
   const TaskGraph& graph = mode.graph;
   const std::size_t n_tasks = graph.task_count();
   const std::size_t n_edges = graph.edge_count();
+  const std::size_t P = arch.pe_count();
   const double eps = 1e-9 * std::max(1.0, schedule.makespan);
 
   DvsGraph g;
@@ -58,63 +61,72 @@ DvsGraph build_dvs_graph(const Mode& mode, const ModeSchedule& schedule,
     return limit;
   };
 
-  auto add_node = [&](DvsNode node) {
-    g.nodes.push_back(node);
-    g.succs.emplace_back();
-    g.preds.emplace_back();
-    return static_cast<int>(g.nodes.size() - 1);
+  auto add_node = [&](DvsNodeKind kind, int ref, PeId pe, double tmin,
+                      double e_nom, bool scalable, double max_slowdown,
+                      double deadline) {
+    g.kind.push_back(static_cast<std::uint8_t>(kind));
+    g.ref.push_back(ref);
+    g.pe.push_back(pe.valid() ? static_cast<std::int32_t>(pe.index()) : -1);
+    g.tmin.push_back(tmin);
+    g.e_nom.push_back(e_nom);
+    g.scalable.push_back(scalable ? 1 : 0);
+    g.max_slowdown.push_back(max_slowdown);
+    g.deadline.push_back(deadline);
+    return static_cast<std::int32_t>(g.node_count() - 1);
   };
-  auto add_edge = [&](int u, int v) {
+  // Edges are collected in emission order and packed into CSR at the end
+  // with a stable counting sort, so per-node neighbour order matches the
+  // old vector-of-vectors push_back order exactly.
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  auto add_edge = [&](std::int32_t u, std::int32_t v) {
     if (u == v) return;
-    g.succs[static_cast<std::size_t>(u)].push_back(v);
-    g.preds[static_cast<std::size_t>(v)].push_back(u);
+    edges.emplace_back(u, v);
   };
 
-  // ---- Classify PEs and create task nodes for non-DVS-HW PEs. ----------
-  std::vector<bool> is_dvs_hw(arch.pe_count(), false);
-  for (PeId p : arch.pe_ids()) {
-    const Pe& pe = arch.pe(p);
-    is_dvs_hw[p.index()] =
-        scale_hardware && is_hardware(pe.kind) && pe_scalable(pe);
+  // ---- Classify PEs; group hosted tasks per PE in one pass. -------------
+  std::vector<std::uint8_t> is_dvs_hw(P, 0);
+  for (std::size_t p = 0; p < P; ++p) {
+    const Pe& pe = arch.pe(PeId{static_cast<PeId::value_type>(p)});
+    is_dvs_hw[p] =
+        (scale_hardware && is_hardware(pe.kind) && pe_scalable(pe)) ? 1 : 0;
   }
+  std::vector<std::vector<std::int32_t>> hosted_by_pe(P);
+  for (std::size_t t = 0; t < n_tasks; ++t)
+    hosted_by_pe[schedule.tasks[t].pe.index()].push_back(
+        static_cast<std::int32_t>(t));
 
+  // ---- Task nodes for non-DVS-HW PEs. -----------------------------------
   for (std::size_t t = 0; t < n_tasks; ++t) {
     const TaskId id{static_cast<TaskId::value_type>(t)};
     const ScheduledTask& st = schedule.tasks[t];
     if (is_dvs_hw[st.pe.index()]) continue;  // becomes segments below
     const Pe& pe = arch.pe(st.pe);
     const Implementation& impl = tech.require(graph.task(id).type, st.pe);
-    DvsNode node;
-    node.kind = DvsNodeKind::kTask;
-    node.ref = static_cast<int>(t);
-    node.pe = st.pe;
-    node.tmin = st.duration();
-    node.e_nom = impl.energy();
-    node.scalable = is_software(pe.kind) && pe_scalable(pe);
-    node.max_slowdown = node.scalable ? pe_max_slowdown(pe) : 1.0;
-    node.deadline = task_limit(id);
-    g.task_node[t] = add_node(node);
+    const bool scalable = is_software(pe.kind) && pe_scalable(pe);
+    g.task_node[t] = add_node(
+        DvsNodeKind::kTask, static_cast<int>(t), st.pe, st.duration(),
+        impl.energy(), scalable, scalable ? pe_max_slowdown(pe) : 1.0,
+        task_limit(id));
   }
 
   // ---- Fig. 5 transformation for each DVS hardware PE. ------------------
-  std::vector<PeSegments> pe_segments(arch.pe_count());
-  for (PeId p : arch.pe_ids()) {
-    if (!is_dvs_hw[p.index()]) continue;
-    PeSegments& ps = pe_segments[p.index()];
+  std::vector<PeSegments> pe_segments(P);
+  for (std::size_t pi = 0; pi < P; ++pi) {
+    if (!is_dvs_hw[pi]) continue;
+    const PeId p{static_cast<PeId::value_type>(pi)};
+    PeSegments& ps = pe_segments[pi];
     ps.task_first.assign(n_tasks, -1);
     ps.task_last.assign(n_tasks, -1);
 
-    // Tasks hosted on this PE, with their nominal powers.
-    std::vector<std::size_t> hosted;
-    for (std::size_t t = 0; t < n_tasks; ++t)
-      if (schedule.tasks[t].pe == p) hosted.push_back(t);
+    const std::vector<std::int32_t>& hosted = hosted_by_pe[pi];
     if (hosted.empty()) continue;
 
     // Cut points: task starts/finishes plus in-flight data arrivals.
     std::vector<double> cuts;
-    for (std::size_t t : hosted) {
-      cuts.push_back(schedule.tasks[t].start);
-      cuts.push_back(schedule.tasks[t].finish);
+    cuts.reserve(2 * hosted.size());
+    for (std::int32_t t : hosted) {
+      cuts.push_back(schedule.tasks[static_cast<std::size_t>(t)].start);
+      cuts.push_back(schedule.tasks[static_cast<std::size_t>(t)].finish);
     }
     for (std::size_t e = 0; e < n_edges; ++e) {
       const TaskEdge& edge = graph.edge(EdgeId{static_cast<EdgeId::value_type>(e)});
@@ -137,8 +149,8 @@ DvsGraph build_dvs_graph(const Mode& mode, const ModeSchedule& schedule,
       double power = 0.0;
       double deadline = mode.period;
       bool any_active = false;
-      for (std::size_t t : hosted) {
-        const ScheduledTask& st = schedule.tasks[t];
+      for (std::int32_t t : hosted) {
+        const ScheduledTask& st = schedule.tasks[static_cast<std::size_t>(t)];
         if (st.start <= a + eps && st.finish >= b - eps) {
           any_active = true;
           const TaskId id{static_cast<TaskId::value_type>(t)};
@@ -149,52 +161,42 @@ DvsGraph build_dvs_graph(const Mode& mode, const ModeSchedule& schedule,
       }
       if (!any_active) continue;  // idle gap
 
-      DvsNode node;
-      node.kind = DvsNodeKind::kSegment;
-      node.ref = static_cast<int>(ps.segments.size());
-      node.pe = p;
-      node.tmin = b - a;
-      node.e_nom = power * (b - a);
-      node.scalable = true;
-      node.max_slowdown = slowdown_cap;
-      node.deadline = deadline;
-      const int idx = add_node(node);
-      ps.segments.push_back({a, b, idx});
+      const std::int32_t idx = add_node(
+          DvsNodeKind::kSegment, static_cast<int>(ps.count()), p, b - a,
+          power * (b - a), true, slowdown_cap, deadline);
+      ps.start.push_back(a);
+      ps.end.push_back(b);
+      ps.node.push_back(idx);
     }
 
     // Map tasks to their first/last segments and chain the segments.
-    for (std::size_t t : hosted) {
-      const ScheduledTask& st = schedule.tasks[t];
-      for (std::size_t s = 0; s < ps.segments.size(); ++s) {
-        const auto& seg = ps.segments[s];
-        if (std::abs(seg.start - st.start) < eps && ps.task_first[t] == -1)
-          ps.task_first[t] = static_cast<int>(s);
-        if (std::abs(seg.end - st.finish) < eps)
-          ps.task_last[t] = static_cast<int>(s);
+    for (std::int32_t t : hosted) {
+      const auto ti = static_cast<std::size_t>(t);
+      const ScheduledTask& st = schedule.tasks[ti];
+      for (std::size_t s = 0; s < ps.count(); ++s) {
+        if (std::abs(ps.start[s] - st.start) < eps && ps.task_first[ti] == -1)
+          ps.task_first[ti] = static_cast<std::int32_t>(s);
+        if (std::abs(ps.end[s] - st.finish) < eps)
+          ps.task_last[ti] = static_cast<std::int32_t>(s);
       }
-      assert(ps.task_first[t] >= 0 && ps.task_last[t] >= 0);
-      g.task_node[t] = ps.segments[static_cast<std::size_t>(ps.task_last[t])].node;
+      assert(ps.task_first[ti] >= 0 && ps.task_last[ti] >= 0);
+      g.task_node[ti] =
+          ps.node[static_cast<std::size_t>(ps.task_last[ti])];
     }
-    for (std::size_t s = 0; s + 1 < ps.segments.size(); ++s)
-      add_edge(ps.segments[s].node, ps.segments[s + 1].node);
+    for (std::size_t s = 0; s + 1 < ps.count(); ++s)
+      add_edge(ps.node[s], ps.node[s + 1]);
   }
 
   // ---- Communication nodes. ---------------------------------------------
   for (std::size_t e = 0; e < n_edges; ++e) {
     const ScheduledComm& comm = schedule.comms[e];
     if (comm.local) continue;
-    DvsNode node;
-    node.kind = DvsNodeKind::kComm;
-    node.ref = static_cast<int>(e);
-    node.pe = PeId::invalid();
-    node.tmin = comm.duration();
-    node.e_nom = comm.cl.valid()
-                     ? arch.cl(comm.cl).transfer_power * comm.duration()
-                     : 0.0;
-    node.scalable = false;
-    node.max_slowdown = 1.0;
-    node.deadline = mode.period;
-    g.comm_node[e] = add_node(node);
+    g.comm_node[e] = add_node(
+        DvsNodeKind::kComm, static_cast<int>(e), PeId::invalid(),
+        comm.duration(),
+        comm.cl.valid() ? arch.cl(comm.cl).transfer_power * comm.duration()
+                        : 0.0,
+        false, 1.0, mode.period);
   }
 
   // ---- Data-precedence edges. -------------------------------------------
@@ -203,20 +205,23 @@ DvsGraph build_dvs_graph(const Mode& mode, const ModeSchedule& schedule,
     if (!is_dvs_hw[st.pe.index()]) return g.task_node[dst.index()];
     // Earliest segment starting at/after the arrival; never later than the
     // task's own first segment (the arrival instant is a cut point).
+    // Segment starts are ascending, so this is a binary search.
     const PeSegments& ps = pe_segments[st.pe.index()];
-    for (const auto& seg : ps.segments)
-      if (seg.start >= arrival - eps) return seg.node;
+    const auto it = std::lower_bound(ps.start.begin(), ps.start.end(),
+                                     arrival - eps);
+    if (it != ps.start.end())
+      return ps.node[static_cast<std::size_t>(it - ps.start.begin())];
     return g.task_node[dst.index()];
   };
 
   for (std::size_t e = 0; e < n_edges; ++e) {
     const TaskEdge& edge = graph.edge(EdgeId{static_cast<EdgeId::value_type>(e)});
-    const int out_node = g.task_node[edge.src.index()];
+    const std::int32_t out_node = g.task_node[edge.src.index()];
     const ScheduledComm& comm = schedule.comms[e];
     if (comm.local) {
       add_edge(out_node, in_node_for(edge.dst, comm.finish));
     } else {
-      const int cn = g.comm_node[e];
+      const std::int32_t cn = g.comm_node[e];
       add_edge(out_node, cn);
       add_edge(cn, in_node_for(edge.dst, comm.finish));
     }
@@ -224,34 +229,38 @@ DvsGraph build_dvs_graph(const Mode& mode, const ModeSchedule& schedule,
 
   // ---- Resource execution-order edges. ----------------------------------
   // Software PEs and non-DVS hardware cores: chain by start time.
-  for (PeId p : arch.pe_ids()) {
-    if (is_dvs_hw[p.index()]) continue;  // already chained as segments
+  for (std::size_t pi = 0; pi < P; ++pi) {
+    if (is_dvs_hw[pi]) continue;  // already chained as segments
+    const PeId p{static_cast<PeId::value_type>(pi)};
     const Pe& pe = arch.pe(p);
     if (is_software(pe.kind)) {
-      std::vector<std::size_t> hosted;
-      for (std::size_t t = 0; t < n_tasks; ++t)
-        if (schedule.tasks[t].pe == p) hosted.push_back(t);
-      std::sort(hosted.begin(), hosted.end(), [&](std::size_t a, std::size_t b) {
-        return schedule.tasks[a].start < schedule.tasks[b].start;
-      });
+      std::vector<std::int32_t> hosted = hosted_by_pe[pi];
+      std::sort(hosted.begin(), hosted.end(),
+                [&](std::int32_t a, std::int32_t b) {
+                  return schedule.tasks[static_cast<std::size_t>(a)].start <
+                         schedule.tasks[static_cast<std::size_t>(b)].start;
+                });
       for (std::size_t i = 0; i + 1 < hosted.size(); ++i)
-        add_edge(g.task_node[hosted[i]], g.task_node[hosted[i + 1]]);
+        add_edge(g.task_node[static_cast<std::size_t>(hosted[i])],
+                 g.task_node[static_cast<std::size_t>(hosted[i + 1])]);
     } else {
       // Group by (task type, core instance); chain within each core.
-      std::map<std::pair<TaskTypeId, int>, std::vector<std::size_t>> groups;
-      for (std::size_t t = 0; t < n_tasks; ++t) {
-        const ScheduledTask& st = schedule.tasks[t];
-        if (st.pe != p) continue;
+      std::map<std::pair<TaskTypeId, int>, std::vector<std::int32_t>> groups;
+      for (std::int32_t t : hosted_by_pe[pi]) {
+        const auto ti = static_cast<std::size_t>(t);
         const TaskId id{static_cast<TaskId::value_type>(t)};
-        groups[{graph.task(id).type, st.core_instance}].push_back(t);
+        groups[{graph.task(id).type, schedule.tasks[ti].core_instance}]
+            .push_back(t);
       }
       for (auto& [key, hosted] : groups) {
         std::sort(hosted.begin(), hosted.end(),
-                  [&](std::size_t a, std::size_t b) {
-                    return schedule.tasks[a].start < schedule.tasks[b].start;
+                  [&](std::int32_t a, std::int32_t b) {
+                    return schedule.tasks[static_cast<std::size_t>(a)].start <
+                           schedule.tasks[static_cast<std::size_t>(b)].start;
                   });
         for (std::size_t i = 0; i + 1 < hosted.size(); ++i)
-          add_edge(g.task_node[hosted[i]], g.task_node[hosted[i + 1]]);
+          add_edge(g.task_node[static_cast<std::size_t>(hosted[i])],
+                   g.task_node[static_cast<std::size_t>(hosted[i + 1])]);
       }
     }
   }
@@ -268,20 +277,40 @@ DvsGraph build_dvs_graph(const Mode& mode, const ModeSchedule& schedule,
       add_edge(g.comm_node[on_link[i]], g.comm_node[on_link[i + 1]]);
   }
 
-  // ---- Topological order (Kahn). -----------------------------------------
-  const std::size_t n = g.nodes.size();
-  std::vector<std::size_t> indegree(n, 0);
+  // ---- Pack the edge list into CSR (stable counting sort). --------------
+  const std::size_t n = g.node_count();
+  g.succ_off.assign(n + 1, 0);
+  g.pred_off.assign(n + 1, 0);
+  for (const auto& [u, v] : edges) {
+    ++g.succ_off[static_cast<std::size_t>(u) + 1];
+    ++g.pred_off[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    g.succ_off[u + 1] += g.succ_off[u];
+    g.pred_off[u + 1] += g.pred_off[u];
+  }
+  g.succ_adj.resize(edges.size());
+  g.pred_adj.resize(edges.size());
+  std::vector<std::int32_t> scur(g.succ_off.begin(), g.succ_off.end() - 1);
+  std::vector<std::int32_t> pcur(g.pred_off.begin(), g.pred_off.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.succ_adj[static_cast<std::size_t>(scur[static_cast<std::size_t>(u)]++)] = v;
+    g.pred_adj[static_cast<std::size_t>(pcur[static_cast<std::size_t>(v)]++)] = u;
+  }
+
+  // ---- Topological order (Kahn, FIFO frontier). -------------------------
+  std::vector<std::int32_t> indegree(n);
   for (std::size_t u = 0; u < n; ++u)
-    for (int v : g.succs[u]) indegree[static_cast<std::size_t>(v)]++;
+    indegree[u] = g.pred_off[u + 1] - g.pred_off[u];
   g.topo.reserve(n);
-  std::vector<int> frontier;
+  std::vector<std::int32_t> frontier;
   for (std::size_t u = 0; u < n; ++u)
-    if (indegree[u] == 0) frontier.push_back(static_cast<int>(u));
+    if (indegree[u] == 0) frontier.push_back(static_cast<std::int32_t>(u));
   std::size_t cursor = 0;
   while (cursor < frontier.size()) {
-    const int u = frontier[cursor++];
+    const std::int32_t u = frontier[cursor++];
     g.topo.push_back(u);
-    for (int v : g.succs[static_cast<std::size_t>(u)])
+    for (std::int32_t v : g.succs(static_cast<std::size_t>(u)))
       if (--indegree[static_cast<std::size_t>(v)] == 0) frontier.push_back(v);
   }
   if (g.topo.size() != n)

@@ -16,9 +16,18 @@
 // tasks finishing at their end. Cutting at data-arrival instants guarantees
 // that cross-PE edges attach to a segment starting no earlier than the
 // arrival, i.e. edges never point backward in time.
+//
+// Layout (DESIGN.md §12): the graph is structure-of-arrays — one column
+// per node attribute plus CSR adjacency — because the PV-DVS inner loop
+// streams whole columns (tmin, deadline, adjacency) thousands of times per
+// candidate. Per-node lists preserve edge emission order, so traversals
+// visit neighbours in exactly the order the old vector-of-vectors layout
+// did (bench/reference_kernels.cpp keeps that layout for the bit-compare).
 #pragma once
 
+#include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -32,13 +41,15 @@ class Architecture;
 class TechLibrary;
 
 /// Node kinds of the DVS graph.
-enum class DvsNodeKind {
+enum class DvsNodeKind : std::uint8_t {
   kTask,     ///< a task on a software PE or non-DVS hardware PE
   kComm,     ///< an inter-PE communication on a CL
   kSegment,  ///< a Fig.-5 virtual segment of a DVS hardware PE
 };
 
-/// One activity node.
+/// One activity node, gathered from the columnar graph (see
+/// DvsGraph::node). Cold consumers (reports, audits, tests) use this view;
+/// hot loops read the columns directly.
 struct DvsNode {
   DvsNodeKind kind = DvsNodeKind::kTask;
   /// Task id (kTask), edge id (kComm), or per-PE segment ordinal (kSegment).
@@ -57,19 +68,59 @@ struct DvsNode {
   double deadline = std::numeric_limits<double>::infinity();
 };
 
-/// The DAG. Node indices are positions in `nodes`.
+/// The DAG, structure-of-arrays. Node indices are positions in the
+/// columns; all node columns have node_count() entries.
 struct DvsGraph {
-  std::vector<DvsNode> nodes;
-  std::vector<std::vector<int>> succs;
-  std::vector<std::vector<int>> preds;
+  // ---- Node columns. ----------------------------------------------------
+  std::vector<std::uint8_t> kind;          // DvsNodeKind
+  std::vector<std::int32_t> ref;
+  std::vector<std::int32_t> pe;            // PE index; -1 == invalid (comms)
+  std::vector<double> tmin;
+  std::vector<double> e_nom;
+  std::vector<std::uint8_t> scalable;      // bool
+  std::vector<double> max_slowdown;
+  std::vector<double> deadline;
+
+  // ---- CSR adjacency (per-node lists in edge emission order). -----------
+  std::vector<std::int32_t> succ_off;      // node_count()+1 offsets
+  std::vector<std::int32_t> succ_adj;
+  std::vector<std::int32_t> pred_off;
+  std::vector<std::int32_t> pred_adj;
+
   /// Topological order (valid by construction).
-  std::vector<int> topo;
+  std::vector<std::int32_t> topo;
 
   /// node index of each task (kTask) or of the task's *last* segment
   /// (tasks absorbed into a DVS-HW chain); index == task id.
-  std::vector<int> task_node;
+  std::vector<std::int32_t> task_node;
   /// node index of each non-local comm; -1 for local edges. index == edge id.
-  std::vector<int> comm_node;
+  std::vector<std::int32_t> comm_node;
+
+  [[nodiscard]] std::size_t node_count() const { return tmin.size(); }
+
+  [[nodiscard]] std::span<const std::int32_t> succs(std::size_t u) const {
+    return {succ_adj.data() + succ_off[u],
+            static_cast<std::size_t>(succ_off[u + 1] - succ_off[u])};
+  }
+  [[nodiscard]] std::span<const std::int32_t> preds(std::size_t u) const {
+    return {pred_adj.data() + pred_off[u],
+            static_cast<std::size_t>(pred_off[u + 1] - pred_off[u])};
+  }
+
+  /// Gathers node `i`'s columns into the row view.
+  [[nodiscard]] DvsNode node(std::size_t i) const {
+    DvsNode n;
+    n.kind = static_cast<DvsNodeKind>(kind[i]);
+    n.ref = ref[i];
+    n.pe = pe[i] >= 0 ? PeId{static_cast<PeId::value_type>(pe[i])}
+                      : PeId::invalid();
+    n.tmin = tmin[i];
+    n.e_nom = e_nom[i];
+    n.scalable = scalable[i] != 0;
+    n.max_slowdown = max_slowdown[i];
+    n.deadline = deadline[i];
+    return n;
+  }
 };
 
 /// Builds the DVS graph from a mode schedule. `scale_hardware` enables the

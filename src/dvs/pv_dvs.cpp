@@ -1,3 +1,17 @@
+// PV-DVS on the columnar DVS graph (DESIGN.md §12).
+//
+// Two data-oriented changes relative to the frozen baseline
+// (bench/reference_kernels.cpp), both provably value-preserving:
+//
+//  - all scratch (ef/lf, descent cache, topo positions, dirty flags) lives
+//    in a thread-local bump arena reset per call;
+//  - the forward/backward critical-path passes are *incremental*: after a
+//    greedy step extends node b, only the nodes whose earliest-finish or
+//    latest-finish values actually change are recomputed (dirty-flag
+//    propagation along the topological order). Earliest/latest finishes
+//    are pure max/min functions of the durations, so recomputing exactly
+//    the changed subset yields bit-identical doubles to a full pass — the
+//    micro-kernel bit-compare enforces this.
 #include "dvs/pv_dvs.hpp"
 
 #include <algorithm>
@@ -5,6 +19,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/arena.hpp"
 #include "dvs/voltage_model.hpp"
 #include "model/architecture.hpp"
 
@@ -20,7 +35,10 @@ double continuous_energy(double e_nom, double slowdown, double vmax,
 
 double discrete_energy(double e_nom, double tmin, double target_time,
                        const std::vector<double>& levels, double vt) {
-  assert(!levels.empty());
+  // No levels at all means there is nothing to scale with: the activity
+  // runs (and is priced) at nominal. Guarded explicitly — `levels.back()`
+  // on an empty vector is undefined behaviour in release builds.
+  if (levels.empty()) return e_nom;
   const double vmax = levels.back();
   if (target_time <= tmin || levels.size() == 1) return e_nom;
   const VoltageModel model(vmax, vt);
@@ -57,31 +75,28 @@ double discrete_energy(double e_nom, double tmin, double target_time,
 
 namespace {
 
-struct NodeModel {
-  double vmax = 0.0;
-  double vt = 0.0;
-  std::vector<double> levels;
-};
+Arena& dvs_arena() {
+  thread_local Arena arena{1 << 16};
+  return arena;
+}
 
-/// Forward pass: earliest finish times under current durations.
-void forward_pass(const DvsGraph& g, const std::vector<double>& t,
-                  std::vector<double>& ef) {
-  for (int u : g.topo) {
+/// Full forward pass: earliest finish times under current durations.
+void forward_pass_full(const DvsGraph& g, const double* t, double* ef) {
+  for (std::int32_t u : g.topo) {
     const auto ui = static_cast<std::size_t>(u);
     double start = 0.0;
-    for (int p : g.preds[ui])
+    for (std::int32_t p : g.preds(ui))
       start = std::max(start, ef[static_cast<std::size_t>(p)]);
     ef[ui] = start + t[ui];
   }
 }
 
-/// Backward pass: latest allowed finish times under current durations.
-void backward_pass(const DvsGraph& g, const std::vector<double>& t,
-                   std::vector<double>& lf) {
+/// Full backward pass: latest allowed finish times under current durations.
+void backward_pass_full(const DvsGraph& g, const double* t, double* lf) {
   for (auto it = g.topo.rbegin(); it != g.topo.rend(); ++it) {
     const auto ui = static_cast<std::size_t>(*it);
-    double limit = g.nodes[ui].deadline;
-    for (int s : g.succs[ui]) {
+    double limit = g.deadline[ui];
+    for (std::int32_t s : g.succs(ui)) {
       const auto si = static_cast<std::size_t>(s);
       limit = std::min(limit, lf[si] - t[si]);
     }
@@ -89,81 +104,159 @@ void backward_pass(const DvsGraph& g, const std::vector<double>& t,
   }
 }
 
+/// Incremental re-propagation after t[b] changed: recomputes exactly the
+/// ef/lf entries the change reaches. `pos` maps node -> topo position;
+/// `fwd_dirty`/`bwd_dirty` are zeroed scratch flags (left zeroed again on
+/// return).
+void incremental_passes(const DvsGraph& g, const double* t, std::size_t b,
+                        const std::int32_t* pos, double* ef, double* lf,
+                        std::uint8_t* fwd_dirty, std::uint8_t* bwd_dirty) {
+  const std::size_t n = g.node_count();
+  const auto pb = static_cast<std::size_t>(pos[b]);
+
+  // Forward: ef[b] changes (its duration did); propagate to successors
+  // only while recomputed values actually differ.
+  fwd_dirty[b] = 1;
+  std::size_t pending = 1;
+  for (std::size_t i = pb; i < n && pending > 0; ++i) {
+    const auto u = static_cast<std::size_t>(g.topo[i]);
+    if (!fwd_dirty[u]) continue;
+    fwd_dirty[u] = 0;
+    --pending;
+    double start = 0.0;
+    for (std::int32_t p : g.preds(u))
+      start = std::max(start, ef[static_cast<std::size_t>(p)]);
+    const double value = start + t[u];
+    if (value != ef[u]) {
+      ef[u] = value;
+      for (std::int32_t s : g.succs(u)) {
+        const auto si = static_cast<std::size_t>(s);
+        if (!fwd_dirty[si]) fwd_dirty[si] = 1, ++pending;
+      }
+    }
+  }
+
+  // Backward: lf[b] itself is unchanged (its successors are), but the
+  // slack term (lf[b] - t[b]) its predecessors consume did change — seed
+  // them and walk the prefix of the topological order in reverse.
+  pending = 0;
+  for (std::int32_t p : g.preds(b)) {
+    const auto pi = static_cast<std::size_t>(p);
+    if (!bwd_dirty[pi]) bwd_dirty[pi] = 1, ++pending;
+  }
+  for (std::size_t i = pb; i-- > 0 && pending > 0;) {
+    const auto u = static_cast<std::size_t>(g.topo[i]);
+    if (!bwd_dirty[u]) continue;
+    bwd_dirty[u] = 0;
+    --pending;
+    double limit = g.deadline[u];
+    for (std::int32_t s : g.succs(u)) {
+      const auto si = static_cast<std::size_t>(s);
+      limit = std::min(limit, lf[si] - t[si]);
+    }
+    if (limit != lf[u]) {
+      lf[u] = limit;  // t[u] unchanged, so (lf[u] - t[u]) changed too
+      for (std::int32_t p : g.preds(u)) {
+        const auto pi = static_cast<std::size_t>(p);
+        if (!bwd_dirty[pi]) bwd_dirty[pi] = 1, ++pending;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 PvDvsResult run_pv_dvs(const DvsGraph& g, const Architecture& arch,
                        const PvDvsOptions& options) {
-  const std::size_t n = g.nodes.size();
+  const std::size_t n = g.node_count();
   PvDvsResult result;
   result.scaled_time.resize(n);
   result.voltage.assign(n, 0.0);
   result.energy.resize(n);
 
-  std::vector<NodeModel> models(n);
-  std::vector<int> scalable;
+  Arena& arena = dvs_arena();
+  arena.reset();
+
+  // Per-node voltage model parameters; `levels` points at the owning PE's
+  // level vector (no per-call copies).
+  double* model_vmax = arena.alloc_filled<double>(n, 0.0);
+  double* model_vt = arena.alloc_filled<double>(n, 0.0);
+  const std::vector<double>** model_levels =
+      arena.alloc_filled<const std::vector<double>*>(n, nullptr);
+  std::int32_t* scalable = arena.alloc<std::int32_t>(n);
+  std::size_t scalable_count = 0;
+
   for (std::size_t i = 0; i < n; ++i) {
-    const DvsNode& node = g.nodes[i];
-    result.scaled_time[i] = node.tmin;
-    result.nominal_energy += node.e_nom;
-    if (node.scalable && node.pe.valid()) {
-      const Pe& pe = arch.pe(node.pe);
-      models[i] = {pe.vmax(), pe.threshold_voltage, pe.voltage_levels};
+    result.scaled_time[i] = g.tmin[i];
+    result.nominal_energy += g.e_nom[i];
+    if (g.scalable[i] && g.pe[i] >= 0) {
+      const Pe& pe = arch.pe(PeId{static_cast<PeId::value_type>(g.pe[i])});
+      model_vmax[i] = pe.vmax();
+      model_vt[i] = pe.threshold_voltage;
+      model_levels[i] = &pe.voltage_levels;
       result.voltage[i] = pe.vmax();
-      if (node.tmin > 0.0 && node.e_nom > 0.0)
-        scalable.push_back(static_cast<int>(i));
-    } else if (node.pe.valid()) {
-      result.voltage[i] = arch.pe(node.pe).vmax();
+      if (g.tmin[i] > 0.0 && g.e_nom[i] > 0.0)
+        scalable[scalable_count++] = static_cast<std::int32_t>(i);
+    } else if (g.pe[i] >= 0) {
+      result.voltage[i] =
+          arch.pe(PeId{static_cast<PeId::value_type>(g.pe[i])}).vmax();
     }
   }
 
-  std::vector<double>& t = result.scaled_time;
-  std::vector<double> ef(n, 0.0), lf(n, 0.0);
+  double* t = result.scaled_time.data();
+  double* ef = arena.alloc_filled<double>(n, 0.0);
+  double* lf = arena.alloc_filled<double>(n, 0.0);
 
   auto node_energy_continuous = [&](std::size_t i, double ti) {
-    const DvsNode& node = g.nodes[i];
-    if (node.tmin <= 0.0) return node.e_nom;
-    return continuous_energy(node.e_nom, ti / node.tmin, models[i].vmax,
-                             models[i].vt);
+    if (g.tmin[i] <= 0.0) return g.e_nom[i];
+    return continuous_energy(g.e_nom[i], ti / g.tmin[i], model_vmax[i],
+                             model_vt[i]);
   };
 
-  if (!scalable.empty()) {
+  if (scalable_count > 0) {
     const double gain_floor =
         std::max(result.nominal_energy, 1e-30) * options.min_relative_gain;
     const int max_iterations =
-        options.max_iterations_per_node * static_cast<int>(scalable.size());
+        options.max_iterations_per_node * static_cast<int>(scalable_count);
 
     // Cached energy-descent rate -dE/dt per scalable node, refreshed only
     // when the node's time changes — the inverse-voltage bisection behind
     // it is the algorithm's dominant cost.
-    std::vector<double> descent(n, 0.0);
+    double* descent = arena.alloc_filled<double>(n, 0.0);
     auto refresh_descent = [&](std::size_t ui) {
-      const DvsNode& node = g.nodes[ui];
-      const double h = 0.01 * node.tmin;
+      const double h = 0.01 * g.tmin[ui];
       descent[ui] = (node_energy_continuous(ui, t[ui]) -
                      node_energy_continuous(ui, t[ui] + h)) /
                     h;
     };
-    for (int u : scalable) refresh_descent(static_cast<std::size_t>(u));
+    for (std::size_t k = 0; k < scalable_count; ++k)
+      refresh_descent(static_cast<std::size_t>(scalable[k]));
+
+    // Topo positions and dirty flags for the incremental passes.
+    std::int32_t* pos = arena.alloc<std::int32_t>(n);
+    for (std::size_t i = 0; i < n; ++i)
+      pos[static_cast<std::size_t>(g.topo[i])] = static_cast<std::int32_t>(i);
+    std::uint8_t* fwd_dirty = arena.alloc_filled<std::uint8_t>(n, 0);
+    std::uint8_t* bwd_dirty = arena.alloc_filled<std::uint8_t>(n, 0);
+
+    forward_pass_full(g, t, ef);
+    backward_pass_full(g, t, lf);
 
     for (int iter = 0; iter < max_iterations; ++iter) {
-      forward_pass(g, t, ef);
-      backward_pass(g, t, lf);
-
       double best_gain = 0.0;
-      int best_node = -1;
+      std::int32_t best_node = -1;
       double best_step = 0.0;
-      for (int u : scalable) {
-        const auto ui = static_cast<std::size_t>(u);
-        const DvsNode& node = g.nodes[ui];
+      for (std::size_t k = 0; k < scalable_count; ++k) {
+        const auto ui = static_cast<std::size_t>(scalable[k]);
         const double slack = lf[ui] - ef[ui];
-        const double cap = node.tmin * node.max_slowdown - t[ui];
+        const double cap = g.tmin[ui] * g.max_slowdown[ui] - t[ui];
         const double avail = std::min(slack, cap);
-        if (avail <= 1e-12 * std::max(1.0, node.tmin)) continue;
+        if (avail <= 1e-12 * std::max(1.0, g.tmin[ui])) continue;
         const double step = options.step_fraction * avail;
         const double gain = descent[ui] * step;  // linearised estimate
         if (gain > best_gain) {
           best_gain = gain;
-          best_node = u;
+          best_node = scalable[k];
           best_step = step;
         }
       }
@@ -171,26 +264,28 @@ PvDvsResult run_pv_dvs(const DvsGraph& g, const Architecture& arch,
       const auto bi = static_cast<std::size_t>(best_node);
       t[bi] += best_step;
       refresh_descent(bi);
+      incremental_passes(g, t, bi, pos, ef, lf, fwd_dirty, bwd_dirty);
     }
+  } else {
+    forward_pass_full(g, t, ef);
   }
 
-  // Final timing check and energy accounting.
-  forward_pass(g, t, ef);
+  // Final timing check and energy accounting. ef is maintained exactly by
+  // the incremental passes, so no closing full pass is needed.
   result.deadlines_met = true;
   for (std::size_t i = 0; i < n; ++i) {
-    const DvsNode& node = g.nodes[i];
-    if (ef[i] > node.deadline * (1.0 + 1e-9) + 1e-12)
+    if (ef[i] > g.deadline[i] * (1.0 + 1e-9) + 1e-12)
       result.deadlines_met = false;
-    if (!node.scalable || node.tmin <= 0.0 || node.e_nom <= 0.0) {
-      result.energy[i] = node.e_nom;
+    if (!g.scalable[i] || g.tmin[i] <= 0.0 || g.e_nom[i] <= 0.0) {
+      result.energy[i] = g.e_nom[i];
     } else {
-      const VoltageModel model(models[i].vmax, models[i].vt);
-      result.voltage[i] = model.voltage_for_slowdown(t[i] / node.tmin);
+      const VoltageModel model(model_vmax[i], model_vt[i]);
+      result.voltage[i] = model.voltage_for_slowdown(t[i] / g.tmin[i]);
       result.energy[i] =
           options.discrete_voltages
-              ? discrete_energy(node.e_nom, node.tmin, t[i], models[i].levels,
-                                models[i].vt)
-              : node.e_nom * model.energy_factor(result.voltage[i]);
+              ? discrete_energy(g.e_nom[i], g.tmin[i], t[i], *model_levels[i],
+                                model_vt[i])
+              : g.e_nom[i] * model.energy_factor(result.voltage[i]);
     }
     result.total_energy += result.energy[i];
   }

@@ -33,17 +33,34 @@ double VoltageModel::energy_factor(double v) const {
 
 double VoltageModel::voltage_for_slowdown(double s) const {
   if (s <= 1.0) return vmax_;
-  // slowdown() is strictly decreasing in v on (vt, vmax]; bisect.
-  double lo = vt_ + 1e-9 * (vmax_ - vt_);
-  double hi = vmax_;
-  if (slowdown(lo) < s) return lo;  // stretch beyond physical range: clamp
-  for (int iter = 0; iter < 80; ++iter) {
-    const double mid = 0.5 * (lo + hi);
-    if (slowdown(mid) > s) lo = mid;
-    else hi = mid;
-    if (hi - lo < 1e-9 * vmax_) break;
+  const double lo = vt_ + 1e-9 * (vmax_ - vt_);
+  if (alpha_ == 2.0) {
+    // Closed form (DESIGN.md §12): with c = s·vmax/(vmax−vt)², the defining
+    // equation s = slowdown(v) becomes c·(v−vt)² = v, a quadratic whose
+    // roots multiply to vt² — exactly one lies above vt. Its discriminant
+    // (2c·vt+1)² − 4c²·vt² telescopes to 4c·vt + 1, so the physical root is
+    //   v = (2c·vt + 1 + sqrt(4c·vt + 1)) / (2c),
+    // computed from sums of positives (no cancellation). This lands within
+    // an ulp of the true inverse — tighter than the 1e-9·vmax bisection it
+    // replaced — at a fraction of the cost (the bisection's ~30 dependent
+    // divides bounded the whole PV-DVS gradient loop).
+    const double a = vmax_ - vt_;
+    const double c = s * vmax_ / (a * a);
+    const double v = (2.0 * c * vt_ + 1.0 + std::sqrt(4.0 * c * vt_ + 1.0)) /
+                     (2.0 * c);
+    return std::min(std::max(v, lo), vmax_);
   }
-  return 0.5 * (lo + hi);
+  // General α: slowdown() is strictly decreasing in v on (vt, vmax]; bisect.
+  double blo = lo;
+  double bhi = vmax_;
+  if (slowdown(blo) < s) return blo;  // stretch beyond physical range: clamp
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (blo + bhi);
+    if (slowdown(mid) > s) blo = mid;
+    else bhi = mid;
+    if (bhi - blo < 1e-9 * vmax_) break;
+  }
+  return 0.5 * (blo + bhi);
 }
 
 }  // namespace mmsyn

@@ -12,10 +12,10 @@ VoltageSchedule derive_voltage_schedule(const DvsGraph& graph,
                                         const PvDvsResult& result,
                                         const Architecture& arch) {
   VoltageSchedule schedule;
-  schedule.activities.resize(graph.nodes.size());
+  schedule.activities.resize(graph.node_count());
 
-  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
-    const DvsNode& node = graph.nodes[i];
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    const DvsNode node = graph.node(i);
     ActivityVoltageSchedule& activity = schedule.activities[i];
     activity.kind = node.kind;
     activity.ref = node.ref;

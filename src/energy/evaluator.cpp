@@ -37,13 +37,18 @@ const ModeEvaluation* ModeEvalCache::find(const ModeEvalKey& key) {
 
 void ModeEvalCache::insert(const ModeEvalKey& key,
                            const ModeEvaluation& value) {
+  // Duplicate keys must be detected *before* eviction: at capacity, running
+  // the eviction loop first would evict the FIFO head and then fail the
+  // emplace, shrinking the cache and losing an innocent entry.
+  if (map_.find(key) != map_.end()) return;
   if (capacity_ > 0) {
     while (map_.size() >= capacity_ && !order_.empty()) {
       map_.erase(order_.front());
       order_.pop_front();
     }
   }
-  if (map_.emplace(key, value).second) order_.push_back(key);
+  map_.emplace(key, value);
+  order_.push_back(key);
 }
 
 const ModeSchedule* ModeEvalCache::find_schedule(const ModeEvalKey& key) {
@@ -56,14 +61,16 @@ const ModeSchedule* ModeEvalCache::find_schedule(const ModeEvalKey& key) {
 
 void ModeEvalCache::insert_schedule(const ModeEvalKey& key,
                                     const ModeSchedule& value) {
+  // Same duplicate-before-eviction ordering as insert().
+  if (schedule_map_.find(key) != schedule_map_.end()) return;
   if (capacity_ > 0) {
     while (schedule_map_.size() >= capacity_ && !schedule_order_.empty()) {
       schedule_map_.erase(schedule_order_.front());
       schedule_order_.pop_front();
     }
   }
-  if (schedule_map_.emplace(key, value).second)
-    schedule_order_.push_back(key);
+  schedule_map_.emplace(key, value);
+  schedule_order_.push_back(key);
 }
 
 std::vector<std::pair<ModeEvalKey, ModeEvaluation>> ModeEvalCache::entries()

@@ -1,11 +1,35 @@
+// Data-oriented list scheduler (DESIGN.md §12).
+//
+// The scheduler is the hottest stage of the GA inner loop, so it runs on a
+// per-call workspace instead of allocating per candidate:
+//
+//  - all POD scratch (priorities, ready-queue keys, predecessor counts,
+//    slot columns) lives in a thread-local bump Arena that is reset — not
+//    freed — between calls;
+//  - timelines are pooled and cleared, never reallocated;
+//  - CL routing uses a P×P CSR link table built once per call from the
+//    architecture, replacing the per-edge `links_between` vector
+//    materialisation;
+//  - the ready queue is a binary heap over 128-bit packed keys (priority
+//    as an order-preserving integer, tie-broken by task id), replacing the
+//    O(n²) linear selection scan.
+//
+// Every floating-point expression and every tie-break is kept identical to
+// the original implementation (see bench/reference_kernels.cpp for the
+// frozen baseline); the staged-vs-legacy property tests and the
+// micro-kernel bit-compare enforce byte-identical ModeSchedule artifacts.
 #include "sched/list_scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "model/architecture.hpp"
 #include "model/omsm.hpp"
 #include "model/tech_library.hpp"
@@ -15,6 +39,129 @@ namespace mmsyn {
 namespace {
 
 constexpr double kUnroutablePenalty = 1e6;  // seconds; flags broken routing
+constexpr std::int32_t kNoGroup = -1;
+
+/// Per-thread scratch reused across list_schedule calls. The arena holds
+/// all POD arrays; timelines (which own heap storage) are pooled
+/// separately so their interval buffers are recycled too.
+struct SchedWorkspace {
+  Arena arena{1 << 16};
+  std::vector<Timeline> timelines;
+};
+
+SchedWorkspace& workspace() {
+  thread_local SchedWorkspace ws;
+  return ws;
+}
+
+/// Growable view over the pooled timeline storage. `acquire` hands out the
+/// statically-known resources (CLs first, then PE/core timelines);
+/// `append` adds implicit-core timelines discovered during scheduling.
+class TimelinePool {
+public:
+  explicit TimelinePool(std::vector<Timeline>& storage) : storage_(storage) {}
+
+  void acquire(std::size_t count) {
+    if (storage_.size() < count) storage_.resize(count);
+    for (std::size_t i = 0; i < count; ++i) storage_[i].clear();
+    used_ = count;
+  }
+
+  [[nodiscard]] std::int32_t append() {
+    if (storage_.size() <= used_) storage_.emplace_back();
+    storage_[used_].clear();
+    return static_cast<std::int32_t>(used_++);
+  }
+
+  [[nodiscard]] Timeline& operator[](std::size_t i) { return storage_[i]; }
+
+private:
+  std::vector<Timeline>& storage_;
+  std::size_t used_ = 0;
+};
+
+/// CSR table of the CLs connecting each ordered PE pair, row (a, b) in
+/// ascending CL-id order — exactly the sequence `links_between(a, b)`
+/// yields, so routing ties resolve identically.
+struct LinkTable {
+  std::size_t pe_count = 0;
+  const std::int32_t* offsets = nullptr;  // pe_count² + 1 entries
+  const std::int32_t* cls = nullptr;
+
+  [[nodiscard]] std::span<const std::int32_t> row(std::size_t a,
+                                                  std::size_t b) const {
+    const std::size_t r = a * pe_count + b;
+    return {cls + offsets[r],
+            static_cast<std::size_t>(offsets[r + 1] - offsets[r])};
+  }
+};
+
+LinkTable build_link_table(const Architecture& arch, Arena& arena) {
+  const std::size_t P = arch.pe_count();
+  const std::size_t C = arch.cl_count();
+  const std::size_t rows = P * P;
+  std::int32_t* offsets = arena.alloc_filled<std::int32_t>(rows + 1, 0);
+  // Distinct attached PEs per CL (membership semantics: a PE listed twice
+  // still contributes one link, matching links_between).
+  std::int32_t* att = arena.alloc<std::int32_t>(P);
+  auto distinct_attached = [&](std::size_t c) -> std::size_t {
+    const ClId id{static_cast<ClId::value_type>(c)};
+    std::size_t k = 0;
+    for (PeId p : arch.cl(id).attached) {
+      const auto v = static_cast<std::int32_t>(p.index());
+      bool seen = false;
+      for (std::size_t i = 0; i < k; ++i) seen |= (att[i] == v);
+      if (!seen) att[k++] = v;
+    }
+    return k;
+  };
+
+  for (std::size_t c = 0; c < C; ++c) {
+    const std::size_t k = distinct_attached(c);
+    for (std::size_t i = 0; i < k; ++i)
+      for (std::size_t j = i + 1; j < k; ++j) {
+        const auto a = static_cast<std::size_t>(att[i]);
+        const auto b = static_cast<std::size_t>(att[j]);
+        ++offsets[a * P + b + 1];
+        ++offsets[b * P + a + 1];
+      }
+  }
+  for (std::size_t r = 0; r < rows; ++r) offsets[r + 1] += offsets[r];
+
+  std::int32_t* cls = arena.alloc<std::int32_t>(
+      static_cast<std::size_t>(offsets[rows]));
+  std::int32_t* cursor = arena.alloc<std::int32_t>(rows);
+  std::copy(offsets, offsets + rows, cursor);
+  for (std::size_t c = 0; c < C; ++c) {  // ascending c => ascending per row
+    const std::size_t k = distinct_attached(c);
+    for (std::size_t i = 0; i < k; ++i)
+      for (std::size_t j = i + 1; j < k; ++j) {
+        const auto a = static_cast<std::size_t>(att[i]);
+        const auto b = static_cast<std::size_t>(att[j]);
+        cls[cursor[a * P + b]++] = static_cast<std::int32_t>(c);
+        cls[cursor[b * P + a]++] = static_cast<std::int32_t>(c);
+      }
+  }
+  return LinkTable{P, offsets, cls};
+}
+
+/// Packs (priority, task id) into one 128-bit key so the ready queue
+/// orders by a single integer compare: higher priority wins, ties go to
+/// the lower task id. The double is mapped to an order-preserving uint64
+/// (sign-magnitude flip); `+ 0.0` canonicalises -0.0 so the kTopoOrder
+/// priority of task 0 (-0.0) compares equal to +0.0.
+[[nodiscard]] inline unsigned __int128 ready_key(double priority,
+                                                 std::uint32_t task) {
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(priority + 0.0);
+  bits = (bits & 0x8000000000000000ull) ? ~bits
+                                        : (bits | 0x8000000000000000ull);
+  return (static_cast<unsigned __int128>(bits) << 64) |
+         static_cast<std::uint64_t>(~task);
+}
+
+[[nodiscard]] inline std::uint32_t ready_key_task(unsigned __int128 key) {
+  return ~static_cast<std::uint32_t>(static_cast<std::uint64_t>(key));
+}
 
 /// Bottom level: longest path from task start to any sink's finish, using
 /// mapped execution times and best-case communication delays. Classic list
@@ -22,9 +169,10 @@ constexpr double kUnroutablePenalty = 1e6;  // seconds; flags broken routing
 std::vector<double> bottom_levels(const TaskGraph& graph,
                                   const ModeMapping& mapping,
                                   const Architecture& arch,
-                                  const TechLibrary& tech) {
+                                  const TechLibrary& tech, Arena& arena) {
+  const LinkTable links = build_link_table(arch, arena);
   const std::size_t n = graph.task_count();
-  std::vector<double> exec(n);
+  double* exec = arena.alloc<double>(n);
   for (std::size_t t = 0; t < n; ++t) {
     const TaskId id{static_cast<TaskId::value_type>(t)};
     exec[t] = tech.require(graph.task(id).type, mapping.task_to_pe[t])
@@ -42,8 +190,8 @@ std::vector<double> bottom_levels(const TaskGraph& graph,
       double comm = 0.0;
       if (src_pe != dst_pe) {
         comm = std::numeric_limits<double>::infinity();
-        for (ClId cl : arch.links_between(src_pe, dst_pe)) {
-          const Cl& link = arch.cl(cl);
+        for (std::int32_t c : links.row(src_pe.index(), dst_pe.index())) {
+          const Cl& link = arch.cl(ClId{static_cast<ClId::value_type>(c)});
           comm = std::min(comm,
                           link.startup_latency + edge.data_bits / link.bandwidth);
         }
@@ -56,77 +204,6 @@ std::vector<double> bottom_levels(const TaskGraph& graph,
   return level;
 }
 
-/// Identifies the sequential execution resources of one PE: the PE itself
-/// for software, or one timeline per allocated core instance for hardware.
-/// Core groups are indexed by the dense task-type id (flat vectors rather
-/// than maps: every lookup is on the scheduler's hot path).
-class PeResources {
-public:
-  PeResources(const Pe& pe, const CoreSet& cores, std::size_t type_count)
-      : pe_(pe),
-        group_offset_(type_count, kNoGroup),
-        group_size_(type_count, 0) {
-    if (is_software(pe.kind)) {
-      timelines_.resize(1);
-      return;
-    }
-    for (const auto& [type, count] : cores.entries()) {
-      group_offset_[type.index()] = timelines_.size();
-      group_size_[type.index()] = count;
-      timelines_.resize(timelines_.size() + static_cast<std::size_t>(count));
-    }
-  }
-
-  /// Earliest-fitting (start, instance) choice for a task of `type`.
-  std::pair<double, int> best_slot(TaskTypeId type, double ready,
-                                   double duration) {
-    if (is_software(pe_.kind)) {
-      return {timelines_[0].earliest_fit(ready, duration), 0};
-    }
-    if (group_offset_[type.index()] == kNoGroup) {
-      // Type not in the allocated core set: behave as one implicit core so
-      // the schedule stays well-defined; the fitness layer charges the
-      // area for it via the allocation builder.
-      group_offset_[type.index()] = timelines_.size();
-      group_size_[type.index()] = 1;
-      timelines_.emplace_back();
-    }
-    const std::size_t offset = group_offset_[type.index()];
-    double best_start = std::numeric_limits<double>::infinity();
-    int best_instance = 0;
-    const int count = group_size_[type.index()];
-    for (int i = 0; i < count; ++i) {
-      const double s =
-          timelines_[offset + static_cast<std::size_t>(i)].earliest_fit(
-              ready, duration);
-      if (s < best_start) {
-        best_start = s;
-        best_instance = i;
-      }
-    }
-    return {best_start, best_instance};
-  }
-
-  void reserve(TaskTypeId type, int instance, double start, double duration) {
-    if (is_software(pe_.kind)) {
-      timelines_[0].reserve(start, duration);
-      return;
-    }
-    const std::size_t idx =
-        group_offset_[type.index()] + static_cast<std::size_t>(instance);
-    timelines_[idx].reserve(start, duration);
-  }
-
-private:
-  static constexpr std::size_t kNoGroup =
-      std::numeric_limits<std::size_t>::max();
-
-  const Pe& pe_;
-  std::vector<Timeline> timelines_;
-  std::vector<std::size_t> group_offset_;  // index == task-type id
-  std::vector<int> group_size_;            // index == task-type id
-};
-
 }  // namespace
 
 std::vector<double> scheduling_priorities(const ListSchedulerInput& input) {
@@ -134,9 +211,13 @@ std::vector<double> scheduling_priorities(const ListSchedulerInput& input) {
   const std::size_t n = graph.task_count();
   std::vector<double> priority;
   switch (input.policy) {
-    case SchedulingPolicy::kBottomLevel:
-      priority = bottom_levels(graph, input.mapping, input.arch, input.tech);
+    case SchedulingPolicy::kBottomLevel: {
+      SchedWorkspace& ws = workspace();
+      ws.arena.reset();
+      priority =
+          bottom_levels(graph, input.mapping, input.arch, input.tech, ws.arena);
       break;
+    }
     case SchedulingPolicy::kTopoOrder:
       priority.resize(n);
       for (std::size_t t = 0; t < n; ++t)
@@ -163,117 +244,203 @@ ModeSchedule list_schedule(const ListSchedulerInput& input,
                            const std::vector<double>& priority) {
   const TaskGraph& graph = input.mode.graph;
   const std::size_t n = graph.task_count();
+  const std::size_t m = graph.edge_count();
   assert(priority.size() == n);
 
-  ModeSchedule result;
-  result.tasks.resize(n);
-  result.comms.resize(graph.edge_count());
+  SchedWorkspace& ws = workspace();
+  ws.arena.reset();
+  Arena& arena = ws.arena;
 
-  std::vector<PeResources> pe_resources;
-  pe_resources.reserve(input.arch.pe_count());
-  for (PeId p : input.arch.pe_ids())
-    pe_resources.emplace_back(input.arch.pe(p), input.hw_cores[p.index()],
-                              input.tech.type_count());
-  std::vector<Timeline> cl_timelines(input.arch.cl_count());
+  const LinkTable links = build_link_table(input.arch, arena);
 
-  std::vector<std::size_t> unscheduled_preds(n, 0);
-  for (std::size_t t = 0; t < n; ++t)
-    unscheduled_preds[t] =
-        graph.in_edges(TaskId{static_cast<TaskId::value_type>(t)}).size();
+  // --- Resource layout: CL timelines first, then per-PE core groups. ----
+  const std::size_t P = input.arch.pe_count();
+  const std::size_t T = input.tech.type_count();
+  // group_off[p*T + type]: first timeline of the (pe, type) core group;
+  // kNoGroup if the type has no allocated cores on that PE. Software PEs
+  // use pe_base[p] (their single sequential resource) instead.
+  std::int32_t* group_off = arena.alloc_filled<std::int32_t>(P * T, kNoGroup);
+  std::int32_t* group_cnt = arena.alloc_filled<std::int32_t>(P * T, 0);
+  std::int32_t* pe_base = arena.alloc_filled<std::int32_t>(P, kNoGroup);
+  std::uint8_t* pe_sw = arena.alloc<std::uint8_t>(P);
 
-  std::vector<TaskId> ready;
-  for (std::size_t t = 0; t < n; ++t)
-    if (unscheduled_preds[t] == 0)
-      ready.push_back(TaskId{static_cast<TaskId::value_type>(t)});
-
-  std::size_t scheduled = 0;
-  while (!ready.empty()) {
-    // Highest bottom-level first; ties broken by lower task id for
-    // determinism.
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < ready.size(); ++i) {
-      const double a = priority[ready[i].index()];
-      const double b = priority[ready[best].index()];
-      if (a > b || (a == b && ready[i] < ready[best])) best = i;
+  std::size_t tl_count = input.arch.cl_count();
+  for (std::size_t p = 0; p < P; ++p) {
+    const Pe& pe = input.arch.pe(PeId{static_cast<PeId::value_type>(p)});
+    pe_sw[p] = is_software(pe.kind) ? 1 : 0;
+    if (pe_sw[p]) {
+      pe_base[p] = static_cast<std::int32_t>(tl_count++);
+      continue;
     }
-    const TaskId u = ready[best];
-    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+    for (const auto& [type, count] : input.hw_cores[p].entries()) {
+      group_off[p * T + type.index()] = static_cast<std::int32_t>(tl_count);
+      group_cnt[p * T + type.index()] = count;
+      tl_count += static_cast<std::size_t>(count);
+    }
+  }
+  TimelinePool pool(ws.timelines);
+  pool.acquire(tl_count);
 
-    const PeId pe = input.mapping.task_to_pe[u.index()];
-    const Task& task = graph.task(u);
-    const double exec = input.tech.require(task.type, pe).exec_time;
+  // --- Task columns (SoA slot arrays; scattered into the artifact at the
+  // end) and the dependency/ready state. ---------------------------------
+  double* exec = arena.alloc<double>(n);
+  double* t_start = arena.alloc<double>(n);
+  double* t_finish = arena.alloc<double>(n);
+  std::int32_t* t_core = arena.alloc<std::int32_t>(n);
+  double* c_start = arena.alloc<double>(m);
+  double* c_finish = arena.alloc<double>(m);
+  std::int32_t* c_cl = arena.alloc<std::int32_t>(m);
+  std::uint8_t* c_local = arena.alloc<std::uint8_t>(m);
+  std::int32_t* unscheduled_preds = arena.alloc<std::int32_t>(n);
+
+  for (std::size_t t = 0; t < n; ++t) {
+    const TaskId id{static_cast<TaskId::value_type>(t)};
+    exec[t] = input.tech.require(graph.task(id).type, input.mapping.task_to_pe[t])
+                  .exec_time;
+    unscheduled_preds[t] = static_cast<std::int32_t>(graph.in_edges(id).size());
+  }
+
+  unsigned __int128* heap = arena.alloc<unsigned __int128>(n);
+  std::size_t heap_size = 0;
+  const auto push_ready = [&](std::size_t t) {
+    heap[heap_size++] =
+        ready_key(priority[t], static_cast<std::uint32_t>(t));
+    std::push_heap(heap, heap + heap_size);
+  };
+  for (std::size_t t = 0; t < n; ++t)
+    if (unscheduled_preds[t] == 0) push_ready(t);
+
+  bool routable = true;
+  double makespan = 0.0;
+  std::size_t scheduled = 0;
+  while (heap_size > 0) {
+    // Highest priority first; ties broken by lower task id — both encoded
+    // in the packed key, so the heap pop is the whole selection step.
+    std::pop_heap(heap, heap + heap_size);
+    const std::size_t u = ready_key_task(heap[--heap_size]);
+    const TaskId uid{static_cast<TaskId::value_type>(u)};
+
+    const PeId pe = input.mapping.task_to_pe[u];
+    const std::size_t pi = pe.index();
+    const TaskTypeId type = graph.task(uid).type;
+    const double dur = exec[u];
 
     // Route every incoming edge, committing the earliest-delivery CL.
     double est = 0.0;
-    for (EdgeId e : graph.in_edges(u)) {
+    for (EdgeId e : graph.in_edges(uid)) {
       const TaskEdge& edge = graph.edge(e);
-      const ScheduledTask& pred = result.tasks[edge.src.index()];
-      ScheduledComm& comm = result.comms[e.index()];
-      comm.edge = e;
+      const std::size_t ei = e.index();
+      const double pred_finish = t_finish[edge.src.index()];
       const PeId src_pe = input.mapping.task_to_pe[edge.src.index()];
       if (src_pe == pe) {
-        comm.local = true;
-        comm.cl = ClId::invalid();
-        comm.start = comm.finish = pred.finish;
-        est = std::max(est, pred.finish);
+        c_local[ei] = 1;
+        c_cl[ei] = -1;
+        c_start[ei] = c_finish[ei] = pred_finish;
+        est = std::max(est, pred_finish);
         continue;
       }
-      comm.local = false;
-      const auto links = input.arch.links_between(src_pe, pe);
-      if (links.empty()) {
-        result.routable = false;
-        comm.cl = ClId::invalid();
-        comm.start = pred.finish;
-        comm.finish = pred.finish + kUnroutablePenalty;
-        est = std::max(est, comm.finish);
+      c_local[ei] = 0;
+      const auto row = links.row(src_pe.index(), pi);
+      if (row.empty()) {
+        routable = false;
+        c_cl[ei] = -1;
+        c_start[ei] = pred_finish;
+        c_finish[ei] = pred_finish + kUnroutablePenalty;
+        est = std::max(est, c_finish[ei]);
         continue;
       }
       double best_finish = std::numeric_limits<double>::infinity();
       double best_start = 0.0;
-      ClId best_cl;
-      for (ClId cl : links) {
-        const Cl& link = input.arch.cl(cl);
-        const double dur =
-            link.startup_latency + edge.data_bits / link.bandwidth;
-        const double s =
-            cl_timelines[cl.index()].earliest_fit(pred.finish, dur);
-        if (s + dur < best_finish) {
-          best_finish = s + dur;
+      double best_dur = 0.0;
+      std::int32_t best_cl = -1;
+      for (std::int32_t c : row) {
+        const Cl& link = input.arch.cl(ClId{static_cast<ClId::value_type>(c)});
+        const double d = link.startup_latency + edge.data_bits / link.bandwidth;
+        const double s = pool[static_cast<std::size_t>(c)].earliest_fit(
+            pred_finish, d);
+        if (s + d < best_finish) {
+          best_finish = s + d;
           best_start = s;
-          best_cl = cl;
+          best_dur = d;
+          best_cl = c;
         }
       }
-      const Cl& link = input.arch.cl(best_cl);
-      const double dur =
-          link.startup_latency + edge.data_bits / link.bandwidth;
-      cl_timelines[best_cl.index()].reserve(best_start, dur);
-      comm.cl = best_cl;
-      comm.start = best_start;
-      comm.finish = best_start + dur;
-      est = std::max(est, comm.finish);
+      pool[static_cast<std::size_t>(best_cl)].reserve(best_start, best_dur);
+      c_cl[ei] = best_cl;
+      c_start[ei] = best_start;
+      c_finish[ei] = best_start + best_dur;
+      est = std::max(est, c_finish[ei]);
     }
 
-    auto [start, instance] =
-        pe_resources[pe.index()].best_slot(task.type, est, exec);
-    pe_resources[pe.index()].reserve(task.type, instance, start, exec);
+    // Earliest-fitting (start, instance) over the task's core group (or
+    // the software PE's single timeline). Equal starts keep the lowest
+    // instance, as before.
+    double start;
+    std::int32_t instance = 0;
+    if (pe_sw[pi]) {
+      start = pool[static_cast<std::size_t>(pe_base[pi])].earliest_fit(est, dur);
+      pool[static_cast<std::size_t>(pe_base[pi])].reserve(start, dur);
+    } else {
+      std::int32_t off = group_off[pi * T + type.index()];
+      std::int32_t cnt = group_cnt[pi * T + type.index()];
+      if (off == kNoGroup) {
+        // Type not in the allocated core set: behave as one implicit core
+        // so the schedule stays well-defined; the fitness layer charges
+        // the area for it via the allocation builder.
+        off = pool.append();
+        cnt = 1;
+        group_off[pi * T + type.index()] = off;
+        group_cnt[pi * T + type.index()] = cnt;
+      }
+      start = std::numeric_limits<double>::infinity();
+      for (std::int32_t i = 0; i < cnt; ++i) {
+        const double s = pool[static_cast<std::size_t>(off + i)].earliest_fit(
+            est, dur);
+        if (s < start) {
+          start = s;
+          instance = i;
+        }
+      }
+      pool[static_cast<std::size_t>(off + instance)].reserve(start, dur);
+    }
 
-    ScheduledTask& st = result.tasks[u.index()];
-    st.task = u;
-    st.pe = pe;
-    st.core_instance = instance;
-    st.start = start;
-    st.finish = start + exec;
-    result.makespan = std::max(result.makespan, st.finish);
+    t_start[u] = start;
+    t_finish[u] = start + dur;
+    t_core[u] = instance;
+    makespan = std::max(makespan, t_finish[u]);
     ++scheduled;
 
-    for (EdgeId e : graph.out_edges(u)) {
-      const TaskId v = graph.edge(e).dst;
-      if (--unscheduled_preds[v.index()] == 0) ready.push_back(v);
+    for (EdgeId e : graph.out_edges(uid)) {
+      const std::size_t v = graph.edge(e).dst.index();
+      if (--unscheduled_preds[v] == 0) push_ready(v);
     }
   }
   assert(scheduled == n && "task graph must be acyclic");
-  for (const ScheduledComm& c : result.comms)
-    result.makespan = std::max(result.makespan, c.finish);
+
+  // --- Scatter the slot columns into the canonical artifact. ------------
+  ModeSchedule result;
+  result.routable = routable;
+  result.tasks.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    ScheduledTask& st = result.tasks[t];
+    st.task = TaskId{static_cast<TaskId::value_type>(t)};
+    st.pe = input.mapping.task_to_pe[t];
+    st.core_instance = t_core[t];
+    st.start = t_start[t];
+    st.finish = t_finish[t];
+  }
+  result.comms.resize(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    ScheduledComm& sc = result.comms[e];
+    sc.edge = EdgeId{static_cast<EdgeId::value_type>(e)};
+    sc.cl = c_cl[e] >= 0 ? ClId{static_cast<ClId::value_type>(c_cl[e])}
+                         : ClId::invalid();
+    sc.local = c_local[e] != 0;
+    sc.start = c_start[e];
+    sc.finish = c_finish[e];
+    makespan = std::max(makespan, sc.finish);
+  }
+  result.makespan = makespan;
   return result;
 }
 

@@ -1,6 +1,7 @@
 // Schedule result types for one operational mode.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -42,6 +43,93 @@ struct ModeSchedule {
   double makespan = 0.0;
   /// True when every inter-PE edge found a connecting CL.
   bool routable = true;
+};
+
+/// Structure-of-arrays view of a ModeSchedule (DESIGN.md §12).
+///
+/// The list scheduler and the DVS stages work on columnar slot arrays so
+/// their hot loops stream contiguous memory; ModeSchedule stays the
+/// canonical AoS *artifact* (its byte layout is what the pipeline cache and
+/// run-control checkpoints serialise). This view is the bridge: `from()`
+/// gathers an artifact into columns, `to_schedule()` scatters back, and
+/// the round trip is exact (every field copied bit-for-bit).
+struct ScheduleSlots {
+  // Task columns, index == task id.
+  std::vector<double> task_start;
+  std::vector<double> task_finish;
+  std::vector<std::int32_t> task_pe;
+  std::vector<std::int32_t> task_core;
+  // Communication columns, index == edge id. `comm_cl` is -1 for local or
+  // unroutable edges (matching ClId::invalid() in the artifact).
+  std::vector<double> comm_start;
+  std::vector<double> comm_finish;
+  std::vector<std::int32_t> comm_cl;
+  std::vector<std::uint8_t> comm_local;
+  double makespan = 0.0;
+  bool routable = true;
+
+  [[nodiscard]] static ScheduleSlots from(const ModeSchedule& s) {
+    ScheduleSlots v;
+    const std::size_t n = s.tasks.size();
+    const std::size_t m = s.comms.size();
+    v.task_start.resize(n);
+    v.task_finish.resize(n);
+    v.task_pe.resize(n);
+    v.task_core.resize(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      const ScheduledTask& st = s.tasks[t];
+      v.task_start[t] = st.start;
+      v.task_finish[t] = st.finish;
+      v.task_pe[t] = st.pe.valid() ? static_cast<std::int32_t>(st.pe.index())
+                                   : -1;
+      v.task_core[t] = st.core_instance;
+    }
+    v.comm_start.resize(m);
+    v.comm_finish.resize(m);
+    v.comm_cl.resize(m);
+    v.comm_local.resize(m);
+    for (std::size_t e = 0; e < m; ++e) {
+      const ScheduledComm& sc = s.comms[e];
+      v.comm_start[e] = sc.start;
+      v.comm_finish[e] = sc.finish;
+      v.comm_cl[e] = sc.cl.valid() ? static_cast<std::int32_t>(sc.cl.index())
+                                   : -1;
+      v.comm_local[e] = sc.local ? 1 : 0;
+    }
+    v.makespan = s.makespan;
+    v.routable = s.routable;
+    return v;
+  }
+
+  [[nodiscard]] ModeSchedule to_schedule() const {
+    ModeSchedule s;
+    const std::size_t n = task_start.size();
+    const std::size_t m = comm_start.size();
+    s.tasks.resize(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      ScheduledTask& st = s.tasks[t];
+      st.task = TaskId{static_cast<TaskId::value_type>(t)};
+      st.pe = task_pe[t] >= 0
+                  ? PeId{static_cast<PeId::value_type>(task_pe[t])}
+                  : PeId::invalid();
+      st.core_instance = task_core[t];
+      st.start = task_start[t];
+      st.finish = task_finish[t];
+    }
+    s.comms.resize(m);
+    for (std::size_t e = 0; e < m; ++e) {
+      ScheduledComm& sc = s.comms[e];
+      sc.edge = EdgeId{static_cast<EdgeId::value_type>(e)};
+      sc.cl = comm_cl[e] >= 0 ? ClId{static_cast<ClId::value_type>(comm_cl[e])}
+                              : ClId::invalid();
+      sc.local = comm_local[e] != 0;
+      sc.start = comm_start[e];
+      sc.finish = comm_finish[e];
+    }
+    s.makespan = makespan;
+    s.routable = routable;
+    return s;
+  }
 };
 
 }  // namespace mmsyn

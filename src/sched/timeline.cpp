@@ -13,9 +13,11 @@ constexpr double kEps = 1e-12;
 double Timeline::earliest_fit(double ready, double duration) const {
   assert(duration >= 0.0);
   double candidate = ready;
-  for (const Interval& iv : intervals_) {
-    if (candidate + duration <= iv.start + kEps) return candidate;
-    candidate = std::max(candidate, iv.end);
+  const std::size_t n = starts_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (candidate + duration <= starts_[i] + kEps) return candidate;
+    const double end = ends_[i];
+    candidate = candidate > end ? candidate : end;
   }
   return candidate;
 }
@@ -23,24 +25,24 @@ double Timeline::earliest_fit(double ready, double duration) const {
 void Timeline::reserve(double start, double duration) {
   assert(duration >= 0.0);
   if (duration == 0.0) return;  // zero-length blocks occupy nothing
-  const Interval block{start, start + duration};
-  auto it = std::lower_bound(intervals_.begin(), intervals_.end(), block,
-                             [](const Interval& a, const Interval& b) {
-                               return a.start < b.start;
-                             });
+  const double end = start + duration;
+  const auto it = std::lower_bound(starts_.begin(), starts_.end(), start);
+  const auto idx = static_cast<std::size_t>(it - starts_.begin());
   // Overlap check against neighbours (debug builds only).
-  assert(it == intervals_.end() || block.end <= it->start + kEps);
-  assert(it == intervals_.begin() || std::prev(it)->end <= block.start + kEps);
-  intervals_.insert(it, block);
+  assert(idx == starts_.size() || end <= starts_[idx] + kEps);
+  assert(idx == 0 || ends_[idx - 1] <= start + kEps);
+  starts_.insert(it, start);
+  ends_.insert(ends_.begin() + static_cast<std::ptrdiff_t>(idx), end);
 }
 
 double Timeline::horizon() const {
-  return intervals_.empty() ? 0.0 : intervals_.back().end;
+  return ends_.empty() ? 0.0 : ends_.back();
 }
 
 double Timeline::busy_time() const {
   double total = 0.0;
-  for (const Interval& iv : intervals_) total += iv.end - iv.start;
+  for (std::size_t i = 0; i < starts_.size(); ++i)
+    total += ends_[i] - starts_[i];
   return total;
 }
 

@@ -4,6 +4,11 @@
 // communication link) is modelled as a set of disjoint busy intervals; the
 // list scheduler places activities into the earliest gap that fits
 // (insertion-based list scheduling).
+//
+// Storage is structure-of-arrays (DESIGN.md §12): the gap search scans the
+// interval *starts* linearly and only touches the matching *end* when a
+// candidate start collides, so the hot loop streams one contiguous double
+// array instead of striding over {start, end} pairs.
 #pragma once
 
 #include <cstddef>
@@ -28,22 +33,21 @@ public:
   /// Total busy time.
   [[nodiscard]] double busy_time() const;
 
-  [[nodiscard]] std::size_t interval_count() const {
-    return intervals_.size();
+  [[nodiscard]] std::size_t interval_count() const { return starts_.size(); }
+
+  void clear() {
+    starts_.clear();
+    ends_.clear();
   }
 
-  void clear() { intervals_.clear(); }
-
-  struct Interval {
-    double start;
-    double end;
-  };
-  [[nodiscard]] const std::vector<Interval>& intervals() const {
-    return intervals_;
-  }
+  /// Interval starts, ascending.
+  [[nodiscard]] const std::vector<double>& starts() const { return starts_; }
+  /// Interval ends, parallel to starts().
+  [[nodiscard]] const std::vector<double>& ends() const { return ends_; }
 
 private:
-  std::vector<Interval> intervals_;  // sorted, disjoint
+  std::vector<double> starts_;  // sorted; intervals disjoint
+  std::vector<double> ends_;    // ends_[i] pairs with starts_[i]
 };
 
 }  // namespace mmsyn

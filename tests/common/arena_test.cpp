@@ -1,0 +1,91 @@
+#include "common/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace mmsyn {
+namespace {
+
+TEST(Arena, HandsOutDisjointAlignedMemory) {
+  Arena arena(64);
+  double* a = arena.alloc<double>(8);
+  std::int32_t* b = arena.alloc<std::int32_t>(3);
+  double* c = arena.alloc<double>(4);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % alignof(double), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % alignof(std::int32_t), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % alignof(double), 0u);
+  for (int i = 0; i < 8; ++i) a[i] = 1.0 + i;
+  for (int i = 0; i < 3; ++i) b[i] = -i;
+  for (int i = 0; i < 4; ++i) c[i] = 100.0 + i;
+  // Writes through one pointer must not alias another allocation.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a[i], 1.0 + i);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(b[i], -i);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(c[i], 100.0 + i);
+  EXPECT_GE(arena.bytes_used(), 8 * sizeof(double) + 3 * sizeof(std::int32_t) +
+                                    4 * sizeof(double));
+}
+
+TEST(Arena, GrowsPastInitialCapacityAndConsolidatesOnReset) {
+  Arena arena(256);
+  // Force growth across several blocks.
+  for (int round = 0; round < 6; ++round) {
+    double* p = arena.alloc<double>(64);  // 512 bytes each
+    p[0] = round;
+    p[63] = -round;
+  }
+  EXPECT_GT(arena.block_count(), 1u);
+  const std::size_t grown_capacity = arena.capacity();
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // One consolidated block, at least as large as everything held before.
+  EXPECT_EQ(arena.block_count(), 1u);
+  EXPECT_GE(arena.capacity(), grown_capacity);
+
+  // The whole previous total now fits without growing again.
+  double* big = arena.alloc<double>(6 * 64);
+  big[0] = 1.0;
+  big[6 * 64 - 1] = 2.0;
+  EXPECT_EQ(arena.block_count(), 1u);
+}
+
+TEST(Arena, ResetRecyclesMemoryWithoutFreeing) {
+  Arena arena(1 << 12);
+  float* first = arena.alloc<float>(128);
+  first[0] = 42.0f;
+  arena.reset();
+  // Same block, same cursor: the recycled allocation reuses the storage.
+  float* second = arena.alloc<float>(128);
+  EXPECT_EQ(first, second);
+  second[0] = 7.0f;
+  EXPECT_EQ(second[0], 7.0f);
+}
+
+TEST(Arena, AllocFilledInitialises) {
+  Arena arena;
+  const int* p = arena.alloc_filled<int>(100, -5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(p[i], -5);
+  const double* q = arena.alloc_filled<double>(17, 0.25);
+  for (int i = 0; i < 17; ++i) EXPECT_EQ(q[i], 0.25);
+}
+
+TEST(Arena, LargeSingleAllocationExceedingBlockSize) {
+  Arena arena(64);
+  // A request far beyond the current block must still succeed.
+  const std::size_t n = 100'000;
+  std::uint8_t* p = arena.alloc<std::uint8_t>(n);
+  std::memset(p, 0xAB, n);
+  EXPECT_EQ(p[0], 0xAB);
+  EXPECT_EQ(p[n - 1], 0xAB);
+  arena.reset();
+  EXPECT_EQ(arena.block_count(), 1u);
+  EXPECT_GE(arena.capacity(), n);
+}
+
+}  // namespace
+}  // namespace mmsyn

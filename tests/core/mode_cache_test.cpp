@@ -122,6 +122,93 @@ TEST(ModeCache, FifoEvictionBoundsSize) {
   EXPECT_EQ(cache.capacity(), 4u);
 }
 
+ModeEvalKey key_of(std::uint32_t i) {
+  ModeEvalKey key;
+  key.mode = i;
+  return key;
+}
+
+TEST(ModeCache, DuplicateInsertAtCapacityEvictsNothing) {
+  // Regression: inserting an already-present key while the cache is full
+  // used to run the eviction loop first — evicting the FIFO head — and
+  // then fail the emplace, losing an innocent entry and shrinking the
+  // cache. A duplicate insert must be a complete no-op.
+  ModeEvalCache cache(/*capacity=*/2);
+  const ModeEvaluation value{};
+  cache.insert(key_of(0), value);
+  cache.insert(key_of(1), value);
+  cache.insert(key_of(0), value);  // duplicate at capacity
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.find(key_of(0)), nullptr);
+  EXPECT_NE(cache.find(key_of(1)), nullptr);
+  // FIFO order is also untouched: the next insert evicts key 0, not key 1.
+  cache.insert(key_of(2), value);
+  EXPECT_EQ(cache.find(key_of(0)), nullptr);
+  EXPECT_NE(cache.find(key_of(1)), nullptr);
+  EXPECT_NE(cache.find(key_of(2)), nullptr);
+
+  // Same contract on the schedule tier.
+  const ModeSchedule sched{};
+  cache.insert_schedule(key_of(0), sched);
+  cache.insert_schedule(key_of(1), sched);
+  cache.insert_schedule(key_of(0), sched);
+  EXPECT_EQ(cache.schedule_size(), 2u);
+  EXPECT_NE(cache.find_schedule(key_of(0)), nullptr);
+  EXPECT_NE(cache.find_schedule(key_of(1)), nullptr);
+  cache.insert_schedule(key_of(2), sched);
+  EXPECT_EQ(cache.find_schedule(key_of(0)), nullptr);
+  EXPECT_NE(cache.find_schedule(key_of(1)), nullptr);
+}
+
+std::vector<std::uint32_t> entry_order(const ModeEvalCache& cache) {
+  std::vector<std::uint32_t> order;
+  for (const auto& [key, value] : cache.entries()) order.push_back(key.mode);
+  return order;
+}
+
+std::vector<std::uint32_t> schedule_order(const ModeEvalCache& cache) {
+  std::vector<std::uint32_t> order;
+  for (const auto& [key, value] : cache.schedule_entries())
+    order.push_back(key.mode);
+  return order;
+}
+
+TEST(ModeCacheProperty, RestoreRoundTripsBothTiersOrderUnderPressure) {
+  // Property: after any interleaving of inserts — duplicates included —
+  // under constant eviction pressure, checkpointing both tiers
+  // (entries/schedule_entries) and restoring them reproduces the exact
+  // FIFO order, so a resumed run evicts in the same sequence the
+  // uninterrupted run would have.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    ModeEvalCache cache(/*capacity=*/4);
+    auto random_op = [&](ModeEvalCache& c) {
+      const auto key = key_of(
+          static_cast<std::uint32_t>(rng.pick_index(8)));  // dup-heavy
+      if (rng.pick_index(2) == 0) c.insert(key, ModeEvaluation{});
+      else c.insert_schedule(key, ModeSchedule{});
+    };
+    for (int i = 0; i < 40; ++i) random_op(cache);
+
+    ModeEvalCache clone(/*capacity=*/4);
+    clone.restore(cache.entries(), cache.hits(), cache.lookups());
+    clone.restore_schedules(cache.schedule_entries(), cache.schedule_hits(),
+                            cache.schedule_lookups());
+    EXPECT_EQ(entry_order(clone), entry_order(cache));
+    EXPECT_EQ(schedule_order(clone), schedule_order(cache));
+
+    // The restored clone must keep evicting in lock-step with the
+    // original as both receive the same further inserts.
+    const Rng saved = rng;
+    for (int i = 0; i < 20; ++i) random_op(cache);
+    rng = saved;
+    for (int i = 0; i < 20; ++i) random_op(clone);
+    EXPECT_EQ(entry_order(clone), entry_order(cache));
+    EXPECT_EQ(schedule_order(clone), schedule_order(cache));
+  }
+}
+
 TEST(ModeCache, EntriesRestoreRoundTripPreservesHits) {
   const System system = make_mul(2);
   const Evaluator evaluator(system, EvaluationOptions{});

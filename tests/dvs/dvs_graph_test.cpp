@@ -67,11 +67,11 @@ class DvsGraphTest : public ::testing::Test {
 
   /// Checks topological consistency: every edge goes forward in topo.
   static void expect_topological(const DvsGraph& g) {
-    std::vector<int> pos(g.nodes.size());
+    std::vector<int> pos(g.node_count());
     for (std::size_t i = 0; i < g.topo.size(); ++i)
       pos[static_cast<std::size_t>(g.topo[i])] = static_cast<int>(i);
-    for (std::size_t u = 0; u < g.nodes.size(); ++u)
-      for (int v : g.succs[u])
+    for (std::size_t u = 0; u < g.node_count(); ++u)
+      for (int v : g.succs(u))
         EXPECT_LT(pos[u], pos[static_cast<std::size_t>(v)]);
   }
 
@@ -88,8 +88,9 @@ TEST_F(DvsGraphTest, SoftwareTasksBecomeScalableNodes) {
   ModeMapping m;
   m.task_to_pe = {sw_, sw_};
   const DvsGraph g = build(m, cores_with(hw_, 0));
-  ASSERT_EQ(g.nodes.size(), 2u);
-  for (const DvsNode& n : g.nodes) {
+  ASSERT_EQ(g.node_count(), 2u);
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const DvsNode n = g.node(i);
     EXPECT_EQ(n.kind, DvsNodeKind::kTask);
     EXPECT_TRUE(n.scalable);
     EXPECT_GT(n.max_slowdown, 1.0);
@@ -102,8 +103,8 @@ TEST_F(DvsGraphTest, FixedHardwareTasksNotScalable) {
   ModeMapping m;
   m.task_to_pe = {fixed_};
   const DvsGraph g = build(m, cores_with(fixed_, 1));
-  ASSERT_EQ(g.nodes.size(), 1u);
-  EXPECT_FALSE(g.nodes[0].scalable);
+  ASSERT_EQ(g.node_count(), 1u);
+  EXPECT_FALSE(g.node(0).scalable);
 }
 
 TEST_F(DvsGraphTest, ParallelHwTasksBecomeSegments) {
@@ -114,8 +115,8 @@ TEST_F(DvsGraphTest, ParallelHwTasksBecomeSegments) {
   ModeMapping m;
   m.task_to_pe = {hw_, hw_};
   const DvsGraph g = build(m, cores_with(hw_, 2));
-  ASSERT_EQ(g.nodes.size(), 1u);
-  const DvsNode& seg = g.nodes[0];
+  ASSERT_EQ(g.node_count(), 1u);
+  const DvsNode seg = g.node(0);
   EXPECT_EQ(seg.kind, DvsNodeKind::kSegment);
   EXPECT_TRUE(seg.scalable);
   EXPECT_NEAR(seg.tmin, 2e-3, 1e-12);
@@ -134,9 +135,9 @@ TEST_F(DvsGraphTest, StaggeredHwTasksSplitIntoSegments) {
   const DvsGraph g = build(m, cores_with(hw_, 2));
   // Schedule: a [0,2], b [2,4] on one core; c [0,2] on the other.
   // Cuts at 0, 2, 4 -> two segments.
-  ASSERT_EQ(g.nodes.size(), 2u);
-  EXPECT_NEAR(g.nodes[0].e_nom, 2 * 0.02 * 2e-3, 1e-12);  // a + c
-  EXPECT_NEAR(g.nodes[1].e_nom, 0.02 * 2e-3, 1e-12);      // b alone
+  ASSERT_EQ(g.node_count(), 2u);
+  EXPECT_NEAR(g.node(0).e_nom, 2 * 0.02 * 2e-3, 1e-12);  // a + c
+  EXPECT_NEAR(g.node(1).e_nom, 0.02 * 2e-3, 1e-12);      // b alone
   expect_topological(g);
   (void)c;
 }
@@ -154,8 +155,8 @@ TEST_F(DvsGraphTest, SegmentEnergyConservesTaskEnergy) {
   m.task_to_pe.assign(5, hw_);
   const DvsGraph g = build(m, cores_with(hw_, 2));
   double total = 0.0;
-  for (const DvsNode& n : g.nodes)
-    if (n.kind == DvsNodeKind::kSegment) total += n.e_nom;
+  for (std::size_t i = 0; i < g.node_count(); ++i)
+    if (g.node(i).kind == DvsNodeKind::kSegment) total += g.node(i).e_nom;
   EXPECT_NEAR(total, 5 * 0.02 * 2e-3, 1e-12);
   expect_topological(g);
 }
@@ -167,9 +168,9 @@ TEST_F(DvsGraphTest, CommNodesCreatedForCrossPeEdges) {
   ModeMapping m;
   m.task_to_pe = {sw_, fixed_};
   const DvsGraph g = build(m, cores_with(fixed_, 1));
-  ASSERT_EQ(g.nodes.size(), 3u);
+  ASSERT_EQ(g.node_count(), 3u);
   ASSERT_GE(g.comm_node[0], 0);
-  const DvsNode& comm = g.nodes[static_cast<std::size_t>(g.comm_node[0])];
+  const DvsNode comm = g.node(static_cast<std::size_t>(g.comm_node[0]));
   EXPECT_EQ(comm.kind, DvsNodeKind::kComm);
   EXPECT_FALSE(comm.scalable);
   EXPECT_NEAR(comm.tmin, 1e-3, 1e-12);
@@ -184,7 +185,7 @@ TEST_F(DvsGraphTest, LocalEdgesGetNoCommNode) {
   ModeMapping m;
   m.task_to_pe = {sw_, sw_};
   const DvsGraph g = build(m, cores_with(hw_, 0));
-  EXPECT_EQ(g.nodes.size(), 2u);
+  EXPECT_EQ(g.node_count(), 2u);
   EXPECT_EQ(g.comm_node[0], -1);
 }
 
@@ -194,8 +195,8 @@ TEST_F(DvsGraphTest, DeadlinesInheritedBySegments) {
   ModeMapping m;
   m.task_to_pe = {hw_};
   const DvsGraph g = build(m, cores_with(hw_, 1));
-  ASSERT_EQ(g.nodes.size(), 1u);
-  EXPECT_DOUBLE_EQ(g.nodes[0].deadline, 50e-3);
+  ASSERT_EQ(g.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(g.node(0).deadline, 50e-3);
 }
 
 TEST_F(DvsGraphTest, ScaleHardwareFalseKeepsTaskNodes) {
@@ -205,10 +206,10 @@ TEST_F(DvsGraphTest, ScaleHardwareFalseKeepsTaskNodes) {
   m.task_to_pe = {hw_, hw_};
   const DvsGraph g =
       build(m, cores_with(hw_, 2), /*scale_hardware=*/false);
-  ASSERT_EQ(g.nodes.size(), 2u);
-  for (const DvsNode& n : g.nodes) {
-    EXPECT_EQ(n.kind, DvsNodeKind::kTask);
-    EXPECT_FALSE(n.scalable);
+  ASSERT_EQ(g.node_count(), 2u);
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    EXPECT_EQ(g.node(i).kind, DvsNodeKind::kTask);
+    EXPECT_FALSE(g.node(i).scalable);
   }
 }
 
@@ -234,9 +235,9 @@ TEST_F(DvsGraphTest, CrossPeArrivalCutsSegment) {
   expect_topological(g);
   // b is represented by a segment; its entry edge must come from the comm.
   ASSERT_GE(g.comm_node[0], 0);
-  const auto& succs = g.succs[static_cast<std::size_t>(g.comm_node[0])];
+  const auto succs = g.succs(static_cast<std::size_t>(g.comm_node[0]));
   ASSERT_EQ(succs.size(), 1u);
-  EXPECT_EQ(g.nodes[static_cast<std::size_t>(succs[0])].kind,
+  EXPECT_EQ(g.node(static_cast<std::size_t>(succs[0])).kind,
             DvsNodeKind::kSegment);
   (void)a;
 }

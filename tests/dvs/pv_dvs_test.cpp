@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "dvs/voltage_model.hpp"
 #include "model/architecture.hpp"
@@ -27,31 +30,56 @@ class PvDvsTest : public ::testing::Test {
   }
 
   int add_node(DvsGraph& g, double tmin, double e_nom, bool scalable,
-               double deadline, PeId pe) const {
-    DvsNode n;
-    n.kind = DvsNodeKind::kTask;
-    n.ref = static_cast<int>(g.nodes.size());
-    n.pe = pe;
-    n.tmin = tmin;
-    n.e_nom = e_nom;
-    n.scalable = scalable;
-    n.max_slowdown =
-        scalable ? VoltageModel(3.3, 0.8).slowdown(1.2) : 1.0;
-    n.deadline = deadline;
-    g.nodes.push_back(n);
-    g.succs.emplace_back();
-    g.preds.emplace_back();
-    g.topo.push_back(n.ref);
-    return n.ref;
+               double deadline, PeId pe) {
+    const int id = static_cast<int>(g.node_count());
+    g.kind.push_back(static_cast<std::uint8_t>(DvsNodeKind::kTask));
+    g.ref.push_back(id);
+    g.pe.push_back(pe.value());
+    g.tmin.push_back(tmin);
+    g.e_nom.push_back(e_nom);
+    g.scalable.push_back(scalable ? 1 : 0);
+    g.max_slowdown.push_back(scalable ? VoltageModel(3.3, 0.8).slowdown(1.2)
+                                      : 1.0);
+    g.deadline.push_back(deadline);
+    g.topo.push_back(id);
+    rebuild_adjacency(g);
+    return id;
   }
 
-  static void add_edge(DvsGraph& g, int u, int v) {
-    g.succs[static_cast<std::size_t>(u)].push_back(v);
-    g.preds[static_cast<std::size_t>(v)].push_back(u);
+  void add_edge(DvsGraph& g, int u, int v) {
+    edges_.emplace_back(u, v);
+    rebuild_adjacency(g);
+  }
+
+  /// Re-packs the CSR adjacency from the fixture's edge list; per-node
+  /// neighbour order is edge emission order, matching build_dvs_graph.
+  void rebuild_adjacency(DvsGraph& g) const {
+    const std::size_t n = g.node_count();
+    g.succ_off.assign(n + 1, 0);
+    g.pred_off.assign(n + 1, 0);
+    for (const auto& [u, v] : edges_) {
+      ++g.succ_off[static_cast<std::size_t>(u) + 1];
+      ++g.pred_off[static_cast<std::size_t>(v) + 1];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      g.succ_off[i + 1] += g.succ_off[i];
+      g.pred_off[i + 1] += g.pred_off[i];
+    }
+    g.succ_adj.assign(edges_.size(), 0);
+    g.pred_adj.assign(edges_.size(), 0);
+    std::vector<std::int32_t> snext(g.succ_off.begin(), g.succ_off.end() - 1);
+    std::vector<std::int32_t> pnext(g.pred_off.begin(), g.pred_off.end() - 1);
+    for (const auto& [u, v] : edges_) {
+      g.succ_adj[static_cast<std::size_t>(
+          snext[static_cast<std::size_t>(u)]++)] = v;
+      g.pred_adj[static_cast<std::size_t>(
+          pnext[static_cast<std::size_t>(v)]++)] = u;
+    }
   }
 
   Architecture arch_;
   PeId pe_, fixed_;
+  std::vector<std::pair<int, int>> edges_;
 };
 
 TEST_F(PvDvsTest, NoSlackMeansNoScaling) {
@@ -151,7 +179,7 @@ TEST_F(PvDvsTest, SlowdownCapRespectedWhenProbeCrossesIt) {
   // algorithm must neither crash nor scale past the cap.
   DvsGraph g;
   const int u = add_node(g, 10e-3, 1e-3, true, 1.0, pe_);
-  g.nodes[static_cast<std::size_t>(u)].max_slowdown = 1.05;
+  g.max_slowdown[static_cast<std::size_t>(u)] = 1.05;
   PvDvsOptions options;
   options.discrete_voltages = false;
   const PvDvsResult r = run_pv_dvs(g, arch_, options);
@@ -172,7 +200,7 @@ TEST_F(PvDvsTest, SlowdownCapOneNeverScales) {
   // the probe crosses the cap on the very first refresh.
   DvsGraph g;
   const int u = add_node(g, 10e-3, 1e-3, true, 1.0, pe_);
-  g.nodes[static_cast<std::size_t>(u)].max_slowdown = 1.0;
+  g.max_slowdown[static_cast<std::size_t>(u)] = 1.0;
   const PvDvsResult r = run_pv_dvs(g, arch_);
   EXPECT_DOUBLE_EQ(r.scaled_time[0], 10e-3);
   EXPECT_NEAR(r.total_energy, 1e-3, 1e-12);

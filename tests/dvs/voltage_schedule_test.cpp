@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "dvs/voltage_model.hpp"
 #include "model/architecture.hpp"
 
@@ -26,17 +29,16 @@ class VoltageScheduleTest : public ::testing::Test {
   std::pair<DvsGraph, PvDvsResult> single(double tmin, double target,
                                           bool scalable, PeId pe) {
     DvsGraph g;
-    DvsNode n;
-    n.kind = DvsNodeKind::kTask;
-    n.ref = 0;
-    n.pe = pe;
-    n.tmin = tmin;
-    n.e_nom = 1e-3;
-    n.scalable = scalable;
-    n.max_slowdown = scalable ? 100.0 : 1.0;
-    g.nodes.push_back(n);
-    g.succs.emplace_back();
-    g.preds.emplace_back();
+    g.kind.push_back(static_cast<std::uint8_t>(DvsNodeKind::kTask));
+    g.ref.push_back(0);
+    g.pe.push_back(pe.value());
+    g.tmin.push_back(tmin);
+    g.e_nom.push_back(1e-3);
+    g.scalable.push_back(scalable ? 1 : 0);
+    g.max_slowdown.push_back(scalable ? 100.0 : 1.0);
+    g.deadline.push_back(std::numeric_limits<double>::infinity());
+    g.succ_off.assign(2, 0);
+    g.pred_off.assign(2, 0);
     g.topo.push_back(0);
     PvDvsResult r;
     r.scaled_time = {target};

@@ -104,10 +104,10 @@ TEST_P(PropertyTest, DvsNeverIncreasesEnergyNorBreaksDeadlines) {
                                          system_.arch, system_.tech);
       const PvDvsResult r = run_pv_dvs(g, system_.arch);
       ASSERT_LE(r.total_energy, r.nominal_energy * (1 + 1e-9));
-      for (std::size_t i = 0; i < g.nodes.size(); ++i) {
-        ASSERT_GE(r.scaled_time[i], g.nodes[i].tmin * (1 - 1e-9));
+      for (std::size_t i = 0; i < g.node_count(); ++i) {
+        ASSERT_GE(r.scaled_time[i], g.tmin[i] * (1 - 1e-9));
         ASSERT_LE(r.scaled_time[i],
-                  g.nodes[i].tmin * g.nodes[i].max_slowdown * (1 + 1e-9));
+                  g.tmin[i] * g.max_slowdown[i] * (1 + 1e-9));
         ASSERT_GE(r.energy[i], 0.0);
       }
       // Was the base schedule on time? Then scaling must keep it on time.
@@ -194,7 +194,7 @@ TEST_P(PropertyTest, DvsGraphEnergyMatchesScheduleEnergy) {
     const DvsGraph g = build_dvs_graph(mode, s, mapping.modes[m],
                                        system_.arch, system_.tech);
     double node_energy = 0.0;
-    for (const DvsNode& n : g.nodes) node_energy += n.e_nom;
+    for (const double e : g.e_nom) node_energy += e;
     double expected = 0.0;
     for (std::size_t t = 0; t < mode.graph.task_count(); ++t) {
       const TaskId id{static_cast<int>(t)};

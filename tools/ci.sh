@@ -39,6 +39,24 @@ if ! diff -q /tmp/mmsyn-ci-default.out /tmp/mmsyn-ci-staged.out; then
   exit 1
 fi
 
+echo "== micro-kernel parity + perf gate =="
+# micro_kernels exits nonzero if any scheduling/DVS stage diverges from
+# the frozen reference kernels or the combined speedup drops under 2x.
+# The committed BENCH_micro_kernels.json is the tracked baseline: the
+# speedup is a same-process ratio (machine-independent), so a fresh run
+# falling more than 10% below it flags a data-layout/solver regression.
+./build/bench/micro_kernels --repeats 10 --min-speedup 2.0 \
+  --json /tmp/mmsyn-ci-mk.json
+python3 - /tmp/mmsyn-ci-mk.json BENCH_micro_kernels.json << 'EOF'
+import json, sys
+fresh = json.load(open(sys.argv[1]))["combined"]["speedup"]
+committed = json.load(open(sys.argv[2]))["combined"]["speedup"]
+if fresh < 0.9 * committed:
+    sys.exit(f"ci: FAIL (combined sched+DVS speedup {fresh:.2f}x regressed "
+             f">10% below committed baseline {committed:.2f}x)")
+print(f"perf gate: fresh {fresh:.2f}x vs committed {committed:.2f}x — ok")
+EOF
+
 if [ "$FAST" = "--fast" ]; then
   echo "ci: PASS (fast mode: sanitizer stages skipped)"
   exit 0
@@ -48,6 +66,8 @@ echo "== address-sanitizer build =="
 cmake -B build-asan -S . -DMMSYN_SANITIZE=address > /dev/null
 cmake --build build-asan -j "$JOBS"
 echo "== address-sanitizer ctest =="
+# The suite includes arena_test and micro_kernels_identity, so the bump
+# allocator and every SoA scheduling/DVS path run under the sanitizers.
 (cd build-asan && ctest --output-on-failure -j 2)
 
 echo "== undefined-behaviour-sanitizer build =="
