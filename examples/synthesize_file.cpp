@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "audit/auditor.hpp"
+#include "common/failpoint.hpp"
 #include "common/flags.hpp"
 #include "common/interrupt.hpp"
 #include "core/allocation_builder.hpp"
@@ -102,6 +103,13 @@ int main(int argc, char** argv) {
   flags.define_string("resume", "",
                       "resume from this checkpoint file (same system, seed "
                       "and GA options required)");
+  flags.define_int("checkpoint-keep", 3,
+                   "checkpoint generations kept on disk (file, file.1, ...); "
+                   "resume falls back through them past corruption");
+  flags.define_string("failpoints", "",
+                      "fault-injection spec (see common/failpoint.hpp), or "
+                      "'list' to print the registered failpoints and exit; "
+                      "empty reads $MMSYN_FAILPOINTS");
   flags.define_bool("audit", false,
                     "replay the result through the invariant auditor and "
                     "fail on any violation");
@@ -114,6 +122,24 @@ int main(int argc, char** argv) {
   flags.define_int("exhaustive-budget", 2'000'000,
                    "candidate-count cap of --exhaustive");
   if (!flags.parse(argc, argv)) return 1;
+
+  if (flags.get_string("failpoints") == "list") {
+    for (const std::string& site : failpoint::registered_sites())
+      std::printf("%s\n", site.c_str());
+    return 0;
+  }
+  try {
+    if (!flags.get_string("failpoints").empty())
+      failpoint::arm(flags.get_string("failpoints"));
+    else
+      failpoint::arm_from_env();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  if (failpoint::armed())
+    std::fprintf(stderr, "failpoints armed: %s\n",
+                 failpoint::active_spec().c_str());
 
   if (flags.get_bool("export-smartphone") || flags.get_int("export-mul") > 0) {
     const std::string path = flags.get_string("output").empty()
@@ -212,7 +238,12 @@ int main(int argc, char** argv) {
     control.checkpoint_path = flags.get_string("checkpoint");
     control.checkpoint_every_generations =
         static_cast<int>(flags.get_int("checkpoint-every"));
+    control.checkpoint_keep_generations =
+        static_cast<int>(flags.get_int("checkpoint-keep"));
     control.resume_path = flags.get_string("resume");
+    control.recovery_log = [](const std::string& message) {
+      std::fprintf(stderr, "recovery: %s\n", message.c_str());
+    };
     install_interrupt_flag();
     control.listen_for_interrupt();
     try {

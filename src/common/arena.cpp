@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/failpoint.hpp"
+
 // ASan interface: poison arena memory between reset() and re-allocation
 // so stale-scratch reads across candidate boundaries fault under the
 // sanitizer builds (tools/ci.sh).
@@ -25,6 +27,15 @@
 #endif
 
 namespace mmsyn {
+namespace {
+
+// Failpoint on arena block growth. `fail` simulates a transient
+// allocation failure (e.g. momentary memory pressure); the retry lives
+// right here so every caller — serial scheduler paths included, not just
+// pooled work — self-heals the same way.
+failpoint::Site fp_alloc_arena{"alloc.arena"};
+
+}  // namespace
 
 void Arena::add_block(std::size_t at_least) {
   // Geometric growth from the largest existing block keeps the number
@@ -33,7 +44,10 @@ void Arena::add_block(std::size_t at_least) {
                                      : 2 * blocks_.back().size;
   size = std::max(size, at_least);
   Block block;
-  block.data = std::make_unique<std::byte[]>(size);
+  failpoint::retry_transient("alloc.arena", [&] {
+    (void)failpoint::inject(fp_alloc_arena);
+    block.data = std::make_unique<std::byte[]>(size);
+  });
   block.size = size;
   MMSYN_ARENA_POISON(block.data.get(), block.size);
   blocks_.push_back(std::move(block));

@@ -1,0 +1,317 @@
+#include "common/failpoint.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/checksum.hpp"
+#include "common/rng.hpp"
+
+namespace mmsyn {
+namespace failpoint {
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+struct SiteState {
+  std::string name;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fired{0};
+};
+
+namespace {
+
+/// One armed spec entry.
+struct Rule {
+  Action action = Action::kNone;
+  enum class Trigger : std::uint8_t {
+    kOnce,      ///< hit == n
+    kFrom,      ///< hit >= n
+    kPeriodic,  ///< hit >= n && (hit - n) % m == 0
+    kProb,      ///< Threefry decision with probability p
+  };
+  Trigger trigger = Trigger::kFrom;
+  std::uint64_t n = 1;
+  std::uint64_t m = 1;
+  double p = 0.0;
+};
+
+/// A fully parsed, immutable failure plan. A site may carry several
+/// rules (repeated spec entries); on each hit the first firing rule in
+/// spec order decides the action.
+struct Config {
+  std::uint64_t seed = 0;
+  std::unordered_map<std::string, std::vector<Rule>> rules;
+  std::string spec;
+};
+
+/// Site registry plus the armed plan. Sites register at static-init;
+/// the map is keyed by name so same-named sites in different modules
+/// share one hit counter (trigger indices count process-wide hits).
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<SiteState>> sites;
+  std::shared_ptr<const Config> config;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+[[nodiscard]] std::shared_ptr<const Config> current_config() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.config;
+}
+
+void publish(std::shared_ptr<const Config> config) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& [name, state] : reg.sites) {
+    state->hits.store(0, std::memory_order_relaxed);
+    state->fired.store(0, std::memory_order_relaxed);
+  }
+  const bool armed = config != nullptr && !config->rules.empty();
+  reg.config = armed ? std::move(config) : nullptr;
+  g_armed.store(armed, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+SiteState* acquire_site_state(const char* name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  auto& slot = reg.sites[name];
+  if (!slot) {
+    slot = std::make_unique<SiteState>();
+    slot->name = name;
+  }
+  return slot.get();
+}
+
+}  // namespace detail
+
+const std::string& Site::name() const { return state_->name; }
+
+std::uint64_t Site::hit_count() const {
+  return state_->hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Site::fired_count() const {
+  return state_->fired.load(std::memory_order_relaxed);
+}
+
+Action Site::hit_armed() {
+  using detail::Rule;
+  const std::shared_ptr<const detail::Config> cfg = detail::current_config();
+  if (!cfg) return Action::kNone;
+  // Count every armed pass, ruled or not, so one entry's trigger indices
+  // never shift when another entry is added to the spec.
+  const std::uint64_t h =
+      state_->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  const auto it = cfg->rules.find(state_->name);
+  if (it == cfg->rules.end()) return Action::kNone;
+  for (const Rule& rule : it->second) {
+    bool fires = false;
+    switch (rule.trigger) {
+      case Rule::Trigger::kOnce:
+        fires = h == rule.n;
+        break;
+      case Rule::Trigger::kFrom:
+        fires = h >= rule.n;
+        break;
+      case Rule::Trigger::kPeriodic:
+        fires = h >= rule.n && (h - rule.n) % rule.m == 0;
+        break;
+      case Rule::Trigger::kProb:
+        fires = probability_trigger_fires(state_->name, h, cfg->seed, rule.p);
+        break;
+    }
+    if (!fires) continue;
+    state_->fired.fetch_add(1, std::memory_order_relaxed);
+    return rule.action;
+  }
+  return Action::kNone;
+}
+
+bool inject(Site& site) {
+  switch (site.hit()) {
+    case Action::kNone:
+      return false;
+    case Action::kFail:
+      throw TransientFault(site.name());
+    case Action::kKill:
+      // Simulated crash: no destructors, no stream flushes, no atexit.
+      std::_Exit(kKillExitCode);
+    case Action::kCorrupt:
+      return true;
+  }
+  return false;
+}
+
+bool probability_trigger_fires(const std::string& site_name,
+                               std::uint64_t hit, std::uint64_t seed,
+                               double p) {
+  // One counter-mode block per decision: counter = (hit, 0), key =
+  // (seed, FNV-1a of the site name). Pure in (seed, name, hit).
+  Fnv1a64 name_hash;
+  name_hash.add_bytes(site_name.data(), site_name.size());
+  const std::array<std::uint64_t, 2> block =
+      Rng::threefry2x64({hit, 0}, {seed, name_hash.digest()});
+  const double u =
+      static_cast<double>(block[0] >> 11) * 0x1.0p-53;  // [0, 1)
+  return u < p;
+}
+
+namespace {
+
+[[nodiscard]] std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+[[nodiscard]] std::uint64_t parse_uint(const std::string& text,
+                                       const std::string& context) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos)
+    throw std::invalid_argument("failpoints: expected an unsigned integer in '" +
+                                context + "'");
+  return std::stoull(text);
+}
+
+[[nodiscard]] detail::Rule parse_rule(const std::string& entry,
+                                      const std::string& action_text,
+                                      const std::string& trigger_text) {
+  detail::Rule rule;
+  if (action_text == "fail") {
+    rule.action = Action::kFail;
+  } else if (action_text == "kill") {
+    rule.action = Action::kKill;
+  } else if (action_text == "corrupt") {
+    rule.action = Action::kCorrupt;
+  } else if (action_text == "off") {
+    rule.action = Action::kNone;
+  } else {
+    throw std::invalid_argument(
+        "failpoints: unknown action '" + action_text + "' in '" + entry +
+        "' (expected fail, kill, corrupt, or off)");
+  }
+  if (trigger_text.empty()) return rule;  // every hit
+  if (trigger_text.front() == 'p') {
+    rule.trigger = detail::Rule::Trigger::kProb;
+    try {
+      std::size_t consumed = 0;
+      rule.p = std::stod(trigger_text.substr(1), &consumed);
+      if (consumed + 1 != trigger_text.size()) throw std::invalid_argument("");
+    } catch (const std::exception&) {
+      throw std::invalid_argument("failpoints: bad probability trigger in '" +
+                                  entry + "'");
+    }
+    if (rule.p < 0.0 || rule.p > 1.0)
+      throw std::invalid_argument("failpoints: probability out of [0,1] in '" +
+                                  entry + "'");
+    return rule;
+  }
+  const auto slash = trigger_text.find('/');
+  if (slash != std::string::npos) {
+    rule.trigger = detail::Rule::Trigger::kPeriodic;
+    rule.n = parse_uint(trigger_text.substr(0, slash), entry);
+    rule.m = parse_uint(trigger_text.substr(slash + 1), entry);
+    if (rule.n == 0 || rule.m == 0)
+      throw std::invalid_argument("failpoints: trigger indices are 1-based in '" +
+                                  entry + "'");
+    return rule;
+  }
+  if (trigger_text.back() == '+') {
+    rule.trigger = detail::Rule::Trigger::kFrom;
+    rule.n = parse_uint(trigger_text.substr(0, trigger_text.size() - 1), entry);
+  } else {
+    rule.trigger = detail::Rule::Trigger::kOnce;
+    rule.n = parse_uint(trigger_text, entry);
+  }
+  if (rule.n == 0)
+    throw std::invalid_argument("failpoints: trigger indices are 1-based in '" +
+                                entry + "'");
+  return rule;
+}
+
+}  // namespace
+
+void arm(const std::string& spec) {
+  auto config = std::make_shared<detail::Config>();
+  config->spec = spec;
+
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find_first_of(";,", begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = trim(spec.substr(begin, end - begin));
+    begin = end + 1;
+    if (entry.empty()) continue;
+
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("failpoints: expected name=action in '" +
+                                  entry + "'");
+    const std::string name = trim(entry.substr(0, eq));
+    const std::string value = trim(entry.substr(eq + 1));
+    if (name == "seed") {
+      config->seed = parse_uint(value, entry);
+      continue;
+    }
+
+    const auto at = value.find('@');
+    const std::string action_text =
+        at == std::string::npos ? value : value.substr(0, at);
+    const std::string trigger_text =
+        at == std::string::npos ? "" : value.substr(at + 1);
+    const detail::Rule rule = parse_rule(entry, action_text, trigger_text);
+    if (rule.action == Action::kNone) continue;  // 'off'
+
+    // Fail loudly on typos: the name must be a registered site.
+    bool known = false;
+    {
+      detail::Registry& reg = detail::registry();
+      const std::lock_guard<std::mutex> lock(reg.mutex);
+      known = reg.sites.find(name) != reg.sites.end();
+    }
+    if (!known) {
+      std::string msg = "failpoints: unknown site '" + name + "'; registered:";
+      for (const std::string& s : registered_sites()) msg += " " + s;
+      throw std::invalid_argument(msg);
+    }
+    config->rules[name].push_back(rule);
+  }
+
+  detail::publish(std::move(config));
+}
+
+void disarm() { detail::publish(nullptr); }
+
+bool arm_from_env() {
+  const char* env = std::getenv("MMSYN_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return false;
+  arm(env);
+  return armed();
+}
+
+std::string active_spec() {
+  const std::shared_ptr<const detail::Config> cfg = detail::current_config();
+  return cfg ? cfg->spec : std::string();
+}
+
+std::vector<std::string> registered_sites() {
+  detail::Registry& reg = detail::registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<std::string> names;
+  names.reserve(reg.sites.size());
+  for (const auto& [name, state] : reg.sites) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+}  // namespace failpoint
+}  // namespace mmsyn

@@ -1,0 +1,182 @@
+// Deterministic fault injection for robustness testing.
+//
+// A *failpoint* is a named site compiled into a failure-prone path —
+// checkpoint I/O, the thread pool, the arena allocator, the mode cache —
+// that normally does nothing, but can be *armed* with a spec so that
+// specific hits inject a fault: a transient error, a process kill, or a
+// site-specific corruption. The crash-torture harness
+// (bench/crash_torture.sh) drives synthesis runs through these sites and
+// asserts that the recovery machinery (checkpoint generation rotation,
+// bounded retries, cache quarantine) heals every injected fault with a
+// byte-identical final report.
+//
+// Determinism contract (see DESIGN.md §13): the failure plan is a pure
+// function of (seed, spec). Counting triggers (`@N`, `@N+`, `@N/M`) fire
+// on fixed 1-based hit indices of the site's process-wide hit counter;
+// probabilistic triggers (`@pF`) decide each hit through one Threefry2x64
+// block keyed on (seed, site name) with the hit index as the counter —
+// no hidden RNG state, so the same spec injects the same faults under
+// any thread count and across reruns.
+//
+// Spec grammar:
+//
+//   spec    := entry ((';' | ',') entry)*
+//   entry   := name '=' action ['@' trigger]   |   'seed' '=' uint
+//   action  := 'fail' | 'kill' | 'corrupt' | 'off'
+//   trigger := N        fire on the Nth hit only (1-based)
+//            | N '+'    fire on every hit >= N
+//            | N '/' M  fire on hits N, N+M, N+2M, ...
+//            | 'p' F    fire each hit with probability F (Threefry-derived)
+//   (no trigger = every hit; repeating a name adds rules to that site —
+//    on each hit the first firing rule in spec order decides the action)
+//
+// Actions: `fail` throws TransientFault (recovered by bounded
+// deterministic-backoff retries at the call sites), `kill` terminates the
+// process immediately via _Exit(kKillExitCode) — a crash simulation, no
+// destructors or flushes — `corrupt` asks the site to deterministically
+// corrupt its data (sites that cannot corrupt treat it as a no-op), and
+// `off` disables the entry without removing it from the spec.
+//
+// Overhead when disarmed: one relaxed atomic load and a branch per site
+// hit — nothing is counted, parsed or locked (the micro_kernels perf gate
+// in tools/ci.sh runs with failpoints disarmed and must stay green).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mmsyn {
+
+/// An injected (or simulated-environmental) fault that is expected to go
+/// away on retry: the transient-I/O / task-failure flavour of failpoint
+/// action. Recovery paths catch exactly this type; real logic errors use
+/// their ordinary exception types and are never retried.
+class TransientFault : public std::runtime_error {
+public:
+  explicit TransientFault(const std::string& site)
+      : std::runtime_error("transient fault injected at " + site) {}
+};
+
+namespace failpoint {
+
+/// What an armed site should do on a triggering hit.
+enum class Action : std::uint8_t {
+  kNone = 0,    ///< not armed / not triggered
+  kFail,        ///< throw TransientFault
+  kKill,        ///< _Exit(kKillExitCode) — simulated crash
+  kCorrupt,     ///< site corrupts its own data deterministically
+};
+
+/// Exit code of the `kill` action (mirrors SIGKILL's 128+9 so crash
+/// supervisors treat an injected kill like a real one).
+inline constexpr int kKillExitCode = 137;
+
+/// Bounded-retry policy for TransientFault recovery: attempts and the
+/// deterministic exponential backoff between them. Small enough that an
+/// exhausted site costs single-digit milliseconds in tests.
+inline constexpr int kMaxRetryAttempts = 4;
+[[nodiscard]] inline std::chrono::microseconds retry_backoff(int attempt) {
+  return std::chrono::microseconds(250u << (attempt < 1 ? 0 : attempt - 1));
+}
+
+namespace detail {
+struct SiteState;  // name + process-wide hit/fired counters, shared by name
+[[nodiscard]] SiteState* acquire_site_state(const char* name);
+extern std::atomic<bool> g_armed;
+}  // namespace detail
+
+/// One named failpoint. Define as a namespace-scope (or function-local
+/// static) object in the module that owns the path:
+///
+///   namespace { failpoint::Site fp_write{"checkpoint.write"}; }
+///   ...
+///   if (failpoint::inject(fp_write)) { /* corrupt-action handling */ }
+///
+/// Sites register themselves by name at construction; two Site objects
+/// with the same name (e.g. "io.read" in two modules) share one hit
+/// counter, so trigger indices count process-wide hits of the *name*.
+class Site {
+public:
+  explicit Site(const char* name) : state_(detail::acquire_site_state(name)) {}
+
+  [[nodiscard]] const std::string& name() const;
+
+  /// Counts one hit and returns the action the armed spec assigns to it.
+  /// Disarmed: returns kNone without counting (the zero-overhead path).
+  [[nodiscard]] Action hit() {
+    if (!detail::g_armed.load(std::memory_order_relaxed)) return Action::kNone;
+    return hit_armed();
+  }
+
+  /// Hits observed while armed / faults fired (diagnostics and tests).
+  [[nodiscard]] std::uint64_t hit_count() const;
+  [[nodiscard]] std::uint64_t fired_count() const;
+
+private:
+  [[nodiscard]] Action hit_armed();
+
+  detail::SiteState* state_;
+};
+
+/// Standard action dispatch: kFail throws TransientFault(site name),
+/// kKill terminates the process, kCorrupt returns true (the caller owns
+/// the corruption), kNone returns false.
+[[nodiscard]] bool inject(Site& site);
+
+/// True while a spec is armed (the fast-path check `Site::hit` inlines).
+[[nodiscard]] inline bool armed() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Parses and arms `spec` (see grammar above), resetting every site's
+/// counters so the failure plan restarts from hit 1. Unknown site names,
+/// actions or malformed triggers throw std::invalid_argument listing the
+/// registered sites. An empty spec disarms.
+void arm(const std::string& spec);
+
+/// Disarms and resets all site counters.
+void disarm();
+
+/// Arms from $MMSYN_FAILPOINTS when set and non-empty; returns whether a
+/// spec was armed.
+bool arm_from_env();
+
+/// The spec currently armed (empty when disarmed).
+[[nodiscard]] std::string active_spec();
+
+/// Names of every registered failpoint site, sorted — the output of
+/// `--failpoints=list`, which the CI coverage check asserts against.
+[[nodiscard]] std::vector<std::string> registered_sites();
+
+/// The pure trigger decision for probabilistic entries: whether hit
+/// number `hit` (1-based) of site `site_name` fires under probability `p`
+/// and plan seed `seed`. One Threefry2x64 block; exposed for the
+/// determinism tests.
+[[nodiscard]] bool probability_trigger_fires(const std::string& site_name,
+                                             std::uint64_t hit,
+                                             std::uint64_t seed, double p);
+
+/// Runs `fn`, retrying on TransientFault with deterministic exponential
+/// backoff up to kMaxRetryAttempts total attempts; the last failure is
+/// rethrown. `what` names the operation for diagnostics only — it does
+/// not affect the plan. Non-transient exceptions propagate immediately.
+template <typename Fn>
+decltype(auto) retry_transient(const char* what, Fn&& fn) {
+  (void)what;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const TransientFault&) {
+      if (attempt >= kMaxRetryAttempts) throw;
+      std::this_thread::sleep_for(retry_backoff(attempt));
+    }
+  }
+}
+
+}  // namespace failpoint
+}  // namespace mmsyn

@@ -10,15 +10,22 @@ namespace {
 // store into; sig_atomic_t would do but loses the explicit memory order.
 std::atomic<bool> g_interrupted{false};
 
-extern "C" void sigint_handler(int signum) {
+extern "C" void interrupt_handler(int signum) {
   g_interrupted.store(true, std::memory_order_relaxed);
-  // One graceful chance: a second Ctrl-C kills the process normally.
+  // One graceful chance: a second delivery kills the process normally.
   std::signal(signum, SIG_DFL);
 }
 
 }  // namespace
 
-void install_interrupt_flag() { std::signal(SIGINT, sigint_handler); }
+void install_interrupt_flag() {
+  std::signal(SIGINT, interrupt_handler);
+  // Service supervisors stop with SIGTERM; give it the same cooperative
+  // cancel + checkpoint + partial-result drain as Ctrl-C.
+#ifdef SIGTERM
+  std::signal(SIGTERM, interrupt_handler);
+#endif
+}
 
 bool interrupt_requested() {
   return g_interrupted.load(std::memory_order_relaxed);

@@ -1,22 +1,27 @@
-// Cooperative SIGINT handling for long-running command-line tools.
+// Cooperative SIGINT/SIGTERM handling for long-running command-line
+// tools.
 //
 // A process-wide, async-signal-safe interrupt flag: the tool installs the
-// handler once, the synthesis loop polls `interrupt_requested()` at
-// generation boundaries (via core/run_control) and winds down gracefully.
-// A second Ctrl-C restores the default disposition, so an unresponsive
-// run can still be killed the ordinary way.
+// handlers once, the synthesis loop polls `interrupt_requested()` at
+// generation boundaries (via core/run_control) and winds down gracefully
+// — checkpoint, partial report, exit 3. A second signal restores the
+// default disposition, so an unresponsive run can still be killed the
+// ordinary way. SIGTERM gets the same treatment as SIGINT so
+// service-style supervisors (systemd, container runtimes) trigger the
+// graceful drain too.
 #pragma once
 
 namespace mmsyn {
 
-/// Installs a SIGINT handler that records the interrupt in a process-wide
-/// flag. The first SIGINT only sets the flag; the handler then restores
-/// the default disposition so a second SIGINT terminates the process.
-/// Idempotent; safe to call from tests.
+/// Installs SIGINT and SIGTERM handlers that record the interrupt in a
+/// process-wide flag. The first delivery of either signal only sets the
+/// flag; the handler then restores that signal's default disposition so a
+/// second delivery terminates the process. Idempotent; safe to call from
+/// tests.
 void install_interrupt_flag();
 
-/// True once SIGINT was received after install_interrupt_flag() (or after
-/// raise_interrupt_flag()).
+/// True once SIGINT/SIGTERM was received after install_interrupt_flag()
+/// (or after raise_interrupt_flag()).
 [[nodiscard]] bool interrupt_requested();
 
 /// Sets / clears the flag directly — for tests and for components that

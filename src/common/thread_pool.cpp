@@ -2,7 +2,26 @@
 
 #include <algorithm>
 
+#include "common/failpoint.hpp"
+
 namespace mmsyn {
+namespace {
+
+// Failpoint on every pooled work item (inline single-thread execution
+// included). `fail` simulates a transiently failing task — the pool
+// retries that one item with deterministic backoff before letting the
+// error surface through first_error_, so a flaky item self-heals without
+// disturbing the other items' claim order.
+failpoint::Site fp_pool_task{"pool.task"};
+
+void run_one(const std::function<void(std::size_t)>& fn, std::size_t i) {
+  failpoint::retry_transient("pool.task", [&] {
+    (void)failpoint::inject(fp_pool_task);
+    fn(i);
+  });
+}
+
+}  // namespace
 
 int ThreadPool::resolve_thread_count(int requested) {
   if (requested == 0) {
@@ -34,7 +53,7 @@ void ThreadPool::run_items(const std::function<void(std::size_t)>& fn,
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) return;
     try {
-      fn(i);
+      run_one(fn, i);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
@@ -64,7 +83,7 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) run_one(fn, i);
     return;
   }
   {

@@ -32,8 +32,20 @@ SynthesisResult synthesize(const System& system,
                                  make_eval_options(system, options, false));
   MappingGa ga(system, loop_evaluator, options.fitness, options.allocation,
                options.ga, options.seed);
-  if (control && !control->resume_path.empty())
-    ga.restore(load_checkpoint(control->resume_path));
+  if (control && !control->resume_path.empty()) {
+    // Recovery-aware resume: fall back through the kept generations when
+    // the newest checkpoint is torn, corrupt, or from a different
+    // configuration, and surface each skip in the recovery log.
+    CheckpointLoadResult loaded = load_checkpoint_fallback(
+        control->resume_path, control->checkpoint_keep_generations,
+        ga.state_fingerprint());
+    for (const std::string& note : loaded.notes)
+      control->log_recovery("skipped checkpoint generation: " + note);
+    if (loaded.generation > 0)
+      control->log_recovery("resumed from older generation " +
+                            loaded.loaded_path);
+    ga.restore(loaded.snapshot);
+  }
   SynthesisResult result = ga.run({}, control);
 
   // Final (reported) evaluation: fine DVS, schedules kept, true Ψ power.

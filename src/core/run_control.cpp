@@ -1,11 +1,16 @@
 #include "core/run_control.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <bit>
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "common/checksum.hpp"
+#include "common/failpoint.hpp"
 #include "common/interrupt.hpp"
 
 namespace mmsyn {
@@ -317,9 +322,69 @@ GaSnapshot deserialize(std::string_view payload) {
   return s;
 }
 
+// Failpoints on the checkpoint I/O path (see common/failpoint.hpp).
+// `fail` on either site is retried with deterministic backoff; `corrupt`
+// on checkpoint.write flips one payload byte in the on-disk image (the
+// generation then fails its CRC on load, exercising the fallback), and
+// `corrupt` on io.read flips one byte of the in-memory image after a
+// clean read. io.read is shared by name with model/io.cpp.
+failpoint::Site fp_checkpoint_write{"checkpoint.write"};
+failpoint::Site fp_checkpoint_rename{"checkpoint.rename"};
+failpoint::Site fp_io_read{"io.read"};
+
+/// Writes `data` to `tmp` with write-through durability: POSIX write +
+/// fsync + close. A failure removes the stale temp file before throwing,
+/// so aborted saves never litter (or get renamed later by accident).
+void write_file_durable(const std::string& tmp, const std::string& data) {
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw CheckpointError("cannot open for writing: " + tmp);
+  const char* p = data.data();
+  std::size_t left = data.size();
+  bool ok = true;
+  while (ok && left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  // flush() reaches the kernel, not the platter: only fsync makes the
+  // atomic-rename recipe durable across power loss.
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("write failed: " + tmp);
+  }
+}
+
+/// Best-effort fsync of `path`'s parent directory so the rename itself
+/// (the directory-entry update) is durable too.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? "."
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    (void)::close(fd);
+  }
+}
+
 }  // namespace
 
-void save_checkpoint(const std::string& path, const GaSnapshot& snapshot) {
+std::string checkpoint_generation_path(const std::string& path,
+                                       int generation) {
+  return generation <= 0 ? path : path + "." + std::to_string(generation);
+}
+
+void save_checkpoint_rotating(const std::string& path,
+                              const GaSnapshot& snapshot, int keep) {
+  if (keep < 1) keep = 1;
   const std::string payload = serialize(snapshot);
 
   std::string file;
@@ -334,26 +399,67 @@ void save_checkpoint(const std::string& path, const GaSnapshot& snapshot) {
   trailer.u32(crc32(payload));
   file += trailer.bytes();
 
-  // Atomic replace: a crash mid-write leaves the previous checkpoint (or
-  // nothing) in place, never a half-written file under the final name.
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) throw CheckpointError("cannot open for writing: " + tmp);
-    os.write(file.data(), static_cast<std::streamsize>(file.size()));
-    os.flush();
-    if (!os) throw CheckpointError("write failed: " + tmp);
+  try {
+    failpoint::retry_transient("checkpoint.write", [&] {
+      std::string image = file;
+      if (failpoint::inject(fp_checkpoint_write)) {
+        // Deterministic corruption: flip one bit mid-payload; the CRC
+        // trailer stays stale so the generation is rejected on load.
+        const std::size_t at = sizeof kMagic + 12 + payload.size() / 2;
+        image[at] = static_cast<char>(image[at] ^ 0x01);
+      }
+      write_file_durable(tmp, image);
+    });
+
+    // Shift the surviving generations up before the new file takes the
+    // base name; a missing generation is not an error (fresh runs).
+    for (int gen = keep - 1; gen >= 1; --gen)
+      (void)std::rename(checkpoint_generation_path(path, gen - 1).c_str(),
+                        checkpoint_generation_path(path, gen).c_str());
+
+    // Atomic replace: a crash mid-save leaves the previous generations in
+    // place (possibly shifted up one slot), never a half-written file
+    // under a loadable name.
+    failpoint::retry_transient("checkpoint.rename", [&] {
+      (void)failpoint::inject(fp_checkpoint_rename);
+      if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw CheckpointError("cannot rename " + tmp + " to " + path);
+    });
+  } catch (const TransientFault& e) {
+    // Exhausted retries surface as the checkpoint-layer error type.
+    std::remove(tmp.c_str());
+    throw CheckpointError(std::string("giving up after ") +
+                          std::to_string(failpoint::kMaxRetryAttempts) +
+                          " attempts: " + e.what());
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0)
-    throw CheckpointError("cannot rename " + tmp + " to " + path);
+  fsync_parent_dir(path);
+}
+
+void save_checkpoint(const std::string& path, const GaSnapshot& snapshot) {
+  save_checkpoint_rotating(path, snapshot, /*keep=*/1);
 }
 
 GaSnapshot load_checkpoint(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw CheckpointError("cannot open for reading: " + path);
-  std::ostringstream buffer;
-  buffer << is.rdbuf();
-  const std::string file = buffer.str();
+  std::string file;
+  try {
+    file = failpoint::retry_transient("checkpoint read", [&] {
+      const bool corrupt = failpoint::inject(fp_io_read);
+      std::ifstream is(path, std::ios::binary);
+      if (!is) throw CheckpointError("cannot open for reading: " + path);
+      std::ostringstream buffer;
+      buffer << is.rdbuf();
+      std::string bytes = buffer.str();
+      if (corrupt && !bytes.empty())
+        bytes[bytes.size() / 2] =
+            static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+      return bytes;
+    });
+  } catch (const TransientFault& e) {
+    throw CheckpointError(std::string("giving up after ") +
+                          std::to_string(failpoint::kMaxRetryAttempts) +
+                          " attempts: " + e.what());
+  }
 
   if (file.size() < sizeof kMagic + 12 ||
       file.compare(0, sizeof kMagic, kMagic, sizeof kMagic) != 0)
@@ -373,6 +479,45 @@ GaSnapshot load_checkpoint(const std::string& path) {
   if (trailer.u32() != crc32(payload))
     throw CheckpointError("CRC mismatch (corrupted file): " + path);
   return deserialize(payload);
+}
+
+CheckpointLoadResult load_checkpoint_fallback(
+    const std::string& path, int keep,
+    std::optional<std::uint64_t> expected_fingerprint) {
+  if (keep < 1) keep = 1;
+  CheckpointLoadResult result;
+  for (int gen = 0; gen < keep; ++gen) {
+    const std::string gen_path = checkpoint_generation_path(path, gen);
+    try {
+      GaSnapshot snapshot = load_checkpoint(gen_path);
+      if (expected_fingerprint.has_value() &&
+          snapshot.fingerprint != *expected_fingerprint)
+        throw CheckpointError("configuration fingerprint mismatch: " +
+                              gen_path);
+      result.snapshot = std::move(snapshot);
+      result.loaded_path = gen_path;
+      result.generation = gen;
+      return result;
+    } catch (const CheckpointError& e) {
+      result.notes.emplace_back(e.what());
+    }
+  }
+  std::string message = "no usable checkpoint generation under " + path;
+  for (const std::string& note : result.notes) message += "; " + note;
+  throw CheckpointError(message);
+}
+
+void RunControl::write_checkpoint(const GaSnapshot& snapshot) const {
+  if (checkpoint_path.empty()) return;
+  try {
+    save_checkpoint_rotating(checkpoint_path, snapshot,
+                             checkpoint_keep_generations);
+  } catch (const CheckpointError& e) {
+    ++checkpoint_write_failures_;
+    log_recovery(std::string("tolerated checkpoint write failure (run "
+                             "continues on older generations): ") +
+                 e.what());
+  }
 }
 
 bool RunControl::cancel_requested() const {

@@ -22,6 +22,8 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -95,13 +97,51 @@ struct GaSnapshot {
   long schedule_cache_lookups = 0;
 };
 
-/// Writes `snapshot` atomically (temp file + rename) in the versioned,
-/// CRC-protected binary format. Throws CheckpointError on I/O failure.
+/// Writes `snapshot` atomically and durably (temp file + fsync + rename +
+/// directory fsync) in the versioned, CRC-protected binary format. Throws
+/// CheckpointError on I/O failure; a write that throws mid-stream removes
+/// its stale `.tmp` file. Equivalent to save_checkpoint_rotating with
+/// keep = 1 (no older generations are retained).
 void save_checkpoint(const std::string& path, const GaSnapshot& snapshot);
+
+/// The on-disk name of checkpoint generation `generation` (0 = newest):
+/// `path` itself, then `path.1`, `path.2`, ...
+[[nodiscard]] std::string checkpoint_generation_path(const std::string& path,
+                                                     int generation);
+
+/// Like save_checkpoint, but first shifts the existing generation files up
+/// (`path` -> `path.1` -> ... -> `path.keep-1`, the oldest falling off) so
+/// the last `keep` snapshots survive on disk. One torn or bit-rotted
+/// generation then costs at most `checkpoint_every_generations` of replay
+/// instead of the whole run.
+void save_checkpoint_rotating(const std::string& path,
+                              const GaSnapshot& snapshot, int keep);
 
 /// Reads a checkpoint written by save_checkpoint. Throws CheckpointError
 /// on I/O failure, bad magic/version, or CRC mismatch.
 [[nodiscard]] GaSnapshot load_checkpoint(const std::string& path);
+
+/// Outcome of load_checkpoint_fallback: which generation was loaded and
+/// what was wrong with every newer generation that had to be skipped.
+struct CheckpointLoadResult {
+  GaSnapshot snapshot;
+  /// The generation file actually loaded.
+  std::string loaded_path;
+  /// Its generation index (0 = the newest file, `path` itself).
+  int generation = 0;
+  /// One human-readable note per skipped (missing/corrupt/mismatched)
+  /// newer generation, for the recovery log.
+  std::vector<std::string> notes;
+};
+
+/// Recovery-aware load: tries generations 0..keep-1 in order and returns
+/// the newest one that reads cleanly (and, when `expected_fingerprint` is
+/// set, matches it). Missing and corrupt generations are skipped with a
+/// note instead of aborting the resume. Throws CheckpointError only when
+/// no generation is usable, with every skip reason in the message.
+[[nodiscard]] CheckpointLoadResult load_checkpoint_fallback(
+    const std::string& path, int keep,
+    std::optional<std::uint64_t> expected_fingerprint = std::nullopt);
 
 /// The run-control handle. Plain-struct configuration plus a thread-safe
 /// cancellation token; one instance drives one `synthesize()` call.
@@ -116,10 +156,22 @@ public:
   /// Write a checkpoint every N completed generations (and always on a
   /// cooperative stop when checkpointing is enabled).
   int checkpoint_every_generations = 25;
+  /// Checkpoint generations kept on disk (path, path.1, ...); resume
+  /// falls back through them when the newest is torn or corrupt.
+  int checkpoint_keep_generations = 3;
 
   /// Resume from this checkpoint file before the first generation; empty
   /// starts fresh.
   std::string resume_path;
+
+  /// Recovery diagnostics sink (skipped checkpoint generations, tolerated
+  /// write failures, quarantined cache entries). Unset = silent.
+  std::function<void(const std::string&)> recovery_log;
+
+  /// Emits one recovery-log line (no-op without a sink).
+  void log_recovery(const std::string& message) const {
+    if (recovery_log) recovery_log(message);
+  }
 
   /// Requests a graceful stop at the next generation boundary. Safe to
   /// call from any thread (e.g. a GA progress observer or a watchdog).
@@ -149,14 +201,21 @@ public:
     return !checkpoint_path.empty();
   }
 
-  /// Writes `snapshot` to checkpoint_path (no-op when disabled).
-  void write_checkpoint(const GaSnapshot& snapshot) const {
-    if (!checkpoint_path.empty()) save_checkpoint(checkpoint_path, snapshot);
+  /// Writes `snapshot` to checkpoint_path with generation rotation (no-op
+  /// when disabled). Failure-tolerant: a checkpoint that cannot be written
+  /// is logged and counted, never fatal — losing one periodic snapshot
+  /// must not kill a multi-hour run (older generations still cover it).
+  void write_checkpoint(const GaSnapshot& snapshot) const;
+
+  /// Checkpoint writes tolerated (logged and skipped) so far.
+  [[nodiscard]] long checkpoint_write_failures() const {
+    return checkpoint_write_failures_;
   }
 
 private:
   std::atomic<bool> cancelled_{false};
   bool poll_interrupt_flag_ = false;
+  mutable long checkpoint_write_failures_ = 0;
 };
 
 }  // namespace mmsyn

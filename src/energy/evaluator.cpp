@@ -1,13 +1,87 @@
 #include "energy/evaluator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
 #include "common/checksum.hpp"
+#include "common/failpoint.hpp"
 
 namespace mmsyn {
+namespace {
+
+// Failpoint on memo insertion, shared by both cache tiers. `corrupt`
+// poisons the stored copy *after* its digest is taken (a deterministic
+// bit flip in the hottest scalar), so the next lookup of that key fails
+// verification and quarantines the entry; `fail` drops the insert — a
+// lost memo entry is recomputed on the next miss, also self-healing.
+failpoint::Site fp_cache_insert{"cache.insert"};
+
+/// Digest of a whole-mode entry's stored bytes (the schedule is excluded:
+/// memoised whole-mode entries never carry one).
+std::uint64_t eval_digest(const ModeEvaluation& m) {
+  Fnv1a64 h;
+  h.add(m.dyn_energy);
+  h.add(m.dyn_power);
+  h.add(m.static_power);
+  h.add(m.timing_violation);
+  h.add(m.makespan);
+  h.add(static_cast<std::uint64_t>(m.pe_active.size()));
+  for (bool b : m.pe_active) h.add(b);
+  h.add(static_cast<std::uint64_t>(m.cl_active.size()));
+  for (bool b : m.cl_active) h.add(b);
+  h.add(m.routable);
+  return h.digest();
+}
+
+/// Digest of a schedule-stage entry's stored bytes.
+std::uint64_t schedule_digest(const ModeSchedule& s) {
+  Fnv1a64 h;
+  h.add(static_cast<std::uint64_t>(s.tasks.size()));
+  for (const ScheduledTask& t : s.tasks) {
+    h.add(t.task.value());
+    h.add(t.pe.value());
+    h.add(t.core_instance);
+    h.add(t.start);
+    h.add(t.finish);
+  }
+  h.add(static_cast<std::uint64_t>(s.comms.size()));
+  for (const ScheduledComm& c : s.comms) {
+    h.add(c.edge.value());
+    h.add(c.cl.value());
+    h.add(c.local);
+    h.add(c.start);
+    h.add(c.finish);
+  }
+  h.add(s.makespan);
+  h.add(s.routable);
+  return h.digest();
+}
+
+enum class InsertFault : std::uint8_t { kProceed, kSkip, kCorrupt };
+
+/// Maps a cache.insert firing onto the insert-specific semantics above.
+/// `fail` becomes a skipped insert rather than an exception: a memo
+/// insert has no caller-side retry (the value is already computed), and
+/// dropping it is exactly as recoverable.
+InsertFault cache_insert_fault() {
+  switch (fp_cache_insert.hit()) {
+    case failpoint::Action::kNone:
+      return InsertFault::kProceed;
+    case failpoint::Action::kFail:
+      return InsertFault::kSkip;
+    case failpoint::Action::kKill:
+      std::_Exit(failpoint::kKillExitCode);
+    case failpoint::Action::kCorrupt:
+      return InsertFault::kCorrupt;
+  }
+  return InsertFault::kProceed;
+}
+
+}  // namespace
 
 std::size_t ModeEvalKeyHash::operator()(const ModeEvalKey& key) const {
   Fnv1a64 h;
@@ -31,8 +105,16 @@ const ModeEvaluation* ModeEvalCache::find(const ModeEvalKey& key) {
   ++lookups_;
   const auto it = map_.find(key);
   if (it == map_.end()) return nullptr;
+  if (eval_digest(it->second.value) != it->second.digest) {
+    // Poisoned entry: quarantine (erase) and report a miss so the caller
+    // recomputes. Recomputation is bit-identical to a cold evaluation.
+    ++quarantined_;
+    order_.erase(std::find(order_.begin(), order_.end(), key));
+    map_.erase(it);
+    return nullptr;
+  }
   ++hits_;
-  return &it->second;
+  return &it->second.value;
 }
 
 void ModeEvalCache::insert(const ModeEvalKey& key,
@@ -41,13 +123,20 @@ void ModeEvalCache::insert(const ModeEvalKey& key,
   // the eviction loop first would evict the FIFO head and then fail the
   // emplace, shrinking the cache and losing an innocent entry.
   if (map_.find(key) != map_.end()) return;
+  const InsertFault fault = cache_insert_fault();
+  if (fault == InsertFault::kSkip) return;
   if (capacity_ > 0) {
     while (map_.size() >= capacity_ && !order_.empty()) {
       map_.erase(order_.front());
       order_.pop_front();
     }
   }
-  map_.emplace(key, value);
+  Stored<ModeEvaluation> stored{value, eval_digest(value)};
+  if (fault == InsertFault::kCorrupt)
+    stored.value.dyn_energy =
+        std::bit_cast<double>(std::bit_cast<std::uint64_t>(
+                                  stored.value.dyn_energy) ^ 1u);
+  map_.emplace(key, std::move(stored));
   order_.push_back(key);
 }
 
@@ -55,21 +144,34 @@ const ModeSchedule* ModeEvalCache::find_schedule(const ModeEvalKey& key) {
   ++schedule_lookups_;
   const auto it = schedule_map_.find(key);
   if (it == schedule_map_.end()) return nullptr;
+  if (schedule_digest(it->second.value) != it->second.digest) {
+    ++schedule_quarantined_;
+    schedule_order_.erase(
+        std::find(schedule_order_.begin(), schedule_order_.end(), key));
+    schedule_map_.erase(it);
+    return nullptr;
+  }
   ++schedule_hits_;
-  return &it->second;
+  return &it->second.value;
 }
 
 void ModeEvalCache::insert_schedule(const ModeEvalKey& key,
                                     const ModeSchedule& value) {
   // Same duplicate-before-eviction ordering as insert().
   if (schedule_map_.find(key) != schedule_map_.end()) return;
+  const InsertFault fault = cache_insert_fault();
+  if (fault == InsertFault::kSkip) return;
   if (capacity_ > 0) {
     while (schedule_map_.size() >= capacity_ && !schedule_order_.empty()) {
       schedule_map_.erase(schedule_order_.front());
       schedule_order_.pop_front();
     }
   }
-  schedule_map_.emplace(key, value);
+  Stored<ModeSchedule> stored{value, schedule_digest(value)};
+  if (fault == InsertFault::kCorrupt && !stored.value.tasks.empty())
+    stored.value.makespan = std::bit_cast<double>(
+        std::bit_cast<std::uint64_t>(stored.value.makespan) ^ 1u);
+  schedule_map_.emplace(key, std::move(stored));
   schedule_order_.push_back(key);
 }
 
@@ -77,7 +179,8 @@ std::vector<std::pair<ModeEvalKey, ModeEvaluation>> ModeEvalCache::entries()
     const {
   std::vector<std::pair<ModeEvalKey, ModeEvaluation>> out;
   out.reserve(order_.size());
-  for (const ModeEvalKey& key : order_) out.emplace_back(key, map_.at(key));
+  for (const ModeEvalKey& key : order_)
+    out.emplace_back(key, map_.at(key).value);
   return out;
 }
 
@@ -86,7 +189,7 @@ ModeEvalCache::schedule_entries() const {
   std::vector<std::pair<ModeEvalKey, ModeSchedule>> out;
   out.reserve(schedule_order_.size());
   for (const ModeEvalKey& key : schedule_order_)
-    out.emplace_back(key, schedule_map_.at(key));
+    out.emplace_back(key, schedule_map_.at(key).value);
   return out;
 }
 
@@ -119,6 +222,8 @@ void ModeEvalCache::clear() {
   lookups_ = 0;
   schedule_hits_ = 0;
   schedule_lookups_ = 0;
+  quarantined_ = 0;
+  schedule_quarantined_ = 0;
 }
 
 Evaluator::Evaluator(const System& system, EvaluationOptions options)

@@ -139,6 +139,13 @@ struct ModeEvalKeyHash {
 /// cold evaluation — whole-mode entries store the complete ModeEvaluation
 /// the pipeline produced, schedule entries the exact ModeSchedule, and
 /// replays run the same downstream stage code a cold evaluation runs.
+///
+/// Self-healing: every entry carries an FNV-1a digest of its value,
+/// verified on lookup. An entry whose bytes no longer match (bit rot, a
+/// `cache.insert` corrupt failpoint) is *quarantined* — erased and
+/// reported as a miss — so the caller transparently recomputes instead
+/// of propagating a poisoned result. Recomputation is bit-identical to
+/// a cold evaluation, so quarantine never changes a trajectory.
 class ModeEvalCache {
 public:
   explicit ModeEvalCache(std::size_t capacity = 1 << 16)
@@ -167,6 +174,11 @@ public:
   [[nodiscard]] long lookups() const { return lookups_; }
   [[nodiscard]] long schedule_hits() const { return schedule_hits_; }
   [[nodiscard]] long schedule_lookups() const { return schedule_lookups_; }
+  /// Entries evicted by a failed digest check, per store.
+  [[nodiscard]] long quarantined() const { return quarantined_; }
+  [[nodiscard]] long schedule_quarantined() const {
+    return schedule_quarantined_;
+  }
   [[nodiscard]] std::size_t size() const { return map_.size(); }
   [[nodiscard]] std::size_t schedule_size() const {
     return schedule_map_.size();
@@ -196,14 +208,25 @@ public:
   void clear();
 
 private:
+  /// A cached value plus the digest of the bytes that were stored, so a
+  /// later lookup can prove the entry is still what insert() computed.
+  template <typename T>
+  struct Stored {
+    T value;
+    std::uint64_t digest = 0;
+  };
+
   std::size_t capacity_;
   long hits_ = 0;
   long lookups_ = 0;
   long schedule_hits_ = 0;
   long schedule_lookups_ = 0;
-  std::unordered_map<ModeEvalKey, ModeEvaluation, ModeEvalKeyHash> map_;
+  long quarantined_ = 0;
+  long schedule_quarantined_ = 0;
+  std::unordered_map<ModeEvalKey, Stored<ModeEvaluation>, ModeEvalKeyHash>
+      map_;
   std::deque<ModeEvalKey> order_;  // insertion order for FIFO eviction
-  std::unordered_map<ModeEvalKey, ModeSchedule, ModeEvalKeyHash>
+  std::unordered_map<ModeEvalKey, Stored<ModeSchedule>, ModeEvalKeyHash>
       schedule_map_;
   std::deque<ModeEvalKey> schedule_order_;
 };

@@ -7,8 +7,16 @@
 #include <sstream>
 #include <vector>
 
+#include "common/failpoint.hpp"
+
 namespace mmsyn {
 namespace {
+
+// Failpoint on system-file reads, shared by name with the checkpoint
+// reader in core/run_control.cpp: "io.read" covers every input-file read
+// in the process. `fail` is retried in place; `corrupt` is a no-op here
+// (a flipped byte in a text system file is just a parse error).
+failpoint::Site fp_io_read{"io.read"};
 
 // ---------------------------------------------------------------- writer
 
@@ -341,14 +349,17 @@ void save_system(const std::string& path, const System& system) {
 }
 
 System load_system(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw ParseError(path, 0, "cannot open for reading");
-  try {
-    return read_system(is);
-  } catch (const ParseError& e) {
-    // Re-raise with the path attached so diagnostics are actionable.
-    throw ParseError(path, e.line(), e.message());
-  }
+  return failpoint::retry_transient("load_system", [&] {
+    (void)failpoint::inject(fp_io_read);
+    std::ifstream is(path);
+    if (!is) throw ParseError(path, 0, "cannot open for reading");
+    try {
+      return read_system(is);
+    } catch (const ParseError& e) {
+      // Re-raise with the path attached so diagnostics are actionable.
+      throw ParseError(path, e.line(), e.message());
+    }
+  });
 }
 
 }  // namespace mmsyn

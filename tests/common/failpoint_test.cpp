@@ -1,0 +1,233 @@
+// Tests for the deterministic fault-injection framework: spec parsing,
+// trigger forms, the determinism contract (pure function of seed+spec),
+// the bounded-retry recovery helper, and the kill action's exit code.
+#include "common/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace mmsyn {
+namespace {
+
+using failpoint::Action;
+
+/// Disarms around every test so specs can't leak between cases.
+class FailpointTest : public ::testing::Test {
+protected:
+  void SetUp() override { failpoint::disarm(); }
+  void TearDown() override { failpoint::disarm(); }
+};
+
+// The sites compiled into the production paths register at static init;
+// any binary linking mmsyn_common sees at least the common-layer ones.
+TEST_F(FailpointTest, ProductionSitesAreRegistered) {
+  const std::vector<std::string> sites = failpoint::registered_sites();
+  const auto has = [&](const char* name) {
+    return std::find(sites.begin(), sites.end(), name) != sites.end();
+  };
+  EXPECT_TRUE(has("pool.task"));
+  EXPECT_TRUE(has("alloc.arena"));
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+}
+
+TEST_F(FailpointTest, DisarmedSiteDoesNothing) {
+  failpoint::Site site{"pool.task"};
+  EXPECT_FALSE(failpoint::armed());
+  EXPECT_EQ(site.hit(), Action::kNone);
+  EXPECT_FALSE(failpoint::inject(site));
+  EXPECT_EQ(site.hit_count(), 0u);  // disarmed hits are not even counted
+}
+
+TEST_F(FailpointTest, EmptySpecDisarms) {
+  failpoint::arm("pool.task=fail");
+  EXPECT_TRUE(failpoint::armed());
+  failpoint::arm("");
+  EXPECT_FALSE(failpoint::armed());
+}
+
+TEST_F(FailpointTest, RejectsUnknownSiteActionAndTrigger) {
+  EXPECT_THROW(failpoint::arm("no.such.site=fail"), std::invalid_argument);
+  EXPECT_THROW(failpoint::arm("pool.task=explode"), std::invalid_argument);
+  EXPECT_THROW(failpoint::arm("pool.task=fail@x"), std::invalid_argument);
+  EXPECT_THROW(failpoint::arm("pool.task=fail@0"), std::invalid_argument);
+  EXPECT_THROW(failpoint::arm("pool.task=fail@p1.5"), std::invalid_argument);
+  EXPECT_THROW(failpoint::arm("pool.task"), std::invalid_argument);
+  EXPECT_FALSE(failpoint::armed());  // a failed arm never half-arms
+}
+
+TEST_F(FailpointTest, NthHitTriggerFiresExactlyOnce) {
+  failpoint::Site site{"pool.task"};
+  failpoint::arm("pool.task=fail@3");
+  std::vector<Action> actions;
+  for (int i = 0; i < 5; ++i) actions.push_back(site.hit());
+  EXPECT_EQ(actions, (std::vector<Action>{Action::kNone, Action::kNone,
+                                          Action::kFail, Action::kNone,
+                                          Action::kNone}));
+  EXPECT_EQ(site.hit_count(), 5u);
+  EXPECT_EQ(site.fired_count(), 1u);
+}
+
+TEST_F(FailpointTest, FromAndPeriodicTriggers) {
+  failpoint::Site site{"pool.task"};
+  failpoint::arm("pool.task=fail@3+");
+  for (int i = 0; i < 2; ++i) EXPECT_EQ(site.hit(), Action::kNone);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(site.hit(), Action::kFail);
+
+  failpoint::arm("pool.task=fail@2/3");  // hits 2, 5, 8, ...
+  std::vector<int> fired;
+  for (int hit = 1; hit <= 9; ++hit)
+    if (site.hit() == Action::kFail) fired.push_back(hit);
+  EXPECT_EQ(fired, (std::vector<int>{2, 5, 8}));
+}
+
+TEST_F(FailpointTest, NoTriggerMeansEveryHit) {
+  failpoint::Site site{"pool.task"};
+  failpoint::arm("pool.task=corrupt");
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(site.hit(), Action::kCorrupt);
+}
+
+TEST_F(FailpointTest, OffEntryDisablesWithoutError) {
+  failpoint::arm("pool.task=off");
+  EXPECT_FALSE(failpoint::armed());  // only disabled entries -> disarmed
+  failpoint::Site site{"pool.task"};
+  failpoint::arm("pool.task=off;alloc.arena=fail@1");
+  EXPECT_TRUE(failpoint::armed());
+  EXPECT_EQ(site.hit(), Action::kNone);
+}
+
+TEST_F(FailpointTest, ArmResetsCounters) {
+  failpoint::Site site{"pool.task"};
+  failpoint::arm("pool.task=fail@1");
+  EXPECT_EQ(site.hit(), Action::kFail);
+  failpoint::arm("pool.task=fail@1");  // re-arm restarts the plan at hit 1
+  EXPECT_EQ(site.hit_count(), 0u);
+  EXPECT_EQ(site.hit(), Action::kFail);
+}
+
+TEST_F(FailpointTest, SameNameSitesShareOneCounter) {
+  failpoint::Site a{"pool.task"};
+  failpoint::Site b{"pool.task"};
+  failpoint::arm("pool.task=fail@2");
+  EXPECT_EQ(a.hit(), Action::kNone);
+  EXPECT_EQ(b.hit(), Action::kFail);  // b's hit is process-wide hit #2
+  EXPECT_EQ(a.hit_count(), 2u);
+  EXPECT_EQ(b.hit_count(), 2u);
+}
+
+// The determinism contract for probabilistic triggers: the decision is a
+// pure function of (seed, site name, hit index) — replaying the same
+// plan gives the same firing set, and changing the seed changes it.
+TEST_F(FailpointTest, ProbabilityTriggerIsPureInSeedNameAndHit) {
+  std::vector<std::uint64_t> fired_a, fired_b;
+  for (std::uint64_t hit = 1; hit <= 1000; ++hit) {
+    if (failpoint::probability_trigger_fires("pool.task", hit, 42, 0.25))
+      fired_a.push_back(hit);
+    if (failpoint::probability_trigger_fires("pool.task", hit, 42, 0.25))
+      fired_b.push_back(hit);
+  }
+  EXPECT_EQ(fired_a, fired_b);
+  // Roughly a quarter of hits fire (loose bounds; the sequence is fixed).
+  EXPECT_GT(fired_a.size(), 150u);
+  EXPECT_LT(fired_a.size(), 350u);
+
+  std::vector<std::uint64_t> other_seed;
+  for (std::uint64_t hit = 1; hit <= 1000; ++hit)
+    if (failpoint::probability_trigger_fires("pool.task", hit, 43, 0.25))
+      other_seed.push_back(hit);
+  EXPECT_NE(fired_a, other_seed);
+
+  for (std::uint64_t hit = 1; hit <= 100; ++hit) {
+    EXPECT_FALSE(failpoint::probability_trigger_fires("pool.task", hit, 42,
+                                                      0.0));
+    EXPECT_TRUE(failpoint::probability_trigger_fires("pool.task", hit, 42,
+                                                     1.0));
+  }
+}
+
+TEST_F(FailpointTest, ProbabilisticSpecHonoursSeedEntry) {
+  failpoint::Site site{"pool.task"};
+  const auto firing_set = [&](const std::string& spec) {
+    failpoint::arm(spec);
+    std::vector<int> fired;
+    for (int hit = 1; hit <= 200; ++hit)
+      if (site.hit() == Action::kFail) fired.push_back(hit);
+    return fired;
+  };
+  const std::vector<int> seed7 = firing_set("seed=7;pool.task=fail@p0.3");
+  const std::vector<int> seed7_again =
+      firing_set("seed=7;pool.task=fail@p0.3");
+  const std::vector<int> seed8 = firing_set("seed=8;pool.task=fail@p0.3");
+  EXPECT_EQ(seed7, seed7_again);
+  EXPECT_NE(seed7, seed8);
+}
+
+TEST_F(FailpointTest, InjectThrowsTransientFaultOnFail) {
+  failpoint::Site site{"pool.task"};
+  failpoint::arm("pool.task=fail@1");
+  EXPECT_THROW((void)failpoint::inject(site), TransientFault);
+  EXPECT_FALSE(failpoint::inject(site));  // hit 2: plan says nothing
+}
+
+TEST_F(FailpointTest, InjectReturnsTrueOnCorrupt) {
+  failpoint::Site site{"pool.task"};
+  failpoint::arm("pool.task=corrupt@1");
+  EXPECT_TRUE(failpoint::inject(site));
+  EXPECT_FALSE(failpoint::inject(site));
+}
+
+TEST_F(FailpointTest, RetryTransientHealsABoundedFaultBurst) {
+  failpoint::Site site{"pool.task"};
+  // Fails on hits 1 and 2; attempt 3 (hit 3) succeeds.
+  failpoint::arm("pool.task=fail@1;pool.task=fail@2");
+  int runs = 0;
+  const int value = failpoint::retry_transient("test", [&] {
+    ++runs;
+    (void)failpoint::inject(site);
+    return 7;
+  });
+  EXPECT_EQ(value, 7);
+  EXPECT_EQ(runs, 3);
+}
+
+TEST_F(FailpointTest, RetryTransientGivesUpAfterMaxAttempts) {
+  failpoint::Site site{"pool.task"};
+  failpoint::arm("pool.task=fail");  // every hit fails
+  int runs = 0;
+  EXPECT_THROW(failpoint::retry_transient("test",
+                                          [&] {
+                                            ++runs;
+                                            (void)failpoint::inject(site);
+                                          }),
+               TransientFault);
+  EXPECT_EQ(runs, failpoint::kMaxRetryAttempts);
+}
+
+TEST_F(FailpointTest, RetryBackoffIsDeterministicAndExponential) {
+  using std::chrono::microseconds;
+  EXPECT_EQ(failpoint::retry_backoff(1), microseconds(250));
+  EXPECT_EQ(failpoint::retry_backoff(2), microseconds(500));
+  EXPECT_EQ(failpoint::retry_backoff(3), microseconds(1000));
+}
+
+TEST_F(FailpointTest, ActiveSpecRoundTrips) {
+  EXPECT_EQ(failpoint::active_spec(), "");
+  failpoint::arm("pool.task=fail@3");
+  EXPECT_EQ(failpoint::active_spec(), "pool.task=fail@3");
+  failpoint::disarm();
+  EXPECT_EQ(failpoint::active_spec(), "");
+}
+
+using FailpointDeathTest = FailpointTest;
+
+TEST_F(FailpointDeathTest, KillActionExitsWithKillExitCode) {
+  failpoint::Site site{"pool.task"};
+  failpoint::arm("pool.task=kill@1");
+  EXPECT_EXIT((void)failpoint::inject(site),
+              ::testing::ExitedWithCode(failpoint::kKillExitCode), "");
+}
+
+}  // namespace
+}  // namespace mmsyn

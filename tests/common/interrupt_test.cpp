@@ -1,0 +1,60 @@
+// Tests for the cooperative SIGINT/SIGTERM interrupt flag. Signals are
+// raised at the process itself; the handler only sets a flag, so this is
+// safe in-process — but each delivery restores that signal's default
+// disposition, so the handler must be re-installed before every raise.
+#include "common/interrupt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+namespace mmsyn {
+namespace {
+
+class InterruptTest : public ::testing::Test {
+protected:
+  void SetUp() override { clear_interrupt_flag(); }
+  void TearDown() override {
+    clear_interrupt_flag();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+  }
+};
+
+TEST_F(InterruptTest, FlagStartsClear) {
+  EXPECT_FALSE(interrupt_requested());
+}
+
+TEST_F(InterruptTest, SigintSetsFlag) {
+  install_interrupt_flag();
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  EXPECT_TRUE(interrupt_requested());
+}
+
+TEST_F(InterruptTest, SigtermSetsFlag) {
+  install_interrupt_flag();
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  EXPECT_TRUE(interrupt_requested());
+}
+
+TEST_F(InterruptTest, EachSignalHasItsOwnOneShotDisposition) {
+  // A SIGTERM delivery restores only SIGTERM's default disposition: the
+  // SIGINT handler must still be live (and vice versa), so a supervisor
+  // TERM followed by a Ctrl-C does not hard-kill mid-drain.
+  install_interrupt_flag();
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  EXPECT_TRUE(interrupt_requested());
+  clear_interrupt_flag();
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  EXPECT_TRUE(interrupt_requested());
+}
+
+TEST_F(InterruptTest, ManualRaiseAndClear) {
+  raise_interrupt_flag();
+  EXPECT_TRUE(interrupt_requested());
+  clear_interrupt_flag();
+  EXPECT_FALSE(interrupt_requested());
+}
+
+}  // namespace
+}  // namespace mmsyn

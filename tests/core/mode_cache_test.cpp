@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "common/failpoint.hpp"
 #include "common/rng.hpp"
 #include "core/allocation_builder.hpp"
 #include "core/cosynth.hpp"
@@ -241,6 +242,85 @@ GaOptions fast_ga() {
   options.max_generations = 30;
   options.stagnation_limit = 12;
   return options;
+}
+
+TEST(ModeCache, QuarantinesCorruptedEntryAndRecomputes) {
+  // Self-healing contract: an entry poisoned after insertion (here via
+  // the cache.insert corrupt failpoint) fails its digest check on the
+  // next lookup, is quarantined, and the caller recomputes — the final
+  // evaluation stays bitwise-identical to a cold one.
+  const System system = make_mul(3);
+  const Evaluator evaluator(system, EvaluationOptions{});
+  const GenomeCodec codec(system);
+  Rng rng(11);
+  const Genome genome = codec.random_genome(rng);
+  const MultiModeMapping mapping = codec.decode(genome);
+  const CoreAllocation cores = build_core_allocation(system, mapping, {});
+  const Evaluation cold = evaluator.evaluate(mapping, cores);
+
+  ModeEvalCache cache;
+  failpoint::arm("cache.insert=corrupt");  // poison every stored copy
+  (void)evaluator.evaluate(mapping, cores, &cache);
+  failpoint::disarm();
+  EXPECT_GT(cache.size(), 0u);
+
+  // Every whole-mode lookup detects the poison, evicts, and misses.
+  const std::size_t poisoned = cache.size();
+  Evaluation healed = evaluator.evaluate(mapping, cores, &cache);
+  EXPECT_EQ(cache.quarantined(), static_cast<long>(poisoned));
+  expect_evaluations_identical(healed, cold);
+
+  // The recomputed entries are clean: the next pass is pure hits.
+  const long hits_before = cache.hits();
+  healed = evaluator.evaluate(mapping, cores, &cache);
+  EXPECT_EQ(cache.quarantined(), static_cast<long>(poisoned));
+  EXPECT_EQ(cache.hits() - hits_before,
+            static_cast<long>(system.omsm.mode_count()));
+  expect_evaluations_identical(healed, cold);
+}
+
+TEST(ModeCache, QuarantinesCorruptedScheduleEntry) {
+  const System system = make_mul(3);
+  EvaluationOptions options;
+  options.keep_schedules = true;  // exercises the schedule-store tier
+  const Evaluator evaluator(system, options);
+  const GenomeCodec codec(system);
+  Rng rng(13);
+  const Genome genome = codec.random_genome(rng);
+  const MultiModeMapping mapping = codec.decode(genome);
+  const CoreAllocation cores = build_core_allocation(system, mapping, {});
+  const Evaluation cold = evaluator.evaluate(mapping, cores);
+
+  ModeEvalCache cache;
+  failpoint::arm("cache.insert=corrupt");
+  (void)evaluator.evaluate(mapping, cores, &cache);
+  failpoint::disarm();
+  EXPECT_GT(cache.schedule_size(), 0u);
+
+  const Evaluation healed = evaluator.evaluate(mapping, cores, &cache);
+  EXPECT_GT(cache.schedule_quarantined(), 0);
+  expect_evaluations_identical(healed, cold);
+}
+
+TEST(ModeCache, DroppedInsertIsJustAMissLater) {
+  const System system = make_mul(3);
+  const Evaluator evaluator(system, EvaluationOptions{});
+  const GenomeCodec codec(system);
+  Rng rng(17);
+  const Genome genome = codec.random_genome(rng);
+  const MultiModeMapping mapping = codec.decode(genome);
+  const CoreAllocation cores = build_core_allocation(system, mapping, {});
+  const Evaluation cold = evaluator.evaluate(mapping, cores);
+
+  ModeEvalCache cache;
+  failpoint::arm("cache.insert=fail");  // every insert is dropped
+  (void)evaluator.evaluate(mapping, cores, &cache);
+  failpoint::disarm();
+  EXPECT_EQ(cache.size(), 0u);
+
+  const Evaluation recomputed = evaluator.evaluate(mapping, cores, &cache);
+  expect_evaluations_identical(recomputed, cold);
+  EXPECT_GT(cache.size(), 0u);  // disarmed inserts land normally
 }
 
 TEST(ModeCacheGa, ResultsAndReportIdenticalOnOrOff) {

@@ -185,6 +185,180 @@ TEST(Checkpoint, RejectsBitFlip) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------
+// Generation rotation and recovery-aware fallback loading.
+
+/// Removes every generation file (and stray .tmp) of `path`.
+void remove_generations(const std::string& path, int keep = 8) {
+  std::remove((path + ".tmp").c_str());
+  for (int gen = 0; gen < keep; ++gen)
+    std::remove(checkpoint_generation_path(path, gen).c_str());
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path, std::ios::binary).good();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::string bytes;
+  bytes.assign(std::istreambuf_iterator<char>(is), {});
+  return bytes;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Checkpoint, GenerationPathNaming) {
+  EXPECT_EQ(checkpoint_generation_path("run.ckpt", 0), "run.ckpt");
+  EXPECT_EQ(checkpoint_generation_path("run.ckpt", 1), "run.ckpt.1");
+  EXPECT_EQ(checkpoint_generation_path("run.ckpt", 2), "run.ckpt.2");
+}
+
+TEST(Checkpoint, RotationKeepsLastKGenerations) {
+  const std::string path = scratch_path("rotate");
+  remove_generations(path);
+  GaSnapshot snap = sample_snapshot();
+  for (int i = 0; i < 4; ++i) {
+    snap.next_generation = i;
+    save_checkpoint_rotating(path, snap, /*keep=*/3);
+  }
+  // Newest first: generations 3, 2, 1; generation 0 fell off the end.
+  EXPECT_EQ(load_checkpoint(path).next_generation, 3);
+  EXPECT_EQ(load_checkpoint(path + ".1").next_generation, 2);
+  EXPECT_EQ(load_checkpoint(path + ".2").next_generation, 1);
+  EXPECT_FALSE(file_exists(path + ".3"));
+  remove_generations(path);
+}
+
+TEST(Checkpoint, FallbackPrefersNewestGoodGeneration) {
+  const std::string path = scratch_path("fallback_newest");
+  remove_generations(path);
+  GaSnapshot snap = sample_snapshot();
+  snap.next_generation = 5;
+  save_checkpoint_rotating(path, snap, 3);
+  snap.next_generation = 10;
+  save_checkpoint_rotating(path, snap, 3);
+  const CheckpointLoadResult loaded = load_checkpoint_fallback(path, 3);
+  EXPECT_EQ(loaded.generation, 0);
+  EXPECT_EQ(loaded.loaded_path, path);
+  EXPECT_EQ(loaded.snapshot.next_generation, 10);
+  EXPECT_TRUE(loaded.notes.empty());
+  remove_generations(path);
+}
+
+// The corruption taxonomy: each way a newest generation can be damaged
+// must fall back to the previous good generation instead of failing the
+// resume with a CheckpointError.
+struct CorruptionCase {
+  const char* name;
+  void (*damage)(const std::string& path);
+};
+
+void damage_truncate(const std::string& path) {
+  const std::string bytes = read_file(path);
+  write_file(path, bytes.substr(0, bytes.size() - 13));
+}
+
+void damage_flip_crc_byte(const std::string& path) {
+  std::string bytes = read_file(path);
+  bytes[bytes.size() - 2] ^= 0x40;  // inside the CRC-32 trailer
+  write_file(path, bytes);
+}
+
+void damage_wrong_version(const std::string& path) {
+  std::string bytes = read_file(path);
+  bytes[8] ^= 0x7f;  // u32 version lives right after the 8-byte magic
+  write_file(path, bytes);
+}
+
+void damage_wrong_fingerprint(const std::string& path) {
+  // Rewrite the generation as a valid checkpoint of a *different* run:
+  // structurally sound, rejected only by the fingerprint check.
+  GaSnapshot other = sample_snapshot();
+  other.fingerprint ^= 0xdeadbeefull;
+  other.next_generation = 99;
+  save_checkpoint(path, other);
+}
+
+void damage_empty_file(const std::string& path) { write_file(path, ""); }
+
+class CheckpointCorruptionTest
+    : public ::testing::TestWithParam<CorruptionCase> {};
+
+TEST_P(CheckpointCorruptionTest, FallsBackToPreviousGeneration) {
+  const std::string path = scratch_path("fallback_taxonomy");
+  remove_generations(path);
+  GaSnapshot snap = sample_snapshot();
+  snap.next_generation = 5;
+  save_checkpoint_rotating(path, snap, 3);  // becomes .1 after next save
+  snap.next_generation = 10;
+  save_checkpoint_rotating(path, snap, 3);
+  GetParam().damage(path);
+
+  const CheckpointLoadResult loaded =
+      load_checkpoint_fallback(path, 3, sample_snapshot().fingerprint);
+  EXPECT_EQ(loaded.generation, 1);
+  EXPECT_EQ(loaded.loaded_path, path + ".1");
+  EXPECT_EQ(loaded.snapshot.next_generation, 5);
+  ASSERT_EQ(loaded.notes.size(), 1u);  // one note for the damaged newest
+
+  // Without an older good generation the same damage is a typed error.
+  std::remove((path + ".1").c_str());
+  EXPECT_THROW((void)load_checkpoint_fallback(path, 3,
+                                              sample_snapshot().fingerprint),
+               CheckpointError);
+  remove_generations(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Taxonomy, CheckpointCorruptionTest,
+    ::testing::Values(CorruptionCase{"TruncatedFile", damage_truncate},
+                      CorruptionCase{"FlippedCrcByte", damage_flip_crc_byte},
+                      CorruptionCase{"WrongVersion", damage_wrong_version},
+                      CorruptionCase{"WrongFingerprint",
+                                     damage_wrong_fingerprint},
+                      CorruptionCase{"EmptyFile", damage_empty_file}),
+    [](const ::testing::TestParamInfo<CorruptionCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Checkpoint, FallbackSkipsMissingNewestGeneration) {
+  // A crash between rotation and the final rename leaves `path` absent
+  // with the previous checkpoint shifted to `path.1` — resume must treat
+  // the hole as skippable, not fatal.
+  const std::string path = scratch_path("fallback_missing");
+  remove_generations(path);
+  GaSnapshot snap = sample_snapshot();
+  snap.next_generation = 5;
+  save_checkpoint(path + ".1", snap);
+  const CheckpointLoadResult loaded = load_checkpoint_fallback(path, 3);
+  EXPECT_EQ(loaded.generation, 1);
+  EXPECT_EQ(loaded.snapshot.next_generation, 5);
+  remove_generations(path);
+}
+
+TEST(Checkpoint, SaveLeavesNoStaleTmpFile) {
+  const std::string path = scratch_path("no_tmp");
+  remove_generations(path);
+  save_checkpoint(path, sample_snapshot());
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  remove_generations(path);
+}
+
+TEST(RunControl, WriteCheckpointToleratesFailure) {
+  RunControl control;
+  control.checkpoint_path = "/nonexistent/dir/run.ckpt";
+  std::vector<std::string> log;
+  control.recovery_log = [&](const std::string& m) { log.push_back(m); };
+  control.write_checkpoint(sample_snapshot());  // must not throw
+  EXPECT_EQ(control.checkpoint_write_failures(), 1);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_NE(log[0].find("checkpoint write failure"), std::string::npos);
+}
+
 TEST(RunControl, StopConditions) {
   RunControl control;
   EXPECT_FALSE(control.should_stop(1e9));  // no budget, no cancel

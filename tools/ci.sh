@@ -57,6 +57,25 @@ if fresh < 0.9 * committed:
 print(f"perf gate: fresh {fresh:.2f}x vs committed {committed:.2f}x — ok")
 EOF
 
+echo "== failpoint coverage =="
+# Every production failpoint must stay registered (a site silently dropped
+# from a refactored path would leave its recovery code untested). The list
+# mode prints one registered site per line.
+$SF --failpoints list | tee /tmp/mmsyn-ci-failpoints.txt
+for site in alloc.arena cache.insert checkpoint.rename checkpoint.write \
+            io.read pool.task; do
+  if ! grep -qx "$site" /tmp/mmsyn-ci-failpoints.txt; then
+    echo "ci: FAIL (failpoint site '$site' is no longer registered)"
+    exit 1
+  fi
+done
+
+echo "== crash torture =="
+# Deterministic fault schedule (transient reads, on-disk checkpoint
+# corruption, kill mid-save) must recover to a byte-identical audited
+# report; also registered as the crash_torture ctest.
+bench/crash_torture.sh "$SF"
+
 if [ "$FAST" = "--fast" ]; then
   echo "ci: PASS (fast mode: sanitizer stages skipped)"
   exit 0
@@ -69,6 +88,15 @@ echo "== address-sanitizer ctest =="
 # The suite includes arena_test and micro_kernels_identity, so the bump
 # allocator and every SoA scheduling/DVS path run under the sanitizers.
 (cd build-asan && ctest --output-on-failure -j 2)
+
+echo "== address-sanitizer crash torture (failpoints armed) =="
+# Recovery paths (bounded retries, generation fallback, cache quarantine)
+# must be leak- and overflow-clean while faults actually fire. The torture
+# harness arms via --failpoints; the extra run arms via MMSYN_FAILPOINTS to
+# cover the env path and the sites the torture schedule does not reach.
+bench/crash_torture.sh ./build-asan/examples/synthesize_file
+MMSYN_FAILPOINTS='alloc.arena=fail@1;pool.task=fail@3;cache.insert=corrupt@2' \
+  ./build-asan/examples/synthesize_file --input "$IN" $ARGS > /dev/null
 
 echo "== undefined-behaviour-sanitizer build =="
 cmake -B build-ubsan -S . -DMMSYN_SANITIZE=undefined > /dev/null
