@@ -1,0 +1,236 @@
+// Island-scaling benchmark: the island-model GA against the
+// single-population GA at an equal evaluation budget (N islands of P/N
+// individuals vs one population of P), plus the wall-clock speedup each
+// island count gains from running its shards on N threads instead of 1.
+//
+// Two hard gates run in-process and fail the benchmark (nonzero exit):
+//  * determinism — every island configuration must produce bit-identical
+//    results at 1 thread and at N threads;
+//  * equal-budget quality — the best island configuration must be at
+//    least as good (champion fitness) as the single population.
+//
+// The JSON (--json) is tracked as BENCH_island_scaling.json;
+// tools/ci.sh gates the fitness-per-wallclock ratio against it. On a
+// single-core host the speedup column degrades to ~1x by construction —
+// the ratio gate still holds because both sides slow down together.
+//
+//   island_scaling [--population 48] [--generations 60] [--seed 1]
+//                  [--islands-list 2,4] [--migration-interval 5]
+//                  [--migrants 2] [--json PATH]
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/cosynth.hpp"
+#include "tgff/smart_phone.hpp"
+
+using namespace mmsyn;
+
+namespace {
+
+bool results_identical(const SynthesisResult& a, const SynthesisResult& b) {
+  if (a.fitness != b.fitness || a.evaluations != b.evaluations ||
+      a.generations != b.generations ||
+      a.evaluation.avg_power_true != b.evaluation.avg_power_true)
+    return false;
+  if (a.mapping.modes.size() != b.mapping.modes.size()) return false;
+  for (std::size_t m = 0; m < a.mapping.modes.size(); ++m)
+    if (a.mapping.modes[m].task_to_pe != b.mapping.modes[m].task_to_pe)
+      return false;
+  return true;
+}
+
+/// Quality per second: higher is better (fitness is minimised and
+/// positive on this fixture).
+double fitness_per_wallclock(const SynthesisResult& r) {
+  if (r.fitness <= 0.0 || r.elapsed_seconds <= 0.0) return 0.0;
+  return 1.0 / (r.fitness * r.elapsed_seconds);
+}
+
+std::vector<int> parse_list(const std::string& csv) {
+  std::vector<int> values;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) values.push_back(std::stoi(item));
+  return values;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_int("population", 48,
+                   "total individuals across all islands (the single-"
+                   "population baseline uses all of them in one shard)");
+  flags.define_int("generations", 60, "generation cap (fixed workload)");
+  flags.define_int("seed", 1, "GA seed");
+  flags.define_string("islands-list", "2,4",
+                      "comma-separated island counts to benchmark");
+  flags.define_int("migration-interval", 5,
+                   "generations between migration barriers");
+  flags.define_int("migrants", 2, "elites exchanged per barrier");
+  flags.define_string("json", "", "write the machine-readable result here");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const System system = make_smart_phone();
+  const int population = static_cast<int>(flags.get_int("population"));
+  const int generations = static_cast<int>(flags.get_int("generations"));
+  const int hw =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+
+  SynthesisOptions base;
+  base.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  base.ga.max_generations = generations;
+  base.ga.stagnation_limit = generations + 1;  // fixed workload
+  base.migration_interval =
+      static_cast<int>(flags.get_int("migration-interval"));
+  base.migrants = static_cast<int>(flags.get_int("migrants"));
+
+  // Single-population baseline: the whole budget in one shard. The
+  // untimed warmup run faults caches and code in first, so the baseline —
+  // the denominator of every ratio below — is not the one cold
+  // measurement of the process.
+  SynthesisOptions single = base;
+  single.ga.population_size = population;
+  single.ga.num_threads = 1;
+  (void)synthesize(system, single);
+  const SynthesisResult baseline = synthesize(system, single);
+  const double baseline_fpw = fitness_per_wallclock(baseline);
+
+  struct Row {
+    int islands;
+    double wall_one;     // seconds at 1 thread
+    double wall_shards;  // seconds at `islands` threads
+    double speedup;
+    double fpw_ratio;  // fitness-per-wallclock vs the single population
+    bool identical;
+    SynthesisResult result;  // the N-thread run
+  };
+  std::vector<Row> rows;
+  bool all_identical = true;
+  bool budget_ok = false;
+
+  for (const int islands : parse_list(flags.get_string("islands-list"))) {
+    if (islands < 2 || population / islands < 4) {
+      std::fprintf(stderr, "skipping --islands %d (population %d too small)\n",
+                   islands, population);
+      continue;
+    }
+    SynthesisOptions sharded = base;
+    sharded.islands = islands;
+    // Equal budget: N islands of P/N individuals over the same
+    // generation cap evaluate approximately the same cohort count as the
+    // single population of P.
+    sharded.ga.population_size = population / islands;
+
+    sharded.ga.num_threads = 1;
+    SynthesisResult serial = synthesize(system, sharded);
+    sharded.ga.num_threads = islands;
+    SynthesisResult parallel = synthesize(system, sharded);
+
+    Row row;
+    row.islands = islands;
+    row.wall_one = serial.elapsed_seconds;
+    row.wall_shards = parallel.elapsed_seconds;
+    row.speedup = parallel.elapsed_seconds > 0.0
+                      ? serial.elapsed_seconds / parallel.elapsed_seconds
+                      : 0.0;
+    row.identical = results_identical(serial, parallel);
+    all_identical = all_identical && row.identical;
+    row.fpw_ratio = baseline_fpw > 0.0
+                        ? fitness_per_wallclock(parallel) / baseline_fpw
+                        : 0.0;
+    if (parallel.fitness <= baseline.fitness) budget_ok = true;
+    row.result = std::move(parallel);
+    rows.push_back(std::move(row));
+  }
+
+  TextTable table;
+  table.set_header({"islands", "fitness", "evaluations", "wall 1t (s)",
+                    "wall Nt (s)", "speedup", "fpw ratio", "identical"});
+  table.add_row({"1 (single)", TextTable::num(baseline.fitness, 6),
+                 std::to_string(baseline.evaluations),
+                 TextTable::num(baseline.elapsed_seconds, 3), "-", "-",
+                 "1.00", "-"});
+  for (const Row& row : rows)
+    table.add_row({std::to_string(row.islands),
+                   TextTable::num(row.result.fitness, 6),
+                   std::to_string(row.result.evaluations),
+                   TextTable::num(row.wall_one, 3),
+                   TextTable::num(row.wall_shards, 3),
+                   TextTable::num(row.speedup, 2),
+                   TextTable::num(row.fpw_ratio, 2),
+                   row.identical ? "yes" : "NO"});
+  table.print(std::cout,
+              "island-model GA vs single population (equal budget, smart "
+              "phone)");
+  std::printf("hardware threads: %d\n", hw);
+
+  double best_ratio = 0.0;
+  for (const Row& row : rows) best_ratio = std::max(best_ratio, row.fpw_ratio);
+
+  // Deterministic gate metric: champion quality at an equal evaluation
+  // budget, single-population fitness over the best island fitness (>= 1
+  // means the islands are no worse). Every term is a pure function of
+  // (seed, islands, schedule), so — unlike the wall-clock ratios — this
+  // is bit-stable across runs and machines and safe to gate tightly.
+  double quality_ratio = 0.0;
+  for (const Row& row : rows)
+    if (row.result.fitness > 0.0)
+      quality_ratio =
+          std::max(quality_ratio, baseline.fitness / row.result.fitness);
+
+  if (!flags.get_string("json").empty()) {
+    std::ofstream out(flags.get_string("json"));
+    out << "{\n"
+        << "  \"bench\": \"island_scaling\",\n"
+        << "  \"fixture\": \"smart_phone\",\n"
+        << "  \"population\": " << population << ",\n"
+        << "  \"generations\": " << generations << ",\n"
+        << "  \"migration_interval\": " << base.migration_interval << ",\n"
+        << "  \"migrants\": " << base.migrants << ",\n"
+        << "  \"cores\": " << hw << ",\n"
+        << "  \"single\": {\"fitness\": " << baseline.fitness
+        << ", \"wall_s\": " << baseline.elapsed_seconds
+        << ", \"evaluations\": " << baseline.evaluations << "},\n"
+        << "  \"islands\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      out << "    {\"islands\": " << row.islands
+          << ", \"fitness\": " << row.result.fitness
+          << ", \"evaluations\": " << row.result.evaluations
+          << ", \"wall_1t_s\": " << row.wall_one
+          << ", \"wall_nt_s\": " << row.wall_shards
+          << ", \"speedup\": " << row.speedup
+          << ", \"fitness_per_wallclock_ratio\": " << row.fpw_ratio
+          << ", \"identical\": " << (row.identical ? "true" : "false") << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"best_fitness_per_wallclock_ratio\": " << best_ratio << ",\n"
+        << "  \"equal_budget_quality_ratio\": " << quality_ratio << ",\n"
+        << "  \"identical\": " << (all_identical ? "true" : "false") << "\n"
+        << "}\n";
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "island_scaling: FAIL (island results differ across thread "
+                 "counts — the determinism contract is broken)\n");
+    return 1;
+  }
+  if (!rows.empty() && !budget_ok) {
+    std::fprintf(stderr,
+                 "island_scaling: FAIL (no island configuration matched the "
+                 "single population at an equal evaluation budget)\n");
+    return 1;
+  }
+  return 0;
+}

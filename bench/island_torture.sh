@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Island-model crash torture: a multi-island checkpointed run is killed
+# mid-save at a migration barrier (after an earlier barrier save was
+# corrupted on disk), then resumed through the generation fallback — the
+# final audited report must be byte-identical to a fault-free island run.
+# This is the island-container extension of crash_torture.sh: it proves
+# that kill-and-resume across a migration barrier replays the migrated
+# individuals bit-identically.
+#
+# Fault schedule (island checkpoints are written once per barrier):
+#   checkpoint.write=corrupt@2   barrier save #2 lands bit-flipped
+#   checkpoint.rename=kill@3     barrier save #3 dies between rotation
+#                                and rename
+#
+# After the kill: the base checkpoint name is missing (rotation already
+# shifted it), generation .1 is the corrupted save #2, generation .2 is
+# the good save #1 — the resume must fall back two generations and still
+# converge to the fault-free result.
+#
+# Usage: island_torture.sh [path-to-synthesize_file]
+set -euo pipefail
+
+BIN=${1:-build/examples/synthesize_file}
+if [ ! -x "$BIN" ]; then
+  echo "island_torture: synthesize_file binary not found at '$BIN'" >&2
+  exit 1
+fi
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+FLAGS=(--seed 7 --population 48 --generations 60 --threads 2
+       --islands 3 --migration-interval 5 --migrants 2
+       --audit --gantt=false --report-timing=false)
+KILL_SPEC='checkpoint.write=corrupt@2;checkpoint.rename=kill@3'
+
+"$BIN" --export-mul 9 --output "$WORK/sys.mmsyn" > /dev/null
+
+# Fault-free reference run.
+"$BIN" --input "$WORK/sys.mmsyn" "${FLAGS[@]}" > "$WORK/reference.txt"
+
+# Tortured run: must die with the injected-kill exit code (137) at the
+# third barrier save.
+set +e
+"$BIN" --input "$WORK/sys.mmsyn" "${FLAGS[@]}" \
+  --checkpoint "$WORK/run.ckpt" --checkpoint-keep 3 \
+  --failpoints "$KILL_SPEC" > /dev/null 2> "$WORK/tortured.err"
+STATUS=$?
+set -e
+if [ "$STATUS" -ne 137 ]; then
+  echo "island_torture: FAIL — tortured run exited $STATUS, expected the" \
+       "injected kill (137)" >&2
+  cat "$WORK/tortured.err" >&2
+  exit 1
+fi
+
+if [ -e "$WORK/run.ckpt" ]; then
+  echo "island_torture: FAIL — base checkpoint exists; kill@3 never fired" >&2
+  exit 1
+fi
+for gen in "$WORK/run.ckpt.1" "$WORK/run.ckpt.2"; do
+  if [ ! -s "$gen" ]; then
+    echo "island_torture: FAIL — expected generation file $gen is missing" >&2
+    exit 1
+  fi
+done
+
+# Resume through the fallback: the missing newest and the corrupted .1
+# must be skipped, .2 (the first barrier) loaded, and the remaining
+# barriers replayed to the fault-free result.
+"$BIN" --input "$WORK/sys.mmsyn" "${FLAGS[@]}" \
+  --resume "$WORK/run.ckpt" --checkpoint-keep 3 \
+  > "$WORK/recovered.txt" 2> "$WORK/recovered.err"
+
+if ! grep -q 'skipped checkpoint generation.*cannot open' "$WORK/recovered.err"; then
+  echo "island_torture: FAIL — no skip note for the missing generation" >&2
+  cat "$WORK/recovered.err" >&2
+  exit 1
+fi
+if ! grep -q 'skipped checkpoint generation.*CRC mismatch' "$WORK/recovered.err"; then
+  echo "island_torture: FAIL — no skip note for the corrupted generation" >&2
+  cat "$WORK/recovered.err" >&2
+  exit 1
+fi
+if ! grep -q 'resumed from older generation .*run\.ckpt\.2' "$WORK/recovered.err"; then
+  echo "island_torture: FAIL — resume did not fall back to generation .2" >&2
+  cat "$WORK/recovered.err" >&2
+  exit 1
+fi
+
+if diff -u "$WORK/reference.txt" "$WORK/recovered.txt"; then
+  echo "island_torture: PASS — recovered island report is byte-identical" \
+       "to the fault-free run"
+else
+  echo "island_torture: FAIL — recovered report differs from the" \
+       "fault-free run" >&2
+  exit 1
+fi

@@ -21,6 +21,7 @@
 #include "common/interrupt.hpp"
 #include "core/allocation_builder.hpp"
 #include "core/cosynth.hpp"
+#include "core/island_ga.hpp"
 #include "core/report.hpp"
 #include "core/run_control.hpp"
 #include "model/io.hpp"
@@ -90,6 +91,14 @@ int main(int argc, char** argv) {
                       "GA random-stream engine: counter-based threefry "
                       "(default) or legacy xoshiro256++ for reproducing "
                       "pre-v6 runs bit-for-bit");
+  flags.define_int("islands", 1,
+                   "GA islands (independent populations exchanging elites "
+                   "along a deterministic ring; requires --rng=threefry "
+                   "when > 1)");
+  flags.define_int("migration-interval", 20,
+                   "generations between island migration barriers");
+  flags.define_int("migrants", 2,
+                   "elite individuals exchanged per island per barrier");
   flags.define_int("mode-cache-capacity", 1 << 16,
                    "per-mode evaluation cache entry cap, FIFO eviction "
                    "(0 = unbounded)");
@@ -198,6 +207,24 @@ int main(int argc, char** argv) {
                                                        : RngKind::kThreefry;
   options.ga.mode_cache_capacity =
       static_cast<std::size_t>(flags.get_int("mode-cache-capacity"));
+  options.islands = static_cast<int>(flags.get_int("islands"));
+  options.migration_interval =
+      static_cast<int>(flags.get_int("migration-interval"));
+  options.migrants = static_cast<int>(flags.get_int("migrants"));
+  {
+    // Fail fast on an inconsistent island topology (wrong engine, migrant
+    // count, ...) with the flag-level message instead of a deep throw.
+    IslandOptions topology;
+    topology.islands = options.islands;
+    topology.migration_interval = options.migration_interval;
+    topology.migrants = options.migrants;
+    try {
+      IslandGa::validate(options.ga, topology);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
 
   SynthesisResult result;
   if (!flags.get_string("evaluate-mapping").empty()) {

@@ -3,8 +3,28 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace mmsyn {
+
+namespace rng_streams {
+
+std::uint64_t stream_id(Domain domain, std::uint32_t index) {
+  // Reservation audit: the base domain owns exactly one id (0); only the
+  // domains declared in the header exist. A new subsystem that needs
+  // streams must claim a fresh domain value there — reusing an existing
+  // one would overlap another subsystem's reservation.
+  assert(domain == Domain::kBase || domain == Domain::kIsland ||
+         domain == Domain::kLeapfrog);
+  assert(domain != Domain::kBase || index == 0);
+  return (std::uint64_t{static_cast<std::uint32_t>(domain)} << 32) | index;
+}
+
+std::uint64_t island_stream(std::uint32_t island) {
+  return stream_id(Domain::kIsland, island);
+}
+
+}  // namespace rng_streams
 
 std::uint64_t splitmix64(std::uint64_t& state) {
   std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
@@ -33,7 +53,20 @@ Rng::Rng(RngKind kind, std::uint64_t seed) : kind_(kind) {
   state_[0] = splitmix64(sm);
   state_[1] = splitmix64(sm);
   state_[2] = 0;  // block counter
-  state_[3] = 0;  // phase within the 2-word block
+  state_[3] = 0;  // (stream id << 1) | phase within the 2-word block
+}
+
+Rng::Rng(RngKind kind, std::uint64_t seed, std::uint64_t stream)
+    : Rng(kind, seed) {
+  if (stream == 0) return;
+  if (kind != RngKind::kThreefry)
+    throw std::invalid_argument(
+        "rng: nonzero stream ids require the counter-based Threefry engine "
+        "(the stateful xoshiro engine has no counter to partition)");
+  // The id shares state_[3] with the 1-bit block phase; ids this large
+  // cannot come from the (domain << 32 | index) layout anyway.
+  assert(stream < (std::uint64_t{1} << 63));
+  state_[3] = stream << 1;
 }
 
 std::array<std::uint64_t, 2> Rng::threefry2x64(
@@ -72,13 +105,19 @@ std::uint64_t Rng::next_xoshiro() {
 }
 
 std::uint64_t Rng::next_threefry() {
+  // state_[3] packs (stream id << 1) | phase. The stream id fills the
+  // second counter word, so distinct streams of the same key can never
+  // collide on a (key, counter) input; stream 0 reproduces the historic
+  // {counter, 0} blocks bit-for-bit.
   if (!block_valid_) {
-    block_ = threefry2x64({state_[2], 0}, {state_[0], state_[1]});
+    block_ = threefry2x64({state_[2], state_[3] >> 1}, {state_[0], state_[1]});
     block_valid_ = true;
   }
-  const std::uint64_t out = block_[state_[3]];
-  if (++state_[3] == 2) {
-    state_[3] = 0;
+  const std::uint64_t out = block_[state_[3] & 1];
+  if ((state_[3] & 1) == 0) {
+    state_[3] |= 1;
+  } else {
+    state_[3] &= ~std::uint64_t{1};
     ++state_[2];
     block_valid_ = false;
   }

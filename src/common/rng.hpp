@@ -34,6 +34,38 @@ namespace mmsyn {
 /// to derive independent child seeds.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
 
+namespace rng_streams {
+
+/// Stream-id layout for the counter-based engine (DESIGN.md §14).
+///
+/// A stream id occupies the second word of the Threefry counter, so two
+/// Rng instances with the same seed but different stream ids can never
+/// feed the same (key, counter) block into the cipher: the streams are
+/// disjoint by construction, not by statistical luck. Ids are partitioned
+/// into domains (high 32 bits) with a per-domain index (low 32 bits) so
+/// independent subsystems can reserve streams without coordinating:
+///
+///   domain 0 (kBase)     — exactly id 0, the legacy single-population
+///                          stream; bit-identical to pre-island runs.
+///   domain 1 (kIsland)   — one stream per GA island, index = island.
+///   domain 2 (kLeapfrog) — reserved for per-thread leapfrog splits.
+enum class Domain : std::uint32_t {
+  kBase = 0,
+  kIsland = 1,
+  kLeapfrog = 2,
+};
+
+/// Packs (domain, index) into a stream id. Debug-asserts the reservation
+/// rules: the base domain owns only index 0 (anything else would alias a
+/// future sub-partition of the legacy stream), and the domain must be one
+/// of the reserved values above.
+[[nodiscard]] std::uint64_t stream_id(Domain domain, std::uint32_t index);
+
+/// The stream of GA island `island` (domain kIsland).
+[[nodiscard]] std::uint64_t island_stream(std::uint32_t island);
+
+}  // namespace rng_streams
+
 /// Random-engine selector (see file comment).
 enum class RngKind : std::uint8_t {
   kXoshiro = 0,   ///< stateful xoshiro256++ (the legacy streams)
@@ -58,7 +90,20 @@ public:
   /// `Rng(s)`.
   Rng(RngKind kind, std::uint64_t seed);
 
+  /// Stream-selecting constructor (kThreefry only; xoshiro has no counter
+  /// to partition and rejects a nonzero stream). Streams with the same
+  /// seed but different ids are disjoint by construction — the id becomes
+  /// the second Threefry counter word, so no (key, counter) input can
+  /// collide. Stream 0 is bit-identical to `Rng(kind, seed)`. Use the
+  /// rng_streams:: helpers to pick ids.
+  Rng(RngKind kind, std::uint64_t seed, std::uint64_t stream);
+
   [[nodiscard]] RngKind kind() const { return kind_; }
+
+  /// The stream id this engine draws from (always 0 for kXoshiro).
+  [[nodiscard]] std::uint64_t stream() const {
+    return kind_ == RngKind::kThreefry ? state_[3] >> 1 : 0;
+  }
 
   [[nodiscard]] static constexpr result_type min() { return 0; }
   [[nodiscard]] static constexpr result_type max() {
@@ -109,9 +154,12 @@ public:
 
   /// Raw engine state, for checkpointing. Restoring a saved state resumes
   /// the stream exactly where it left off. Layout: the xoshiro words for
-  /// kXoshiro; {key0, key1, block counter, phase} for kThreefry. The
-  /// engine kind is *not* part of the words — callers restore into an
-  /// Rng of the matching kind (the GA guards this via its fingerprint).
+  /// kXoshiro; {key0, key1, block counter, (stream id << 1) | phase} for
+  /// kThreefry — the stream id travels inside the state words, so island
+  /// checkpoints need no extra field and stream 0 keeps the historic
+  /// {.., counter, phase} layout bit-for-bit. The engine kind is *not*
+  /// part of the words — callers restore into an Rng of the matching kind
+  /// (the GA guards this via its fingerprint).
   [[nodiscard]] const std::array<std::uint64_t, 4>& state() const {
     return state_;
   }

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "core/island_ga.hpp"
 #include "core/run_control.hpp"
 #include "model/system.hpp"
 
@@ -23,11 +24,64 @@ EvaluationOptions make_eval_options(const System& system,
   return eval;
 }
 
+/// The island-sharded route of synthesize(): same shape as the plain
+/// route — build, resume, run, final fine-DVS evaluation through the warm
+/// memo — with the island container checkpoint machinery and the
+/// champion island's cache in place of the single GA's.
+SynthesisResult synthesize_islands(const System& system,
+                                   const SynthesisOptions& options,
+                                   RunControl* control) {
+  IslandOptions topology;
+  topology.islands = options.islands;
+  topology.migration_interval = options.migration_interval;
+  topology.migrants = options.migrants;
+
+  const Evaluator loop_evaluator(system,
+                                 make_eval_options(system, options, false));
+  IslandGa ga(system, loop_evaluator, options.fitness, options.allocation,
+              options.ga, topology, options.seed);
+  if (control && !control->resume_path.empty()) {
+    IslandCheckpointLoadResult loaded = load_island_checkpoint_fallback(
+        control->resume_path, control->checkpoint_keep_generations,
+        ga.state_fingerprint());
+    for (const std::string& note : loaded.notes)
+      control->log_recovery("skipped checkpoint generation: " + note);
+    if (loaded.generation > 0)
+      control->log_recovery("resumed from older generation " +
+                            loaded.loaded_path);
+    ga.restore(loaded.snapshot);
+  }
+  SynthesisResult result = ga.run({}, control);
+
+  // Final (reported) evaluation through the champion island's warm memo;
+  // the schedule-stage counters stay whole-run totals (summed across
+  // islands by IslandGa::run), so only the final evaluation's delta on
+  // the champion cache is added on top.
+  const Evaluator final_evaluator(system,
+                                  make_eval_options(system, options, true));
+  ModeEvalCache* cache = options.ga.memoize_mode_evaluations
+                             ? &ga.champion_mode_cache()
+                             : nullptr;
+  if (cache != nullptr) {
+    const long pre_hits = cache->schedule_hits();
+    const long pre_lookups = cache->schedule_lookups();
+    result.evaluation =
+        final_evaluator.evaluate(result.mapping, result.cores, cache);
+    result.schedule_cache_hits += cache->schedule_hits() - pre_hits;
+    result.schedule_cache_lookups += cache->schedule_lookups() - pre_lookups;
+  } else {
+    result.evaluation = final_evaluator.evaluate(result.mapping, result.cores);
+  }
+  return result;
+}
+
 }  // namespace
 
 SynthesisResult synthesize(const System& system,
                            const SynthesisOptions& options,
                            RunControl* control) {
+  if (options.islands != 1) return synthesize_islands(system, options, control);
+
   const Evaluator loop_evaluator(system,
                                  make_eval_options(system, options, false));
   MappingGa ga(system, loop_evaluator, options.fitness, options.allocation,

@@ -45,6 +45,17 @@ struct SynthesisOptions {
 
   std::uint64_t seed = 1;
 
+  /// Island-model sharding of the GA (see core/island_ga.hpp and
+  /// DESIGN.md §14). 1 island runs the plain single-population GA —
+  /// bit-identically to releases without the island driver; N > 1 evolves
+  /// N independent populations that exchange `migrants` elites every
+  /// `migration_interval` generations along a deterministic ring. The
+  /// topology requires the (default) Threefry engine; `synthesize` throws
+  /// std::invalid_argument with the offending flag otherwise.
+  int islands = 1;
+  int migration_interval = 20;
+  int migrants = 2;
+
   /// Optional per-stage pipeline instrumentation shared by the loop and
   /// final evaluators (see pipeline/profile.hpp). Not fingerprinted;
   /// enabling it never changes any result.

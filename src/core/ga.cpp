@@ -32,6 +32,25 @@ int immigrant_slot(int population_size, int offspring_count,
   return population_size - 1 - offspring_count - immigrant_index;
 }
 
+int immigrant_count(double immigrant_fraction, int population_size,
+                    int offspring_count, int elite_count) {
+  int requested =
+      static_cast<int>(immigrant_fraction * population_size);
+  // Truncation starves small populations of immigrants entirely (0.08 *
+  // 12 == 0 forever); a positive fraction means "keep exploration alive",
+  // so it requests at least one.
+  if (requested == 0 && immigrant_fraction > 0.0) requested = 1;
+  // Cap by the free slots: immigrants fill downwards from just below the
+  // offspring block, and the elite slots [0, elite_count) are reserved —
+  // slot == elite_count is the first insertable one.
+  int count = 0;
+  while (count < requested &&
+         immigrant_slot(population_size, offspring_count, count) >=
+             elite_count)
+    ++count;
+  return count;
+}
+
 }  // namespace ga_detail
 
 MappingGa::MappingGa(const System& system, const Evaluator& evaluator,
@@ -45,7 +64,7 @@ MappingGa::MappingGa(const System& system, const Evaluator& evaluator,
       options_(options),
       codec_(system),
       seed_(seed),
-      rng_(options.rng, seed),
+      rng_(options.rng, seed, options.rng_stream),
       mode_cache_(options.mode_cache_capacity) {
   const int threads = ThreadPool::resolve_thread_count(options_.num_threads);
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
@@ -345,7 +364,8 @@ std::uint64_t MappingGa::state_fingerprint() const {
       .add(options_.shutdown_improvement_rate)
       .add(options_.infeasibility_trigger)
       .add(options_.improvement_sweep_fraction)
-      .add(static_cast<int>(options_.rng));
+      .add(static_cast<int>(options_.rng))
+      .add(options_.rng_stream);
   h.add(fitness_params_.area_weight)
       .add(fitness_params_.transition_weight)
       .add(fitness_params_.timing_weight);
@@ -366,21 +386,20 @@ std::uint64_t MappingGa::state_fingerprint() const {
   return h.digest();
 }
 
-GaSnapshot MappingGa::make_snapshot(int next_generation, double elapsed,
-                                    const Individual& best, int stagnation,
-                                    int area_streak, int timing_streak,
-                                    int transition_streak) const {
+GaSnapshot MappingGa::snapshot(const LoopState& st) const {
+  const Individual& best = st.best;
   GaSnapshot s;
   s.fingerprint = state_fingerprint();
-  s.next_generation = next_generation;
-  s.stagnation = stagnation;
-  s.area_infeasible_streak = area_streak;
-  s.timing_infeasible_streak = timing_streak;
-  s.transition_infeasible_streak = transition_streak;
+  s.next_generation = st.generation;
+  s.stagnation = st.stagnation;
+  s.converged = st.converged;
+  s.area_infeasible_streak = st.area_infeasible_streak;
+  s.timing_infeasible_streak = st.timing_infeasible_streak;
+  s.transition_infeasible_streak = st.transition_infeasible_streak;
   s.evaluations = evaluations_;
   s.cache_hits = cache_hits_;
   s.cache_lookups = cache_lookups_;
-  s.elapsed_seconds = elapsed;
+  s.elapsed_seconds = loop_elapsed(st);
   s.rng_state = rng_.state();
   s.has_best = best.evaluated;
   s.best = snapshot_individual(best.fitness, best.violation, best.power_true,
@@ -597,42 +616,45 @@ Genome MappingGa::knapsack_seed_genome(std::vector<double> mode_weights) const {
   return genome;
 }
 
-SynthesisResult MappingGa::run(
-    const std::function<void(const GaProgress&)>& observer,
-    RunControl* control) {
-  using Clock = std::chrono::steady_clock;
-  const auto t_begin = Clock::now();
-  // Wall-clock seconds spent before a resumed checkpoint; budgets and the
-  // reported elapsed time span interruptions.
-  double elapsed_base = 0.0;
-  auto total_elapsed = [&] {
-    return elapsed_base +
-           std::chrono::duration<double>(Clock::now() - t_begin).count();
-  };
+namespace {
 
-  Individual best;
-  best.fitness = std::numeric_limits<double>::infinity();
-  best.violation = std::numeric_limits<double>::infinity();
-  int stagnation = 0;
-  int area_infeasible_streak = 0;
-  int timing_infeasible_streak = 0;
-  int transition_infeasible_streak = 0;
-  int generation = 0;
-  int start_generation = 0;
-  bool partial = false;
+MappingGa::Individual individual_from_snapshot(const SnapshotIndividual& s) {
+  MappingGa::Individual ind;
+  ind.genome = s.genome;
+  ind.fitness = s.fitness;
+  ind.violation = s.violation;
+  ind.power_true = s.power_true;
+  ind.evaluated = s.evaluated;
+  ind.area_infeasible = s.area_infeasible;
+  ind.timing_infeasible = s.timing_infeasible;
+  ind.transition_infeasible = s.transition_infeasible;
+  return ind;
+}
 
-  auto individual_from_snapshot = [](const SnapshotIndividual& s) {
-    Individual ind;
-    ind.genome = s.genome;
-    ind.fitness = s.fitness;
-    ind.violation = s.violation;
-    ind.power_true = s.power_true;
-    ind.evaluated = s.evaluated;
-    ind.area_infeasible = s.area_infeasible;
-    ind.timing_infeasible = s.timing_infeasible;
-    ind.transition_infeasible = s.transition_infeasible;
-    return ind;
-  };
+}  // namespace
+
+double MappingGa::loop_elapsed(const LoopState& st) const {
+  // Wall-clock seconds spent before a resumed checkpoint count too, so
+  // budgets and the reported elapsed time span interruptions.
+  return st.elapsed_base +
+         std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       st.t_begin)
+             .count();
+}
+
+const MappingGa::Individual& MappingGa::population_at(int slot) const {
+  return population_[static_cast<std::size_t>(slot)];
+}
+
+void MappingGa::install_individual(int slot, Individual migrant) {
+  population_[static_cast<std::size_t>(slot)] = std::move(migrant);
+}
+
+void MappingGa::start_loop(LoopState& st) {
+  st = LoopState{};
+  st.t_begin = std::chrono::steady_clock::now();
+  st.best.fitness = std::numeric_limits<double>::infinity();
+  st.best.violation = std::numeric_limits<double>::infinity();
 
   if (restored_) {
     // Resume: replay the exact state entering `next_generation` — the
@@ -645,15 +667,16 @@ SynthesisResult MappingGa::run(
     population_.reserve(s.population.size());
     for (const SnapshotIndividual& ind : s.population)
       population_.push_back(individual_from_snapshot(ind));
-    if (s.has_best) best = individual_from_snapshot(s.best);
-    stagnation = s.stagnation;
-    area_infeasible_streak = s.area_infeasible_streak;
-    timing_infeasible_streak = s.timing_infeasible_streak;
-    transition_infeasible_streak = s.transition_infeasible_streak;
+    if (s.has_best) st.best = individual_from_snapshot(s.best);
+    st.stagnation = s.stagnation;
+    st.converged = s.converged;
+    st.area_infeasible_streak = s.area_infeasible_streak;
+    st.timing_infeasible_streak = s.timing_infeasible_streak;
+    st.transition_infeasible_streak = s.transition_infeasible_streak;
     evaluations_ = s.evaluations;
     cache_hits_ = s.cache_hits;
     cache_lookups_ = s.cache_lookups;
-    elapsed_base = s.elapsed_seconds;
+    st.elapsed_base = s.elapsed_seconds;
     rng_.set_state(s.rng_state);
     cache_.clear();
     cache_order_.clear();
@@ -667,7 +690,8 @@ SynthesisResult MappingGa::run(
                         s.mode_cache_lookups);
     mode_cache_.restore_schedules(s.schedule_cache, s.schedule_cache_hits,
                                   s.schedule_cache_lookups);
-    start_generation = s.next_generation;
+    st.start_generation = s.next_generation;
+    st.generation = s.next_generation;
     restored_.reset();
   } else {
     // Line 01: random initial population, optionally with two deterministic
@@ -687,28 +711,16 @@ SynthesisResult MappingGa::run(
       population_[2].genome = software_seed_genome();
     }
   }
+}
+
+bool MappingGa::step_generation(
+    LoopState& st, const std::function<void(const GaProgress&)>& observer) {
+  if (st.converged || st.generation >= options_.max_generations) return false;
 
   const int n = options_.population_size;
   const int elite = std::min(options_.elite_count, n);
 
-  auto boundary_snapshot = [&](int next_generation) {
-    return make_snapshot(next_generation, total_elapsed(), best, stagnation,
-                         area_infeasible_streak, timing_infeasible_streak,
-                         transition_infeasible_streak);
-  };
-
-  for (generation = start_generation; generation < options_.max_generations;
-       ++generation) {
-    // Generation boundary: the state right here is exactly what a
-    // checkpoint captures, so a cooperative stop both persists it (when
-    // checkpointing is on) and degrades gracefully to the best-so-far.
-    if (control && control->should_stop(total_elapsed())) {
-      if (control->checkpointing_enabled())
-        control->write_checkpoint(boundary_snapshot(generation));
-      partial = true;
-      break;
-    }
-
+  {
     // Lines 03–14: estimate objectives and assign fitness. The whole
     // unevaluated cohort is batched so cache misses fan out across the
     // worker pool (bit-identical to the serial path, see evaluate_batch).
@@ -725,28 +737,33 @@ SynthesisResult MappingGa::run(
               });
 
     const Individual& front = population_.front();
-    if (candidate_better(front.violation, front.fitness, best.violation,
-                         best.fitness * (1.0 - 1e-9))) {
-      best = front;
-      stagnation = 0;
+    if (candidate_better(front.violation, front.fitness, st.best.violation,
+                         st.best.fitness * (1.0 - 1e-9))) {
+      st.best = front;
+      st.stagnation = 0;
     } else {
-      ++stagnation;
+      ++st.stagnation;
     }
 
     const double diversity = population_diversity();
     if (observer)
-      observer(GaProgress{generation, best.fitness, best.power_true,
+      observer(GaProgress{st.generation, st.best.fitness, st.best.power_true,
                           diversity, evaluations_, cache_hits_,
                           cache_lookups_, mode_cache_.hits(),
                           mode_cache_.lookups()});
 
     // Line 02: convergence criterion — stagnation, optionally accelerated
-    // by a collapsed population.
-    if (stagnation >= options_.stagnation_limit) break;
-    if (options_.diversity_floor > 0.0 &&
-        diversity < options_.diversity_floor &&
-        stagnation >= options_.stagnation_limit / 2)
-      break;
+    // by a collapsed population. Latched in `converged` (and persisted in
+    // checkpoints): the diversity term is measured on the just-evaluated
+    // population, which the breeding below overwrites, so the decision
+    // could not be re-derived from a later snapshot.
+    if (st.stagnation >= options_.stagnation_limit ||
+        (options_.diversity_floor > 0.0 &&
+         diversity < options_.diversity_floor &&
+         st.stagnation >= options_.stagnation_limit / 2)) {
+      st.converged = true;
+      return false;
+    }
 
     // Linear-ranking selection weights (position 0 = best).
     const double s = options_.ranking_pressure;
@@ -806,14 +823,13 @@ SynthesisResult MappingGa::run(
           std::move(offspring[static_cast<std::size_t>(i)]);
 
     // Random immigrants: keep exploration alive after the population
-    // concentrates around the incumbent.
-    const int immigrants = static_cast<int>(options_.immigrant_fraction * n);
+    // concentrates around the incumbent. immigrant_count already caps the
+    // request by the free non-elite slots (slot == elite is the first
+    // legal one), so every slot here is insertable.
+    const int immigrants = ga_detail::immigrant_count(
+        options_.immigrant_fraction, n, offspring_count, elite);
     for (int i = 0; i < immigrants; ++i) {
-      // Signed on purpose: with offspring_count close to n the slot can
-      // go below the elite boundary (or negative) — stop cleanly instead
-      // of round-tripping through a huge std::size_t.
       const int slot = ga_detail::immigrant_slot(n, offspring_count, i);
-      if (slot <= elite) break;
       population_[static_cast<std::size_t>(slot)] =
           Individual{codec_.random_genome(rng_)};
     }
@@ -848,45 +864,45 @@ SynthesisResult MappingGa::run(
                     [](const Individual& i) {
                       return !i.evaluated || i.transition_infeasible;
                     });
-    area_infeasible_streak = all_area ? area_infeasible_streak + 1 : 0;
-    timing_infeasible_streak = all_timing ? timing_infeasible_streak + 1 : 0;
-    transition_infeasible_streak =
-        all_transition ? transition_infeasible_streak + 1 : 0;
+    st.area_infeasible_streak = all_area ? st.area_infeasible_streak + 1 : 0;
+    st.timing_infeasible_streak =
+        all_timing ? st.timing_infeasible_streak + 1 : 0;
+    st.transition_infeasible_streak =
+        all_transition ? st.transition_infeasible_streak + 1 : 0;
 
     const int sweep = std::max(
         1, static_cast<int>(options_.improvement_sweep_fraction * n));
-    if (area_infeasible_streak >= options_.infeasibility_trigger) {
+    if (st.area_infeasible_streak >= options_.infeasibility_trigger) {
       for (int i = 0; i < sweep; ++i) {
         Individual& ind = population_[non_elite_index()];
         if (area_improvement(ind.genome, codec_, system_, rng_))
           ind.evaluated = false;
       }
-      area_infeasible_streak = 0;
+      st.area_infeasible_streak = 0;
     }
-    if (timing_infeasible_streak >= options_.infeasibility_trigger) {
+    if (st.timing_infeasible_streak >= options_.infeasibility_trigger) {
       for (int i = 0; i < sweep; ++i) {
         Individual& ind = population_[non_elite_index()];
         if (timing_improvement(ind.genome, codec_, system_, rng_))
           ind.evaluated = false;
       }
-      timing_infeasible_streak = 0;
+      st.timing_infeasible_streak = 0;
     }
-    if (transition_infeasible_streak >= options_.infeasibility_trigger) {
+    if (st.transition_infeasible_streak >= options_.infeasibility_trigger) {
       for (int i = 0; i < sweep; ++i) {
         Individual& ind = population_[non_elite_index()];
         if (transition_improvement(ind.genome, codec_, system_, rng_))
           ind.evaluated = false;
       }
-      transition_infeasible_streak = 0;
+      st.transition_infeasible_streak = 0;
     }
-
-    // Periodic checkpoint at the end of the generation body — the state
-    // here is "entering generation + 1", the same shape the cooperative
-    // stop above persists.
-    if (control && control->checkpoint_due(generation))
-      control->write_checkpoint(boundary_snapshot(generation + 1));
   }
 
+  ++st.generation;
+  return true;
+}
+
+void MappingGa::finish_loop(LoopState& st, RunControl* control) {
   // Sequential acceptance over a pre-evaluated trial batch. All trials
   // differ from `best` only at the probed gene(s), so accepting an
   // earlier trial never changes what a later trial's genome would have
@@ -898,9 +914,9 @@ SynthesisResult MappingGa::run(
     for (Individual& trial : trials) batch.push_back(&trial);
     evaluate_batch(batch);
     for (Individual& trial : trials) {
-      if (candidate_better(trial.violation, trial.fitness, best.violation,
-                           best.fitness * (1.0 - 1e-12))) {
-        best = trial;
+      if (candidate_better(trial.violation, trial.fitness, st.best.violation,
+                           st.best.fitness * (1.0 - 1e-12))) {
+        st.best = trial;
         improved = true;
       }
     }
@@ -910,23 +926,23 @@ SynthesisResult MappingGa::run(
   // price the strongest seed (slot 0 holds the objective-aware greedy
   // when heuristic seeding is on) so even a zero-budget run returns a
   // well-formed, fully evaluated candidate.
-  if (!best.evaluated && !population_.empty()) {
+  if (!st.best.evaluated && !population_.empty()) {
     Individual fallback{population_.front().genome};
     evaluate(fallback);
-    best = fallback;
+    st.best = fallback;
   }
 
   // The polish phases honour cancellation between trial batches: a
   // partial run skips them entirely, a cancel arriving mid-polish keeps
   // the best individual accepted so far.
   auto polish_interrupted = [&] {
-    if (partial) return true;
-    if (control && control->should_stop(total_elapsed())) partial = true;
-    return partial;
+    if (st.partial) return true;
+    if (control && control->should_stop(loop_elapsed(st))) st.partial = true;
+    return st.partial;
   };
 
   // Memetic polish: single-gene hill climbing on the best individual.
-  if (options_.final_hill_climb_passes > 0 && best.evaluated &&
+  if (options_.final_hill_climb_passes > 0 && st.best.evaluated &&
       !polish_interrupted()) {
     std::vector<std::size_t> order(codec_.genome_length());
     for (std::size_t g = 0; g < order.size(); ++g) order[g] = g;
@@ -939,12 +955,12 @@ SynthesisResult MappingGa::run(
         if (polish_interrupted()) break;
         const std::size_t cands = codec_.candidates(g).size();
         if (cands < 2) continue;
-        const std::uint16_t original = best.genome[g];
+        const std::uint16_t original = st.best.genome[g];
         std::vector<Individual> trials;
         trials.reserve(cands - 1);
         for (std::uint16_t c = 0; c < cands; ++c) {
           if (c == original) continue;
-          Individual trial = best;
+          Individual trial = st.best;
           trial.genome[g] = c;
           trial.evaluated = false;
           trials.push_back(std::move(trial));
@@ -958,7 +974,7 @@ SynthesisResult MappingGa::run(
   // 2-opt polish on small genomes: coordinated two-gene moves (e.g. swap
   // one core allocation for another that only fits after freeing area).
   // One gene pair's candidate grid forms one parallel batch.
-  if (best.evaluated &&
+  if (st.best.evaluated &&
       static_cast<int>(codec_.genome_length()) <=
           options_.final_two_opt_max_genes &&
       !polish_interrupted()) {
@@ -975,8 +991,9 @@ SynthesisResult MappingGa::run(
           trials.reserve(c1n * c2n - 1);
           for (std::uint16_t c1 = 0; c1 < c1n; ++c1) {
             for (std::uint16_t c2 = 0; c2 < c2n; ++c2) {
-              if (c1 == best.genome[g1] && c2 == best.genome[g2]) continue;
-              Individual trial = best;
+              if (c1 == st.best.genome[g1] && c2 == st.best.genome[g2])
+                continue;
+              Individual trial = st.best;
               trial.genome[g1] = c1;
               trial.genome[g2] = c2;
               trial.evaluated = false;
@@ -988,14 +1005,16 @@ SynthesisResult MappingGa::run(
       }
     }
   }
+}
 
+SynthesisResult MappingGa::harvest(const LoopState& st) {
   // Assemble the result from the best individual seen.
   SynthesisResult result;
-  result.mapping = codec_.decode(best.genome);
+  result.mapping = codec_.decode(st.best.genome);
   result.cores = build_core_allocation(system_, result.mapping, alloc_options_);
   result.evaluation = evaluator_.evaluate(result.mapping, result.cores);
-  result.fitness = best.fitness;
-  result.generations = generation;
+  result.fitness = st.best.fitness;
+  result.generations = st.generation;
   result.evaluations = evaluations_;
   result.cache_hits = cache_hits_;
   result.cache_lookups = cache_lookups_;
@@ -1003,9 +1022,39 @@ SynthesisResult MappingGa::run(
   result.mode_cache_lookups = mode_cache_.lookups();
   result.schedule_cache_hits = mode_cache_.schedule_hits();
   result.schedule_cache_lookups = mode_cache_.schedule_lookups();
-  result.elapsed_seconds = total_elapsed();
-  result.partial = partial;
+  result.elapsed_seconds = loop_elapsed(st);
+  result.partial = st.partial;
   return result;
+}
+
+SynthesisResult MappingGa::run(
+    const std::function<void(const GaProgress&)>& observer,
+    RunControl* control) {
+  LoopState st;
+  start_loop(st);
+
+  while (st.generation < options_.max_generations) {
+    // Generation boundary: the state right here is exactly what a
+    // checkpoint captures, so a cooperative stop both persists it (when
+    // checkpointing is on) and degrades gracefully to the best-so-far.
+    if (control && control->should_stop(loop_elapsed(st))) {
+      if (control->checkpointing_enabled())
+        control->write_checkpoint(snapshot(st));
+      st.partial = true;
+      break;
+    }
+
+    if (!step_generation(st, observer)) break;
+
+    // Periodic checkpoint at the end of the generation body — the state
+    // here is "entering st.generation", the same shape the cooperative
+    // stop above persists (step_generation already advanced the counter).
+    if (control && control->checkpoint_due(st.generation - 1))
+      control->write_checkpoint(snapshot(st));
+  }
+
+  finish_loop(st, control);
+  return harvest(st);
 }
 
 }  // namespace mmsyn

@@ -3,6 +3,7 @@
 // offspring insertion, and the four improvement mutation operators.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -36,6 +37,18 @@ namespace ga_detail {
 /// or elite-overlapping results mean "no free slot left, stop").
 [[nodiscard]] int immigrant_slot(int population_size, int offspring_count,
                                  int immigrant_index);
+
+/// Number of random immigrants inserted per generation. Pinned behaviour
+/// (checkpointed runs replay it): the fraction is truncated —
+/// `int(immigrant_fraction * population_size)` — but a positive fraction
+/// always requests at least one immigrant (small populations previously
+/// lost their diversity pressure to truncation), and the request is then
+/// capped by the free slots below the offspring block and above the elite
+/// (slots `[0, elite_count)` are reserved; `elite_count` itself is the
+/// first insertable slot).
+[[nodiscard]] int immigrant_count(double immigrant_fraction,
+                                  int population_size, int offspring_count,
+                                  int elite_count);
 
 }  // namespace ga_detail
 
@@ -111,6 +124,16 @@ struct GaOptions {
   /// §12). Part of the checkpoint fingerprint: resuming a run under a
   /// different engine is rejected.
   RngKind rng = RngKind::kThreefry;
+
+  /// Threefry stream id of this GA's random stream (see rng_streams in
+  /// common/rng.hpp). Stream 0 — the default — is the legacy
+  /// single-population stream; the island driver gives every island its
+  /// own kIsland-domain stream, so island trajectories are a pure
+  /// function of (seed, island) and disjoint from the base stream by
+  /// construction. Nonzero values require the Threefry engine. Part of
+  /// the checkpoint fingerprint: an island checkpoint cannot be resumed
+  /// into a different island slot (or into a single-population run).
+  std::uint64_t rng_stream = 0;
 
   /// Shut-down improvement probability per individual per generation.
   double shutdown_improvement_rate = 0.02;
@@ -217,7 +240,16 @@ public:
   /// evaluation then skips list scheduling entirely.
   [[nodiscard]] ModeEvalCache& mode_cache() { return mode_cache_; }
 
-private:
+  // ---- Island-stepping interface (DESIGN.md §14) ------------------------
+  //
+  // run() is exactly `start_loop` + `step_generation` until it returns
+  // false (or the caller stops) + `finish_loop` + `harvest`. IslandGa
+  // drives the same pieces, inserting migration barriers between
+  // fixed-length blocks of step_generation calls — which is why the loop
+  // state lives in an explicit struct instead of run()'s stack frame.
+  // Internal API: exposed for the island driver and its tests, not a
+  // stability surface.
+
   struct Individual {
     Genome genome;
     double fitness = 0.0;
@@ -231,6 +263,69 @@ private:
     double power_true = 0.0;
   };
 
+  /// Everything run() used to keep on its stack between generations.
+  struct LoopState {
+    Individual best;
+    int stagnation = 0;
+    int area_infeasible_streak = 0;
+    int timing_infeasible_streak = 0;
+    int transition_infeasible_streak = 0;
+    /// The generation about to run (== generations completed so far).
+    int generation = 0;
+    int start_generation = 0;
+    bool partial = false;
+    /// The convergence criterion fired; step_generation refuses to run.
+    bool converged = false;
+    /// Wall-clock seconds spent before a resumed checkpoint.
+    double elapsed_base = 0.0;
+    std::chrono::steady_clock::time_point t_begin{};
+  };
+
+  /// Initialises (or, after restore(), replays) the population and loop
+  /// bookkeeping and starts the wall clock.
+  void start_loop(LoopState& st);
+
+  /// Runs one generation: evaluate, rank, update best, check convergence,
+  /// breed, mutate, immigrate, improve. Returns false — without advancing
+  /// `st.generation` — when the convergence criterion fires (st.converged
+  /// is then set) or when the generation cap is already reached.
+  bool step_generation(LoopState& st,
+                       const std::function<void(const GaProgress&)>&
+                           observer = {});
+
+  /// Post-loop phases: fallback evaluation of the strongest seed when the
+  /// loop never evaluated anything, then the memetic polish (hill climb +
+  /// small-genome 2-opt), honouring `control` cancellation between trial
+  /// batches.
+  void finish_loop(LoopState& st, RunControl* control = nullptr);
+
+  /// Assembles the SynthesisResult (decode + final loop-evaluator pricing
+  /// of the best individual, plus every counter).
+  [[nodiscard]] SynthesisResult harvest(const LoopState& st);
+
+  /// Total elapsed wall-clock seconds of this loop, spanning resumes.
+  [[nodiscard]] double loop_elapsed(const LoopState& st) const;
+
+  /// The checkpoint snapshot of the state entering `st.generation`.
+  [[nodiscard]] GaSnapshot snapshot(const LoopState& st) const;
+
+  /// Migration hooks: ranked population access (slot 0 = current best
+  /// after the last evaluation; the first elite_count slots are the
+  /// elite) and migrant installation. Installing copies the individual
+  /// wholesale — an evaluated migrant keeps its fitness and is not
+  /// re-evaluated, exactly as if it had been bred locally.
+  [[nodiscard]] const Individual& population_at(int slot) const;
+  void install_individual(int slot, Individual migrant);
+  [[nodiscard]] int population_size() const {
+    return static_cast<int>(population_.size());
+  }
+
+  /// Counter accessors for cross-island aggregation.
+  [[nodiscard]] long evaluations() const { return evaluations_; }
+  [[nodiscard]] long cache_hits() const { return cache_hits_; }
+  [[nodiscard]] long cache_lookups() const { return cache_lookups_; }
+
+private:
   /// Fitness memo entry / result of one pure evaluation.
   struct CachedFitness {
     double fitness;
@@ -272,14 +367,6 @@ private:
   void evaluate(Individual& ind);
   void cache_insert(const Genome& genome, const CachedFitness& value);
   [[nodiscard]] double population_diversity() const;
-
-  /// Captures the complete resumable state *entering* `next_generation`
-  /// (see run_control.hpp); `elapsed` is the accumulated wall-clock time.
-  [[nodiscard]] GaSnapshot make_snapshot(int next_generation, double elapsed,
-                                         const Individual& best,
-                                         int stagnation, int area_streak,
-                                         int timing_streak,
-                                         int transition_streak) const;
 
   const System& system_;
   const Evaluator& evaluator_;

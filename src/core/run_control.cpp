@@ -20,7 +20,7 @@ namespace {
 //   8 bytes  magic "MMSYNCKP"
 //   u32      format version (kVersion)
 //   u64      payload size in bytes
-//   payload  serialized GaSnapshot
+//   payload  serialized island container (see serialize_container)
 //   u32      CRC-32 of the payload
 // The trailing CRC plus the explicit size reject truncation and bit rot;
 // the version gates format evolution.
@@ -30,7 +30,11 @@ constexpr char kMagic[8] = {'M', 'M', 'S', 'Y', 'N', 'C', 'K', 'P'};
 // artifacts + counters). Older files are rejected up front — without the
 // stage store and its counters a resumed run could not replay the
 // stage-level hit accounting bit-identically.
-constexpr std::uint32_t kVersion = 3;
+// v4: every file is an island container — config header (island count,
+// migration schedule, next barrier) followed by one length-prefixed
+// GaSnapshot per island; a single-population save is the one-island
+// special case. GaSnapshot itself gained the `converged` latch.
+constexpr std::uint32_t kVersion = 4;
 
 class Writer {
 public:
@@ -75,6 +79,16 @@ public:
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   double f64() { return std::bit_cast<double>(u64()); }
   bool boolean() { return u8() != 0; }
+
+  /// A raw slice of `n` bytes (used for the length-prefixed per-island
+  /// payloads of the v4 container).
+  std::string_view raw(std::size_t n) {
+    if (n > bytes_.size() - pos_)
+      throw CheckpointError("payload truncated");
+    const std::string_view slice = bytes_.substr(pos_, n);
+    pos_ += n;
+    return slice;
+  }
 
   [[nodiscard]] bool done() const { return pos_ == bytes_.size(); }
 
@@ -232,7 +246,7 @@ ModeSchedule read_mode_schedule(Reader& r) {
   return s;
 }
 
-std::string serialize(const GaSnapshot& snapshot) {
+std::string serialize_ga(const GaSnapshot& snapshot) {
   // Genomes are fixed-length per run; store the length once.
   const std::size_t genome_length =
       snapshot.population.empty() ? snapshot.best.genome.size()
@@ -242,6 +256,7 @@ std::string serialize(const GaSnapshot& snapshot) {
   w.u64(genome_length);
   w.i32(snapshot.next_generation);
   w.i32(snapshot.stagnation);
+  w.boolean(snapshot.converged);
   w.i32(snapshot.area_infeasible_streak);
   w.i32(snapshot.timing_infeasible_streak);
   w.i32(snapshot.transition_infeasible_streak);
@@ -275,13 +290,14 @@ std::string serialize(const GaSnapshot& snapshot) {
   return w.bytes();
 }
 
-GaSnapshot deserialize(std::string_view payload) {
+GaSnapshot deserialize_ga(std::string_view payload) {
   Reader r(payload);
   GaSnapshot s;
   s.fingerprint = r.u64();
   const std::size_t genome_length = r.u64();
   s.next_generation = r.i32();
   s.stagnation = r.i32();
+  s.converged = r.boolean();
   s.area_infeasible_streak = r.i32();
   s.timing_infeasible_streak = r.i32();
   s.transition_infeasible_streak = r.i32();
@@ -319,6 +335,59 @@ GaSnapshot deserialize(std::string_view payload) {
     s.schedule_cache.emplace_back(std::move(key), std::move(value));
   }
   if (!r.done()) throw CheckpointError("trailing bytes in payload");
+  return s;
+}
+
+// The v4 island container: config header + length-prefixed per-island
+// GaSnapshot payloads, in island order.
+std::string serialize_container(const IslandSnapshot& snapshot) {
+  if (snapshot.islands.size() !=
+      static_cast<std::size_t>(snapshot.island_count))
+    throw CheckpointError("island container holds " +
+                          std::to_string(snapshot.islands.size()) +
+                          " snapshots but declares " +
+                          std::to_string(snapshot.island_count));
+  Writer w;
+  w.u64(snapshot.fingerprint);
+  w.i32(snapshot.island_count);
+  w.i32(snapshot.migration_interval);
+  w.i32(snapshot.migrants);
+  w.i64(snapshot.next_migration_generation);
+  std::string bytes = w.bytes();
+  for (const GaSnapshot& island : snapshot.islands) {
+    const std::string payload = serialize_ga(island);
+    Writer len;
+    len.u64(payload.size());
+    bytes += len.bytes();
+    bytes += payload;
+  }
+  return bytes;
+}
+
+IslandSnapshot deserialize_container(std::string_view payload) {
+  Reader r(payload);
+  IslandSnapshot s;
+  s.fingerprint = r.u64();
+  s.island_count = r.i32();
+  s.migration_interval = r.i32();
+  s.migrants = r.i32();
+  s.next_migration_generation = r.i64();
+  if (s.island_count < 1)
+    throw CheckpointError("island container declares " +
+                          std::to_string(s.island_count) + " islands");
+  s.islands.reserve(static_cast<std::size_t>(s.island_count));
+  for (std::int32_t i = 0; i < s.island_count; ++i)
+    s.islands.push_back(deserialize_ga(r.raw(r.u64())));
+  if (!r.done()) throw CheckpointError("trailing bytes in payload");
+  return s;
+}
+
+/// Wraps a single-population snapshot as the one-island container.
+IslandSnapshot wrap_single(const GaSnapshot& snapshot) {
+  IslandSnapshot s;
+  s.fingerprint = snapshot.fingerprint;
+  s.island_count = 1;
+  s.islands.push_back(snapshot);
   return s;
 }
 
@@ -382,10 +451,11 @@ std::string checkpoint_generation_path(const std::string& path,
   return generation <= 0 ? path : path + "." + std::to_string(generation);
 }
 
-void save_checkpoint_rotating(const std::string& path,
-                              const GaSnapshot& snapshot, int keep) {
+namespace {
+
+void save_payload_rotating(const std::string& path, const std::string& payload,
+                           int keep) {
   if (keep < 1) keep = 1;
-  const std::string payload = serialize(snapshot);
 
   std::string file;
   file.reserve(payload.size() + 24);
@@ -436,11 +506,25 @@ void save_checkpoint_rotating(const std::string& path,
   fsync_parent_dir(path);
 }
 
+}  // namespace
+
+void save_checkpoint_rotating(const std::string& path,
+                              const GaSnapshot& snapshot, int keep) {
+  save_payload_rotating(path, serialize_container(wrap_single(snapshot)),
+                        keep);
+}
+
+void save_island_checkpoint_rotating(const std::string& path,
+                                     const IslandSnapshot& snapshot,
+                                     int keep) {
+  save_payload_rotating(path, serialize_container(snapshot), keep);
+}
+
 void save_checkpoint(const std::string& path, const GaSnapshot& snapshot) {
   save_checkpoint_rotating(path, snapshot, /*keep=*/1);
 }
 
-GaSnapshot load_checkpoint(const std::string& path) {
+IslandSnapshot load_island_checkpoint(const std::string& path) {
   std::string file;
   try {
     file = failpoint::retry_transient("checkpoint read", [&] {
@@ -478,7 +562,20 @@ GaSnapshot load_checkpoint(const std::string& path) {
   Reader trailer(std::string_view(file).substr(payload_offset + payload_size));
   if (trailer.u32() != crc32(payload))
     throw CheckpointError("CRC mismatch (corrupted file): " + path);
-  return deserialize(payload);
+  return deserialize_container(payload);
+}
+
+GaSnapshot load_checkpoint(const std::string& path) {
+  IslandSnapshot container = load_island_checkpoint(path);
+  if (container.island_count != 1)
+    throw CheckpointError(
+        path + " is an island-model checkpoint (" +
+        std::to_string(container.island_count) +
+        " islands); resume it with --islands=" +
+        std::to_string(container.island_count) +
+        " and the matching migration schedule instead of a "
+        "single-population run");
+  return std::move(container.islands.front());
 }
 
 CheckpointLoadResult load_checkpoint_fallback(
@@ -505,6 +602,46 @@ CheckpointLoadResult load_checkpoint_fallback(
   std::string message = "no usable checkpoint generation under " + path;
   for (const std::string& note : result.notes) message += "; " + note;
   throw CheckpointError(message);
+}
+
+IslandCheckpointLoadResult load_island_checkpoint_fallback(
+    const std::string& path, int keep,
+    std::optional<std::uint64_t> expected_fingerprint) {
+  if (keep < 1) keep = 1;
+  IslandCheckpointLoadResult result;
+  for (int gen = 0; gen < keep; ++gen) {
+    const std::string gen_path = checkpoint_generation_path(path, gen);
+    try {
+      IslandSnapshot snapshot = load_island_checkpoint(gen_path);
+      if (expected_fingerprint.has_value() &&
+          snapshot.fingerprint != *expected_fingerprint)
+        throw CheckpointError(
+            "island configuration fingerprint mismatch (different island "
+            "count, migration schedule, seed, or GA options): " + gen_path);
+      result.snapshot = std::move(snapshot);
+      result.loaded_path = gen_path;
+      result.generation = gen;
+      return result;
+    } catch (const CheckpointError& e) {
+      result.notes.emplace_back(e.what());
+    }
+  }
+  std::string message = "no usable checkpoint generation under " + path;
+  for (const std::string& note : result.notes) message += "; " + note;
+  throw CheckpointError(message);
+}
+
+void RunControl::write_island_checkpoint(const IslandSnapshot& snapshot) const {
+  if (checkpoint_path.empty()) return;
+  try {
+    save_island_checkpoint_rotating(checkpoint_path, snapshot,
+                                    checkpoint_keep_generations);
+  } catch (const CheckpointError& e) {
+    ++checkpoint_write_failures_;
+    log_recovery(std::string("tolerated checkpoint write failure (run "
+                             "continues on older generations): ") +
+                 e.what());
+  }
 }
 
 void RunControl::write_checkpoint(const GaSnapshot& snapshot) const {

@@ -69,6 +69,12 @@ struct GaSnapshot {
   std::uint64_t fingerprint = 0;
   int next_generation = 0;
   int stagnation = 0;
+  /// The convergence criterion has fired (v4): the diversity term of that
+  /// criterion is measured on the pre-breeding population, so a resumed
+  /// island could not re-derive the decision from the snapshot alone.
+  /// Single-population checkpoints always carry false — the run loop
+  /// stops at the first converged generation and never snapshots it.
+  bool converged = false;
   int area_infeasible_streak = 0;
   int timing_infeasible_streak = 0;
   int transition_infeasible_streak = 0;
@@ -97,6 +103,28 @@ struct GaSnapshot {
   long schedule_cache_lookups = 0;
 };
 
+/// Resumable state of one island-model run (checkpoint format v4; see
+/// DESIGN.md §14). Every checkpoint file is an island container — a
+/// single-population save is the island_count == 1 special case — so one
+/// loader, one CRC recipe and one rotation scheme cover both shapes.
+struct IslandSnapshot {
+  /// Island-config fingerprint: hashes island_count, migration_interval,
+  /// migrants and every per-island GA fingerprint (which differ only in
+  /// their rng_stream), so a checkpoint cannot be resumed under a
+  /// different island topology or migration schedule.
+  std::uint64_t fingerprint = 0;
+  std::int32_t island_count = 1;
+  std::int32_t migration_interval = 0;
+  std::int32_t migrants = 0;
+  /// The migration barrier the run is advancing toward. Disambiguates a
+  /// barrier checkpoint (migration applied, next barrier recorded) from a
+  /// mid-segment stop at the same generation numbers — the generations
+  /// alone cannot tell whether the exchange already happened.
+  std::int64_t next_migration_generation = 0;
+  /// One complete GA snapshot per island, in island order.
+  std::vector<GaSnapshot> islands;
+};
+
 /// Writes `snapshot` atomically and durably (temp file + fsync + rename +
 /// directory fsync) in the versioned, CRC-protected binary format. Throws
 /// CheckpointError on I/O failure; a write that throws mid-stream removes
@@ -117,9 +145,20 @@ void save_checkpoint(const std::string& path, const GaSnapshot& snapshot);
 void save_checkpoint_rotating(const std::string& path,
                               const GaSnapshot& snapshot, int keep);
 
+/// Island-container variants of the same recipe. save_checkpoint[_rotating]
+/// is exactly save_island_checkpoint_rotating of a one-island container.
+void save_island_checkpoint_rotating(const std::string& path,
+                                     const IslandSnapshot& snapshot, int keep);
+
 /// Reads a checkpoint written by save_checkpoint. Throws CheckpointError
-/// on I/O failure, bad magic/version, or CRC mismatch.
+/// on I/O failure, bad magic/version, or CRC mismatch — and, with an
+/// actionable message, when the file holds a multi-island container (those
+/// must be resumed through the island driver with the matching --islands).
 [[nodiscard]] GaSnapshot load_checkpoint(const std::string& path);
+
+/// Reads any checkpoint as an island container (a single-population file
+/// loads as island_count == 1). Throws CheckpointError as load_checkpoint.
+[[nodiscard]] IslandSnapshot load_island_checkpoint(const std::string& path);
 
 /// Outcome of load_checkpoint_fallback: which generation was loaded and
 /// what was wrong with every newer generation that had to be skipped.
@@ -140,6 +179,20 @@ struct CheckpointLoadResult {
 /// note instead of aborting the resume. Throws CheckpointError only when
 /// no generation is usable, with every skip reason in the message.
 [[nodiscard]] CheckpointLoadResult load_checkpoint_fallback(
+    const std::string& path, int keep,
+    std::optional<std::uint64_t> expected_fingerprint = std::nullopt);
+
+/// Island-container analogue of CheckpointLoadResult.
+struct IslandCheckpointLoadResult {
+  IslandSnapshot snapshot;
+  std::string loaded_path;
+  int generation = 0;
+  std::vector<std::string> notes;
+};
+
+/// Island-container analogue of load_checkpoint_fallback (the expected
+/// fingerprint is the island-config fingerprint).
+[[nodiscard]] IslandCheckpointLoadResult load_island_checkpoint_fallback(
     const std::string& path, int keep,
     std::optional<std::uint64_t> expected_fingerprint = std::nullopt);
 
@@ -206,6 +259,10 @@ public:
   /// is logged and counted, never fatal — losing one periodic snapshot
   /// must not kill a multi-hour run (older generations still cover it).
   void write_checkpoint(const GaSnapshot& snapshot) const;
+
+  /// Island-container variant of write_checkpoint (same tolerance: a
+  /// failed write is logged and counted, never fatal).
+  void write_island_checkpoint(const IslandSnapshot& snapshot) const;
 
   /// Checkpoint writes tolerated (logged and skipped) so far.
   [[nodiscard]] long checkpoint_write_failures() const {

@@ -140,6 +140,21 @@ TEST(GaReplacement, ImmigrantSlotsAreSignedAndSkipCleanly) {
   EXPECT_EQ(ga_detail::immigrant_slot(64, 32, 4), 27);
 }
 
+TEST(GaReplacement, ImmigrantCountPinnedBehaviour) {
+  // Truncation, capped by the free-slot walk (slots 3-i, elite 2 -> 2).
+  EXPECT_EQ(ga_detail::immigrant_count(0.5, 10, 6, 2), 2);
+  // Small population: trunc(0.05 * 10) == 0, but a nonzero fraction must
+  // inject at least one immigrant when a free slot exists.
+  EXPECT_EQ(ga_detail::immigrant_count(0.05, 10, 4, 2), 1);
+  // Zero fraction stays zero — the >= 1 guarantee is only for nonzero.
+  EXPECT_EQ(ga_detail::immigrant_count(0.0, 10, 4, 2), 0);
+  // No free slots (offspring reach down to the elite boundary): zero even
+  // with a nonzero fraction.
+  EXPECT_EQ(ga_detail::immigrant_count(0.5, 10, 8, 2), 0);
+  // Default-config value is unchanged by the fix: trunc(0.08 * 64) == 5.
+  EXPECT_EQ(ga_detail::immigrant_count(0.08, 64, 32, 2), 5);
+}
+
 /// Options that make the per-generation evaluation count exactly
 /// predictable: no memoisation, no improvement operators, no polish.
 GaOptions counting_ga(int population, int generations) {
@@ -173,9 +188,12 @@ TEST(GaReplacement, FullReplacementPreservesElite) {
 }
 
 TEST(GaReplacement, OverflowingImmigrantsSkipWithoutWrap) {
-  // offspring (6) + immigrants (5) > population (10) - elite (2): only
-  // slot 3 is free for one immigrant, the rest must stop cleanly.
-  // Evaluations: 10 (generation 0) + (6 offspring + 1 immigrant) later.
+  // offspring (6) + immigrants (5) > population (10) - elite (2): slots 3
+  // and 2 are free for two immigrants, the rest must stop cleanly. Slot 2
+  // is the first non-elite slot (elites occupy [0, elite)); the pre-fix
+  // `slot <= elite` comparison wrongly treated it as protected and this
+  // count was 10 + 3*7. Evaluations: 10 (generation 0) + (6 offspring +
+  // 2 immigrants) per later generation.
   const System system = make_mul(3);
   GaOptions options = counting_ga(10, 4);
   options.replacement_fraction = 0.6;
@@ -183,7 +201,7 @@ TEST(GaReplacement, OverflowingImmigrantsSkipWithoutWrap) {
   const Evaluator evaluator(system, EvaluationOptions{});
   MappingGa ga(system, evaluator, {}, {}, options, 21);
   const SynthesisResult result = ga.run();
-  EXPECT_EQ(result.evaluations, 10 + 3 * 7);
+  EXPECT_EQ(result.evaluations, 10 + 3 * 8);
 }
 
 TEST(GaReplacement, FullReplacementStaysDeterministicInParallel) {

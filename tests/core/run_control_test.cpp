@@ -289,7 +289,10 @@ class CheckpointCorruptionTest
     : public ::testing::TestWithParam<CorruptionCase> {};
 
 TEST_P(CheckpointCorruptionTest, FallsBackToPreviousGeneration) {
-  const std::string path = scratch_path("fallback_taxonomy");
+  // Per-case scratch file: ctest runs each parameterized case as its own
+  // test process, so a shared path races under `ctest -j`.
+  const std::string path = scratch_path(
+      (std::string("fallback_taxonomy_") + GetParam().name).c_str());
   remove_generations(path);
   GaSnapshot snap = sample_snapshot();
   snap.next_generation = 5;

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full CI pass: plain build + tests, a staged-pipeline divergence gate,
+# island determinism + equal-budget quality gates, crash/island torture,
 # an AddressSanitizer(+UBSan) build + tests, a standalone UBSan build +
-# tests, and the kill-and-resume smoke. Run from the repository root:
+# tests, and a ThreadSanitizer pass over a multi-island run. Run from the
+# repository root:
 #
 #   tools/ci.sh            # everything
 #   tools/ci.sh --fast     # plain build + tests + divergence gate only
@@ -70,11 +72,47 @@ for site in alloc.arena cache.insert checkpoint.rename checkpoint.write \
   fi
 done
 
+echo "== island determinism (threads 1 vs 3) =="
+# The island-model contract: a sharded run is a pure function of
+# (seed, islands, migration schedule), never thread timing.
+ISLAND_ARGS="--islands 3 --migration-interval 5 --migrants 2"
+$SF --input "$IN" $ARGS $ISLAND_ARGS --threads 1 > /tmp/mmsyn-ci-isl1.out
+$SF --input "$IN" $ARGS $ISLAND_ARGS --threads 3 > /tmp/mmsyn-ci-isl3.out
+if ! diff -q /tmp/mmsyn-ci-isl1.out /tmp/mmsyn-ci-isl3.out; then
+  echo "ci: FAIL (island results differ across thread counts)"
+  exit 1
+fi
+
+echo "== island scaling + equal-budget quality gate =="
+# island_scaling exits nonzero when island results differ across thread
+# counts or no island configuration matches the single population at an
+# equal evaluation budget. The committed BENCH_island_scaling.json is the
+# tracked baseline; the gated metric (single-population fitness over the
+# best island fitness) is deterministic, so a >10% drop means the island
+# trajectory itself regressed, not the machine.
+./build/bench/island_scaling --population 48 --generations 60 \
+  --json /tmp/mmsyn-ci-island.json
+python3 - /tmp/mmsyn-ci-island.json BENCH_island_scaling.json << 'EOF'
+import json, sys
+fresh = json.load(open(sys.argv[1]))["equal_budget_quality_ratio"]
+committed = json.load(open(sys.argv[2]))["equal_budget_quality_ratio"]
+if fresh < 0.9 * committed:
+    sys.exit(f"ci: FAIL (equal-budget island quality {fresh:.3f} regressed "
+             f">10% below committed baseline {committed:.3f})")
+print(f"island gate: fresh {fresh:.3f} vs committed {committed:.3f} — ok")
+EOF
+
 echo "== crash torture =="
 # Deterministic fault schedule (transient reads, on-disk checkpoint
 # corruption, kill mid-save) must recover to a byte-identical audited
 # report; also registered as the crash_torture ctest.
 bench/crash_torture.sh "$SF"
+
+echo "== island crash torture =="
+# Kill-and-resume across a migration barrier (corrupted barrier save +
+# kill mid-rotation) must replay migrated individuals bit-identically;
+# also registered as the island_torture ctest.
+bench/island_torture.sh "$SF"
 
 if [ "$FAST" = "--fast" ]; then
   echo "ci: PASS (fast mode: sanitizer stages skipped)"
@@ -103,5 +141,17 @@ cmake -B build-ubsan -S . -DMMSYN_SANITIZE=undefined > /dev/null
 cmake --build build-ubsan -j "$JOBS"
 echo "== undefined-behaviour-sanitizer ctest =="
 (cd build-ubsan && ctest --output-on-failure -j 2)
+
+echo "== thread-sanitizer island run =="
+# The island coordinator is the one place worker threads exchange state
+# (gather-then-install migration at the generation barriers, shared
+# counters, cooperative stop), so a multi-island run at islands == threads
+# is the racy configuration by construction. TSan over the full ctest
+# suite would triple CI time for paths ASan already covers; this leg pins
+# the concurrency story instead.
+cmake -B build-tsan -S . -DMMSYN_SANITIZE=thread > /dev/null
+cmake --build build-tsan -j "$JOBS"
+./build-tsan/examples/synthesize_file --input "$IN" $ARGS \
+  --islands 3 --migration-interval 5 --migrants 2 --threads 3 > /dev/null
 
 echo "ci: PASS"
