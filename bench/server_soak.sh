@@ -1,0 +1,259 @@
+#!/usr/bin/env bash
+# Server soak harness: drive mmsyn_serve through the full fault-tolerance
+# contract end-to-end, over the real unix-socket wire protocol.
+#
+#   Leg A  24 concurrent jobs (4 models x 3 seeds x 2 waves) through 4
+#          workers; every stored report must be byte-identical to the
+#          synthesize_file CLI with the same options, and a repeat
+#          submission must be served from the cross-job result cache.
+#          A parseable-but-invalid (poison) model must be quarantined
+#          with the typed client exit code, without touching neighbours.
+#          A budget-limited job must come back as the typed
+#          budget-exhausted outcome (client exit 3).
+#   Leg B  kill -9 mid-soak with jobs queued/running, restart on the same
+#          state dir: zero lost jobs — every acknowledged id is fetchable
+#          and byte-identical to the CLI reference (resumed through the
+#          checkpoint machinery, not recomputed blindly).
+#   Leg C  SIGTERM graceful drain with jobs in flight: exit 0, journaled
+#          remainder, and a restarted server completes them to the same
+#          bytes.
+#   Leg D  admission control: a queue-limit 2 admission-only server
+#          rejects the third concurrent submit with the typed queue-full
+#          client exit code (6).
+#   Leg E  the pinned CLI contract rides along: synthesize_file under
+#          --time-budget still exits 3 on a partial result.
+#
+# Usage: server_soak.sh [mmsyn_serve] [mmsyn_client] [synthesize_file]
+set -euo pipefail
+
+SERVE=${1:-build/examples/mmsyn_serve}
+CLIENT=${2:-build/examples/mmsyn_client}
+SF=${3:-build/examples/synthesize_file}
+for bin in "$SERVE" "$CLIENT" "$SF"; do
+  if [ ! -x "$bin" ]; then
+    echo "server_soak: binary not found at '$bin'" >&2
+    exit 1
+  fi
+done
+
+WORK=$(mktemp -d)
+SOCK="$WORK/serve.sock"
+STATE="$WORK/state"
+mkdir -p "$STATE"
+SERVER_PID=
+cleanup() {
+  if [ -n "$SERVER_PID" ]; then kill -9 "$SERVER_PID" 2> /dev/null || true; fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "server_soak: FAIL — $*" >&2
+  exit 1
+}
+
+start_server() {
+  "$SERVE" --socket "$SOCK" --state-dir "$STATE" "$@" \
+    2>> "$WORK/serve.log" &
+  SERVER_PID=$!
+}
+
+MODELS="5 6 7 8"
+SEEDS="3 5 9"
+POP=32
+GEN=40
+# Long-job shape for the kill/drain legs: the generation cap is far away,
+# so the run length is set by deterministic stagnation convergence — long
+# enough to be interrupted mid-flight, still a pure function of the seed.
+LONG_POP=24
+LONG_GEN=2000
+
+echo "== CLI references =="
+for m in $MODELS; do
+  "$SF" --export-mul "$m" --output "$WORK/mul$m.mmsyn" > /dev/null
+done
+for m in $MODELS; do
+  for s in $SEEDS; do
+    "$SF" --input "$WORK/mul$m.mmsyn" --seed "$s" \
+      --population $POP --generations $GEN \
+      --quiet --report-timing=false > "$WORK/ref-$m-$s.txt"
+  done
+done
+for spec in "7 21" "8 22" "7 23" "8 24" "7 25" "8 26" "7 31" "8 32"; do
+  set -- $spec
+  "$SF" --input "$WORK/mul$1.mmsyn" --seed "$2" \
+    --population $LONG_POP --generations $LONG_GEN \
+    --quiet --report-timing=false > "$WORK/ref-long-$1-$2.txt"
+done
+
+echo "== leg A: 24-job concurrent soak =="
+start_server --workers 4 --checkpoint-every 5
+ids=()
+keys=()
+for wave in 1 2; do
+  for m in $MODELS; do
+    for s in $SEEDS; do
+      ack=$("$CLIENT" --socket "$SOCK" --input "$WORK/mul$m.mmsyn" \
+        --seed "$s" --population $POP --generations $GEN --async)
+      ids+=("${ack%% *}")
+      keys+=("$m-$s")
+    done
+  done
+done
+[ "${#ids[@]}" -eq 24 ] || fail "expected 24 acknowledged jobs, got ${#ids[@]}"
+
+lost=0
+for i in "${!ids[@]}"; do
+  set +e
+  "$CLIENT" --socket "$SOCK" --job "${ids[$i]}" > "$WORK/got-a-$i.txt"
+  status=$?
+  set -e
+  if [ "$status" -ne 0 ] && [ "$status" -ne 2 ]; then
+    echo "server_soak: job ${ids[$i]} exited $status" >&2
+    lost=$((lost + 1))
+    continue
+  fi
+  cmp -s "$WORK/got-a-$i.txt" "$WORK/ref-${keys[$i]}.txt" \
+    || fail "job ${ids[$i]} report differs from CLI reference ${keys[$i]}"
+done
+[ "$lost" -eq 0 ] || fail "$lost of 24 soak jobs lost"
+echo "leg A: 24/24 jobs byte-identical to the CLI"
+
+# With every wave-A result completed, an identical submission must be a
+# cache hit — still byte-identical.
+"$CLIENT" --socket "$SOCK" --input "$WORK/mul5.mmsyn" --seed 3 \
+  --population $POP --generations $GEN > "$WORK/got-cached.txt" || true
+cmp -s "$WORK/got-cached.txt" "$WORK/ref-5-3.txt" \
+  || fail "cached repeat submission differs from the CLI reference"
+"$CLIENT" --socket "$SOCK" --stats > "$WORK/stats-a.txt"
+grep -Eq 'cache hits/lookups +[1-9]' "$WORK/stats-a.txt" \
+  || fail "no cache hits recorded after a repeat submission"
+
+echo "== leg A: poison quarantine =="
+grep -v '^impl ' "$WORK/mul5.mmsyn" > "$WORK/poison.mmsyn"
+set +e
+"$CLIENT" --socket "$SOCK" --input "$WORK/poison.mmsyn" --seed 3 \
+  --population $POP --generations $GEN \
+  > /dev/null 2> "$WORK/poison.err"
+status=$?
+set -e
+[ "$status" -eq 5 ] || fail "poison job exited $status, expected 5"
+grep -q "quarantined" "$WORK/poison.err" \
+  || fail "poison job stderr lacks the quarantine note"
+# Neighbours are untouched by the quarantine.
+set +e
+"$CLIENT" --socket "$SOCK" --job "${ids[0]}" > "$WORK/got-requery.txt"
+set -e
+cmp -s "$WORK/got-requery.txt" "$WORK/ref-${keys[0]}.txt" \
+  || fail "healthy job changed after a neighbour was quarantined"
+
+echo "== leg A: typed budget exhaustion over the wire =="
+set +e
+"$CLIENT" --socket "$SOCK" --input "$WORK/mul8.mmsyn" --seed 77 \
+  --population $LONG_POP --generations 1000000 --time-budget 0.05 \
+  > "$WORK/budget.txt" 2> /dev/null
+status=$?
+set -e
+[ "$status" -eq 3 ] || fail "budget-limited job exited $status, expected 3"
+[ -s "$WORK/budget.txt" ] || fail "budget-limited job printed no partial report"
+
+echo "== leg B: kill -9 mid-soak, restart, zero lost jobs =="
+bids=()
+bkeys=()
+for spec in "7 21" "8 22" "7 23" "8 24" "7 25" "8 26"; do
+  set -- $spec
+  ack=$("$CLIENT" --socket "$SOCK" --input "$WORK/mul$1.mmsyn" \
+    --seed "$2" --population $LONG_POP --generations $LONG_GEN --async)
+  bids+=("${ack%% *}")
+  bkeys+=("$1-$2")
+done
+sleep 0.7
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2> /dev/null || true
+SERVER_PID=
+start_server --workers 4 --checkpoint-every 5
+for i in "${!bids[@]}"; do
+  set +e
+  "$CLIENT" --socket "$SOCK" --job "${bids[$i]}" > "$WORK/got-b-$i.txt"
+  status=$?
+  set -e
+  { [ "$status" -eq 0 ] || [ "$status" -eq 2 ]; } \
+    || fail "job ${bids[$i]} lost across kill -9 (exit $status)"
+  cmp -s "$WORK/got-b-$i.txt" "$WORK/ref-long-${bkeys[$i]}.txt" \
+    || fail "job ${bids[$i]} report differs after kill -9 recovery"
+done
+# Completed pre-kill results also survive the restart, same bytes.
+set +e
+"$CLIENT" --socket "$SOCK" --job "${ids[0]}" > "$WORK/got-survivor.txt"
+set -e
+cmp -s "$WORK/got-survivor.txt" "$WORK/ref-${keys[0]}.txt" \
+  || fail "pre-kill completed result changed across restart"
+echo "leg B: 6/6 in-flight jobs recovered byte-identically"
+
+echo "== leg C: SIGTERM graceful drain, restart resumes =="
+cids=()
+ckeys=()
+for spec in "7 31" "8 32"; do
+  set -- $spec
+  ack=$("$CLIENT" --socket "$SOCK" --input "$WORK/mul$1.mmsyn" \
+    --seed "$2" --population $LONG_POP --generations $LONG_GEN --async)
+  cids+=("${ack%% *}")
+  ckeys+=("$1-$2")
+done
+sleep 0.3
+kill -TERM "$SERVER_PID"
+set +e
+wait "$SERVER_PID"
+status=$?
+set -e
+SERVER_PID=
+[ "$status" -eq 0 ] || fail "drain exited $status, expected 0"
+grep -q "drained, exiting" "$WORK/serve.log" \
+  || fail "server log lacks the drain completion note"
+start_server --workers 4 --checkpoint-every 5
+for i in "${!cids[@]}"; do
+  set +e
+  "$CLIENT" --socket "$SOCK" --job "${cids[$i]}" > "$WORK/got-c-$i.txt"
+  status=$?
+  set -e
+  { [ "$status" -eq 0 ] || [ "$status" -eq 2 ]; } \
+    || fail "job ${cids[$i]} lost across drain (exit $status)"
+  cmp -s "$WORK/got-c-$i.txt" "$WORK/ref-long-${ckeys[$i]}.txt" \
+    || fail "job ${cids[$i]} report differs after drain + restart"
+done
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "final drain did not exit 0"
+SERVER_PID=
+echo "leg C: drained jobs resumed byte-identically"
+
+echo "== leg D: typed queue-full rejection =="
+# Admission-only (no workers) so nothing drains the tiny queue.
+start_server --workers 0 --queue-limit 2
+"$CLIENT" --socket "$SOCK" --input "$WORK/mul5.mmsyn" --seed 41 \
+  --population $POP --generations $GEN --async > /dev/null
+"$CLIENT" --socket "$SOCK" --input "$WORK/mul5.mmsyn" --seed 42 \
+  --population $POP --generations $GEN --async > /dev/null
+set +e
+"$CLIENT" --socket "$SOCK" --input "$WORK/mul5.mmsyn" --seed 43 \
+  --population $POP --generations $GEN --async \
+  > /dev/null 2> "$WORK/full.err"
+status=$?
+set -e
+[ "$status" -eq 6 ] || fail "third submit exited $status, expected 6"
+grep -q "queue full" "$WORK/full.err" \
+  || fail "queue-full rejection lacks its message"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || true
+SERVER_PID=
+echo "leg D: queue-full rejection typed"
+
+echo "== leg E: pinned CLI budget exit code =="
+set +e
+"$SF" --input "$WORK/mul8.mmsyn" --seed 77 --population $LONG_POP \
+  --generations 1000000 --time-budget 0.05 \
+  --quiet --report-timing=false > /dev/null
+status=$?
+set -e
+[ "$status" -eq 3 ] || fail "CLI budget run exited $status, expected 3"
+
+echo "server_soak: PASS"

@@ -1,0 +1,201 @@
+// Throughput and cache-effectiveness bench for the synthesis job server.
+//
+// Starts an in-process JobServer listening on a scratch unix socket and
+// drives it with concurrent wire clients: one wave of unique jobs
+// (models x seeds), then a second, identical wave issued only after the
+// first fully completes. Wave 2 must be served entirely from the
+// cross-job result cache — the bench *asserts* the exact hit count and
+// exits nonzero on any miss, making cache regressions loud. Wall-clock
+// throughput (jobs/s over both waves) is reported for tracking; the CI
+// gate (tools/ci.sh vs BENCH_server_throughput.json) pins only the
+// deterministic cache_hit_rate, never machine-dependent timings.
+//
+//   server_throughput --muls 3,4,5 --seeds 3 --workers 4 --clients 4
+//                     [--json PATH]
+#include <cstdio>
+#include <cstdlib>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "model/io.hpp"
+#include "server/client.hpp"
+#include "server/job_server.hpp"
+#include "tgff/suites.hpp"
+
+using namespace mmsyn;
+
+namespace {
+
+std::vector<int> parse_int_list(const std::string& csv) {
+  std::vector<int> values;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) values.push_back(std::stoi(item));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
+struct JobSpec {
+  std::string system_text;
+  std::uint64_t seed = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_string("muls", "3,4,5",
+                      "comma-separated make_mul sizes submitted as models");
+  flags.define_int("seeds", 3, "seeds per model (1..N)");
+  flags.define_int("population", 24, "GA population per job");
+  flags.define_int("generations", 30, "GA generation cap per job");
+  flags.define_int("workers", 4, "server synthesis workers");
+  flags.define_int("clients", 4, "concurrent wire clients");
+  flags.define_string("json", "", "write the machine-readable result here");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const std::vector<int> muls = parse_int_list(flags.get_string("muls"));
+  const int seeds = static_cast<int>(flags.get_int("seeds"));
+  const int clients = std::max(1, static_cast<int>(flags.get_int("clients")));
+  if (muls.empty() || seeds < 1) {
+    std::fprintf(stderr, "server_throughput: need >=1 model and seed\n");
+    return 1;
+  }
+
+  char scratch[] = "/tmp/mmsyn_server_throughput_XXXXXX";
+  if (::mkdtemp(scratch) == nullptr) {
+    std::fprintf(stderr, "server_throughput: mkdtemp failed\n");
+    return 1;
+  }
+  const std::string state_dir = scratch;
+  const std::string socket_path = state_dir + "/serve.sock";
+
+  ServerOptions options;
+  options.socket_path = socket_path;
+  options.state_dir = state_dir;
+  options.workers = static_cast<int>(flags.get_int("workers"));
+  JobServer server(std::move(options));
+  server.start();
+
+  std::vector<JobSpec> specs;
+  for (const int mul : muls) {
+    const std::string text = system_to_string(make_mul(mul));
+    for (int s = 1; s <= seeds; ++s) {
+      specs.push_back({text, static_cast<std::uint64_t>(s)});
+    }
+  }
+  const std::size_t unique = specs.size();
+
+  // Each client thread owns one connection and drives its strided share
+  // of the wave synchronously (submit, then wait) — so at most `clients`
+  // jobs are in flight at once, independent of the wave size.
+  auto run_wave = [&]() -> bool {
+    std::atomic<bool> ok{true};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < clients; ++t) {
+      threads.emplace_back([&, t] {
+        try {
+          ServeClient client(socket_path);
+          for (std::size_t slot = static_cast<std::size_t>(t);
+               slot < specs.size(); slot += static_cast<std::size_t>(clients)) {
+            SubmitRequest request;
+            request.system_text = specs[slot].system_text;
+            request.options.seed = specs[slot].seed;
+            request.options.population =
+                static_cast<std::int32_t>(flags.get_int("population"));
+            request.options.generations =
+                static_cast<std::int32_t>(flags.get_int("generations"));
+            request.options.report_gantt = false;
+            const SubmitOutcome submitted = client.submit(request);
+            if (!submitted.accepted) {
+              ok.store(false);
+              return;
+            }
+            const WaitOutcome result = client.wait(submitted.ok.job_id);
+            if (!result.ok || result.result.outcome != JobOutcome::kOk) {
+              ok.store(false);
+              return;
+            }
+          }
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "client %d: %s\n", t, e.what());
+          ok.store(false);
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    return ok.load();
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  const bool wave1_ok = run_wave();   // all unique: misses only
+  const bool wave2_ok = run_wave();   // identical, after wave 1: hits only
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const StatsReply stats = server.stats();
+  server.drain_and_stop();
+  std::error_code ec;
+  std::filesystem::remove_all(state_dir, ec);
+
+  const std::size_t jobs = 2 * unique;
+  const double jobs_per_sec = wall_s > 0.0 ? jobs / wall_s : 0.0;
+  const double cache_hit_rate =
+      stats.cache_lookups > 0
+          ? static_cast<double>(stats.cache_hits) / stats.cache_lookups
+          : 0.0;
+
+  std::printf("server_throughput: %zu jobs (%zu unique) in %.3fs — "
+              "%.1f jobs/s, cache %llu/%llu\n",
+              jobs, unique, wall_s, jobs_per_sec,
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_lookups));
+
+  if (!flags.get_string("json").empty()) {
+    std::ofstream out(flags.get_string("json"));
+    out << "{\n"
+        << "  \"bench\": \"server_throughput\",\n"
+        << "  \"muls\": \"" << flags.get_string("muls") << "\",\n"
+        << "  \"seeds\": " << seeds << ",\n"
+        << "  \"population\": " << flags.get_int("population") << ",\n"
+        << "  \"generations\": " << flags.get_int("generations") << ",\n"
+        << "  \"workers\": " << flags.get_int("workers") << ",\n"
+        << "  \"clients\": " << clients << ",\n"
+        << "  \"jobs\": " << jobs << ",\n"
+        << "  \"unique\": " << unique << ",\n"
+        << "  \"wall_s\": " << wall_s << ",\n"
+        << "  \"jobs_per_sec\": " << jobs_per_sec << ",\n"
+        << "  \"cache_hits\": " << stats.cache_hits << ",\n"
+        << "  \"cache_lookups\": " << stats.cache_lookups << ",\n"
+        << "  \"cache_hit_rate\": " << cache_hit_rate << "\n"
+        << "}\n";
+  }
+
+  if (!wave1_ok || !wave2_ok) {
+    std::fprintf(stderr, "server_throughput: FAIL — a job was rejected or "
+                         "did not complete ok\n");
+    return 1;
+  }
+  if (stats.cache_hits != unique || stats.cache_lookups != jobs) {
+    std::fprintf(stderr,
+                 "server_throughput: FAIL — expected exactly %zu cache hits "
+                 "over %zu lookups, saw %llu/%llu\n",
+                 unique, jobs,
+                 static_cast<unsigned long long>(stats.cache_hits),
+                 static_cast<unsigned long long>(stats.cache_lookups));
+    return 1;
+  }
+  return 0;
+}

@@ -122,6 +122,10 @@ int main(int argc, char** argv) {
   flags.define_bool("audit", false,
                     "replay the result through the invariant auditor and "
                     "fail on any violation");
+  flags.define_bool("quiet", false,
+                    "suppress the system summary; stdout then carries the "
+                    "implementation report alone (byte-comparable against "
+                    "the job server's stored reports)");
   flags.define_bool("report-timing", true,
                     "include wall-clock timing in the report (disable for "
                     "byte-identical reports across runs)");
@@ -182,7 +186,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "invalid system: %s\n", p.c_str());
     return 1;
   }
-  std::printf("%s\n", describe(system).c_str());
+  if (!flags.get_bool("quiet")) std::printf("%s\n", describe(system).c_str());
 
   SynthesisOptions options;
   PipelineProfiler profiler;
@@ -286,7 +290,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "run stopped early (%s); reporting the best "
                    "implementation found so far\n",
-                   control.cancel_requested() ? "cancelled" : "time budget");
+                   result.stop_reason == StopReason::kBudgetExhausted
+                       ? "time budget"
+                       : "cancelled");
   }
 
   if (!flags.get_string("save-mapping").empty()) {

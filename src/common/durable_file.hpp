@@ -1,0 +1,38 @@
+// Durable small-file I/O.
+//
+// The atomic-save recipe shared by the checkpoint writer
+// (core/run_control) and the job server's write-ahead journal
+// (server/journal): write-through to a temp name (POSIX write + fsync +
+// close), rename over the target, then fsync the parent directory so the
+// directory-entry update survives power loss too. Callers own the
+// temp/rename choreography (checkpoints rotate generations between the
+// two steps); these helpers own the durability.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mmsyn {
+
+/// Raised when a durable write cannot be completed. Callers translate it
+/// into their own error domain (CheckpointError, JournalError, ...).
+class DurableIoError : public std::runtime_error {
+public:
+  explicit DurableIoError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Writes `data` to `path` with write-through durability: POSIX write +
+/// fsync + close. flush() reaches the kernel, not the platter — only
+/// fsync makes the atomic-rename recipe durable across power loss. A
+/// failure removes the partially written file before throwing
+/// DurableIoError, so aborted saves never litter (or get renamed later
+/// by accident).
+void write_file_durable(const std::string& path, std::string_view data);
+
+/// Best-effort fsync of `path`'s parent directory so a rename targeting
+/// `path` (the directory-entry update) is durable too.
+void fsync_parent_dir(const std::string& path);
+
+}  // namespace mmsyn

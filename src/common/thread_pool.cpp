@@ -83,7 +83,17 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) run_one(fn, i);
+    // Same barrier semantics as the pooled path: a throwing item must
+    // not skip the remaining items, and the first exception surfaces
+    // only after every index has run.
+    next_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    run_items(fn, n);
+    if (first_error_) {
+      std::exception_ptr error = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(error);
+    }
     return;
   }
   {

@@ -5,8 +5,13 @@
 // blocks until every index has run. Work items must not touch shared
 // mutable state (the GA batches pure fitness evaluations) — the pool
 // itself adds no ordering guarantees beyond "all items complete before
-// parallel_for returns". The first exception thrown by an item is
-// captured and rethrown on the calling thread after the join.
+// parallel_for returns". A throwing item never terminates the process
+// and never skips the remaining items: the first exception is captured,
+// every other item still runs, and the captured exception is rethrown on
+// the calling thread at the batch barrier — identically on the pooled
+// and the inline (threads <= 1, or n == 1) execution paths, so service
+// layers that fan jobs out over a pool see one failed batch, not a dead
+// server.
 #pragma once
 
 #include <atomic>

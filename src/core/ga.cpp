@@ -937,7 +937,12 @@ void MappingGa::finish_loop(LoopState& st, RunControl* control) {
   // the best individual accepted so far.
   auto polish_interrupted = [&] {
     if (st.partial) return true;
-    if (control && control->should_stop(loop_elapsed(st))) st.partial = true;
+    if (control && control->should_stop(loop_elapsed(st))) {
+      st.partial = true;
+      st.stop_reason = control->budget_exhausted(loop_elapsed(st))
+                           ? StopReason::kBudgetExhausted
+                           : StopReason::kCancelled;
+    }
     return st.partial;
   };
 
@@ -1024,6 +1029,11 @@ SynthesisResult MappingGa::harvest(const LoopState& st) {
   result.schedule_cache_lookups = mode_cache_.schedule_lookups();
   result.elapsed_seconds = loop_elapsed(st);
   result.partial = st.partial;
+  result.stop_reason = st.stop_reason;
+  // Paths that set `partial` directly (e.g. the island driver's shared
+  // stop flag) still owe the caller a typed reason.
+  if (result.partial && result.stop_reason == StopReason::kNone)
+    result.stop_reason = StopReason::kCancelled;
   return result;
 }
 
@@ -1041,6 +1051,9 @@ SynthesisResult MappingGa::run(
       if (control->checkpointing_enabled())
         control->write_checkpoint(snapshot(st));
       st.partial = true;
+      st.stop_reason = control->budget_exhausted(loop_elapsed(st))
+                           ? StopReason::kBudgetExhausted
+                           : StopReason::kCancelled;
       break;
     }
 

@@ -161,6 +161,17 @@ struct GaProgress {
   long mode_cache_lookups = 0;
 };
 
+/// Why a run ended early (`SynthesisResult::partial`). Typed so service
+/// layers can report budget exhaustion as a recoverable per-job outcome
+/// (the job still carries the fine-DVS partial result) instead of
+/// inferring the cause from exit codes; the CLI keeps mapping every
+/// early stop to exit 3 regardless of the reason (pinned behaviour).
+enum class StopReason : std::uint8_t {
+  kNone = 0,          ///< ran to convergence / generation cap
+  kCancelled,         ///< cooperative cancellation (signal, watchdog, drain)
+  kBudgetExhausted,   ///< RunControl wall-clock budget expired
+};
+
 /// Synthesis outcome.
 struct SynthesisResult {
   MultiModeMapping mapping;
@@ -188,6 +199,8 @@ struct SynthesisResult {
   /// rather than running to convergence; the evaluation still prices the
   /// best individual found so far.
   bool partial = false;
+  /// Why the run stopped early; kNone exactly when `partial` is false.
+  StopReason stop_reason = StopReason::kNone;
 };
 
 /// The multi-mode mapping GA. The evaluator decides whether DVS is applied
@@ -274,6 +287,8 @@ public:
     int generation = 0;
     int start_generation = 0;
     bool partial = false;
+    /// Typed cause of `partial` (see StopReason).
+    StopReason stop_reason = StopReason::kNone;
     /// The convergence criterion fired; step_generation refuses to run.
     bool converged = false;
     /// Wall-clock seconds spent before a resumed checkpoint.

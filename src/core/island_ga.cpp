@@ -219,7 +219,16 @@ SynthesisResult IslandGa::run(
     if (stopped.load(std::memory_order_relaxed)) {
       if (control != nullptr && control->checkpointing_enabled())
         control->write_island_checkpoint(make_snapshot());
-      for (auto& island : islands_) island->st.partial = true;
+      const StopReason reason =
+          control != nullptr &&
+                  control->budget_exhausted(
+                      islands_.front()->ga.loop_elapsed(islands_.front()->st))
+              ? StopReason::kBudgetExhausted
+              : StopReason::kCancelled;
+      for (auto& island : islands_) {
+        island->st.partial = true;
+        island->st.stop_reason = reason;
+      }
       break;
     }
 

@@ -1,15 +1,12 @@
 #include "core/run_control.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <bit>
-#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "common/checksum.hpp"
+#include "common/durable_file.hpp"
 #include "common/failpoint.hpp"
 #include "common/interrupt.hpp"
 
@@ -401,49 +398,6 @@ failpoint::Site fp_checkpoint_write{"checkpoint.write"};
 failpoint::Site fp_checkpoint_rename{"checkpoint.rename"};
 failpoint::Site fp_io_read{"io.read"};
 
-/// Writes `data` to `tmp` with write-through durability: POSIX write +
-/// fsync + close. A failure removes the stale temp file before throwing,
-/// so aborted saves never litter (or get renamed later by accident).
-void write_file_durable(const std::string& tmp, const std::string& data) {
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) throw CheckpointError("cannot open for writing: " + tmp);
-  const char* p = data.data();
-  std::size_t left = data.size();
-  bool ok = true;
-  while (ok && left > 0) {
-    const ssize_t n = ::write(fd, p, left);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ok = false;
-      break;
-    }
-    p += n;
-    left -= static_cast<std::size_t>(n);
-  }
-  // flush() reaches the kernel, not the platter: only fsync makes the
-  // atomic-rename recipe durable across power loss.
-  if (ok && ::fsync(fd) != 0) ok = false;
-  if (::close(fd) != 0) ok = false;
-  if (!ok) {
-    std::remove(tmp.c_str());
-    throw CheckpointError("write failed: " + tmp);
-  }
-}
-
-/// Best-effort fsync of `path`'s parent directory so the rename itself
-/// (the directory-entry update) is durable too.
-void fsync_parent_dir(const std::string& path) {
-  const std::size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? "."
-                              : (slash == 0 ? "/" : path.substr(0, slash));
-  const int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    (void)::fsync(fd);
-    (void)::close(fd);
-  }
-}
-
 }  // namespace
 
 std::string checkpoint_generation_path(const std::string& path,
@@ -479,7 +433,13 @@ void save_payload_rotating(const std::string& path, const std::string& payload,
         const std::size_t at = sizeof kMagic + 12 + payload.size() / 2;
         image[at] = static_cast<char>(image[at] ^ 0x01);
       }
-      write_file_durable(tmp, image);
+      try {
+        write_file_durable(tmp, image);
+      } catch (const DurableIoError& e) {
+        // The checkpoint layer's callers tolerate CheckpointError (a
+        // lost periodic save must not kill a multi-hour run).
+        throw CheckpointError(e.what());
+      }
     });
 
     // Shift the surviving generations up before the new file takes the

@@ -236,12 +236,19 @@ public:
 
   [[nodiscard]] bool cancel_requested() const;
 
+  /// True when the wall-clock budget alone mandates a stop. Exposed
+  /// separately from should_stop so callers can type the outcome:
+  /// budget exhaustion is a recoverable per-job result (StopReason::
+  /// kBudgetExhausted, still carrying the best-so-far evaluation), while
+  /// cancellation comes from outside (signal, watchdog, drain).
+  [[nodiscard]] bool budget_exhausted(double elapsed_seconds) const {
+    return time_budget_seconds > 0.0 && elapsed_seconds >= time_budget_seconds;
+  }
+
   /// True when the run should stop at this generation boundary, given the
   /// total elapsed wall-clock seconds so far.
   [[nodiscard]] bool should_stop(double elapsed_seconds) const {
-    return cancel_requested() ||
-           (time_budget_seconds > 0.0 &&
-            elapsed_seconds >= time_budget_seconds);
+    return cancel_requested() || budget_exhausted(elapsed_seconds);
   }
 
   /// True when a periodic checkpoint is due after completing `generation`.

@@ -1,0 +1,42 @@
+// Wire client of the synthesis job server.
+//
+// One connection per operation: submit, wait and stats each dial the
+// unix-domain socket, exchange one request/reply pair and hang up. That
+// makes a server restart between operations invisible — job ids are
+// journaled server-side, so a wait() issued against the restarted server
+// finds the job (or its recovered result) by id. The connect itself
+// retries briefly so a client racing a server restart doesn't fail
+// spuriously.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "server/wire.hpp"
+
+namespace mmsyn {
+
+class ServeClient {
+public:
+  explicit ServeClient(std::string socket_path)
+      : socket_path_(std::move(socket_path)) {}
+
+  /// Submits a job. Throws WireError when the server is unreachable or
+  /// the protocol breaks; a *typed* refusal (queue full, parse error,
+  /// draining) comes back as SubmitOutcome.reject, not an exception.
+  [[nodiscard]] SubmitOutcome submit(const SubmitRequest& request);
+
+  /// Blocks until the job completes server-side (the server parks the
+  /// reply until then).
+  [[nodiscard]] WaitOutcome wait(std::uint64_t job_id);
+
+  [[nodiscard]] StatsReply stats();
+
+private:
+  /// Connects with bounded retry (the server may be mid-restart).
+  [[nodiscard]] int connect_fd() const;
+
+  std::string socket_path_;
+};
+
+}  // namespace mmsyn

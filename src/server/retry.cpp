@@ -1,0 +1,37 @@
+#include "server/retry.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace mmsyn {
+namespace {
+
+/// Domain separator so the retry schedule can never collide with a GA
+/// stream keyed on the same seed ("RETRYBK1" in LE bytes).
+constexpr std::uint64_t kRetryDomain = 0x314b425952544552ull;
+
+constexpr std::int64_t kBaseUs = 1000;      // 1ms first retry
+constexpr std::int64_t kCapUs = 250'000;    // 250ms ceiling
+
+}  // namespace
+
+std::chrono::microseconds server_retry_backoff(std::uint64_t seed,
+                                               std::uint64_t job_id,
+                                               int attempt) {
+  const int step = std::max(attempt, 1);
+  // Exponential base, saturating well before the shift can overflow.
+  const std::int64_t exp_us =
+      step >= 9 ? kCapUs : std::min<std::int64_t>(kCapUs, kBaseUs << (step - 1));
+  // Jitter in [0, exp_us): one Threefry block keyed on (seed, domain)
+  // with counter (job_id, attempt) — a pure function of the inputs, so
+  // every worker topology and every recovered server computes the same
+  // delay for the same (job, attempt).
+  const auto block = Rng::threefry2x64(
+      {job_id, static_cast<std::uint64_t>(step)}, {seed, kRetryDomain});
+  const std::int64_t jitter =
+      static_cast<std::int64_t>(block[0] % static_cast<std::uint64_t>(exp_us));
+  return std::chrono::microseconds(std::min(exp_us + jitter, kCapUs));
+}
+
+}  // namespace mmsyn

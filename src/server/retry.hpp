@@ -1,0 +1,26 @@
+// Deterministic retry backoff for the job server.
+//
+// When a job attempt dies with a TransientFault (injected I/O error,
+// recoverable runtime hiccup) the server re-runs it after a backoff. The
+// schedule is a *pure function* of (server seed, job id, attempt): no
+// clock, no global RNG, no dependence on which worker thread picks the
+// job up or how many workers exist. That purity is load-bearing — the
+// soak harness replays a fault scenario under --threads 1/4/16 and
+// expects the identical schedule, and a recovered server (restarted
+// after kill -9) recomputes the same delays for the same job.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mmsyn {
+
+/// Backoff before retry number `attempt` (1-based: the delay inserted
+/// after the attempt-th failure) of job `job_id`. Exponential with a
+/// deterministic counter-based jitter: base 1ms doubled per attempt,
+/// plus up to one base-interval of Threefry-derived jitter, capped at
+/// 250ms so quarantine (bounded attempts) is reached quickly.
+[[nodiscard]] std::chrono::microseconds server_retry_backoff(
+    std::uint64_t seed, std::uint64_t job_id, int attempt);
+
+}  // namespace mmsyn

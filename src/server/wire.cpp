@@ -1,0 +1,355 @@
+#include "server/wire.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/checksum.hpp"
+
+namespace mmsyn {
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x4d4d5750u;  // "MMWP" (LE bytes PWMM)
+
+/// Frames larger than this are rejected before allocation: no legitimate
+/// message (system text + report) comes close, and the cap keeps a
+/// corrupt length field from driving a multi-gigabyte allocation.
+constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+// Little-endian byte writer/reader, same shape as the checkpoint
+// container's (core/run_control.cpp) so the two formats stay idiomatic
+// twins. Reader throws WireError instead of CheckpointError.
+class Writer {
+public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+private:
+  std::string out_;
+};
+
+class Reader {
+public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint16_t u16() {
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) v |= static_cast<std::uint16_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  void expect_end() const {
+    if (pos_ != data_.size()) throw WireError("trailing bytes in payload");
+  }
+
+private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) throw WireError("truncated payload");
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+void put_options(Writer& w, const JobOptions& o) {
+  w.u64(o.seed);
+  w.i32(o.population);
+  w.i32(o.generations);
+  w.i32(o.threads);
+  w.str(o.dvs_backend);
+  w.str(o.scheduler_backend);
+  w.boolean(o.consider_probabilities);
+  w.f64(o.time_budget);
+  w.boolean(o.report_gantt);
+  w.boolean(o.report_voltages);
+}
+
+JobOptions get_options(Reader& r) {
+  JobOptions o;
+  o.seed = r.u64();
+  o.population = r.i32();
+  o.generations = r.i32();
+  o.threads = r.i32();
+  o.dvs_backend = r.str();
+  o.scheduler_backend = r.str();
+  o.consider_probabilities = r.boolean();
+  o.time_budget = r.f64();
+  o.report_gantt = r.boolean();
+  o.report_voltages = r.boolean();
+  return o;
+}
+
+/// write(2) loop tolerating EINTR; throws WireError on hard failure.
+void write_all(int fd, const char* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t k = ::write(fd, p, n);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(std::string("send failed: ") + std::strerror(errno));
+    }
+    p += k;
+    n -= static_cast<std::size_t>(k);
+  }
+}
+
+/// read(2) loop. Returns false on EOF before the first byte (clean close
+/// when `eof_ok`); throws on mid-buffer EOF or hard error.
+bool read_all(int fd, char* p, std::size_t n, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t k = ::read(fd, p + got, n - got);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(std::string("recv failed: ") + std::strerror(errno));
+    }
+    if (k == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw WireError("connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t job_fingerprint(std::string_view system_text,
+                              const JobOptions& options) {
+  Fnv1a64 h;
+  h.add_bytes(system_text.data(), system_text.size());
+  h.add(system_text.size());
+  h.add(options.seed);
+  h.add(options.population);
+  h.add(options.generations);
+  // threads deliberately excluded: results are thread-count invariant,
+  // and folding it in would defeat the cache across --threads settings.
+  h.add(options.dvs_backend.size());
+  h.add_bytes(options.dvs_backend.data(), options.dvs_backend.size());
+  h.add(options.scheduler_backend.size());
+  h.add_bytes(options.scheduler_backend.data(),
+              options.scheduler_backend.size());
+  h.add(options.consider_probabilities);
+  h.add(options.time_budget);
+  h.add(options.report_gantt);
+  h.add(options.report_voltages);
+  return h.digest();
+}
+
+std::string encode_submit(const SubmitRequest& request) {
+  Writer w;
+  put_options(w, request.options);
+  w.str(request.system_text);
+  return w.take();
+}
+
+SubmitRequest decode_submit(std::string_view payload) {
+  Reader r(payload);
+  SubmitRequest req;
+  req.options = get_options(r);
+  req.system_text = r.str();
+  r.expect_end();
+  return req;
+}
+
+std::string encode_submit_ok(const SubmitReply& reply) {
+  Writer w;
+  w.u64(reply.job_id);
+  w.boolean(reply.cached);
+  return w.take();
+}
+
+SubmitReply decode_submit_ok(std::string_view payload) {
+  Reader r(payload);
+  SubmitReply reply;
+  reply.job_id = r.u64();
+  reply.cached = r.boolean();
+  r.expect_end();
+  return reply;
+}
+
+std::string encode_reject(const RejectReply& reply) {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(reply.code));
+  w.str(reply.message);
+  return w.take();
+}
+
+RejectReply decode_reject(std::string_view payload) {
+  Reader r(payload);
+  RejectReply reply;
+  reply.code = static_cast<RejectCode>(r.u16());
+  reply.message = r.str();
+  r.expect_end();
+  return reply;
+}
+
+std::string encode_wait(const WaitRequest& request) {
+  Writer w;
+  w.u64(request.job_id);
+  return w.take();
+}
+
+WaitRequest decode_wait(std::string_view payload) {
+  Reader r(payload);
+  WaitRequest req;
+  req.job_id = r.u64();
+  r.expect_end();
+  return req;
+}
+
+std::string encode_job_result(const JobResultReply& reply) {
+  Writer w;
+  w.u64(reply.job_id);
+  w.u8(static_cast<std::uint8_t>(reply.outcome));
+  w.boolean(reply.feasible);
+  w.f64(reply.avg_power_true);
+  w.str(reply.report);
+  return w.take();
+}
+
+JobResultReply decode_job_result(std::string_view payload) {
+  Reader r(payload);
+  JobResultReply reply;
+  reply.job_id = r.u64();
+  reply.outcome = static_cast<JobOutcome>(r.u8());
+  reply.feasible = r.boolean();
+  reply.avg_power_true = r.f64();
+  reply.report = r.str();
+  r.expect_end();
+  return reply;
+}
+
+std::string encode_stats(const StatsReply& reply) {
+  Writer w;
+  w.u64(reply.accepted);
+  w.u64(reply.completed);
+  w.u64(reply.quarantined);
+  w.u64(reply.cache_hits);
+  w.u64(reply.cache_lookups);
+  w.u64(reply.queue_full_rejections);
+  w.u64(reply.retries);
+  w.u64(reply.watchdog_cancels);
+  w.u64(reply.recovered_pending);
+  w.u64(reply.queued);
+  w.u64(reply.running);
+  return w.take();
+}
+
+StatsReply decode_stats(std::string_view payload) {
+  Reader r(payload);
+  StatsReply reply;
+  reply.accepted = r.u64();
+  reply.completed = r.u64();
+  reply.quarantined = r.u64();
+  reply.cache_hits = r.u64();
+  reply.cache_lookups = r.u64();
+  reply.queue_full_rejections = r.u64();
+  reply.retries = r.u64();
+  reply.watchdog_cancels = r.u64();
+  reply.recovered_pending = r.u64();
+  reply.queued = r.u64();
+  reply.running = r.u64();
+  r.expect_end();
+  return reply;
+}
+
+void send_frame(int fd, MessageType type, std::string_view payload) {
+  if (payload.size() > kMaxPayload) throw WireError("payload too large");
+  Writer w;
+  w.u32(kFrameMagic);
+  w.u16(kWireVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  const std::string header = w.take();
+
+  Writer t;
+  t.u32(crc32(payload));
+  const std::string trailer = t.take();
+
+  // One coalesced buffer per frame: a frame is small relative to the
+  // payload, and a single write keeps concurrent frames on a shared fd
+  // impossible to interleave (each connection is single-threaded anyway).
+  std::string buf;
+  buf.reserve(header.size() + payload.size() + trailer.size());
+  buf += header;
+  buf.append(payload.data(), payload.size());
+  buf += trailer;
+  write_all(fd, buf.data(), buf.size());
+}
+
+bool recv_frame(int fd, Frame& frame) {
+  char header[12];
+  if (!read_all(fd, header, sizeof header, /*eof_ok=*/true)) return false;
+  Reader r(std::string_view(header, sizeof header));
+  if (r.u32() != kFrameMagic) throw WireError("bad frame magic");
+  const std::uint16_t version = r.u16();
+  if (version != kWireVersion) {
+    throw WireError("unsupported protocol version " + std::to_string(version));
+  }
+  frame.type = static_cast<MessageType>(r.u16());
+  const std::uint32_t size = r.u32();
+  if (size > kMaxPayload) throw WireError("payload too large");
+
+  frame.payload.resize(size);
+  if (size > 0) read_all(fd, frame.payload.data(), size, /*eof_ok=*/false);
+
+  char crc_bytes[4];
+  read_all(fd, crc_bytes, sizeof crc_bytes, /*eof_ok=*/false);
+  Reader cr(std::string_view(crc_bytes, sizeof crc_bytes));
+  if (cr.u32() != crc32(frame.payload)) throw WireError("payload CRC mismatch");
+  return true;
+}
+
+}  // namespace mmsyn

@@ -68,6 +68,38 @@ TEST(ThreadPool, PropagatesFirstException) {
   EXPECT_EQ(second.load(), 10);
 }
 
+TEST(ThreadPool, SerialPoolPropagatesExceptionAfterBarrier) {
+  // The inline path (1 worker) must match the pooled path's barrier
+  // semantics: a throwing item never skips the remaining items, and the
+  // first exception (in submission order) surfaces at the end.
+  ThreadPool pool(1);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.parallel_for(20,
+                                 [&](std::size_t i) {
+                                   if (i == 3)
+                                     throw std::runtime_error("item 3");
+                                   completed.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(completed.load(), 19);  // items 4..19 still ran
+
+  std::atomic<int> second{0};
+  pool.parallel_for(5, [&](std::size_t) { second.fetch_add(1); });
+  EXPECT_EQ(second.load(), 5);
+}
+
+TEST(ThreadPool, SingleItemJobPropagatesExceptionAfterRunning) {
+  // n == 1 takes the inline path even on a pooled ThreadPool.
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1,
+                        [](std::size_t) { throw std::runtime_error("only"); }),
+      std::runtime_error);
+  int runs = 0;
+  pool.parallel_for(1, [&](std::size_t) { ++runs; });
+  EXPECT_EQ(runs, 1);
+}
+
 TEST(ThreadPool, ResolveThreadCount) {
   EXPECT_GE(ThreadPool::resolve_thread_count(0), 1);  // hardware threads
   EXPECT_EQ(ThreadPool::resolve_thread_count(1), 1);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/run_control.hpp"
 #include "tgff/suites.hpp"
 
 namespace mmsyn {
@@ -84,6 +85,58 @@ TEST(Cosynth, DvsInLoopCoarsenessDoesNotAffectFinalReportingConfig) {
   const Evaluator evaluator(system, fine);
   const Evaluation check = evaluator.evaluate(result.mapping, result.cores);
   EXPECT_NEAR(check.avg_power_true, result.evaluation.avg_power_true, 1e-12);
+}
+
+TEST(Cosynth, CompletedRunHasNoStopReason) {
+  const System system = make_mul(6);
+  const SynthesisResult result = synthesize(system, small(3));
+  EXPECT_FALSE(result.partial);
+  EXPECT_EQ(result.stop_reason, StopReason::kNone);
+}
+
+TEST(Cosynth, BudgetExhaustionIsTypedRecoverableOutcome) {
+  // An expired wall-clock budget is not a generic "cancelled": service
+  // layers need to distinguish "the job used up its budget, here is the
+  // partial fine-DVS result" from an external cancellation.
+  const System system = make_mul(9);
+  SynthesisOptions options = small(4);
+  options.ga.max_generations = 1'000'000;
+  options.ga.stagnation_limit = 1'000'000;
+  RunControl control;
+  control.time_budget_seconds = 1e-9;  // expires at the first boundary
+  const SynthesisResult result = synthesize(system, options, &control);
+  EXPECT_TRUE(result.partial);
+  EXPECT_EQ(result.stop_reason, StopReason::kBudgetExhausted);
+  // The partial result still carries a priced best-so-far evaluation.
+  EXPECT_GT(result.evaluation.avg_power_true, 0.0);
+}
+
+TEST(Cosynth, CancellationIsTypedSeparatelyFromBudget) {
+  const System system = make_mul(9);
+  SynthesisOptions options = small(4);
+  options.ga.max_generations = 1'000'000;
+  options.ga.stagnation_limit = 1'000'000;
+  RunControl control;
+  control.request_cancel();
+  const SynthesisResult result = synthesize(system, options, &control);
+  EXPECT_TRUE(result.partial);
+  EXPECT_EQ(result.stop_reason, StopReason::kCancelled);
+}
+
+TEST(Cosynth, BudgetTakesPrecedenceOverConcurrentCancel) {
+  // When both stop conditions hold at the same generation boundary the
+  // typed reason is budget exhaustion — the recoverable outcome — so a
+  // watchdog cancel racing the budget check cannot mask it.
+  const System system = make_mul(9);
+  SynthesisOptions options = small(4);
+  options.ga.max_generations = 1'000'000;
+  options.ga.stagnation_limit = 1'000'000;
+  RunControl control;
+  control.time_budget_seconds = 1e-9;
+  control.request_cancel();
+  const SynthesisResult result = synthesize(system, options, &control);
+  EXPECT_TRUE(result.partial);
+  EXPECT_EQ(result.stop_reason, StopReason::kBudgetExhausted);
 }
 
 }  // namespace

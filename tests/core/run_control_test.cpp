@@ -516,5 +516,26 @@ TEST(Budget, ZeroBudgetStillReturnsEvaluatedResult) {
   EXPECT_GT(result.evaluation.avg_power_true, 0.0);
 }
 
+TEST(RunControl, BudgetExhaustedPredicate) {
+  RunControl control;
+  EXPECT_FALSE(control.budget_exhausted(1e9));  // no budget set
+  control.time_budget_seconds = 5.0;
+  EXPECT_FALSE(control.budget_exhausted(4.999));
+  EXPECT_TRUE(control.budget_exhausted(5.0));
+  EXPECT_TRUE(control.budget_exhausted(6.0));
+}
+
+TEST(RunControl, ShouldStopCombinesBudgetAndCancel) {
+  RunControl control;
+  control.time_budget_seconds = 5.0;
+  EXPECT_FALSE(control.should_stop(1.0));
+  EXPECT_TRUE(control.should_stop(5.0));
+  control.request_cancel();
+  EXPECT_TRUE(control.should_stop(1.0));
+  // The two conditions stay separately observable so callers can type
+  // the stop: budget_exhausted is unaffected by the cancel flag.
+  EXPECT_FALSE(control.budget_exhausted(1.0));
+}
+
 }  // namespace
 }  // namespace mmsyn

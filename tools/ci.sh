@@ -71,6 +71,16 @@ for site in alloc.arena cache.insert checkpoint.rename checkpoint.write \
     exit 1
   fi
 done
+# The server binary registers the job-server sites on top of the core
+# ones; they gate the WAL/admission/run recovery paths the soak drives.
+./build/examples/mmsyn_serve --failpoints list \
+  | tee /tmp/mmsyn-ci-failpoints-serve.txt > /dev/null
+for site in server.accept server.journal.write job.spawn job.result.write; do
+  if ! grep -qx "$site" /tmp/mmsyn-ci-failpoints-serve.txt; then
+    echo "ci: FAIL (server failpoint site '$site' is no longer registered)"
+    exit 1
+  fi
+done
 
 echo "== island determinism (threads 1 vs 3) =="
 # The island-model contract: a sharded run is a pure function of
@@ -101,6 +111,32 @@ if fresh < 0.9 * committed:
              f">10% below committed baseline {committed:.3f})")
 print(f"island gate: fresh {fresh:.3f} vs committed {committed:.3f} — ok")
 EOF
+
+echo "== server throughput + cache gate =="
+# Two client waves through the wire protocol; the binary itself asserts
+# the second wave is served entirely from the result cache. The gated
+# metric (cache_hit_rate) is deterministic by construction — any drop
+# below the committed baseline means the cache key or journal replay
+# regressed, so the gate is exact, not a 10% band. jobs_per_sec is
+# tracked in the JSON but never gated (machine-dependent).
+./build/bench/server_throughput --muls 3,4,5 --seeds 3 --workers 4 \
+  --clients 4 --json /tmp/mmsyn-ci-server.json
+python3 - /tmp/mmsyn-ci-server.json BENCH_server_throughput.json << 'EOF'
+import json, sys
+fresh = json.load(open(sys.argv[1]))["cache_hit_rate"]
+committed = json.load(open(sys.argv[2]))["cache_hit_rate"]
+if fresh < committed:
+    sys.exit(f"ci: FAIL (server cache hit rate {fresh:.3f} below committed "
+             f"baseline {committed:.3f})")
+print(f"server cache gate: fresh {fresh:.3f} vs committed {committed:.3f} — ok")
+EOF
+
+echo "== server soak (kill -9 / drain / typed rejections) =="
+# 24 concurrent jobs byte-identical to the CLI, zero lost jobs across a
+# kill -9 restart, graceful SIGTERM drain + resume, typed queue-full /
+# quarantine / budget exits; also registered as the server_soak ctest.
+bench/server_soak.sh build/examples/mmsyn_serve build/examples/mmsyn_client \
+  build/examples/synthesize_file
 
 echo "== crash torture =="
 # Deterministic fault schedule (transient reads, on-disk checkpoint
@@ -153,5 +189,13 @@ cmake -B build-tsan -S . -DMMSYN_SANITIZE=thread > /dev/null
 cmake --build build-tsan -j "$JOBS"
 ./build-tsan/examples/synthesize_file --input "$IN" $ARGS \
   --islands 3 --migration-interval 5 --migrants 2 --threads 3 > /dev/null
+
+echo "== thread-sanitizer server run =="
+# The job server is the other thread-heavy subsystem: workers, watchdog,
+# acceptor and per-connection threads all share the job table under one
+# mutex. The in-process throughput bench drives every one of those
+# threads (wire clients included) in a single TSan process.
+./build-tsan/bench/server_throughput --muls 3,4 --seeds 2 --generations 15 \
+  --workers 4 --clients 4 > /dev/null
 
 echo "ci: PASS"
