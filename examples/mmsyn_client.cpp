@@ -21,6 +21,7 @@
 
 #include "common/flags.hpp"
 #include "pipeline/backends.hpp"
+#include "power/backends.hpp"
 #include "server/client.hpp"
 
 using namespace mmsyn;
@@ -76,6 +77,13 @@ std::vector<std::string> backend_names(
   return names;
 }
 
+std::vector<std::string> backend_names(
+    const std::vector<PowerBackendInfo>& backends) {
+  std::vector<std::string> names;
+  for (const auto& b : backends) names.emplace_back(b.name);
+  return names;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -103,6 +111,10 @@ int main(int argc, char** argv) {
                       /*default_value=*/scheduler_backends().front().name,
                       /*implicit_value=*/scheduler_backends().front().name,
                       "list-scheduler priority backend");
+  flags.define_choice("power", backend_names(power_backends()),
+                      /*default_value=*/power_backends().front().name,
+                      /*implicit_value=*/power_backends().front().name,
+                      "power-model backend of the submitted job");
   flags.define_bool("uniform", false,
                     "neglect mode probabilities (baseline behaviour)");
   flags.define_double("time-budget", 0.0,
@@ -182,6 +194,7 @@ int main(int argc, char** argv) {
         static_cast<std::int32_t>(flags.get_int("threads"));
     request.options.dvs_backend = flags.get_string("dvs");
     request.options.scheduler_backend = flags.get_string("scheduler");
+    request.options.power_backend = flags.get_string("power");
     request.options.consider_probabilities = !flags.get_bool("uniform");
     request.options.time_budget = flags.get_double("time-budget");
     request.options.report_gantt = flags.get_bool("gantt");

@@ -28,6 +28,7 @@
 #include "model/mapping_io.hpp"
 #include "pipeline/backends.hpp"
 #include "pipeline/profile.hpp"
+#include "power/backends.hpp"
 #include "tgff/smart_phone.hpp"
 #include "tgff/suites.hpp"
 
@@ -44,6 +45,13 @@ std::vector<std::string> backend_names(
 
 std::vector<std::string> backend_names(
     const std::vector<DvsBackendInfo>& backends) {
+  std::vector<std::string> names;
+  for (const auto& b : backends) names.emplace_back(b.name);
+  return names;
+}
+
+std::vector<std::string> backend_names(
+    const std::vector<PowerBackendInfo>& backends) {
   std::vector<std::string> names;
   for (const auto& b : backends) names.emplace_back(b.name);
   return names;
@@ -68,6 +76,12 @@ int main(int argc, char** argv) {
                       /*default_value=*/scheduler_backends().front().name,
                       /*implicit_value=*/scheduler_backends().front().name,
                       "list-scheduler priority backend");
+  flags.define_choice("power", backend_names(power_backends()),
+                      /*default_value=*/power_backends().front().name,
+                      /*implicit_value=*/power_backends().front().name,
+                      "power-model backend (paper = the pinned reference "
+                      "model; thermal = temperature-dependent leakage; "
+                      "dpm-idle = sleep-state idle-interval accounting)");
   flags.define_bool("profile", false,
                     "print per-stage pipeline timings and cache hit rates");
   flags.define_bool("uniform", false,
@@ -197,6 +211,7 @@ int main(int argc, char** argv) {
     options.use_dvs = resolve_dvs_backend(flags.get_string("dvs"));
     options.scheduling_policy =
         resolve_scheduler_backend(flags.get_string("scheduler"));
+    options.power = resolve_power_backend(flags.get_string("power"));
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
@@ -246,6 +261,7 @@ int main(int argc, char** argv) {
     eval_options.keep_schedules = true;
     eval_options.scheduling_policy = options.scheduling_policy;
     eval_options.profiler = options.profiler;
+    eval_options.power = options.power;
     const Evaluator evaluator(system, eval_options);
     result.evaluation = evaluator.evaluate(result.mapping, result.cores);
   } else if (flags.get_bool("exhaustive")) {

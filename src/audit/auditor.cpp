@@ -8,6 +8,7 @@
 
 #include "dvs/dvs_graph.hpp"
 #include "dvs/pv_dvs.hpp"
+#include "energy/artifact_hash.hpp"
 #include "energy/evaluator.hpp"
 #include "model/mapping.hpp"
 #include "pipeline/mode_pipeline.hpp"
@@ -65,30 +66,6 @@ void push(std::vector<AuditViolation>& out, AuditViolation::Kind kind,
     }
   }
   return total;
-}
-
-/// Exact (bitwise) schedule-artifact equality for the stage replay.
-[[nodiscard]] bool equal_schedules(const ModeSchedule& a,
-                                   const ModeSchedule& b) {
-  if (a.tasks.size() != b.tasks.size() || a.comms.size() != b.comms.size() ||
-      a.makespan != b.makespan || a.routable != b.routable)
-    return false;
-  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
-    const ScheduledTask& x = a.tasks[i];
-    const ScheduledTask& y = b.tasks[i];
-    if (x.task != y.task || x.pe != y.pe ||
-        x.core_instance != y.core_instance || x.start != y.start ||
-        x.finish != y.finish)
-      return false;
-  }
-  for (std::size_t i = 0; i < a.comms.size(); ++i) {
-    const ScheduledComm& x = a.comms[i];
-    const ScheduledComm& y = b.comms[i];
-    if (x.edge != y.edge || x.cl != y.cl || x.local != y.local ||
-        x.start != y.start || x.finish != y.finish)
-      return false;
-  }
-  return true;
 }
 
 /// Fig. 5 consistency for one DVS hardware PE: the segment chain must
@@ -151,6 +128,7 @@ AuditOptions audit_options_for(const SynthesisOptions& options) {
   audit.use_dvs = options.use_dvs;
   audit.dvs = options.dvs_final;
   audit.scheduling_policy = options.scheduling_policy;
+  audit.power = options.power;
   return audit;
 }
 
@@ -295,6 +273,7 @@ AuditReport audit_result(const System& system, const SynthesisResult& result,
   popts.scheduling_policy = options.scheduling_policy;
   popts.use_dvs = options.use_dvs;
   popts.dvs = options.dvs;
+  popts.power = options.power;
   const ModePipeline pipeline(system, popts);
 
   // ---- Per-mode replay. -------------------------------------------------
@@ -371,7 +350,7 @@ AuditReport audit_result(const System& system, const SynthesisResult& result,
       const CommMapping comm = pipeline.comm_mapping(m, mapping, hw_cores);
       const ModeSchedule rebuilt =
           pipeline.schedule(m, mapping, hw_cores, comm);
-      if (!equal_schedules(rebuilt, schedule)) {
+      if (!equal_mode_schedules(rebuilt, schedule)) {
         push(out, AuditViolation::Kind::kStageReplayMismatch,
              "mode '" + mode.name +
                  "': stages 1-2 (comm mapping + scheduling) do not "
@@ -379,14 +358,7 @@ AuditReport audit_result(const System& system, const SynthesisResult& result,
       } else {
         const ModeEvaluation staged =
             pipeline.evaluate_scheduled(m, mapping, rebuilt);
-        if (staged.dyn_energy != me.dyn_energy ||
-            staged.dyn_power != me.dyn_power ||
-            staged.static_power != me.static_power ||
-            staged.timing_violation != me.timing_violation ||
-            staged.makespan != me.makespan ||
-            staged.pe_active != me.pe_active ||
-            staged.cl_active != me.cl_active ||
-            staged.routable != me.routable) {
+        if (!equal_mode_evaluations(staged, me)) {
           push(out, AuditViolation::Kind::kStageReplayMismatch,
                "mode '" + mode.name +
                    "': stages 3-5 (serialize/scale/finalize) do not "
@@ -470,6 +442,7 @@ AuditReport audit_result(const System& system, const SynthesisResult& result,
   eopts.use_dvs = options.use_dvs;
   eopts.dvs = options.dvs;
   eopts.scheduling_policy = options.scheduling_policy;
+  eopts.power = options.power;
   const Evaluator evaluator(system, eopts);
   const Evaluation fresh = evaluator.evaluate(result.mapping, result.cores);
   if (!close_rel(fresh.avg_power_true, eval.avg_power_true,
@@ -505,17 +478,10 @@ AuditReport audit_result(const System& system, const SynthesisResult& result,
   // the first pass fills it, the second is served entirely from it — and
   // demand *exact* equality with the cold recompute above.
   {
-    auto equal_modes = [](const ModeEvaluation& a, const ModeEvaluation& b) {
-      return a.dyn_energy == b.dyn_energy && a.dyn_power == b.dyn_power &&
-             a.static_power == b.static_power &&
-             a.timing_violation == b.timing_violation &&
-             a.makespan == b.makespan && a.pe_active == b.pe_active &&
-             a.cl_active == b.cl_active && a.routable == b.routable;
-    };
     auto equal_eval = [&](const Evaluation& a, const Evaluation& b) {
       if (a.modes.size() != b.modes.size()) return false;
       for (std::size_t m = 0; m < a.modes.size(); ++m)
-        if (!equal_modes(a.modes[m], b.modes[m])) return false;
+        if (!equal_mode_evaluations(a.modes[m], b.modes[m])) return false;
       return a.avg_power_true == b.avg_power_true &&
              a.avg_power_weighted == b.avg_power_weighted &&
              a.pe_used_area == b.pe_used_area &&

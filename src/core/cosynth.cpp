@@ -19,6 +19,7 @@ EvaluationOptions make_eval_options(const System& system,
   eval.keep_schedules = final_eval;
   eval.scheduling_policy = options.scheduling_policy;
   eval.profiler = options.profiler;
+  eval.power = options.power;
   if (!options.consider_probabilities)
     eval.weight_override.assign(system.omsm.mode_count(), 1.0);
   return eval;

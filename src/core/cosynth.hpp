@@ -16,6 +16,7 @@
 
 namespace mmsyn {
 
+class PowerModel;
 class RunControl;
 
 struct SynthesisOptions {
@@ -60,6 +61,11 @@ struct SynthesisOptions {
   /// final evaluators (see pipeline/profile.hpp). Not fingerprinted;
   /// enabling it never changes any result.
   PipelineProfiler* profiler = nullptr;
+
+  /// Power-model backend shared by the loop and final evaluators (see
+  /// power/backends.hpp). Null selects the pinned `paper` reference
+  /// model — bit-identical to releases without the power registry.
+  const PowerModel* power = nullptr;
 };
 
 /// Runs the co-synthesis. The returned evaluation is a *final* evaluation:

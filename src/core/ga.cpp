@@ -11,6 +11,7 @@
 #include "core/improvement.hpp"
 #include "core/run_control.hpp"
 #include "model/system.hpp"
+#include "power/power_model.hpp"
 
 namespace mmsyn {
 
@@ -379,6 +380,10 @@ std::uint64_t MappingGa::state_fingerprint() const {
       .add(eval.dvs.min_relative_gain)
       .add(eval.dvs.discrete_voltages)
       .add(eval.dvs.scale_hardware);
+  // Reference power (null or `paper`) adds nothing — pre-power-registry
+  // checkpoints stay resumable; other backends fence the trajectory.
+  if (eval.power != nullptr && !eval.power->is_reference_model())
+    h.add(eval.power->fingerprint());
   for (double w : evaluator_.optimisation_weights()) h.add(w);
   h.add(codec_.genome_length());
   for (std::size_t g = 0; g < codec_.genome_length(); ++g)

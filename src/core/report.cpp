@@ -65,6 +65,23 @@ std::string implementation_report(const System& system,
                 me.dyn_power * 1e3, me.static_power * 1e3, me.makespan * 1e3,
                 me.timing_violation > 0 ? " | TIMING VIOLATION" : "");
 
+    // Power-model breakdown. The reference `paper` backend leaves
+    // baseline_static_power at exactly 0, so this block never renders for
+    // it and paper reports stay byte-identical to pre-registry ones.
+    if (me.baseline_static_power != 0.0) {
+      if (me.temperature != 0.0)
+        append_line(os,
+                    "  power model: baseline static %.4f mW | T=%.2f C "
+                    "(thermal leakage)",
+                    me.baseline_static_power * 1e3, me.temperature);
+      else
+        append_line(os,
+                    "  power model: baseline static %.4f mW | idle saved "
+                    "%.4f mJ - wake %.4f mJ per period (dpm)",
+                    me.baseline_static_power * 1e3,
+                    me.idle_energy_saved * 1e3, me.wake_energy * 1e3);
+    }
+
     // Task mapping M_τ.
     os << "  mapping:";
     for (std::size_t t = 0; t < mode.graph.task_count(); ++t) {

@@ -31,7 +31,10 @@ constexpr char kMagic[8] = {'M', 'M', 'S', 'Y', 'N', 'C', 'K', 'P'};
 // migration schedule, next barrier) followed by one length-prefixed
 // GaSnapshot per island; a single-population save is the one-island
 // special case. GaSnapshot itself gained the `converged` latch.
-constexpr std::uint32_t kVersion = 4;
+// v5: ModeEvaluation gained the power-model breakdown fields
+// (baseline_static_power, idle_energy_saved, wake_energy, temperature),
+// serialized after `routable`.
+constexpr std::uint32_t kVersion = 5;
 
 class Writer {
 public:
@@ -180,6 +183,10 @@ void write_mode_evaluation(Writer& w, const ModeEvaluation& m) {
   w.u64(m.cl_active.size());
   for (bool b : m.cl_active) w.boolean(b);
   w.boolean(m.routable);
+  w.f64(m.baseline_static_power);
+  w.f64(m.idle_energy_saved);
+  w.f64(m.wake_energy);
+  w.f64(m.temperature);
 }
 
 ModeEvaluation read_mode_evaluation(Reader& r) {
@@ -196,6 +203,10 @@ ModeEvaluation read_mode_evaluation(Reader& r) {
   for (std::size_t i = 0; i < m.cl_active.size(); ++i)
     m.cl_active[i] = r.boolean();
   m.routable = r.boolean();
+  m.baseline_static_power = r.f64();
+  m.idle_energy_saved = r.f64();
+  m.wake_energy = r.f64();
+  m.temperature = r.f64();
   return m;
 }
 

@@ -167,7 +167,8 @@ void incremental_passes(const DvsGraph& g, const double* t, std::size_t b,
 }  // namespace
 
 PvDvsResult run_pv_dvs(const DvsGraph& g, const Architecture& arch,
-                       const PvDvsOptions& options) {
+                       const PvDvsOptions& options,
+                       const std::vector<double>* pe_idle_penalty) {
   const std::size_t n = g.node_count();
   PvDvsResult result;
   result.scaled_time.resize(n);
@@ -253,7 +254,12 @@ PvDvsResult run_pv_dvs(const DvsGraph& g, const Architecture& arch,
         const double avail = std::min(slack, cap);
         if (avail <= 1e-12 * std::max(1.0, g.tmin[ui])) continue;
         const double step = options.step_fraction * avail;
-        const double gain = descent[ui] * step;  // linearised estimate
+        double gain = descent[ui] * step;  // linearised estimate
+        // DPM coupling: slack consumed here is idle time a sleep state
+        // could have recovered — charge its watts-equivalent cost. The
+        // null branch keeps the reference path bit-identical and free.
+        if (pe_idle_penalty != nullptr && g.pe[ui] >= 0)
+          gain -= (*pe_idle_penalty)[static_cast<std::size_t>(g.pe[ui])] * step;
         if (gain > best_gain) {
           best_gain = gain;
           best_node = scalable[k];

@@ -56,9 +56,18 @@ struct PvDvsResult {
 };
 
 /// Runs the slack-distribution heuristic on `graph`.
-[[nodiscard]] PvDvsResult run_pv_dvs(const DvsGraph& graph,
-                                     const Architecture& arch,
-                                     const PvDvsOptions& options = {});
+///
+/// `pe_idle_penalty` (optional) couples DVS with power-managed idle time:
+/// a per-PE watts-equivalent opportunity cost of consuming slack on that
+/// PE (see PowerModel::dvs_idle_penalty). When non-null it must index by
+/// PE id; each candidate step's linearised gain is reduced by
+/// penalty[pe] * step, steering slack away from PEs whose idle time a
+/// sleep state would otherwise recover. Null (the default) is the exact
+/// pre-existing behaviour.
+[[nodiscard]] PvDvsResult run_pv_dvs(
+    const DvsGraph& graph, const Architecture& arch,
+    const PvDvsOptions& options = {},
+    const std::vector<double>* pe_idle_penalty = nullptr);
 
 /// Dynamic energy of one activity executed with an ideal continuous supply
 /// stretched by factor `slowdown`; exposed for tests.

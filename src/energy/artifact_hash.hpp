@@ -1,0 +1,41 @@
+// Shared field-by-field hashing and exact equality of the per-mode
+// pipeline artifacts.
+//
+// The mode cache's self-healing digests and the auditor's stage-replay /
+// cache-invariant comparisons used to each enumerate the ModeEvaluation
+// and ModeSchedule fields independently — a new field silently dropped
+// from one copy would weaken the digest or the replay check without any
+// test noticing. This header is the single enumeration both consume:
+// the digests cover exactly the fields the equality predicates compare
+// (the optional retained schedule excluded — memoised whole-mode entries
+// never carry one, and the auditor replays schedules separately).
+//
+// Stability: the digests are in-memory integrity checks, recomputed on
+// every cache insert (checkpoints store values, not digests), so the
+// definition may evolve with the structs — but within one build it must
+// be deterministic across calls and processes, which the hash-stability
+// test pins.
+#pragma once
+
+#include <cstdint>
+
+#include "pipeline/artifacts.hpp"
+#include "sched/schedule.hpp"
+
+namespace mmsyn {
+
+/// FNV-1a digest of every compared ModeEvaluation field.
+[[nodiscard]] std::uint64_t mode_evaluation_digest(const ModeEvaluation& m);
+
+/// FNV-1a digest of every compared ModeSchedule field.
+[[nodiscard]] std::uint64_t mode_schedule_digest(const ModeSchedule& s);
+
+/// Exact (bitwise) equality over the digested ModeEvaluation fields.
+[[nodiscard]] bool equal_mode_evaluations(const ModeEvaluation& a,
+                                          const ModeEvaluation& b);
+
+/// Exact (bitwise) equality over the digested ModeSchedule fields.
+[[nodiscard]] bool equal_mode_schedules(const ModeSchedule& a,
+                                        const ModeSchedule& b);
+
+}  // namespace mmsyn

@@ -9,6 +9,8 @@
 
 #include "common/checksum.hpp"
 #include "common/failpoint.hpp"
+#include "energy/artifact_hash.hpp"
+#include "power/power_model.hpp"
 
 namespace mmsyn {
 namespace {
@@ -20,46 +22,9 @@ namespace {
 // lost memo entry is recomputed on the next miss, also self-healing.
 failpoint::Site fp_cache_insert{"cache.insert"};
 
-/// Digest of a whole-mode entry's stored bytes (the schedule is excluded:
-/// memoised whole-mode entries never carry one).
-std::uint64_t eval_digest(const ModeEvaluation& m) {
-  Fnv1a64 h;
-  h.add(m.dyn_energy);
-  h.add(m.dyn_power);
-  h.add(m.static_power);
-  h.add(m.timing_violation);
-  h.add(m.makespan);
-  h.add(static_cast<std::uint64_t>(m.pe_active.size()));
-  for (bool b : m.pe_active) h.add(b);
-  h.add(static_cast<std::uint64_t>(m.cl_active.size()));
-  for (bool b : m.cl_active) h.add(b);
-  h.add(m.routable);
-  return h.digest();
-}
-
-/// Digest of a schedule-stage entry's stored bytes.
-std::uint64_t schedule_digest(const ModeSchedule& s) {
-  Fnv1a64 h;
-  h.add(static_cast<std::uint64_t>(s.tasks.size()));
-  for (const ScheduledTask& t : s.tasks) {
-    h.add(t.task.value());
-    h.add(t.pe.value());
-    h.add(t.core_instance);
-    h.add(t.start);
-    h.add(t.finish);
-  }
-  h.add(static_cast<std::uint64_t>(s.comms.size()));
-  for (const ScheduledComm& c : s.comms) {
-    h.add(c.edge.value());
-    h.add(c.cl.value());
-    h.add(c.local);
-    h.add(c.start);
-    h.add(c.finish);
-  }
-  h.add(s.makespan);
-  h.add(s.routable);
-  return h.digest();
-}
+// Self-healing digests live in energy/artifact_hash.hpp — one shared
+// field enumeration with the auditor's equality checks, so a new
+// ModeEvaluation field can't silently drop out of either.
 
 enum class InsertFault : std::uint8_t { kProceed, kSkip, kCorrupt };
 
@@ -105,7 +70,7 @@ const ModeEvaluation* ModeEvalCache::find(const ModeEvalKey& key) {
   ++lookups_;
   const auto it = map_.find(key);
   if (it == map_.end()) return nullptr;
-  if (eval_digest(it->second.value) != it->second.digest) {
+  if (mode_evaluation_digest(it->second.value) != it->second.digest) {
     // Poisoned entry: quarantine (erase) and report a miss so the caller
     // recomputes. Recomputation is bit-identical to a cold evaluation.
     ++quarantined_;
@@ -131,7 +96,7 @@ void ModeEvalCache::insert(const ModeEvalKey& key,
       order_.pop_front();
     }
   }
-  Stored<ModeEvaluation> stored{value, eval_digest(value)};
+  Stored<ModeEvaluation> stored{value, mode_evaluation_digest(value)};
   if (fault == InsertFault::kCorrupt)
     stored.value.dyn_energy =
         std::bit_cast<double>(std::bit_cast<std::uint64_t>(
@@ -144,7 +109,7 @@ const ModeSchedule* ModeEvalCache::find_schedule(const ModeEvalKey& key) {
   ++schedule_lookups_;
   const auto it = schedule_map_.find(key);
   if (it == schedule_map_.end()) return nullptr;
-  if (schedule_digest(it->second.value) != it->second.digest) {
+  if (mode_schedule_digest(it->second.value) != it->second.digest) {
     ++schedule_quarantined_;
     schedule_order_.erase(
         std::find(schedule_order_.begin(), schedule_order_.end(), key));
@@ -167,7 +132,7 @@ void ModeEvalCache::insert_schedule(const ModeEvalKey& key,
       schedule_order_.pop_front();
     }
   }
-  Stored<ModeSchedule> stored{value, schedule_digest(value)};
+  Stored<ModeSchedule> stored{value, mode_schedule_digest(value)};
   if (fault == InsertFault::kCorrupt && !stored.value.tasks.empty())
     stored.value.makespan = std::bit_cast<double>(
         std::bit_cast<std::uint64_t>(stored.value.makespan) ^ 1u);
@@ -232,7 +197,7 @@ Evaluator::Evaluator(const System& system, EvaluationOptions options)
       pipeline_(system, PipelineOptions{options_.scheduling_policy,
                                         options_.use_dvs, options_.dvs,
                                         options_.keep_schedules,
-                                        options_.profiler}) {
+                                        options_.profiler, options_.power}) {
   true_probs_ = system.omsm.probabilities();
   if (options_.weight_override.empty()) {
     weights_ = true_probs_;
@@ -293,7 +258,7 @@ Evaluation Evaluator::assemble(const MultiModeMapping& mapping,
   for (std::size_t m = 0; m < omsm.mode_count(); ++m) {
     const Mode& mode = omsm.mode(ModeId{static_cast<ModeId::value_type>(m)});
     const ModeEvaluation& me = eval.modes[m];
-    const double mode_power = me.dyn_power + me.static_power;
+    const double mode_power = mode_total_power(me);
     eval.avg_power_true += mode_power * true_probs_[m];
     eval.avg_power_weighted += mode_power * weights_[m];
     // Normalised by the mode period: the timing penalty is expressed in

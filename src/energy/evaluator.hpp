@@ -41,6 +41,8 @@
 
 namespace mmsyn {
 
+class PowerModel;
+
 /// Evaluation controls.
 struct EvaluationOptions {
   /// Apply PV-DVS voltage scaling to DVS-enabled PEs (the "pv-dvs"
@@ -59,6 +61,10 @@ struct EvaluationOptions {
   /// Optional per-stage instrumentation (not fingerprinted; never alters
   /// any result).
   PipelineProfiler* profiler = nullptr;
+  /// Power-model backend (see power/power_model.hpp). Null selects the
+  /// pinned `paper` reference model (bit-identical to its absence); any
+  /// non-reference backend folds into the evaluation fingerprint.
+  const PowerModel* power = nullptr;
 };
 
 /// Whole-candidate evaluation.

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/rng.hpp"
+#include "power/power_model.hpp"
 
 namespace mmsyn {
 
@@ -42,6 +44,11 @@ std::vector<double> jump_chain_stationary_distribution(const Omsm& omsm,
 SimulationResult simulate_usage(const System& system,
                                 const Evaluation& evaluation,
                                 const SimulationOptions& options) {
+  if (!(options.total_time > 0.0))
+    throw SimulationError(
+        "SimulationOptions::total_time must be > 0 (got " +
+        std::to_string(options.total_time) +
+        "): a zero-length simulation has no elapsed time to average over");
   const Omsm& omsm = system.omsm;
   const std::size_t n = omsm.mode_count();
   Rng rng(options.seed);
@@ -74,8 +81,7 @@ SimulationResult simulate_usage(const System& system,
   // Per-mode total power of the candidate.
   std::vector<double> mode_power(n, 0.0);
   for (std::size_t m = 0; m < n; ++m)
-    mode_power[m] =
-        evaluation.modes[m].dyn_power + evaluation.modes[m].static_power;
+    mode_power[m] = mode_total_power(evaluation.modes[m]);
 
   // Start in the most probable mode (the device's resting state).
   std::size_t current = 0;

@@ -12,12 +12,24 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "energy/evaluator.hpp"
 #include "model/system.hpp"
 
 namespace mmsyn {
+
+/// Invalid simulation input (e.g. a non-positive time horizon, which
+/// would otherwise divide by a zero elapsed time when normalising the
+/// average power). Typed so callers can distinguish a bad request from
+/// an internal failure.
+class SimulationError : public std::runtime_error {
+public:
+  explicit SimulationError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 struct SimulationOptions {
   /// Simulated operational time [s].

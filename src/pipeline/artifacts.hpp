@@ -49,6 +49,10 @@ struct SerializedSchedule {
 struct ScaledSchedule {
   double dyn_energy = 0.0;  // joules per hyper-period
   std::optional<PvDvsResult> dvs;
+  /// Per-PE busy seconds (post-DVS activity durations). Computed only
+  /// when the selected power model declares needs_pe_busy(); empty
+  /// otherwise, so the reference path does no extra work.
+  std::vector<double> pe_busy;
 };
 
 /// Stage 5 — per-mode evaluation detail (the pipeline's final artifact;
@@ -67,6 +71,19 @@ struct ModeEvaluation {
   std::vector<bool> pe_active;
   std::vector<bool> cl_active;
   bool routable = true;
+
+  // Power-model breakdown (power/power_model.hpp). All four stay 0 under
+  // the reference `paper` backend — the report's power-model detail block
+  // renders only when one is set, keeping paper reports byte-identical.
+  /// Σ static power of the active components (the paper's value), watts.
+  double baseline_static_power = 0.0;
+  /// DPM: gross idle energy recovered by sleep states, joules/period.
+  double idle_energy_saved = 0.0;
+  /// DPM: wake-up energy charged against those savings, joules/period.
+  double wake_energy = 0.0;
+  /// Thermal: converged operating temperature, °C (0 when not modelled).
+  double temperature = 0.0;
+
   /// Schedule retained when PipelineOptions::keep_schedules.
   std::optional<ModeSchedule> schedule;
 };

@@ -8,7 +8,20 @@
 #include "model/omsm.hpp"
 #include "model/system.hpp"
 #include "model/tech_library.hpp"
+#include "power/power_model.hpp"
 #include "sched/validate.hpp"
+
+namespace mmsyn {
+namespace {
+
+/// True when the pipeline runs the pinned reference power path (the
+/// original inline static-power loop): no model, or the `paper` model.
+bool reference_power(const PowerModel* power) {
+  return power == nullptr || power->is_reference_model();
+}
+
+}  // namespace
+}  // namespace mmsyn
 
 namespace mmsyn {
 
@@ -28,6 +41,13 @@ ModePipeline::ModePipeline(const System& system, PipelineOptions options)
       .add(options_.dvs.min_relative_gain)
       .add(options_.dvs.discrete_voltages)
       .add(options_.dvs.scale_hardware);
+  // The reference power model contributes nothing (a null pointer and an
+  // explicit `paper` hash identically, and pre-power-registry keys carry
+  // over); any other backend folds its identity + knobs in, so e.g. a
+  // thermal result can never be served from a paper cache entry. Power
+  // is a stage-3..5 concern: the schedule fingerprint stays power-free
+  // and schedule artifacts remain shareable across power backends.
+  if (!reference_power(options_.power)) h.add(options_.power->fingerprint());
   evaluation_fingerprint_ = h.digest();
 }
 
@@ -72,9 +92,39 @@ ScaledSchedule ModePipeline::scale(std::size_t m, const ModeMapping& mapping,
   const StageTimer timer(options_.profiler, PipelineStage::kScale);
   const Mode& mode = system_.omsm.mode(ModeId{static_cast<ModeId::value_type>(m)});
   ScaledSchedule out;
+  // Per-PE busy accounting is only materialised for power models that
+  // declare they read it (dpm-idle); the reference path and the thermal
+  // model skip it entirely, leaving the hot loop untouched.
+  const bool want_busy = !reference_power(options_.power) &&
+                         options_.power->needs_pe_busy();
   if (options_.use_dvs) {
-    PvDvsResult dvs = run_pv_dvs(serialized.graph, system_.arch, options_.dvs);
+    const DvsGraph& g = serialized.graph;
+    std::vector<double> penalty;
+    if (want_busy) {
+      // Linearisation point of the DVS/shut-down co-optimisation: busy
+      // time at nominal (pre-scaling) durations. Segment nodes cover the
+      // merged busy intervals of DVS hardware PEs exactly; task nodes
+      // cover the rest (summed durations — exact for sequential
+      // resources, conservative for parallel non-DVS hardware cores).
+      std::vector<double> nominal_busy(system_.arch.pe_count(), 0.0);
+      for (std::size_t i = 0; i < g.node_count(); ++i)
+        if (static_cast<DvsNodeKind>(g.kind[i]) != DvsNodeKind::kComm &&
+            g.pe[i] >= 0)
+          nominal_busy[static_cast<std::size_t>(g.pe[i])] += g.tmin[i];
+      penalty = options_.power->dvs_idle_penalty(system_.arch, mode.period,
+                                                 nominal_busy);
+    }
+    PvDvsResult dvs = run_pv_dvs(g, system_.arch, options_.dvs,
+                                 penalty.empty() ? nullptr : &penalty);
     out.dyn_energy = dvs.total_energy;
+    if (want_busy) {
+      out.pe_busy.assign(system_.arch.pe_count(), 0.0);
+      for (std::size_t i = 0; i < g.node_count(); ++i)
+        if (static_cast<DvsNodeKind>(g.kind[i]) != DvsNodeKind::kComm &&
+            g.pe[i] >= 0)
+          out.pe_busy[static_cast<std::size_t>(g.pe[i])] +=
+              dvs.scaled_time[i];
+    }
     out.dvs = std::move(dvs);
     return out;
   }
@@ -91,6 +141,11 @@ ScaledSchedule ModePipeline::scale(std::size_t m, const ModeMapping& mapping,
   for (const ScheduledComm& c : schedule.comms)
     if (!c.local && c.cl.valid())
       out.dyn_energy += system_.arch.cl(c.cl).transfer_power * c.duration();
+  if (want_busy) {
+    out.pe_busy.assign(system_.arch.pe_count(), 0.0);
+    for (const ScheduledTask& st : schedule.tasks)
+      out.pe_busy[st.pe.index()] += st.duration();
+  }
   return out;
 }
 
@@ -118,14 +173,28 @@ ModeEvaluation ModePipeline::finalize(std::size_t m, const ModeMapping& mapping,
   for (PeId pe : mapping.task_to_pe) me.pe_active[pe.index()] = true;
   for (const ScheduledComm& c : schedule.comms)
     if (!c.local && c.cl.valid()) me.cl_active[c.cl.index()] = true;
-  for (std::size_t p = 0; p < arch.pe_count(); ++p)
-    if (me.pe_active[p])
-      me.static_power +=
-          arch.pe(PeId{static_cast<PeId::value_type>(p)}).static_power;
-  for (std::size_t c = 0; c < arch.cl_count(); ++c)
-    if (me.cl_active[c])
-      me.static_power +=
-          arch.cl(ClId{static_cast<ClId::value_type>(c)}).static_power;
+  if (reference_power(options_.power)) {
+    // Pinned reference path: the original inline accumulation, kept
+    // verbatim so `--power=paper` (and no flag at all) stays bit-identical
+    // to the pre-registry pipeline.
+    for (std::size_t p = 0; p < arch.pe_count(); ++p)
+      if (me.pe_active[p])
+        me.static_power +=
+            arch.pe(PeId{static_cast<PeId::value_type>(p)}).static_power;
+    for (std::size_t c = 0; c < arch.cl_count(); ++c)
+      if (me.cl_active[c])
+        me.static_power +=
+            arch.cl(ClId{static_cast<ClId::value_type>(c)}).static_power;
+  } else {
+    const ModePowerContext ctx{arch,         mode.period,  me.dyn_power,
+                               me.pe_active, me.cl_active, scaled.pe_busy};
+    const ModePowerResult pr = options_.power->mode_power(ctx);
+    me.static_power = pr.static_power;
+    me.baseline_static_power = pr.baseline_static_power;
+    me.idle_energy_saved = pr.idle_energy_saved;
+    me.wake_energy = pr.wake_energy;
+    me.temperature = pr.temperature;
+  }
 
   if (options_.keep_schedules) me.schedule = std::move(schedule);
   return me;

@@ -38,6 +38,7 @@
 namespace mmsyn {
 
 struct System;
+class PowerModel;
 
 /// The subset of evaluation options the per-mode pipeline reads.
 struct PipelineOptions {
@@ -53,6 +54,13 @@ struct PipelineOptions {
   /// Optional per-stage instrumentation; not part of any fingerprint and
   /// never observable in results.
   PipelineProfiler* profiler = nullptr;
+  /// Power-model backend (stages 4–5; see power/power_model.hpp). Null
+  /// selects the pinned `paper` reference model — bit-identical to the
+  /// pre-registry behaviour and absent from every fingerprint, exactly
+  /// like an explicit reference model. Non-reference models fold their
+  /// fingerprint into the evaluation fingerprint only; schedule
+  /// artifacts stay shareable across power backends.
+  const PowerModel* power = nullptr;
 };
 
 class ModePipeline {

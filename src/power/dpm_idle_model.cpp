@@ -1,0 +1,75 @@
+#include "power/dpm_idle_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/checksum.hpp"
+
+namespace mmsyn {
+
+std::uint64_t DpmIdlePowerModel::fingerprint() const {
+  Fnv1a64 h;
+  h.add_bytes("dpm-idle", 8);
+  h.add(options_.sleep_power_fraction)
+      .add(options_.break_even_seconds)
+      .add(options_.wake_energy_per_watt);
+  return h.digest();
+}
+
+void DpmIdlePowerModel::sleep_terms(double static_power, double idle,
+                                    double& gross, double& wake,
+                                    bool& taken) const {
+  gross = idle * static_power * (1.0 - options_.sleep_power_fraction);
+  wake = static_power * options_.wake_energy_per_watt;
+  taken = idle > options_.break_even_seconds && gross > wake;
+}
+
+ModePowerResult DpmIdlePowerModel::mode_power(
+    const ModePowerContext& context) const {
+  ModePowerResult result;
+  const double base = baseline_static_power(context.arch, context.pe_active,
+                                            context.cl_active);
+  result.baseline_static_power = base;
+  result.static_power = base;
+  if (context.period <= 0.0) return result;
+  assert(context.pe_busy.size() == context.arch.pe_count());
+
+  for (std::size_t p = 0; p < context.arch.pe_count(); ++p) {
+    if (!context.pe_active[p]) continue;  // already shut down entirely
+    const Pe& pe = context.arch.pe(PeId{static_cast<PeId::value_type>(p)});
+    const double idle = std::max(0.0, context.period - context.pe_busy[p]);
+    double gross = 0.0, wake = 0.0;
+    bool taken = false;
+    sleep_terms(pe.static_power, idle, gross, wake, taken);
+    if (!taken) continue;
+    result.idle_energy_saved += gross;
+    result.wake_energy += wake;
+  }
+
+  // Net savings spread over the period; each taken sleep has gross >
+  // wake, so the effective static power can only drop below baseline.
+  result.static_power =
+      base - (result.idle_energy_saved - result.wake_energy) / context.period;
+  return result;
+}
+
+std::vector<double> DpmIdlePowerModel::dvs_idle_penalty(
+    const Architecture& arch, double period,
+    const std::vector<double>& nominal_pe_busy) const {
+  // Linearised at the nominal (pre-DVS) schedule: a PE that would take a
+  // sleep charges every second of slack spent on it at the sleep's
+  // marginal saving rate; PEs that would not sleep charge nothing.
+  std::vector<double> penalty(arch.pe_count(), 0.0);
+  for (std::size_t p = 0; p < arch.pe_count(); ++p) {
+    const Pe& pe = arch.pe(PeId{static_cast<PeId::value_type>(p)});
+    const double idle = std::max(0.0, period - nominal_pe_busy[p]);
+    double gross = 0.0, wake = 0.0;
+    bool taken = false;
+    sleep_terms(pe.static_power, idle, gross, wake, taken);
+    if (taken)
+      penalty[p] = pe.static_power * (1.0 - options_.sleep_power_fraction);
+  }
+  return penalty;
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,54 @@
+#include "power/thermal_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/checksum.hpp"
+
+namespace mmsyn {
+
+std::uint64_t ThermalPowerModel::fingerprint() const {
+  Fnv1a64 h;
+  h.add_bytes("thermal", 7);
+  h.add(options_.ambient_celsius)
+      .add(options_.reference_celsius)
+      .add(options_.thermal_resistance)
+      .add(options_.leakage_temp_coefficient)
+      .add(options_.tolerance_celsius)
+      .add(options_.max_iterations);
+  return h.digest();
+}
+
+ModePowerResult ThermalPowerModel::mode_power(
+    const ModePowerContext& context) const {
+  ModePowerResult result;
+  const double base = baseline_static_power(context.arch, context.pe_active,
+                                            context.cl_active);
+  result.baseline_static_power = base;
+
+  auto leakage_at = [&](double t) {
+    return base * (1.0 + options_.leakage_temp_coefficient *
+                             std::max(0.0, t - options_.reference_celsius));
+  };
+
+  // Fixed-point temperature/leakage iteration (see header). Starting at
+  // ambient, each step feeds the current leakage estimate back into the
+  // thermal node; deterministic stop on tolerance or the iteration cap.
+  double temperature = options_.ambient_celsius;
+  for (int i = 0; i < options_.max_iterations; ++i) {
+    const double next =
+        options_.ambient_celsius +
+        options_.thermal_resistance * (context.dyn_power +
+                                       leakage_at(temperature));
+    const bool converged =
+        std::abs(next - temperature) <= options_.tolerance_celsius;
+    temperature = next;
+    if (converged) break;
+  }
+
+  result.temperature = temperature;
+  result.static_power = leakage_at(temperature);
+  return result;
+}
+
+}  // namespace mmsyn

@@ -1,0 +1,62 @@
+// Temperature-dependent leakage backend (`thermal`).
+//
+// Static (leakage) power rises with operating temperature, and dissipated
+// power raises the operating temperature — a feedback loop the paper's
+// constant-p̄_stat model ignores (cf. the thermal-aware task-allocation
+// line of work, arXiv:0710.4660). This backend closes the loop on a
+// single lumped thermal node per mode:
+//
+//   T_{n+1}   = T_amb + R_th · (p̄_dyn + p_stat(T_n))
+//   p_stat(T) = p_base · (1 + k · max(0, T − T_ref))
+//
+// iterated to a deterministic fixed point: the loop stops when two
+// successive temperatures agree within `tolerance_celsius` or after
+// `max_iterations` steps, whichever comes first. Both bounds are knobs
+// folded into the fingerprint, and the iteration is a pure function of
+// (p̄_dyn, p_base, knobs) — replay-exact by construction. The iteration
+// is a contraction whenever R_th · p_base · k < 1 (true by orders of
+// magnitude for embedded power scales); the cap bounds the pathological
+// rest.
+//
+// With the default T_amb == T_ref the factor (1 + k·max(0, T − T_ref))
+// is ≥ 1 for any non-negative power, so thermal static power is
+// *structurally* ≥ the paper baseline — the ordering the power-backend
+// ablation gate pins.
+#pragma once
+
+#include "power/power_model.hpp"
+
+namespace mmsyn {
+
+struct ThermalOptions {
+  /// Ambient temperature, °C.
+  double ambient_celsius = 25.0;
+  /// Leakage reference temperature, °C (p_stat(T_ref) == p_base).
+  double reference_celsius = 25.0;
+  /// Lumped junction-to-ambient thermal resistance, K/W.
+  double thermal_resistance = 75.0;
+  /// Fractional leakage increase per kelvin above T_ref.
+  double leakage_temp_coefficient = 0.03;
+  /// Fixed-point convergence tolerance on T, °C.
+  double tolerance_celsius = 1e-9;
+  /// Iteration cap (determinism backstop for non-contractive inputs).
+  int max_iterations = 64;
+};
+
+class ThermalPowerModel final : public PowerModel {
+public:
+  explicit ThermalPowerModel(ThermalOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] const char* name() const override { return "thermal"; }
+  [[nodiscard]] std::uint64_t fingerprint() const override;
+  [[nodiscard]] ModePowerResult mode_power(
+      const ModePowerContext& context) const override;
+
+  [[nodiscard]] const ThermalOptions& options() const { return options_; }
+
+private:
+  ThermalOptions options_;
+};
+
+}  // namespace mmsyn

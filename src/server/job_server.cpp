@@ -17,6 +17,7 @@
 #include "core/run_control.hpp"
 #include "model/io.hpp"
 #include "pipeline/backends.hpp"
+#include "power/backends.hpp"
 #include "server/retry.hpp"
 
 namespace mmsyn {
@@ -417,6 +418,9 @@ void JobServer::run_job(std::uint64_t job_id) {
           job_options.scheduler_backend.empty()
               ? scheduler_backends().front().name
               : job_options.scheduler_backend);
+      options.power = resolve_power_backend(job_options.power_backend.empty()
+                                                ? power_backends().front().name
+                                                : job_options.power_backend);
       options.consider_probabilities = job_options.consider_probabilities;
       options.seed = job_options.seed;
       options.ga.population_size = job_options.population;

@@ -17,7 +17,8 @@ namespace mmsyn {
 namespace {
 
 constexpr char kMagic[8] = {'M', 'M', 'S', 'Y', 'N', 'W', 'A', 'L'};
-constexpr std::uint32_t kJournalVersion = 1;
+// v2: JobOptions gained power_backend (the --power registry choice).
+constexpr std::uint32_t kJournalVersion = 2;
 constexpr std::size_t kHeaderSize = sizeof(kMagic) + 4;
 /// Same allocation guard as the wire layer: a corrupt length field must
 /// not drive a huge allocation during replay.
@@ -102,6 +103,7 @@ void put_options(std::string& out, const JobOptions& o) {
   put_u32(out, static_cast<std::uint32_t>(o.threads));
   put_str(out, o.dvs_backend);
   put_str(out, o.scheduler_backend);
+  put_str(out, o.power_backend);
   out.push_back(o.consider_probabilities ? 1 : 0);
   std::uint64_t bits;
   std::memcpy(&bits, &o.time_budget, sizeof bits);
@@ -118,6 +120,7 @@ JobOptions get_options(PayloadReader& r) {
   o.threads = static_cast<std::int32_t>(r.u32());
   o.dvs_backend = r.str();
   o.scheduler_backend = r.str();
+  o.power_backend = r.str();
   o.consider_probabilities = r.boolean();
   o.time_budget = r.f64();
   o.report_gantt = r.boolean();

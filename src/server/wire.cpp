@@ -110,6 +110,7 @@ void put_options(Writer& w, const JobOptions& o) {
   w.i32(o.threads);
   w.str(o.dvs_backend);
   w.str(o.scheduler_backend);
+  w.str(o.power_backend);
   w.boolean(o.consider_probabilities);
   w.f64(o.time_budget);
   w.boolean(o.report_gantt);
@@ -124,6 +125,7 @@ JobOptions get_options(Reader& r) {
   o.threads = r.i32();
   o.dvs_backend = r.str();
   o.scheduler_backend = r.str();
+  o.power_backend = r.str();
   o.consider_probabilities = r.boolean();
   o.time_budget = r.f64();
   o.report_gantt = r.boolean();
@@ -180,6 +182,8 @@ std::uint64_t job_fingerprint(std::string_view system_text,
   h.add(options.scheduler_backend.size());
   h.add_bytes(options.scheduler_backend.data(),
               options.scheduler_backend.size());
+  h.add(options.power_backend.size());
+  h.add_bytes(options.power_backend.data(), options.power_backend.size());
   h.add(options.consider_probabilities);
   h.add(options.time_budget);
   h.add(options.report_gantt);

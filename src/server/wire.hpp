@@ -39,7 +39,8 @@ public:
       : std::runtime_error("wire: " + message) {}
 };
 
-inline constexpr std::uint16_t kWireVersion = 1;
+// v2: JobOptions gained power_backend (the --power registry choice).
+inline constexpr std::uint16_t kWireVersion = 2;
 
 enum class MessageType : std::uint16_t {
   kSubmit = 1,     ///< client -> server: JobOptions + system text
@@ -87,6 +88,10 @@ struct JobOptions {
   /// Backend names resolved through pipeline/backends (empty = default).
   std::string dvs_backend;
   std::string scheduler_backend;
+  /// Power-model backend resolved through power/backends (empty =
+  /// "paper"). Folded into the job fingerprint, so a thermal or dpm-idle
+  /// result can never be served from a paper cache entry.
+  std::string power_backend;
   bool consider_probabilities = true;
   /// Per-job wall-clock budget in seconds; 0 = the server default.
   /// NOTE: budgeted jobs stop at a wall-clock-dependent generation, so

@@ -41,6 +41,45 @@ if ! diff -q /tmp/mmsyn-ci-default.out /tmp/mmsyn-ci-staged.out; then
   exit 1
 fi
 
+echo "== power-backend report identity + flag validation =="
+# The pinned `paper` power backend must reproduce the flag-omitted default
+# byte-for-byte (the registry's bit-identity contract), and an unknown
+# --power= value must fail fast with an actionable message instead of
+# silently falling back to the default.
+$SF --input "$IN" $ARGS --power=paper > /tmp/mmsyn-ci-power-paper.out
+if ! diff -q /tmp/mmsyn-ci-default.out /tmp/mmsyn-ci-power-paper.out; then
+  echo "ci: FAIL (--power=paper diverges from the flag-omitted default)"
+  exit 1
+fi
+if $SF --input "$IN" $ARGS --power=bogus > /dev/null 2> /tmp/mmsyn-ci-power-err.txt; then
+  echo "ci: FAIL (unknown --power=bogus was accepted)"
+  exit 1
+fi
+if ! grep -q "bogus" /tmp/mmsyn-ci-power-err.txt; then
+  echo "ci: FAIL (unknown-power error does not name the offending value)"
+  exit 1
+fi
+
+echo "== power-backend ablation gate =="
+# power_backends exits nonzero when a structural ordering (thermal >=
+# paper >= dpm-idle in Psi-weighted static power) breaks or a backend's
+# own synthesis fails its invariant audit; the committed JSON pins the
+# orderings as a tracked baseline too.
+./build/bench/power_backends --population 24 --generations 30 \
+  --json /tmp/mmsyn-ci-power.json
+python3 - /tmp/mmsyn-ci-power.json BENCH_power_backends.json << 'EOF'
+import json, sys
+fresh = json.load(open(sys.argv[1]))
+committed = json.load(open(sys.argv[2]))
+for tag, data in (("fresh", fresh), ("committed", committed)):
+    if not data["ordering_ok"]:
+        sys.exit(f"ci: FAIL ({tag} power-backend ordering violated)")
+    for name, row in data["backends"].items():
+        if not row["audited_ok"]:
+            sys.exit(f"ci: FAIL ({tag} backend '{name}' failed its audit)")
+print("power gate: orderings + audits ok (fresh and committed)")
+EOF
+
 echo "== micro-kernel parity + perf gate =="
 # micro_kernels exits nonzero if any scheduling/DVS stage diverges from
 # the frozen reference kernels or the combined speedup drops under 2x.
@@ -172,11 +211,28 @@ bench/crash_torture.sh ./build-asan/examples/synthesize_file
 MMSYN_FAILPOINTS='alloc.arena=fail@1;pool.task=fail@3;cache.insert=corrupt@2' \
   ./build-asan/examples/synthesize_file --input "$IN" $ARGS > /dev/null
 
+echo "== address-sanitizer power backends (thermal / dpm-idle) =="
+# The non-reference power paths (fixed-point thermal iteration, per-PE
+# busy accounting, DPM sleep arithmetic, DVS idle-penalty coupling) must
+# be clean under ASan+UBSan end to end, audit included. The plain ctest
+# suites already run test_power under the sanitizers; these legs drive
+# the full synthesize->audit pipeline per backend.
+./build-asan/examples/synthesize_file --input "$IN" $ARGS \
+  --power=thermal > /dev/null
+./build-asan/examples/synthesize_file --input "$IN" $ARGS \
+  --power=dpm-idle --dvs > /dev/null
+
 echo "== undefined-behaviour-sanitizer build =="
 cmake -B build-ubsan -S . -DMMSYN_SANITIZE=undefined > /dev/null
 cmake --build build-ubsan -j "$JOBS"
 echo "== undefined-behaviour-sanitizer ctest =="
 (cd build-ubsan && ctest --output-on-failure -j 2)
+
+echo "== undefined-behaviour-sanitizer power backends =="
+./build-ubsan/examples/synthesize_file --input "$IN" $ARGS \
+  --power=thermal > /dev/null
+./build-ubsan/examples/synthesize_file --input "$IN" $ARGS \
+  --power=dpm-idle --dvs > /dev/null
 
 echo "== thread-sanitizer island run =="
 # The island coordinator is the one place worker threads exchange state
